@@ -1,0 +1,109 @@
+// E10 — Extensions beyond the paper's core protocol, both anchored in its
+// text: (a) garbage collection of stable storage ("logging progress ...
+// allows output commit and garbage collection", §2), and (b) reliable
+// delivery by sender-based retransmission ("they can be retrieved from the
+// senders' volatile logs", §2 fn. 3).
+//
+// Expected shapes: (a) with GC on, the retained log/checkpoint footprint is
+// bounded by the checkpoint cadence instead of growing with the run; K
+// barely matters because stability — not release — drives collection.
+// (b) with retransmission on, a pipeline completes every injected item
+// despite crashes (vs. several percent in-transit loss without), at the
+// cost of ack traffic and a few duplicate sends.
+#include <iostream>
+#include <set>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+#include "core/metrics.h"
+#include "scenario.h"
+
+using namespace koptlog;
+using namespace koptlog::bench;
+
+namespace {
+
+void gc_table() {
+  Table t({"ckpt_ms", "gc", "max_log_retained", "records_reclaimed",
+           "ckpts_retained_p99", "delivered"});
+  for (SimTime ckpt_ms : {30, 100, 300}) {
+    for (bool gc : {true, false}) {
+      ProtocolConfig cfg;
+      cfg.checkpoint_interval_us = ckpt_ms * 1000;
+      cfg.garbage_collect = gc;
+      ScenarioParams p;
+      p.n = 6;
+      p.seed = 5;
+      p.protocol = cfg;
+      p.injections = 200;
+      p.load_end_us = 1'500'000;
+      p.failures = 2;
+      p.fail_to_us = 1'200'000;
+      p.extra_run_us = 1'500'000;
+      ScenarioResult r = run_scenario(p);
+      // Without GC the retained size equals the full log; report the final
+      // total via delivered as the comparison point.
+      double max_retained = gc ? r.hist("storage.log_retained").max() : -1;
+      t.row()
+          .cell(static_cast<int64_t>(ckpt_ms))
+          .cell(gc ? "on" : "off")
+          .cell(gc ? format_double(max_retained, 0) : "= all delivered")
+          .cell(r.counter("gc.records_reclaimed"))
+          .cell(gc ? format_double(
+                         r.hist("storage.checkpoints_retained").p99(), 0)
+                   : "unbounded")
+          .cell(r.counter("msgs.delivered"));
+    }
+  }
+  t.print(std::cout, "stable-storage footprint (GC, Theorem-2 pivot rule)");
+}
+
+void reliability_table() {
+  Table t({"restart_ms", "reliable", "items_done", "retransmits",
+           "duplicates", "rollbacks"});
+  constexpr int kItems = 120;
+  for (SimTime restart_ms : {20, 80}) {
+    for (bool reliable : {false, true}) {
+      ClusterConfig cfg;
+      cfg.n = 5;
+      cfg.seed = 6;
+      cfg.protocol.reliable_delivery = reliable;
+      cfg.protocol.restart_delay_us = restart_ms * 1000;
+      cfg.enable_oracle = false;
+      Cluster cluster(cfg, make_pipeline_app({.output_every = 1}));
+      cluster.start();
+      inject_pipeline_load(cluster, kItems, 1'000, 400'000);
+      apply_failure_plan(cluster,
+                         FailurePlan::random(Rng(6).fork("e10"), cfg.n, 3,
+                                             50'000, 380'000));
+      cluster.run_for(2'000'000);
+      cluster.drain();
+      std::set<int64_t> done;
+      for (const auto& o : cluster.outputs()) done.insert(o.payload.b);
+      t.row()
+          .cell(static_cast<int64_t>(restart_ms))
+          .cell(reliable ? "yes" : "no")
+          .cell(static_cast<int64_t>(done.size()))
+          .cell(cluster.stats().counter("msgs.retransmitted"))
+          .cell(cluster.stats().counter("msgs.duplicate"))
+          .cell(cluster.stats().counter("rollback.count"));
+    }
+  }
+  t.print(std::cout,
+          "in-transit loss vs sender-based retransmission (120 items)");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E10: extensions — garbage collection & reliable delivery\n\n";
+  gc_table();
+  reliability_table();
+  std::cout << "Reading: GC keeps the retained log proportional to the "
+               "checkpoint cadence (the Theorem-2 pivot can never be "
+               "orphaned, so older state is dead); retransmission converts "
+               "crash-window losses into duplicates that receivers dedup, "
+               "completing every item.\n";
+  return 0;
+}

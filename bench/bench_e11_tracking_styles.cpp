@@ -1,0 +1,95 @@
+// E11 — Transitive vs direct dependency tracking (paper §5). The paper
+// summarizes the related-work tradeoff in two sentences: direct tracking
+// "piggybacks only the sender's current state interval index, and so is in
+// general more scalable. The tradeoff is that, at the time of output commit
+// and recovery, the system needs to assemble direct dependencies to obtain
+// transitive dependencies." Both engines run the identical workload and
+// failure plan here. Expected shape: direct tracking wins piggyback bytes
+// (constant, independent of N), but pays assembly round-trips per output
+// commit (higher commit latency, nonzero query/reply traffic) and cascading
+// rollback announcements on recovery; the K-optimistic engine inverts every
+// one of those columns.
+#include <iostream>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+#include "core/metrics.h"
+#include "direct/direct_process.h"
+
+using namespace koptlog;
+
+namespace {
+
+struct Row {
+  double piggyback = 0;
+  double commit_mean = 0, commit_p99 = 0;
+  int64_t queries = 0, replies = 0;
+  int64_t announcements = 0, rollbacks = 0;
+  int64_t outputs = 0;
+};
+
+Row run_engine(bool direct, int n, int failures, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.enable_oracle = false;
+  Cluster cluster =
+      direct ? Cluster(cfg, make_client_server_app({}), DirectProcess::factory())
+             : Cluster(cfg, make_client_server_app({}));
+  cluster.start();
+  inject_client_requests(cluster, 40 * n, 1'000, 900'000, seed * 13 + 1);
+  if (failures > 0) {
+    apply_failure_plan(cluster,
+                       FailurePlan::random(Rng(seed).fork("e11"), n, failures,
+                                           100'000, 800'000));
+  }
+  cluster.run_for(2'000'000);
+  cluster.drain();
+  Row r;
+  r.piggyback = cluster.stats().histogram("msg.piggyback_bytes").mean();
+  r.commit_mean = cluster.stats().histogram("output.commit_latency_us").mean();
+  r.commit_p99 = cluster.stats().histogram("output.commit_latency_us").p99();
+  r.queries = cluster.stats().counter("ddt.queries");
+  r.replies = cluster.stats().counter("ddt.replies");
+  r.announcements = cluster.stats().counter("announce.sent");
+  r.rollbacks = cluster.stats().counter("rollback.count");
+  r.outputs = static_cast<int64_t>(cluster.outputs().size());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E11: transitive (K-optimistic, Thm 2) vs direct dependency "
+               "tracking (§5)\n(client-server workload, constant per-process "
+               "load)\n\n";
+  Table t({"N", "failures", "engine", "piggyback_B", "commit_mean_us",
+           "commit_p99_us", "dep_queries", "announcements", "rollbacks",
+           "outputs"});
+  for (int n : {4, 8, 16}) {
+    for (int failures : {0, 3}) {
+      for (bool direct : {false, true}) {
+        Row r = run_engine(direct, n, failures, 7);
+        t.row()
+            .cell(static_cast<int64_t>(n))
+            .cell(static_cast<int64_t>(failures))
+            .cell(direct ? "direct (JZ-style)" : "transitive (K-opt)")
+            .cell(r.piggyback, 1)
+            .cell(r.commit_mean, 0)
+            .cell(r.commit_p99, 0)
+            .cell(r.queries)
+            .cell(r.announcements)
+            .cell(r.rollbacks)
+            .cell(r.outputs);
+      }
+    }
+  }
+  t.print(std::cout, "dependency-tracking styles, one table");
+  std::cout << "Reading: direct tracking's piggyback is constant in N; the "
+               "bill arrives at output commit (assembly queries, higher "
+               "latency) and at recovery (every rollback announced). The "
+               "paper's Theorem-2 vectors pay a few piggybacked bytes to "
+               "make both costs local.\n";
+  return 0;
+}

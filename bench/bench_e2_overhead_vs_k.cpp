@@ -1,0 +1,103 @@
+// E2 — Failure-free overhead across the K spectrum (paper §1, §4.1,
+// Theorem 4). K is the maximum number of processes whose failures can
+// revoke a released message; smaller K means messages wait longer in the
+// send buffer for stability information, and pessimistic logging (the
+// mechanism behind the K=0 guarantee) pays a synchronous write per
+// delivery instead. Expected shape: send-buffer hold time and the fraction
+// of delayed messages fall monotonically as K grows, reaching ~0 at K=N;
+// pessimistic trades the hold time for blocking writes (slowest makespan
+// when stable-storage writes are expensive).
+#include <iostream>
+#include <vector>
+
+#include "baseline/pessimistic.h"
+#include "core/metrics.h"
+#include "scenario.h"
+
+using namespace koptlog;
+using namespace koptlog::bench;
+
+namespace {
+
+struct Agg {
+  double hold_mean = 0, hold_p99 = 0, delayed_frac = 0, piggyback = 0;
+  double risk = 0, sync_per_delivery = 0, makespan_ms = 0, recv_wait = 0;
+};
+
+Agg run_config(const ProtocolConfig& protocol, int n, int seeds) {
+  Agg a;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+    ScenarioParams p;
+    p.n = n;
+    p.seed = seed;
+    p.protocol = protocol;
+    p.injections = 150;
+    p.load_end_us = 800'000;
+    ScenarioResult r = run_scenario(p);
+    a.hold_mean += r.hist("send.hold_us").mean();
+    a.hold_p99 += r.hist("send.hold_us").p99();
+    double released = static_cast<double>(r.counter("msgs.released"));
+    a.delayed_frac += released > 0
+                          ? static_cast<double>(
+                                r.counter("msgs.released_delayed")) / released
+                          : 0;
+    a.piggyback += r.hist("msg.piggyback_bytes").mean();
+    a.risk += r.hist("send.risk").mean();
+    double delivered = static_cast<double>(r.counter("msgs.delivered"));
+    double sync = 0;
+    // Sync writes accumulate in per-process storage; approximate from the
+    // global announcement/journal counters plus pessimistic per-delivery
+    // writes, which is what the counter below tracks directly.
+    sync = static_cast<double>(r.counter("storage.sync_writes"));
+    a.sync_per_delivery += delivered > 0 ? sync / delivered : 0;
+    a.makespan_ms += static_cast<double>(r.drained_at) / 1000.0;
+    a.recv_wait += r.hist("recv.wait_us").mean();
+  }
+  double d = seeds;
+  a.hold_mean /= d;
+  a.hold_p99 /= d;
+  a.delayed_frac /= d;
+  a.piggyback /= d;
+  a.risk /= d;
+  a.sync_per_delivery /= d;
+  a.makespan_ms /= d;
+  a.recv_wait /= d;
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kN = 8;
+  constexpr int kSeeds = 3;
+  std::cout << "E2: failure-free overhead vs degree of optimism K\n"
+            << "(uniform workload, N=" << kN << ", " << kSeeds
+            << " seeds averaged, no failures)\n\n";
+
+  Table t({"K", "hold_mean_us", "hold_p99_us", "delayed_%", "piggyback_B",
+           "risk_mean", "sync_wr/msg", "recv_wait_us", "makespan_ms"});
+
+  std::vector<ProtocolConfig> configs;
+  configs.push_back(pessimistic_baseline());
+  for (int k : {0, 1, 2, 4, 6, kN}) configs.push_back(k_optimistic(k));
+
+  for (const ProtocolConfig& cfg : configs) {
+    Agg a = run_config(cfg, kN, kSeeds);
+    t.row()
+        .cell(k_label(cfg, kN))
+        .cell(a.hold_mean, 1)
+        .cell(a.hold_p99, 0)
+        .cell(a.delayed_frac * 100.0, 1)
+        .cell(a.piggyback, 1)
+        .cell(a.risk, 2)
+        .cell(a.sync_per_delivery, 2)
+        .cell(a.recv_wait, 1)
+        .cell(a.makespan_ms, 1);
+  }
+  t.print(std::cout, "failure-free overhead vs K");
+  std::cout << "Reading: hold time and delayed-fraction fall as K rises "
+               "(0-optimistic holds every message until fully stable; "
+               "N-optimistic releases immediately); 'pess' avoids holds by "
+               "paying a synchronous write per delivery.\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// E4 — Dependency-vector size under commit dependency tracking (Theorem 2,
+// §3, and §6's scalability claim). With NULLing on, a vector carries only
+// dependencies on intervals that are not yet known stable, so its live size
+// is governed by how much *recent* (sub-logging-cadence) traffic a process
+// has absorbed — not by N and not by the total communication history. With
+// NULLing off (full transitive tracking) entries accumulate forever and the
+// vector marches towards size N. Expected shape: the Theorem-2 rows stay
+// flat as N grows and shrink as logging gets faster or traffic sparser; the
+// full-TDV rows climb towards N everywhere.
+#include <iostream>
+
+#include "baseline/pessimistic.h"
+#include "core/metrics.h"
+#include "scenario.h"
+
+using namespace koptlog;
+using namespace koptlog::bench;
+
+namespace {
+
+ProtocolConfig fast_logging(bool thm2) {
+  ProtocolConfig cfg = thm2 ? ProtocolConfig{} : full_tdv_baseline();
+  cfg.flush_interval_us = 2'000;
+  cfg.notify_interval_us = 4'000;
+  return cfg;
+}
+
+void run_table_vs_n() {
+  Table t({"N", "tracking", "state_tdv_mean", "sent_vec_mean", "sent_vec_p99",
+           "vec_bytes_mean", "full_vec_bytes"});
+  for (int n : {4, 8, 16, 32}) {
+    for (bool thm2 : {true, false}) {
+      ScenarioParams p;
+      p.n = n;
+      p.seed = 1;
+      p.protocol = fast_logging(thm2);
+      p.injections = 4 * n;  // sparse: a few concurrent lineages at a time
+      p.load_end_us = 3'000'000;
+      p.ttl = 6;
+      ScenarioResult r = run_scenario(p);
+      double full_bytes =
+          static_cast<double>(DepVector::kWireHeaderBytes +
+                              static_cast<size_t>(n) * DepVector::kWireEntryBytes);
+      t.row()
+          .cell(static_cast<int64_t>(n))
+          .cell(thm2 ? "commit-dep (Thm 2)" : "full TDV")
+          .cell(r.hist("tdv.non_null").mean(), 2)
+          .cell(r.hist("send.risk").mean(), 2)
+          .cell(r.hist("send.risk").p99(), 0)
+          .cell(r.hist("msg.vector_bytes").mean(), 1)
+          .cell(full_bytes, 0);
+    }
+  }
+  t.print(std::cout,
+          "vector size vs N, sparse traffic (Theorem 2 ablation)");
+}
+
+void run_table_vs_density() {
+  Table t({"injections", "tracking", "state_tdv_mean", "sent_vec_mean",
+           "sent_vec_p99"});
+  for (int injections : {50, 200, 800}) {
+    for (bool thm2 : {true, false}) {
+      ScenarioParams p;
+      p.n = 16;
+      p.seed = 2;
+      p.protocol = fast_logging(thm2);
+      p.injections = injections;
+      p.load_end_us = 1'000'000;
+      p.ttl = 8;
+      ScenarioResult r = run_scenario(p);
+      t.row()
+          .cell(static_cast<int64_t>(injections))
+          .cell(thm2 ? "commit-dep (Thm 2)" : "full TDV")
+          .cell(r.hist("tdv.non_null").mean(), 2)
+          .cell(r.hist("send.risk").mean(), 2)
+          .cell(r.hist("send.risk").p99(), 0);
+    }
+  }
+  t.print(std::cout, "vector size vs traffic density (N=16)");
+}
+
+void run_table_vs_cadence() {
+  Table t({"notify_ms", "flush_ms", "state_tdv_mean", "sent_vec_mean",
+           "sent_vec_p99"});
+  for (SimTime notify_ms : {2, 10, 50}) {
+    for (SimTime flush_ms : {1, 10, 50}) {
+      ProtocolConfig cfg;
+      cfg.notify_interval_us = notify_ms * 1000;
+      cfg.flush_interval_us = flush_ms * 1000;
+      ScenarioParams p;
+      p.n = 16;
+      p.seed = 3;
+      p.protocol = cfg;
+      p.injections = 64;
+      p.load_end_us = 3'000'000;
+      p.ttl = 6;
+      ScenarioResult r = run_scenario(p);
+      t.row()
+          .cell(static_cast<int64_t>(notify_ms))
+          .cell(static_cast<int64_t>(flush_ms))
+          .cell(r.hist("tdv.non_null").mean(), 2)
+          .cell(r.hist("send.risk").mean(), 2)
+          .cell(r.hist("send.risk").p99(), 0);
+    }
+  }
+  t.print(std::cout,
+          "vector size vs logging cadence (N=16, Theorem 2 on, sparse)");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E4: dependency-vector size under commit dependency "
+               "tracking\n\n";
+  run_table_vs_n();
+  run_table_vs_density();
+  run_table_vs_cadence();
+  std::cout << "Reading: with Theorem 2 the live entry count tracks the "
+               "logging cadence and traffic density, staying nearly flat in "
+               "N ('the vector size does not grow with the number of "
+               "processes', §6); full transitive tracking accumulates towards "
+               "N entries regardless.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E7 — Corollary 1 ablation (paper §3 "Applying Corollary 1"): the improved
+// deliverability rule (overwrite a dependency entry as soon as the smaller
+// entry is known *stable*; no wait at all when no entry exists) vs.
+// Strom-Yemini's original rule (delay until the rollback announcements for
+// all prior incarnations arrive). The race only exists when failure
+// information propagates slowly relative to application traffic, so the
+// control-plane latency is swept. Expected shape: under a slow control
+// plane the SY rule delays deliveries for roughly the announcement latency
+// while the Corollary-1 rule's waits stay near zero (stability facts flow
+// continuously with logging-progress notifications, and most receivers
+// hold no conflicting entry at all).
+#include <iostream>
+
+#include "core/metrics.h"
+#include "scenario.h"
+
+using namespace koptlog;
+using namespace koptlog::bench;
+
+int main() {
+  constexpr int kN = 6;
+  constexpr int kSeeds = 5;
+  std::cout << "E7: delivery delay — Corollary 1 vs Strom-Yemini rule\n"
+            << "(uniform workload, N=" << kN << ", 3 failures per run, "
+            << kSeeds << " seeds averaged, control-plane latency swept)\n\n";
+
+  Table t({"ann_latency_ms", "rule", "recv_wait_mean_us", "recv_wait_p99_us",
+           "delayed_deliveries", "rollbacks"});
+  for (SimTime ann_ms : {1, 10, 40}) {
+    for (bool cor1 : {true, false}) {
+      ProtocolConfig cfg;
+      cfg.cor1_fast_delivery = cor1;
+      if (!cor1) {
+        // The SY rule needs every incarnation end announced to make
+        // progress.
+        cfg.announce_all_rollbacks = true;
+      }
+      // Fast logging keeps the Corollary-1 arm's stability information
+      // fresh; the contested resource is the announcement itself.
+      cfg.flush_interval_us = 2'000;
+      cfg.notify_interval_us = 4'000;
+      double wait_mean = 0, wait_p99 = 0;
+      int64_t delayed = 0, rollbacks = 0;
+      for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        ScenarioParams p;
+        p.n = kN;
+        p.seed = seed;
+        p.protocol = cfg;
+        p.fifo = !cor1;  // SY assumes FIFO channels
+        p.injections = 150;
+        p.load_end_us = 800'000;
+        p.failures = 3;
+        p.fail_to_us = 700'000;
+        p.control_base_us = ann_ms * 1000;
+        p.control_jitter_us = ann_ms * 500;
+        ScenarioResult r = run_scenario(p);
+        wait_mean += r.hist("recv.wait_us").mean();
+        wait_p99 += r.hist("recv.wait_us").p99();
+        // Count deliveries that actually waited (wait > 0).
+        delayed += r.counter("recv.delayed");
+        rollbacks += r.counter("rollback.count");
+      }
+      t.row()
+          .cell(static_cast<int64_t>(ann_ms))
+          .cell(cor1 ? "Corollary 1 (improved)" : "Strom-Yemini delay")
+          .cell(wait_mean / kSeeds, 1)
+          .cell(wait_p99 / kSeeds, 0)
+          .cell(delayed)
+          .cell(rollbacks);
+    }
+  }
+  t.print(std::cout, "receiver-side delivery wait (Corollary 1 ablation)");
+  std::cout << "Reading: the Corollary-1 rule replaces the wait for prior-"
+               "incarnation announcements with already-flowing stability "
+               "information, so its delays stay near zero even when "
+               "announcements crawl.\n";
+  return 0;
+}

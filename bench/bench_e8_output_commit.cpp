@@ -1,0 +1,57 @@
+// E8 — Output-commit latency (paper §2 "Output commit", §4.2: "an output
+// can be viewed as a 0-optimistic message"). An output commits once every
+// interval it depends on is stable, so its latency is governed by how fast
+// stability information is produced (flush cadence) and spread
+// (notification cadence) — and is independent of the message-release K.
+// Expected shape: latency scales with flush+notify periods; K's columns are
+// flat; the pessimistic mechanism commits almost immediately.
+#include <iostream>
+
+#include "baseline/pessimistic.h"
+#include "core/metrics.h"
+#include "scenario.h"
+
+using namespace koptlog;
+using namespace koptlog::bench;
+
+int main() {
+  constexpr int kN = 6;
+  std::cout << "E8: output-commit latency vs K and logging cadence\n"
+            << "(client-server workload, N=" << kN << ", no failures)\n\n";
+
+  Table t({"flush/notify_ms", "K", "commit_mean_us", "commit_p99_us",
+           "outputs"});
+  for (SimTime cadence_ms : {2, 10, 40}) {
+    std::vector<std::pair<std::string, ProtocolConfig>> modes = {
+        {"pess", pessimistic_baseline()},
+        {"0", k_optimistic(0)},
+        {"2", k_optimistic(2)},
+        {"N", ProtocolConfig::traditional_optimistic()}};
+    for (auto& [name, cfg] : modes) {
+      cfg.flush_interval_us = cadence_ms * 1000;
+      cfg.notify_interval_us = cadence_ms * 1000;
+      ScenarioParams p;
+      p.n = kN;
+      p.seed = 3;
+      p.protocol = cfg;
+      p.workload = Workload::kClientServer;
+      p.injections = 250;
+      p.load_end_us = 900'000;
+      ScenarioResult r = run_scenario(p);
+      t.row()
+          .cell(static_cast<int64_t>(cadence_ms))
+          .cell(name)
+          .cell(r.hist("output.commit_latency_us").mean(), 0)
+          .cell(r.hist("output.commit_latency_us").p99(), 0)
+          .cell(static_cast<int64_t>(r.outputs));
+    }
+  }
+  t.print(std::cout, "output-commit latency");
+  std::cout << "Reading: outputs are 0-optimistic regardless of the system's "
+               "K, so the logging cadence dominates commit latency at every "
+               "K; smaller K helps a little on top (messages carry fewer "
+               "live dependencies for receivers to inherit), and synchronous "
+               "(pessimistic) logging commits fastest because every interval "
+               "is stable on creation.\n";
+  return 0;
+}

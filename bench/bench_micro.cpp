@@ -1,0 +1,152 @@
+// M1 — Micro-benchmarks of the hot protocol primitives and the simulation
+// substrate (google-benchmark). These set the constant factors behind every
+// experiment binary: dependency-vector merges, table queries, deliverability
+// checks, simulator event throughput, and a small end-to-end cluster run.
+#include <benchmark/benchmark.h>
+
+#include "app/workloads.h"
+#include "core/oracle.h"
+#include "wire/codec.h"
+#include "core/cluster.h"
+#include "core/dep_vector.h"
+#include "core/interval_table.h"
+#include "sim/simulator.h"
+
+using namespace koptlog;
+
+namespace {
+
+DepVector make_vector(int n, int live, uint64_t salt) {
+  DepVector v(n);
+  for (int i = 0; i < live; ++i) {
+    auto j = static_cast<ProcessId>((salt + static_cast<uint64_t>(i) * 7) %
+                                    static_cast<uint64_t>(n));
+    v.set(j, Entry{static_cast<Incarnation>(i % 3),
+                   static_cast<Sii>(100 + i)});
+  }
+  return v;
+}
+
+void BM_DepVectorMergeMax(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DepVector a = make_vector(n, n / 2, 1);
+  DepVector b = make_vector(n, n / 2, 5);
+  for (auto _ : state) {
+    DepVector tmp = a;
+    tmp.merge_max(b);
+    benchmark::DoNotOptimize(tmp);
+  }
+}
+BENCHMARK(BM_DepVectorMergeMax)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_DepVectorNonNullCount(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  DepVector v = make_vector(n, n / 3, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.non_null_count());
+  }
+}
+BENCHMARK(BM_DepVectorNonNullCount)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EntrySetInsertMaxMerge(benchmark::State& state) {
+  for (auto _ : state) {
+    EntrySet se;
+    for (Sii x = 0; x < 64; ++x)
+      se.insert(Entry{static_cast<Incarnation>(x % 4), x});
+    benchmark::DoNotOptimize(se);
+  }
+}
+BENCHMARK(BM_EntrySetInsertMaxMerge);
+
+void BM_EntrySetCoversAndOrphans(benchmark::State& state) {
+  EntrySet se;
+  for (Incarnation t = 0; t < 16; ++t) se.insert(Entry{t, 100 + t});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(se.covers(Entry{7, 99}));
+    benchmark::DoNotOptimize(se.orphans(Entry{3, 200}));
+  }
+}
+BENCHMARK(BM_EntrySetCoversAndOrphans);
+
+void BM_SimulatorScheduleAndStep(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule_at(static_cast<SimTime>((i * 37) % 4096), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+}
+BENCHMARK(BM_SimulatorScheduleAndStep);
+
+void BM_EndToEndClusterRun(benchmark::State& state) {
+  int64_t events = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.n = 4;
+    cfg.seed = 9;
+    cfg.enable_oracle = false;
+    Cluster cluster(cfg, make_uniform_app({}));
+    cluster.start();
+    inject_uniform_load(cluster, 20, 1'000, 100'000, 6, 9);
+    cluster.fail_at(50'000, 1);
+    cluster.run_for(400'000);
+    cluster.drain();
+    events += static_cast<int64_t>(cluster.sim().events_executed());
+  }
+  state.counters["sim_events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndClusterRun)->Unit(benchmark::kMillisecond);
+
+void BM_CodecEncodeAppMsg(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  AppMsg m;
+  m.id = MsgId{0, 1};
+  m.from = 0;
+  m.to = 1;
+  m.tdv = make_vector(n, n / 2, 7);
+  m.born_of = IntervalId{0, 0, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::encode_app_msg(m, true));
+  }
+}
+BENCHMARK(BM_CodecEncodeAppMsg)->Arg(8)->Arg(64);
+
+void BM_CodecRoundTripAppMsg(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  AppMsg m;
+  m.id = MsgId{0, 1};
+  m.from = 0;
+  m.to = 1;
+  m.tdv = make_vector(n, n / 2, 7);
+  m.born_of = IntervalId{0, 0, 5};
+  auto bytes = wire::encode_app_msg(m, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_app_msg(bytes, n, true));
+  }
+}
+BENCHMARK(BM_CodecRoundTripAppMsg)->Arg(8)->Arg(64);
+
+void BM_OracleDoomClosure(benchmark::State& state) {
+  // A two-lane history with cross edges; doom queries exercise the memoized
+  // reachability that verify() runs over every interval.
+  Oracle o(2);
+  o.on_process_start(IntervalId{0, 0, 1}, 0);
+  o.on_process_start(IntervalId{1, 0, 1}, 0);
+  constexpr Sii kLen = 2000;
+  for (Sii x = 2; x <= kLen; ++x) {
+    o.on_interval_start(IntervalId{0, 0, x}, IntervalId{1, 0, x - 1}, 0);
+    o.on_interval_start(IntervalId{1, 0, x}, IntervalId{0, 0, x - 1}, 0);
+  }
+  o.on_crash(1, kLen - 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(o.doomed_count());
+  }
+}
+BENCHMARK(BM_OracleDoomClosure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+#include "scenario.h"
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+
+namespace koptlog::bench {
+
+ScenarioResult run_scenario(const ScenarioParams& params) {
+  ClusterConfig cfg;
+  cfg.n = params.n;
+  cfg.seed = params.seed;
+  cfg.protocol = params.protocol;
+  cfg.fifo = params.fifo;
+  cfg.enable_oracle = params.oracle;
+  cfg.control_latency.base_us = params.control_base_us;
+  cfg.control_latency.jitter_us = params.control_jitter_us;
+
+  Cluster::AppFactory factory;
+  switch (params.workload) {
+    case Workload::kUniform:
+      factory = make_uniform_app({.extra_send_denominator = 3, .output_every = 7});
+      break;
+    case Workload::kPipeline:
+      factory = make_pipeline_app({.output_every = 2});
+      break;
+    case Workload::kClientServer:
+      factory = make_client_server_app({.output_every = 1});
+      break;
+  }
+
+  Cluster cluster(cfg, factory);
+  cluster.start();
+
+  switch (params.workload) {
+    case Workload::kUniform:
+      inject_uniform_load(cluster, params.injections, 1'000,
+                          params.load_end_us, params.ttl, params.seed * 7 + 1);
+      break;
+    case Workload::kPipeline:
+      inject_pipeline_load(cluster, params.injections, 1'000,
+                           params.load_end_us);
+      break;
+    case Workload::kClientServer:
+      inject_client_requests(cluster, params.injections, 1'000,
+                             params.load_end_us, params.seed * 11 + 3);
+      break;
+  }
+
+  if (params.failures > 0) {
+    apply_failure_plan(
+        cluster, FailurePlan::random(Rng(params.seed).fork("bench-failures"),
+                                     params.n, params.failures,
+                                     params.fail_from_us, params.fail_to_us));
+  }
+
+  cluster.run_for(params.load_end_us + params.extra_run_us);
+  cluster.drain();
+
+  ScenarioResult res;
+  res.stats = cluster.stats();
+  res.drained_at = cluster.sim().now();
+  res.outputs = cluster.outputs().size();
+  // End-to-end request latency: client-server and pipeline outputs carry
+  // the injection time in payload.c.
+  for (const auto& out : cluster.outputs()) {
+    if (out.payload.c > 0 && out.committed_at >= out.payload.c) {
+      res.stats.sample("request.e2e_us",
+                       static_cast<double>(out.committed_at - out.payload.c));
+    }
+  }
+  if (params.oracle) {
+    Oracle::Report rep = cluster.oracle()->verify(false);
+    res.oracle_ok = rep.ok;
+    res.oracle_summary = rep.summary();
+    res.intervals = rep.intervals;
+    res.true_orphans = rep.doomed;
+    res.lost = rep.lost;
+  }
+  return res;
+}
+
+std::string k_label(const ProtocolConfig& protocol, int n) {
+  if (protocol.pessimistic_sync_logging) return "pess";
+  if (protocol.k >= n) return "N";
+  return std::to_string(protocol.k);
+}
+
+}  // namespace koptlog::bench

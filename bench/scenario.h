@@ -1,0 +1,58 @@
+// Shared scenario runner for the experiment binaries: builds a cluster,
+// applies a workload and failure plan, runs to quiescence, and returns the
+// aggregate metrics each experiment tabulates.
+#pragma once
+
+#include <string>
+
+#include "core/config.h"
+#include "sim/stats.h"
+
+namespace koptlog::bench {
+
+enum class Workload { kUniform, kPipeline, kClientServer };
+
+struct ScenarioParams {
+  int n = 8;
+  uint64_t seed = 1;
+  ProtocolConfig protocol;
+  bool fifo = false;
+  bool oracle = false;  ///< ground-truth pass (adds true-orphan counts)
+  Workload workload = Workload::kUniform;
+  int injections = 200;
+  SimTime load_end_us = 1'000'000;
+  int ttl = 8;
+  int failures = 0;
+  SimTime fail_from_us = 100'000;
+  SimTime fail_to_us = 900'000;
+  SimTime extra_run_us = 1'000'000;  ///< slack after load before draining
+  /// Control-plane (announcements, notifications) latency; raising this
+  /// models slow failure-information propagation, which is what makes the
+  /// Corollary-1 vs Strom-Yemini delivery race visible (E7).
+  SimTime control_base_us = 150;
+  SimTime control_jitter_us = 100;
+};
+
+struct ScenarioResult {
+  Stats stats;
+  SimTime drained_at = 0;     ///< simulated makespan (load + drain)
+  size_t outputs = 0;         ///< distinct committed outputs
+  size_t intervals = 0;       ///< oracle: intervals that ever existed
+  size_t true_orphans = 0;    ///< oracle: intervals doomed by failures
+  size_t lost = 0;            ///< oracle: intervals lost in crashes
+  bool oracle_ok = true;
+  std::string oracle_summary;
+
+  // Convenience accessors over `stats`.
+  int64_t counter(const std::string& name) const { return stats.counter(name); }
+  const Histogram& hist(const std::string& name) const {
+    return stats.histogram(name);
+  }
+};
+
+ScenarioResult run_scenario(const ScenarioParams& params);
+
+/// Label for K columns: "pess", "0", "1", ..., "N".
+std::string k_label(const ProtocolConfig& protocol, int n);
+
+}  // namespace koptlog::bench

@@ -1,0 +1,99 @@
+// Scientific pipeline scenario — the paper's other motivating workload
+// (§4.1): a long-running computation where the primary metric is total
+// execution time, failures are rare, and optimistic logging is usually the
+// right choice because the failure-free overhead dominates.
+//
+// A 6-stage pipeline processes a batch of items; stage 3 crashes twice.
+// The run is shown twice:
+//   1. traditional optimistic (K=N): minimal overhead, failure triggers a
+//      rollback cascade downstream of the crash, replay fixes everything;
+//   2. pessimistic: no cascade, but every item pays the synchronous write
+//      at every stage.
+// Both runs enable reliable delivery (sender-based retransmission, the
+// paper's §2 fn. 3 remedy for lost in-transit messages), so BOTH complete
+// all 120 items exactly once: the recovery contract changes the cost
+// profile — rollbacks and replay vs. synchronous writes — never the
+// answer.
+#include <iostream>
+#include <set>
+
+#include "app/workloads.h"
+#include "baseline/pessimistic.h"
+#include "core/cluster.h"
+
+using namespace koptlog;
+
+namespace {
+
+struct RunResult {
+  std::set<int64_t> item_ids;  // committed output item ids
+  int64_t rollbacks = 0;
+  int64_t undone = 0;
+  int64_t replayed = 0;
+  int64_t sync_writes = 0;
+  SimTime finished_at = 0;
+};
+
+RunResult run_pipeline(const ProtocolConfig& protocol) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 4242;
+  cfg.protocol = protocol;
+  cfg.protocol.storage.sync_write_us = 1'500;
+  cfg.protocol.reliable_delivery = true;
+  cfg.enable_oracle = true;
+
+  Cluster cluster(cfg, make_pipeline_app({.output_every = 1}));
+  cluster.start();
+  inject_pipeline_load(cluster, 120, 1'000, 400'000);
+  cluster.fail_at(120'000, 3);
+  cluster.fail_at(260'000, 3);
+  cluster.run_for(1'500'000);
+  cluster.drain();
+
+  Oracle::Report rep = cluster.oracle()->verify();
+  if (!rep.ok) {
+    std::cerr << "oracle violation!\n" << rep.summary() << "\n";
+    std::exit(1);
+  }
+
+  RunResult r;
+  for (const auto& o : cluster.outputs()) r.item_ids.insert(o.payload.b);
+  r.rollbacks = cluster.stats().counter("rollback.count");
+  r.undone = cluster.stats().counter("rollback.undone_intervals");
+  r.replayed = cluster.stats().counter("restart.replayed_msgs");
+  r.sync_writes = cluster.stats().counter("storage.sync_writes");
+  r.finished_at = cluster.sim().now();
+  return r;
+}
+
+void report(const char* name, const RunResult& r) {
+  std::cout << name << ":\n"
+            << "  items completed      : " << r.item_ids.size() << "\n"
+            << "  peer rollbacks       : " << r.rollbacks << "\n"
+            << "  intervals undone     : " << r.undone << "\n"
+            << "  messages replayed    : " << r.replayed << "\n"
+            << "  synchronous writes   : " << r.sync_writes << "\n"
+            << "  finished at (sim ms) : " << r.finished_at / 1000 << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Scientific pipeline: 6 stages, 120 items, stage 3 crashes "
+               "twice.\n\n";
+  RunResult optimistic = run_pipeline(ProtocolConfig::traditional_optimistic());
+  report("traditional optimistic (K=N)", optimistic);
+  RunResult pessimistic = run_pipeline(pessimistic_baseline());
+  report("pessimistic (sync logging)", pessimistic);
+
+  bool identical = optimistic.item_ids == pessimistic.item_ids &&
+                   optimistic.item_ids.size() == 120;
+  std::cout << "all 120 items completed exactly once in both runs? "
+            << (identical ? "yes" : "NO") << " (optimistic "
+            << optimistic.item_ids.size() << "/120, pessimistic "
+            << pessimistic.item_ids.size()
+            << "/120) — the recovery layer changes the cost profile, never "
+               "the answer.\n";
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,275 @@
+#include "app/workloads.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace koptlog {
+
+// ---------------------------------------------------------------------------
+// HashChainApp
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> HashChainApp::snapshot() const {
+  std::vector<uint8_t> out(sizeof(chain_) + sizeof(count_));
+  std::memcpy(out.data(), &chain_, sizeof(chain_));
+  std::memcpy(out.data() + sizeof(chain_), &count_, sizeof(count_));
+  return out;
+}
+
+void HashChainApp::restore(std::span<const uint8_t> bytes) {
+  KOPT_CHECK(bytes.size() == sizeof(chain_) + sizeof(count_));
+  std::memcpy(&chain_, bytes.data(), sizeof(chain_));
+  std::memcpy(&count_, bytes.data() + sizeof(chain_), sizeof(count_));
+}
+
+uint64_t HashChainApp::state_hash() const {
+  return hash_combine(chain_, static_cast<uint64_t>(count_));
+}
+
+uint64_t HashChainApp::absorb(ProcessId from, const AppPayload& p) {
+  uint64_t h = chain_;
+  h = hash_combine(h, static_cast<uint64_t>(from));
+  h = hash_combine(h, static_cast<uint64_t>(p.kind));
+  h = hash_combine(h, static_cast<uint64_t>(p.a));
+  h = hash_combine(h, static_cast<uint64_t>(p.b));
+  h = hash_combine(h, static_cast<uint64_t>(p.ttl));
+  chain_ = h;
+  ++count_;
+  return h;
+}
+
+namespace {
+
+ProcessId pick_peer(uint64_t h, ProcessId self, int n) {
+  auto t = static_cast<ProcessId>(h % static_cast<uint64_t>(n));
+  if (t == self) t = static_cast<ProcessId>((t + 1) % n);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Uniform random messaging
+// ---------------------------------------------------------------------------
+
+class UniformApp final : public HashChainApp {
+ public:
+  explicit UniformApp(UniformParams params) : params_(params) {}
+
+  void on_deliver(AppContext& ctx, ProcessId from,
+                  const AppPayload& p) override {
+    uint64_t h = absorb(from, p);
+    if (p.kind == kToken && p.ttl > 0) {
+      AppPayload hop;
+      hop.kind = kToken;
+      hop.a = static_cast<int64_t>(h);
+      hop.b = p.b;  // request lineage id
+      hop.ttl = p.ttl - 1;
+      ctx.send(pick_peer(h, ctx.self(), ctx.system_size()), hop);
+      if (params_.extra_send_denominator > 0 &&
+          (h >> 33) % static_cast<uint64_t>(params_.extra_send_denominator) ==
+              0) {
+        hop.a = static_cast<int64_t>(h ^ 0x5bd1e995u);
+        ctx.send(pick_peer(h >> 17, ctx.self(), ctx.system_size()), hop);
+      }
+    }
+    if (params_.output_every > 0 && count_ % params_.output_every == 0) {
+      AppPayload out;
+      out.kind = kOutputKind;
+      out.a = static_cast<int64_t>(chain_);
+      out.b = count_;
+      ctx.output(out);
+    }
+  }
+
+ private:
+  UniformParams params_;
+};
+
+// ---------------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------------
+
+class PipelineApp final : public HashChainApp {
+ public:
+  explicit PipelineApp(PipelineParams params) : params_(params) {}
+
+  void on_deliver(AppContext& ctx, ProcessId from,
+                  const AppPayload& p) override {
+    uint64_t h = absorb(from, p);
+    if (p.kind != kPipeItem) return;
+    if (ctx.self() + 1 < ctx.system_size()) {
+      AppPayload next;
+      next.kind = kPipeItem;
+      next.a = static_cast<int64_t>(h);  // transformed item
+      next.b = p.b;                      // item id
+      next.c = p.c;                      // item birth time
+      next.ttl = p.ttl;
+      ctx.send(ctx.self() + 1, next);
+    } else if (params_.output_every > 0 &&
+               count_ % params_.output_every == 0) {
+      AppPayload out;
+      out.kind = kOutputKind;
+      out.a = static_cast<int64_t>(h);
+      out.b = p.b;
+      out.c = p.c;
+      ctx.output(out);
+    }
+  }
+
+ private:
+  PipelineParams params_;
+};
+
+// ---------------------------------------------------------------------------
+// Client-server
+// ---------------------------------------------------------------------------
+
+class ClientServerApp final : public HashChainApp {
+ public:
+  explicit ClientServerApp(ClientServerParams params) : params_(params) {}
+
+  void on_deliver(AppContext& ctx, ProcessId from,
+                  const AppPayload& p) override {
+    uint64_t h = absorb(from, p);
+    switch (p.kind) {
+      case kRequest: {
+        ProcessId owner = static_cast<ProcessId>(
+            static_cast<uint64_t>(p.a) % static_cast<uint64_t>(ctx.system_size()));
+        if (owner == ctx.self()) {
+          emit_reply_output(ctx, h, p.c);
+        } else {
+          AppPayload sub;
+          sub.kind = kSubRequest;
+          sub.a = p.a;
+          sub.b = ctx.self();  // reply-to
+          sub.c = p.c;         // request birth time (end-to-end latency)
+          ctx.send(owner, sub);
+        }
+        break;
+      }
+      case kSubRequest: {
+        AppPayload rep;
+        rep.kind = kReply;
+        rep.a = static_cast<int64_t>(h);  // "result"
+        rep.b = p.a;
+        rep.c = p.c;
+        ctx.send(static_cast<ProcessId>(p.b), rep);
+        break;
+      }
+      case kReply:
+        emit_reply_output(ctx, h, p.c);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void emit_reply_output(AppContext& ctx, uint64_t h, int64_t birth) {
+    ++replies_;
+    if (params_.output_every > 0 && replies_ % params_.output_every == 0) {
+      AppPayload out;
+      out.kind = kOutputKind;
+      out.a = static_cast<int64_t>(h);
+      out.b = replies_;
+      out.c = birth;  // request birth time, for end-to-end latency
+      ctx.output(out);
+    }
+  }
+
+  // replies_ is part of deterministic state: fold it into the snapshot.
+ public:
+  std::vector<uint8_t> snapshot() const override {
+    std::vector<uint8_t> out = HashChainApp::snapshot();
+    size_t base = out.size();
+    out.resize(base + sizeof(replies_));
+    std::memcpy(out.data() + base, &replies_, sizeof(replies_));
+    return out;
+  }
+  void restore(std::span<const uint8_t> bytes) override {
+    KOPT_CHECK(bytes.size() >= sizeof(replies_));
+    size_t base = bytes.size() - sizeof(replies_);
+    HashChainApp::restore(bytes.subspan(0, base));
+    std::memcpy(&replies_, bytes.data() + base, sizeof(replies_));
+  }
+  uint64_t state_hash() const override {
+    return hash_combine(HashChainApp::state_hash(),
+                        static_cast<uint64_t>(replies_));
+  }
+
+ private:
+  ClientServerParams params_;
+  int64_t replies_ = 0;
+};
+
+}  // namespace
+
+Cluster::AppFactory make_uniform_app(UniformParams params) {
+  return [params](ProcessId) { return std::make_unique<UniformApp>(params); };
+}
+
+Cluster::AppFactory make_pipeline_app(PipelineParams params) {
+  return [params](ProcessId) { return std::make_unique<PipelineApp>(params); };
+}
+
+Cluster::AppFactory make_client_server_app(ClientServerParams params) {
+  return
+      [params](ProcessId) { return std::make_unique<ClientServerApp>(params); };
+}
+
+// ---------------------------------------------------------------------------
+// Load generators
+// ---------------------------------------------------------------------------
+
+void inject_uniform_load(Cluster& cluster, int count, SimTime from, SimTime to,
+                         int ttl, uint64_t seed) {
+  KOPT_CHECK(from < to);
+  Rng rng = Rng(seed).fork("uniform-load");
+  for (int i = 0; i < count; ++i) {
+    AppPayload p;
+    p.kind = kToken;
+    p.a = static_cast<int64_t>(rng.next_u64());
+    p.b = i;  // lineage id
+    p.ttl = ttl;
+    SimTime t = from + static_cast<SimTime>(
+                           rng.next_below(static_cast<uint64_t>(to - from)));
+    auto target = static_cast<ProcessId>(
+        rng.next_below(static_cast<uint64_t>(cluster.size())));
+    cluster.inject_at(t, target, p);
+  }
+}
+
+void inject_pipeline_load(Cluster& cluster, int count, SimTime from,
+                          SimTime to) {
+  KOPT_CHECK(from < to && count > 0);
+  SimTime span = to - from;
+  for (int i = 0; i < count; ++i) {
+    AppPayload p;
+    p.kind = kPipeItem;
+    p.a = i * 1315423911;
+    p.b = i;
+    p.c = from + span * i / count;  // birth time
+    p.ttl = 0;
+    cluster.inject_at(p.c, 0, p);
+  }
+}
+
+void inject_client_requests(Cluster& cluster, int count, SimTime from,
+                            SimTime to, uint64_t seed) {
+  KOPT_CHECK(from < to);
+  Rng rng = Rng(seed).fork("client-load");
+  for (int i = 0; i < count; ++i) {
+    AppPayload p;
+    p.kind = kRequest;
+    p.a = static_cast<int64_t>(rng.next_u64() >> 1);
+    p.b = i;
+    SimTime t = from + static_cast<SimTime>(
+                           rng.next_below(static_cast<uint64_t>(to - from)));
+    p.c = t;  // birth time
+    auto target = static_cast<ProcessId>(
+        rng.next_below(static_cast<uint64_t>(cluster.size())));
+    cluster.inject_at(t, target, p);
+  }
+}
+
+}  // namespace koptlog

@@ -1,0 +1,99 @@
+// Deterministic PWD workloads. Every application here is a pure state
+// machine over (state, delivered message): recovery replay reconstructs
+// byte-identical state and re-issues identical sends/outputs, which the
+// oracle verifies by hash. Branching decisions are derived from a hash
+// chain threaded through the state — pseudo-random traffic, fully
+// replay-deterministic.
+//
+// Workloads terminate: every injected request carries a TTL (or a fixed
+// pipeline length), so the cluster can drain.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/application.h"
+#include "core/cluster.h"
+
+namespace koptlog {
+
+/// Payload kinds shared by the built-in workloads.
+enum PayloadKind : int32_t {
+  kToken = 1,      ///< uniform workload hop
+  kPipeItem = 2,   ///< pipeline stage item
+  kRequest = 3,    ///< client-server: request from the outside world
+  kSubRequest = 4, ///< client-server: owner lookup
+  kReply = 5,      ///< client-server: owner's reply
+  kOutputKind = 99 ///< outside-world outputs
+};
+
+/// Base class: a 16-byte state (hash chain + delivery count) with
+/// snapshot/restore and an order-sensitive hash.
+class HashChainApp : public Application {
+ public:
+  std::vector<uint8_t> snapshot() const override;
+  void restore(std::span<const uint8_t> bytes) override;
+  uint64_t state_hash() const override;
+
+  uint64_t chain() const { return chain_; }
+  int64_t count() const { return count_; }
+
+ protected:
+  /// Fold the delivered message into the hash chain; returns the new chain
+  /// value (the source of all branching decisions).
+  uint64_t absorb(ProcessId from, const AppPayload& p);
+
+  uint64_t chain_ = 0x9e3779b97f4a7c15ull;
+  int64_t count_ = 0;
+};
+
+// --- Uniform random messaging -------------------------------------------
+
+struct UniformParams {
+  int extra_send_denominator = 4;  ///< extra fan-out with prob 1/den (0=never)
+  int output_every = 10;           ///< emit an output every k-th delivery
+};
+
+/// Each token hop lands on a pseudo-random peer and decrements a TTL;
+/// occasionally a hop fans out to a second peer. The communication graph is
+/// dense and irregular — the general case for dependency tracking.
+Cluster::AppFactory make_uniform_app(UniformParams params = {});
+
+// --- Pipeline -------------------------------------------------------------
+
+struct PipelineParams {
+  int output_every = 1;  ///< last stage emits an output every k-th item
+};
+
+/// Items enter at stage 0 and flow through every process in order; the last
+/// stage emits an output. Long dependency chains across all processes —
+/// the worst case for rollback propagation.
+Cluster::AppFactory make_pipeline_app(PipelineParams params = {});
+
+// --- Client-server --------------------------------------------------------
+
+struct ClientServerParams {
+  int output_every = 1;  ///< reply handler emits an output every k-th reply
+};
+
+/// Outside-world requests hit a front-end process, which consults the
+/// hash-owner of the key and answers the outside world — the
+/// service-providing shape the paper's telecom motivation describes (§4.1).
+Cluster::AppFactory make_client_server_app(ClientServerParams params = {});
+
+// --- Load generators -------------------------------------------------------
+
+/// Inject `count` token messages at seeded-random times in [from, to) to
+/// seeded-random processes, each with the given TTL.
+void inject_uniform_load(Cluster& cluster, int count, SimTime from, SimTime to,
+                         int ttl, uint64_t seed);
+
+/// Inject `count` pipeline items at stage 0, evenly spaced over [from, to).
+void inject_pipeline_load(Cluster& cluster, int count, SimTime from,
+                          SimTime to);
+
+/// Inject `count` client requests at seeded-random front-ends and times.
+void inject_client_requests(Cluster& cluster, int count, SimTime from,
+                            SimTime to, uint64_t seed);
+
+}  // namespace koptlog

@@ -1,0 +1,19 @@
+#include "baseline/pessimistic.h"
+
+namespace koptlog {
+
+ProtocolConfig pessimistic_baseline() { return ProtocolConfig::pessimistic(); }
+
+ProtocolConfig strom_yemini_baseline() {
+  return ProtocolConfig::strom_yemini();
+}
+
+ProtocolConfig full_tdv_baseline() {
+  ProtocolConfig c;  // Theorems 1 and Corollary 1 applied...
+  c.null_stable_entries = false;  // ...but no commit dependency tracking.
+  return c;
+}
+
+ProtocolConfig k_optimistic(int k) { return ProtocolConfig::k_optimistic(k); }
+
+}  // namespace koptlog

@@ -1,0 +1,29 @@
+// Baseline configurations the paper compares against. All baselines run on
+// the same recovery engine (core/process.*) with different ProtocolConfig
+// settings, so failure-free overhead and recovery-scope comparisons are
+// mechanism-for-mechanism fair:
+//
+//  * pessimistic_baseline()   — classical pessimistic logging [Borg et al.,
+//    Huang & Wang]: synchronous log-before-send, no dependency tracking on
+//    the wire, 0 revocable messages, localized recovery.
+//  * strom_yemini_baseline()  — traditional optimistic logging [Strom &
+//    Yemini 1985]: size-N vectors (no Theorem-2 NULLing), delivery delayed
+//    until prior-incarnation announcements arrive (no Corollary 1), every
+//    rollback announced (no Theorem 1). Requires FIFO channels.
+//  * full_tdv_baseline()      — ablation: the improved asynchronous
+//    protocol but with commit dependency tracking disabled (entries never
+//    NULLed), isolating Theorem 2's contribution to vector size.
+#pragma once
+
+#include "core/config.h"
+
+namespace koptlog {
+
+ProtocolConfig pessimistic_baseline();
+ProtocolConfig strom_yemini_baseline();
+ProtocolConfig full_tdv_baseline();
+
+/// The paper's own contribution with degree of optimism K.
+ProtocolConfig k_optimistic(int k);
+
+}  // namespace koptlog

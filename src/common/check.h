@@ -1,0 +1,45 @@
+// Internal invariant checking. Violations indicate a bug in the library (or
+// a test oracle mismatch), so they throw — tests can assert on them and the
+// simulation never continues past a corrupted state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace koptlog {
+
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace koptlog
+
+// KOPT_CHECK(cond) / KOPT_CHECK_MSG(cond, streamed-message)
+#define KOPT_CHECK(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::koptlog::detail::fail_check(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define KOPT_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream kopt_check_os;                                \
+      kopt_check_os << msg;                                            \
+      ::koptlog::detail::fail_check(#cond, __FILE__, __LINE__,         \
+                                    kopt_check_os.str());              \
+    }                                                                  \
+  } while (0)

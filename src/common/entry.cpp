@@ -1,0 +1,30 @@
+#include "common/entry.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace koptlog {
+
+std::string Entry::str() const {
+  std::ostringstream os;
+  os << '(' << inc << ',' << sii << ')';
+  return os.str();
+}
+
+std::string to_string(const OptEntry& e) { return e ? e->str() : "NULL"; }
+
+std::ostream& operator<<(std::ostream& os, const Entry& e) {
+  return os << e.str();
+}
+
+std::string IntervalId::str() const {
+  std::ostringstream os;
+  os << '(' << inc << ',' << sii << ")_" << pid;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalId& id) {
+  return os << id.str();
+}
+
+}  // namespace koptlog

@@ -1,0 +1,79 @@
+// Entry: the (incarnation, state-interval-index) pair the paper writes as
+// (t, x). Dependency vectors, incarnation end tables and logging-progress
+// tables are all built from entries.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace koptlog {
+
+/// One (t, x) pair. The paper's NULL entry is represented by
+/// std::optional<Entry> == nullopt; NULL compares lexicographically smaller
+/// than every real entry (see lex_less below).
+struct Entry {
+  Incarnation inc = 0;
+  Sii sii = 0;
+
+  friend auto operator<=>(const Entry&, const Entry&) = default;
+
+  std::string str() const;
+};
+
+/// Optional entry: nullopt plays the role of the paper's NULL, which is
+/// "lexicographically smaller than any non-null entry" (Section 4.2).
+using OptEntry = std::optional<Entry>;
+
+/// Lexicographic order with NULL smallest, exactly as the protocol uses it
+/// for the max() in Deliver_message and the min() in Check_deliverability.
+inline bool lex_less(const OptEntry& a, const OptEntry& b) {
+  if (!a) return b.has_value();
+  if (!b) return false;
+  return *a < *b;
+}
+
+inline const OptEntry& lex_max(const OptEntry& a, const OptEntry& b) {
+  return lex_less(a, b) ? b : a;
+}
+
+inline const OptEntry& lex_min(const OptEntry& a, const OptEntry& b) {
+  return lex_less(a, b) ? a : b;
+}
+
+std::string to_string(const OptEntry& e);
+std::ostream& operator<<(std::ostream& os, const Entry& e);
+
+/// Globally unique name of one state interval: the x-th interval of the
+/// t-th incarnation of process P_i — the paper's (t, x)_i.
+struct IntervalId {
+  ProcessId pid = 0;
+  Incarnation inc = 0;
+  Sii sii = 0;
+
+  friend auto operator<=>(const IntervalId&, const IntervalId&) = default;
+
+  Entry entry() const { return Entry{inc, sii}; }
+  std::string str() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalId& id);
+
+struct IntervalIdHash {
+  size_t operator()(const IntervalId& id) const noexcept {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<uint64_t>(id.pid));
+    mix(static_cast<uint64_t>(id.inc));
+    mix(static_cast<uint64_t>(id.sii));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace koptlog

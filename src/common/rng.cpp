@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace koptlog {
+
+uint64_t Rng::next_u64() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::next_below(uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Plain modulo reduction; the bias is negligible for simulation use.
+  return next_u64() % bound;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::next_range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::next_exponential(double mean) {
+  double u = next_double();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  uint64_t h = fnv1a64(label.data(), label.size(), state_ ^ 0xa5a5a5a5a5a5a5a5ull);
+  return Rng(h);
+}
+
+uint64_t fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace koptlog

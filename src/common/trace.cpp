@@ -1,0 +1,16 @@
+#include "common/trace.h"
+
+namespace koptlog {
+
+Tracer::Sink Tracer::string_sink(std::string& out) {
+  return [&out](SimTime t, ProcessId pid, const std::string& line) {
+    out += std::to_string(t);
+    out += " P";
+    out += std::to_string(pid);
+    out += ' ';
+    out += line;
+    out += '\n';
+  };
+}
+
+}  // namespace koptlog

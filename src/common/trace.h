@@ -1,0 +1,52 @@
+// Lightweight structured trace log. The cluster installs a sink so tests
+// and examples can observe protocol events (deliveries, rollbacks,
+// announcements) without coupling to stdout; disabled by default.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/types.h"
+
+namespace koptlog {
+
+enum class TraceLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+class Tracer {
+ public:
+  using Sink = std::function<void(SimTime, ProcessId, const std::string&)>;
+
+  Tracer() = default;
+
+  void set_sink(Sink sink, TraceLevel level) {
+    sink_ = std::move(sink);
+    level_ = level;
+  }
+
+  bool enabled(TraceLevel level) const {
+    return sink_ && static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void emit(SimTime t, ProcessId pid, const std::string& line) const {
+    if (sink_) sink_(t, pid, line);
+  }
+
+  /// Convenience: trace with ostream formatting, evaluated lazily.
+  template <typename Fn>
+  void log(TraceLevel level, SimTime t, ProcessId pid, Fn&& fn) const {
+    if (!enabled(level)) return;
+    std::ostringstream os;
+    fn(os);
+    emit(t, pid, os.str());
+  }
+
+  /// A sink that appends "t pid line" rows to a std::string buffer.
+  static Sink string_sink(std::string& out);
+
+ private:
+  Sink sink_;
+  TraceLevel level_ = TraceLevel::kOff;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,36 @@
+// Fundamental identifier and time types shared by every koptlog module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace koptlog {
+
+/// Index of a process in the system, 0-based. The paper writes P_i.
+using ProcessId = int32_t;
+
+/// Sentinel process id for the outside world (clients / output sink).
+/// Messages injected from the environment carry an empty dependency vector:
+/// the outside world is always stable and never rolls back.
+inline constexpr ProcessId kEnvironment = -1;
+
+/// Incarnation (a.k.a. version) number of a process. Incremented on every
+/// rollback, whether caused by a local failure or by orphan detection.
+using Incarnation = int32_t;
+
+/// State-interval index. A new state interval starts at every message
+/// delivery (the only source of nondeterminism under the PWD model).
+/// Interval indices are shared across incarnations of one process: after a
+/// rollback to interval x, the next incarnation continues at x+1.
+using Sii = int64_t;
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Monotonic per-simulation sequence number used to break event-time ties
+/// deterministically and to identify messages.
+using SeqNo = uint64_t;
+
+}  // namespace koptlog

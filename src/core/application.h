@@ -1,0 +1,70 @@
+// Application interface — the PWD (piecewise deterministic) state machine
+// that runs on top of the recovery layer. All nondeterminism must come from
+// message deliveries: on_deliver must be a deterministic function of the
+// current state and the delivered message, because recovery replays logged
+// messages and expects to reconstruct the identical state (and identical
+// re-sends).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+/// Handed to the application during on_start/on_deliver; collects the sends
+/// and outside-world outputs the handler produces.
+class AppContext {
+ public:
+  virtual ~AppContext() = default;
+
+  /// Send a message to another process (asynchronously, through the
+  /// recovery layer's send buffer) under the system-wide degree of
+  /// optimism K.
+  virtual void send(ProcessId to, const AppPayload& payload) = 0;
+
+  /// Same, but with a per-message degree of optimism (§4.2: "different
+  /// values of K can in fact be applied to different messages in the same
+  /// system"): this message is released only once at most `k` of its
+  /// dependency entries remain live. k=0 makes it unrevokable, like an
+  /// output.
+  virtual void send_with_k(ProcessId to, const AppPayload& payload, int k) = 0;
+
+  /// Emit an outside-world output; the recovery layer commits it only once
+  /// every interval it depends on is stable (0-optimistic, §4.2).
+  virtual void output(const AppPayload& payload) = 0;
+
+  virtual ProcessId self() const = 0;
+  virtual int system_size() const = 0;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Runs once at process start, before the initial checkpoint; may send.
+  virtual void on_start(AppContext& ctx) { (void)ctx; }
+
+  /// Deterministic transition: called once per delivered message, both
+  /// during normal execution and during recovery replay.
+  virtual void on_deliver(AppContext& ctx, ProcessId from,
+                          const AppPayload& payload) = 0;
+
+  /// State snapshot/restore for checkpointing.
+  virtual std::vector<uint8_t> snapshot() const = 0;
+  virtual void restore(std::span<const uint8_t> bytes) = 0;
+
+  /// Order-sensitive digest of the full application state; replay
+  /// determinism tests require the recovered hash to equal the hash the
+  /// state had when the restored interval was first executed.
+  virtual uint64_t state_hash() const = 0;
+};
+
+using ApplicationFactory =
+    std::unique_ptr<Application> (*)(ProcessId pid, uint64_t seed);
+
+}  // namespace koptlog

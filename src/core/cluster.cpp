@@ -1,0 +1,264 @@
+#include "core/cluster.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace koptlog {
+
+namespace {
+Cluster::EngineFactory default_engine() {
+  return [](ProcessId pid, const ClusterConfig& cfg, ClusterApi& api,
+            std::unique_ptr<Application> app) -> std::unique_ptr<RecoveryProcess> {
+    return std::make_unique<Process>(pid, cfg.n, cfg.protocol, api,
+                                     std::move(app));
+  };
+}
+}  // namespace
+
+Cluster::Cluster(ClusterConfig cfg, const AppFactory& factory)
+    : Cluster(cfg, factory, default_engine()) {}
+
+Cluster::Cluster(ClusterConfig cfg, const AppFactory& factory,
+                 const EngineFactory& engine_factory)
+    : cfg_(cfg),
+      rng_(Rng(cfg.seed).fork("cluster")),
+      data_net_(sim_, Rng(cfg.seed).fork("data-net"), cfg.data_latency,
+                cfg.fifo),
+      control_net_(sim_, Rng(cfg.seed).fork("control-net"),
+                   cfg.control_latency, /*fifo=*/false) {
+  KOPT_CHECK(cfg.n > 0);
+  if (cfg_.enable_oracle) oracle_ = std::make_unique<Oracle>(cfg_.n);
+  processes_.reserve(static_cast<size_t>(cfg_.n));
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    processes_.push_back(engine_factory(pid, cfg_, *this, factory(pid)));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Process& Cluster::process(ProcessId pid) {
+  auto* p = dynamic_cast<Process*>(processes_[static_cast<size_t>(pid)].get());
+  KOPT_CHECK_MSG(p != nullptr, "engine at P" << pid << " is not a Process");
+  return *p;
+}
+
+const Process& Cluster::process(ProcessId pid) const {
+  const auto* p =
+      dynamic_cast<const Process*>(processes_[static_cast<size_t>(pid)].get());
+  KOPT_CHECK_MSG(p != nullptr, "engine at P" << pid << " is not a Process");
+  return *p;
+}
+
+void Cluster::start() {
+  for (auto& p : processes_) p->start_process();
+  if (cfg_.protocol.coordinated_checkpoints) schedule_checkpoint_round();
+}
+
+void Cluster::schedule_checkpoint_round() {
+  sim_.schedule_after(cfg_.protocol.checkpoint_interval_us, [this] {
+    if (draining_) return;
+    stats_.inc("checkpoint.rounds");
+    // One marker per process on the control plane: the round's checkpoints
+    // form a recovery line whose skew is one control latency.
+    for (ProcessId to = 0; to < cfg_.n; ++to) {
+      constexpr size_t kMarkerBytes = 8;
+      control_net_.send(0, to, kMarkerBytes, [this, to] {
+        RecoveryProcess& p = engine(to);
+        if (!p.alive()) return;  // it checkpoints at restart time anyway
+        p.executor().submit([&p] { p.checkpoint_now(); });
+      });
+    }
+    schedule_checkpoint_round();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+void Cluster::route_app_msg(AppMsg msg) {
+  KOPT_CHECK(msg.to >= 0 && msg.to < cfg_.n);
+  size_t bytes = msg.wire_bytes(cfg_.protocol.null_stable_entries);
+  ProcessId from = msg.from;
+  ProcessId to = msg.to;
+  data_net_.send(from, to, bytes, [this, m = std::move(msg)]() mutable {
+    RecoveryProcess& p = engine(m.to);
+    if (!p.alive()) {
+      // The paper leaves lost in-transit messages out of scope (§2 fn. 3):
+      // messages addressed to a crashed process are dropped.
+      stats_.inc("msgs.dropped_receiver_down");
+      return;
+    }
+    p.executor().submit([&p, m = std::move(m)] { p.handle_app_msg(m); });
+  });
+}
+
+void Cluster::deliver_control_announcement(ProcessId to, const Announcement& a) {
+  RecoveryProcess& p = engine(to);
+  if (!p.alive()) return;  // re-delivered from all_announcements_ on restart
+  p.executor().submit([&p, a] { p.handle_announcement(a); });
+}
+
+void Cluster::broadcast_announcement(const Announcement& a) {
+  all_announcements_.push_back(a);
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    if (to == a.from) continue;
+    control_net_.send(a.from, to, Announcement::kWireBytes,
+                      [this, to, a] { deliver_control_announcement(to, a); });
+  }
+}
+
+void Cluster::broadcast_log_progress(const LogProgressMsg& lp) {
+  for (ProcessId to = 0; to < cfg_.n; ++to) {
+    if (to == lp.from) continue;
+    control_net_.send(lp.from, to, lp.wire_bytes(), [this, to, lp] {
+      RecoveryProcess& p = engine(to);
+      if (!p.alive()) return;  // periodic re-broadcasts make this harmless
+      p.executor().submit([&p, lp] { p.handle_log_progress(lp); });
+    });
+  }
+}
+
+void Cluster::send_ack(ProcessId acker, ProcessId sender, MsgId id) {
+  KOPT_CHECK(sender >= 0 && sender < cfg_.n);
+  constexpr size_t kAckBytes = 4 + 4 + 8;
+  // Acks ride the (lossy-to-down-receivers) data network: a lost ack only
+  // costs one extra retransmission.
+  data_net_.send(acker, sender, kAckBytes, [this, sender, id] {
+    RecoveryProcess& p = engine(sender);
+    if (!p.alive()) return;
+    p.executor().submit([&p, id] { p.handle_ack(id); });
+  });
+}
+
+void Cluster::send_dep_query(const DepQuery& q) {
+  KOPT_CHECK(q.target.pid >= 0 && q.target.pid < cfg_.n);
+  stats_.inc("ddt.queries");
+  control_net_.send(q.requester, q.target.pid, DepQuery::kWireBytes,
+                    [this, q] {
+                      RecoveryProcess& p = engine(q.target.pid);
+                      if (!p.alive()) return;  // the requester re-asks
+                      p.executor().submit([&p, q] { p.handle_dep_query(q); });
+                    });
+}
+
+void Cluster::send_dep_reply(ProcessId to, const DepReply& r) {
+  KOPT_CHECK(to >= 0 && to < cfg_.n);
+  stats_.inc("ddt.replies");
+  control_net_.send(r.owner, to, r.wire_bytes(), [this, to, r] {
+    RecoveryProcess& p = engine(to);
+    if (!p.alive()) return;
+    p.executor().submit([&p, r] { p.handle_dep_reply(r); });
+  });
+}
+
+void Cluster::commit_output(const OutputRecord& rec) {
+  SimTime now = sim_.now();
+  stats_.inc("outputs.committed_total");
+  // Exactly-once at the outside world: recovery replay re-emits outputs
+  // with identical ids; the sink drops the duplicates.
+  if (!committed_ids_.insert(rec.id).second) {
+    stats_.inc("outputs.duplicate_suppressed");
+    return;
+  }
+  stats_.inc("outputs.committed");
+  stats_.sample("output.commit_latency_us",
+                static_cast<double>(now - rec.created_at));
+  outputs_.push_back(CommittedOutput{rec.id, rec.born_of.pid, rec.payload,
+                                     rec.born_of, now});
+  if (oracle_) oracle_->on_output_committed(rec.id, rec.born_of, now);
+}
+
+// ---------------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------------
+
+void Cluster::inject(ProcessId to, const AppPayload& payload) {
+  KOPT_CHECK(to >= 0 && to < cfg_.n);
+  AppMsg m;
+  m.id = MsgId{kEnvironment, ++env_seq_};
+  m.from = kEnvironment;
+  m.to = to;
+  m.payload = payload;
+  m.tdv = DepVector(cfg_.n);  // the outside world is always stable
+  m.born_of = IntervalId{kEnvironment, 0, 0};
+  m.sent_at = sim_.now();
+  stats_.inc("env.injected");
+  route_app_msg(std::move(m));
+}
+
+void Cluster::inject_at(SimTime t, ProcessId to, const AppPayload& payload) {
+  sim_.schedule_at(t, [this, to, payload] { inject(to, payload); });
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+void Cluster::fail_at(SimTime t, ProcessId pid) {
+  KOPT_CHECK(pid >= 0 && pid < cfg_.n);
+  sim_.schedule_at(t, [this, pid] {
+    RecoveryProcess& p = engine(pid);
+    if (!p.alive()) {
+      stats_.inc("crash.skipped_already_down");
+      return;
+    }
+    p.crash();
+    sim_.schedule_after(cfg_.protocol.restart_delay_us, [this, pid] {
+      RecoveryProcess& p2 = engine(pid);
+      KOPT_CHECK(!p2.alive());
+      p2.restart();
+      // Reliable announcement delivery: catch the restarted process up on
+      // every announcement ever broadcast (its journal makes the
+      // already-processed ones no-ops).
+      for (const Announcement& a : all_announcements_) {
+        if (a.from == pid) continue;
+        p2.executor().submit([&p2, a] { p2.handle_announcement(a); });
+      }
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Running
+// ---------------------------------------------------------------------------
+
+void Cluster::run_for(SimTime dt) { sim_.run_until(sim_.now() + dt); }
+
+void Cluster::drain() {
+  draining_ = true;
+  constexpr int kMaxRounds = 60;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    sim_.run();
+    bool dirty = false;
+    for (auto& up : processes_) {
+      RecoveryProcess& p = *up;
+      if (!p.alive()) {
+        dirty = true;  // restart event still pending
+        continue;
+      }
+      if (!p.quiescent()) dirty = true;
+      p.executor().submit([&p] { p.drain_tick(); });
+    }
+    sim_.run();
+    if (!dirty) return;
+  }
+  std::ostringstream os;
+  for (auto& up : processes_) {
+    RecoveryProcess& p = *up;
+    os << "P" << p.pid() << (p.alive() ? "" : " DOWN")
+       << (p.quiescent() ? "" : " busy") << "; ";
+    if (auto* kp = dynamic_cast<Process*>(&p)) {
+      os << "  [at " << kp->current().str()
+         << " recv=" << kp->receive_buffer_size()
+         << " send=" << kp->send_buffer_size()
+         << " out=" << kp->output_buffer_size()
+         << " vol=" << kp->storage().log().volatile_count() << "] ";
+    }
+  }
+  KOPT_CHECK_MSG(false, "cluster failed to drain: " << os.str());
+}
+
+}  // namespace koptlog

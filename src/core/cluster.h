@@ -1,0 +1,140 @@
+// Cluster — hosts N recovery-layer processes on one simulator: routes
+// application messages through the data network, provides the reliable
+// control plane for announcements and logging-progress notifications,
+// injects environment messages (the outside world's requests), records
+// committed outputs, drives failures/restarts, and owns the ground-truth
+// oracle and metrics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/trace.h"
+#include "common/types.h"
+#include "core/application.h"
+#include "core/cluster_api.h"
+#include "core/config.h"
+#include "core/process.h"
+#include "core/recovery_process.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace koptlog {
+
+struct ClusterConfig {
+  int n = 4;
+  uint64_t seed = 1;
+  ProtocolConfig protocol;
+  LatencyModel data_latency{};
+  LatencyModel control_latency{.base_us = 150, .per_byte_us = 0.0,
+                               .jitter_us = 100, .jitter = Jitter::kUniform};
+  bool fifo = false;           ///< FIFO data channels (Strom–Yemini regime)
+  bool enable_oracle = true;   ///< ground-truth checking (small runs)
+};
+
+class Cluster final : public ClusterApi {
+ public:
+  using AppFactory = std::function<std::unique_ptr<Application>(ProcessId)>;
+  /// Builds one recovery engine per process; defaults to the paper's
+  /// Process. The direct-tracking engine (src/direct/) plugs in here.
+  using EngineFactory = std::function<std::unique_ptr<RecoveryProcess>(
+      ProcessId, const ClusterConfig&, ClusterApi&,
+      std::unique_ptr<Application>)>;
+
+  Cluster(ClusterConfig cfg, const AppFactory& factory);
+  Cluster(ClusterConfig cfg, const AppFactory& factory,
+          const EngineFactory& engine_factory);
+  ~Cluster() override;
+
+  /// Start every process (Initialize + initial checkpoint + timers).
+  void start();
+
+  // ---- ClusterApi ----
+  Simulator& sim() override { return sim_; }
+  Stats& stats() override { return stats_; }
+  const Tracer& tracer() const override { return tracer_; }
+  void route_app_msg(AppMsg msg) override;
+  void broadcast_announcement(const Announcement& a) override;
+  void broadcast_log_progress(const LogProgressMsg& lp) override;
+  void send_ack(ProcessId acker, ProcessId sender, MsgId id) override;
+  void send_dep_query(const DepQuery& q) override;
+  void send_dep_reply(ProcessId to, const DepReply& r) override;
+  void commit_output(const OutputRecord& rec) override;
+  Oracle* oracle() override { return oracle_.get(); }
+  bool draining() const override { return draining_; }
+
+  // ---- environment (outside world) ----
+  /// Send a request from the outside world to process `to`, now. Injected
+  /// messages carry an empty dependency vector: the outside world is
+  /// always stable (it never rolls back).
+  void inject(ProcessId to, const AppPayload& payload);
+  void inject_at(SimTime t, ProcessId to, const AppPayload& payload);
+
+  // ---- failure injection ----
+  /// Crash `pid` at absolute time `t`; it restarts automatically after
+  /// protocol.restart_delay_us (plus replay work). A no-op if the process
+  /// is already down at `t`.
+  void fail_at(SimTime t, ProcessId pid);
+
+  // ---- running ----
+  /// Advance simulated time by `dt`.
+  void run_for(SimTime dt);
+  /// Finish the run: stop periodic timers, repeatedly force flushes and
+  /// progress notifications until every buffer in the system is empty and
+  /// the event queue is dry. All sent non-orphan messages are then
+  /// delivered and all pending outputs committed.
+  void drain();
+
+  // ---- inspection ----
+  /// The hosted engine, protocol-agnostic.
+  RecoveryProcess& engine(ProcessId pid) {
+    return *processes_[static_cast<size_t>(pid)];
+  }
+  /// Typed accessor for the default K-optimistic engine (checked downcast).
+  Process& process(ProcessId pid);
+  const Process& process(ProcessId pid) const;
+  int size() const { return cfg_.n; }
+  const ClusterConfig& config() const { return cfg_; }
+  Network& data_network() { return data_net_; }
+
+  struct CommittedOutput {
+    MsgId id;
+    ProcessId pid = 0;
+    AppPayload payload;
+    IntervalId born_of;
+    SimTime committed_at = 0;
+  };
+  const std::vector<CommittedOutput>& outputs() const { return outputs_; }
+  const std::vector<Announcement>& announcements() const {
+    return all_announcements_;
+  }
+
+  void set_trace(Tracer::Sink sink, TraceLevel level) {
+    tracer_.set_sink(std::move(sink), level);
+  }
+
+ private:
+  void deliver_control_announcement(ProcessId to, const Announcement& a);
+  void schedule_checkpoint_round();
+
+  ClusterConfig cfg_;
+  Simulator sim_;
+  Rng rng_;
+  Stats stats_;
+  Tracer tracer_;
+  Network data_net_;
+  Network control_net_;
+  std::unique_ptr<Oracle> oracle_;
+  std::vector<std::unique_ptr<RecoveryProcess>> processes_;
+  std::vector<CommittedOutput> outputs_;
+  std::set<MsgId> committed_ids_;
+  std::vector<Announcement> all_announcements_;
+  SeqNo env_seq_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,58 @@
+// ClusterApi — the services a recovery-layer process needs from its host
+// cluster: the simulator clock/scheduler, message routing, reliable control
+// broadcast, the outside-world output sink, metrics, and (optionally) the
+// ground-truth oracle. Splitting this interface from Cluster breaks the
+// Process <-> Cluster include cycle and lets tests host a Process on a
+// minimal harness.
+#pragma once
+
+#include "common/trace.h"
+#include "common/types.h"
+#include "core/oracle.h"
+#include "core/output.h"
+#include "core/protocol_msg.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace koptlog {
+
+class ClusterApi {
+ public:
+  virtual ~ClusterApi() = default;
+
+  virtual Simulator& sim() = 0;
+  virtual Stats& stats() = 0;
+  virtual const Tracer& tracer() const = 0;
+
+  /// Route an application message through the (lossy to crashed receivers,
+  /// possibly non-FIFO) data network.
+  virtual void route_app_msg(AppMsg msg) = 0;
+
+  /// Reliable control broadcast: delivered to every other process,
+  /// including processes that are currently down (queued until restart).
+  virtual void broadcast_announcement(const Announcement& a) = 0;
+  virtual void broadcast_log_progress(const LogProgressMsg& lp) = 0;
+
+  /// Receipt acknowledgment for reliable_delivery mode: `acker` tells
+  /// `sender` that message `id` arrived (possibly as a duplicate or an
+  /// orphan — either way, stop retransmitting it). May be lost; the
+  /// retransmission timer covers ack loss.
+  virtual void send_ack(ProcessId acker, ProcessId sender, MsgId id) = 0;
+
+  /// Direct-dependency-tracking assembly traffic (paper §5). Routed on the
+  /// control network; lost when the peer is down (the requester re-asks).
+  virtual void send_dep_query(const DepQuery& q) = 0;
+  virtual void send_dep_reply(ProcessId to, const DepReply& r) = 0;
+
+  /// The outside world accepted a committed output (sink dedups by id).
+  virtual void commit_output(const OutputRecord& rec) = 0;
+
+  /// Null when ground-truth checking is disabled.
+  virtual Oracle* oracle() = 0;
+
+  /// True once the harness enters its drain phase: periodic timers stop
+  /// rescheduling so the event queue can run dry.
+  virtual bool draining() const = 0;
+};
+
+}  // namespace koptlog

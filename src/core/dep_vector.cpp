@@ -1,0 +1,37 @@
+#include "core/dep_vector.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace koptlog {
+
+void DepVector::merge_max(const DepVector& other) {
+  KOPT_CHECK(entries_.size() == other.entries_.size());
+  for (size_t j = 0; j < entries_.size(); ++j) {
+    entries_[j] = lex_max(entries_[j], other.entries_[j]);
+  }
+}
+
+int DepVector::non_null_count() const {
+  int n = 0;
+  for (const auto& e : entries_)
+    if (e) ++n;
+  return n;
+}
+
+std::string DepVector::str() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (size_t j = 0; j < entries_.size(); ++j) {
+    if (!entries_[j]) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << entries_[j]->str() << '_' << j;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace koptlog

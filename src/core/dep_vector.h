@@ -1,0 +1,61 @@
+// DepVector — the transitive dependency vector tdv[1..N] of paper Figure 2,
+// with NULL entries (commit dependency tracking, Theorem 2). A NULL entry
+// means "no dependency on any non-stable interval of that process"; the
+// number of non-NULL entries is exactly the number of processes whose
+// failure could revoke a message carrying the vector (Theorem 4), and the
+// protocol's K bounds it at release time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/entry.h"
+#include "common/types.h"
+
+namespace koptlog {
+
+class DepVector {
+ public:
+  DepVector() = default;
+  explicit DepVector(int n) : entries_(static_cast<size_t>(n)) {}
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  const OptEntry& at(ProcessId j) const { return entries_[static_cast<size_t>(j)]; }
+  void set(ProcessId j, OptEntry e) { entries_[static_cast<size_t>(j)] = e; }
+  void clear(ProcessId j) { entries_[static_cast<size_t>(j)].reset(); }
+
+  /// Deliver_message: tdv[j] = max(tdv[j], m.tdv[j]) for all j.
+  void merge_max(const DepVector& other);
+
+  int non_null_count() const;
+  bool all_null() const { return non_null_count() == 0; }
+
+  /// Serialized size with NULL omission: a small header plus one
+  /// (pid, inc, sii) triple per non-NULL entry. This is the piggyback cost
+  /// the benches report (paper §1: "the size of the vector piggybacked on a
+  /// message indicates the number of processes whose failures may revoke
+  /// the message").
+  size_t wire_bytes() const {
+    return kWireHeaderBytes +
+           static_cast<size_t>(non_null_count()) * kWireEntryBytes;
+  }
+
+  /// Serialized size without NULL omission (full size-N vector), for the
+  /// Theorem-2 ablation and the Strom–Yemini baseline.
+  size_t wire_bytes_full() const {
+    return kWireHeaderBytes + entries_.size() * kWireEntryBytes;
+  }
+
+  std::string str() const;
+
+  friend bool operator==(const DepVector&, const DepVector&) = default;
+
+  static constexpr size_t kWireHeaderBytes = 2;
+  static constexpr size_t kWireEntryBytes = 2 + 4 + 8;  // pid, inc, sii
+
+ private:
+  std::vector<OptEntry> entries_;
+};
+
+}  // namespace koptlog

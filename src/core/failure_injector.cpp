@@ -1,0 +1,40 @@
+#include "core/failure_injector.h"
+
+#include "common/check.h"
+#include "core/cluster.h"
+
+namespace koptlog {
+
+FailurePlan FailurePlan::random(Rng rng, int n, int count, SimTime from,
+                                SimTime to) {
+  KOPT_CHECK(n > 0 && from < to);
+  FailurePlan plan;
+  plan.crashes.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    FailureEvent ev;
+    ev.at = from + static_cast<SimTime>(
+                       rng.next_below(static_cast<uint64_t>(to - from)));
+    ev.pid = static_cast<ProcessId>(rng.next_below(static_cast<uint64_t>(n)));
+    plan.crashes.push_back(ev);
+  }
+  return plan;
+}
+
+FailurePlan FailurePlan::spaced(const std::vector<ProcessId>& pids,
+                                SimTime from, SimTime to) {
+  KOPT_CHECK(from < to);
+  FailurePlan plan;
+  SimTime span = to - from;
+  auto count = static_cast<SimTime>(pids.size());
+  for (size_t i = 0; i < pids.size(); ++i) {
+    plan.crashes.push_back(FailureEvent{
+        from + span * static_cast<SimTime>(i) / count, pids[i]});
+  }
+  return plan;
+}
+
+void apply_failure_plan(Cluster& cluster, const FailurePlan& plan) {
+  for (const FailureEvent& ev : plan.crashes) cluster.fail_at(ev.at, ev.pid);
+}
+
+}  // namespace koptlog

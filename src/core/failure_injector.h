@@ -1,0 +1,37 @@
+// Failure plans: deterministic sets of (time, process) crash events,
+// either scripted or drawn from a seeded RNG. Applied to a Cluster before
+// (or during) a run; each crash automatically restarts after the configured
+// restart delay.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace koptlog {
+
+class Cluster;
+
+struct FailureEvent {
+  SimTime at = 0;
+  ProcessId pid = 0;
+};
+
+struct FailurePlan {
+  std::vector<FailureEvent> crashes;
+
+  /// `count` crashes of uniformly random processes at uniformly random
+  /// times in [from, to).
+  static FailurePlan random(Rng rng, int n, int count, SimTime from,
+                            SimTime to);
+
+  /// One crash of each listed process, evenly spaced over [from, to).
+  static FailurePlan spaced(const std::vector<ProcessId>& pids, SimTime from,
+                            SimTime to);
+};
+
+/// Schedule every crash in the plan on the cluster.
+void apply_failure_plan(Cluster& cluster, const FailurePlan& plan);
+
+}  // namespace koptlog

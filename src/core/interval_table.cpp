@@ -1,0 +1,54 @@
+#include "core/interval_table.h"
+
+#include <sstream>
+
+namespace koptlog {
+
+void EntrySet::insert(Entry e) {
+  auto [it, inserted] = by_inc_.try_emplace(e.inc, e.sii);
+  if (!inserted && it->second < e.sii) it->second = e.sii;
+}
+
+std::optional<Sii> EntrySet::index_of(Incarnation t) const {
+  auto it = by_inc_.find(t);
+  if (it == by_inc_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool EntrySet::covers(Entry e) const {
+  auto it = by_inc_.find(e.inc);
+  return it != by_inc_.end() && e.sii <= it->second;
+}
+
+bool EntrySet::orphans(Entry dep) const {
+  for (auto it = by_inc_.lower_bound(dep.inc); it != by_inc_.end(); ++it) {
+    if (it->second < dep.sii) return true;
+  }
+  return false;
+}
+
+std::optional<Incarnation> EntrySet::max_incarnation() const {
+  if (by_inc_.empty()) return std::nullopt;
+  return by_inc_.rbegin()->first;
+}
+
+std::string EntrySet::str() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [inc, sii] : by_inc_) {
+    if (!first) os << ", ";
+    first = false;
+    os << '(' << inc << ',' << sii << ')';
+  }
+  os << '}';
+  return os.str();
+}
+
+size_t IntervalTable::total_entries() const {
+  size_t n = 0;
+  for (const auto& s : sets_) n += s.size();
+  return n;
+}
+
+}  // namespace koptlog

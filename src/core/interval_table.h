@@ -1,0 +1,76 @@
+// IntervalTable — the per-incarnation entry sets the paper keeps twice per
+// process: iet[j] (incarnation end table: which interval each incarnation
+// of P_j ended at) and log[j] (logging progress: the highest interval of
+// each incarnation of P_j known stable). Both use the Insert(se,(t,x'))
+// routine of Figure 3: one entry per incarnation, keeping the larger index.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/entry.h"
+#include "common/types.h"
+
+namespace koptlog {
+
+/// Entry set for ONE remote process: incarnation -> highest known index.
+class EntrySet {
+ public:
+  /// Figure 3's Insert: max-merge per incarnation.
+  void insert(Entry e);
+
+  bool empty() const { return by_inc_.empty(); }
+  size_t size() const { return by_inc_.size(); }
+
+  /// Index recorded for incarnation t, if any.
+  std::optional<Sii> index_of(Incarnation t) const;
+
+  /// Log-table query (Check_deliverability / Check_send_buffer / Receive_log):
+  /// is (t,x) known stable, i.e. ∃(t,x') with x <= x'?
+  bool covers(Entry e) const;
+
+  /// IET query (Check_orphan): does a dependency on (t,x) point at a
+  /// rolled-back interval, i.e. ∃(s,x') with s >= t and x' < x? (If any
+  /// incarnation s >= t ended at x' < x, then incarnation t ended at or
+  /// before x', so interval (t,x) was rolled back.)
+  bool orphans(Entry dep) const;
+
+  /// Highest incarnation present (SY delay mode wants "have I seen the end
+  /// announcement of incarnation t-1 yet").
+  std::optional<Incarnation> max_incarnation() const;
+
+  const std::map<Incarnation, Sii>& entries() const { return by_inc_; }
+
+  std::string str() const;
+
+ private:
+  std::map<Incarnation, Sii> by_inc_;
+};
+
+/// One EntrySet per process in the system: the paper's iet[1..N] or
+/// log[1..N] array.
+class IntervalTable {
+ public:
+  IntervalTable() = default;
+  explicit IntervalTable(int n) : sets_(static_cast<size_t>(n)) {}
+
+  int size() const { return static_cast<int>(sets_.size()); }
+  EntrySet& of(ProcessId j) { return sets_[static_cast<size_t>(j)]; }
+  const EntrySet& of(ProcessId j) const { return sets_[static_cast<size_t>(j)]; }
+
+  void insert(ProcessId j, Entry e) { of(j).insert(e); }
+
+  /// Total entries across all processes (IET size metric, bench E6).
+  size_t total_entries() const;
+
+  void clear() {
+    for (auto& s : sets_) s = EntrySet{};
+  }
+
+ private:
+  std::vector<EntrySet> sets_;
+};
+
+}  // namespace koptlog

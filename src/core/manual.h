@@ -1,0 +1,217 @@
+// Manual single-stepping harness: hosts Process instances without a
+// Cluster, capturing everything they emit (routed messages, announcements,
+// progress notifications, committed outputs) so callers — protocol tests,
+// the Figure-1 walkthrough example and bench — can shuttle messages by hand
+// and inspect every intermediate state. draining() is always true, which
+// disables the periodic timers: flushes, checkpoints and notifications
+// happen only when the caller asks for them.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/application.h"
+#include "core/cluster_api.h"
+#include "core/process.h"
+
+namespace koptlog {
+
+/// Scriptable application: delivering a kSendCmd payload makes it send, a
+/// kOutCmd payload makes it emit an output. Tests drive interval creation
+/// (and hence dependency propagation) one delivery at a time.
+class ScriptedApp final : public Application {
+ public:
+  static constexpr int32_t kSendCmd = 100;  ///< a = target pid, b = tag
+  static constexpr int32_t kOutCmd = 101;   ///< b = tag
+  static constexpr int32_t kNoop = 102;
+  static constexpr int32_t kData = 103;
+  /// a = target pid, b = tag, c = per-message K (§4.2).
+  static constexpr int32_t kSendKCmd = 105;
+  /// Causal relay: `a` encodes the remaining route as little-endian decimal
+  /// digits (digit = pid+1, 0 = end); each hop forwards from within the
+  /// interval the delivery started. If `b` is 1, the final hop emits an
+  /// output (tagged `c`). This is how the Figure-1 test builds message
+  /// chains like m0 -> m1 -> m2 whose piggybacked vectors accumulate.
+  static constexpr int32_t kChain = 104;
+
+  /// Encode a route for kChain: hops visited in order.
+  static int64_t route(std::initializer_list<ProcessId> hops) {
+    int64_t r = 0;
+    int64_t mul = 1;
+    for (ProcessId pid : hops) {
+      r += (pid + 1) * mul;
+      mul *= 10;
+    }
+    return r;
+  }
+
+  void on_deliver(AppContext& ctx, ProcessId from,
+                  const AppPayload& p) override {
+    (void)from;
+    chain_ = hash_combine(chain_, static_cast<uint64_t>(p.kind));
+    chain_ = hash_combine(chain_, static_cast<uint64_t>(p.a));
+    chain_ = hash_combine(chain_, static_cast<uint64_t>(p.b));
+    if (p.kind == kSendCmd) {
+      AppPayload data;
+      data.kind = kData;
+      data.b = p.b;
+      ctx.send(static_cast<ProcessId>(p.a), data);
+    } else if (p.kind == kSendKCmd) {
+      AppPayload data;
+      data.kind = kData;
+      data.b = p.b;
+      ctx.send_with_k(static_cast<ProcessId>(p.a), data,
+                      static_cast<int>(p.c));
+    } else if (p.kind == kChain) {
+      auto next = static_cast<ProcessId>(p.a % 10 - 1);
+      if (next >= 0) {
+        AppPayload hop = p;
+        hop.a = p.a / 10;
+        ctx.send(next, hop);
+      } else if (p.b == 1) {
+        AppPayload out;
+        out.kind = kOutputKind_;
+        out.b = p.c;
+        ctx.output(out);
+      }
+    } else if (p.kind == kOutCmd) {
+      AppPayload out;
+      out.kind = kOutputKind_;
+      out.b = p.b;
+      ctx.output(out);
+    }
+  }
+
+  std::vector<uint8_t> snapshot() const override {
+    std::vector<uint8_t> out(sizeof(chain_));
+    std::memcpy(out.data(), &chain_, sizeof(chain_));
+    return out;
+  }
+  void restore(std::span<const uint8_t> bytes) override {
+    std::memcpy(&chain_, bytes.data(), sizeof(chain_));
+  }
+  uint64_t state_hash() const override { return chain_; }
+
+ private:
+  static constexpr int32_t kOutputKind_ = 99;
+  uint64_t chain_ = 1;
+};
+
+class ManualHarness final : public ClusterApi {
+ public:
+  explicit ManualHarness(int n) : n_(n) {}
+
+  Simulator& sim() override { return sim_; }
+  Stats& stats() override { return stats_; }
+  const Tracer& tracer() const override { return tracer_; }
+  void route_app_msg(AppMsg msg) override { sent.push_back(std::move(msg)); }
+  void broadcast_announcement(const Announcement& a) override {
+    announcements.push_back(a);
+  }
+  void broadcast_log_progress(const LogProgressMsg& lp) override {
+    progresses.push_back(lp);
+  }
+  void commit_output(const OutputRecord& rec) override {
+    outputs.push_back(rec);
+  }
+  void send_ack(ProcessId acker, ProcessId sender, MsgId id) override {
+    acks.emplace_back(acker, sender, id);
+  }
+  void send_dep_query(const DepQuery& q) override { queries.push_back(q); }
+  void send_dep_reply(ProcessId to, const DepReply& r) override {
+    replies.emplace_back(to, r);
+  }
+  Oracle* oracle() override { return nullptr; }
+  bool draining() const override { return true; }
+
+  /// Create a process owned by the caller. Service/storage costs are
+  /// zeroed: with costs, released messages and outputs leave the process at
+  /// the end of its busy window (a scheduled simulator event), but manual
+  /// stepping never runs the simulator — zero costs keep handler effects
+  /// synchronously visible, which is what step-by-step protocol scripts
+  /// want.
+  std::unique_ptr<Process> make_process(ProcessId pid, ProtocolConfig cfg) {
+    cfg.deliver_cost_us = 0;
+    cfg.replay_per_msg_us = 0;
+    cfg.storage.sync_write_us = 0;
+    cfg.storage.checkpoint_write_us = 0;
+    cfg.storage.async_flush_base_us = 0;
+    cfg.storage.async_flush_per_msg_us = 0;
+    return std::make_unique<Process>(pid, n_, cfg, *this,
+                                     std::make_unique<ScriptedApp>());
+  }
+
+  /// An environment message carrying no dependencies.
+  AppMsg env_msg(ProcessId to, AppPayload payload) {
+    AppMsg m;
+    m.id = MsgId{kEnvironment, ++env_seq_};
+    m.from = kEnvironment;
+    m.to = to;
+    m.payload = payload;
+    m.tdv = DepVector(n_);
+    m.born_of = IntervalId{kEnvironment, 0, 0};
+    m.sent_at = sim_.now();
+    return m;
+  }
+
+  /// Deliver a filler (creates one interval at `p` and nothing else).
+  void tick(RecoveryProcess& p) {
+    AppPayload noop;
+    noop.kind = ScriptedApp::kNoop;
+    p.handle_app_msg(env_msg(p.pid(), noop));
+  }
+
+  /// Instruct `p` (via one delivery) to send a message to `to`; returns the
+  /// message `p` released, removing it from the sent queue. The command
+  /// delivery itself starts a new interval at `p`.
+  AppMsg command_send(RecoveryProcess& p, ProcessId to, int64_t tag = 0) {
+    AppPayload cmd;
+    cmd.kind = ScriptedApp::kSendCmd;
+    cmd.a = to;
+    cmd.b = tag;
+    size_t before = sent.size();
+    p.handle_app_msg(env_msg(p.pid(), cmd));
+    if (sent.size() == before + 1) {
+      AppMsg m = std::move(sent.back());
+      sent.pop_back();
+      return m;
+    }
+    // Held in the send buffer (K bound) — caller will release it later.
+    return AppMsg{};
+  }
+
+  /// Instruct `p` to emit an output (buffered until its deps are stable).
+  void command_output(RecoveryProcess& p, int64_t tag = 0) {
+    AppPayload cmd;
+    cmd.kind = ScriptedApp::kOutCmd;
+    cmd.b = tag;
+    p.handle_app_msg(env_msg(p.pid(), cmd));
+  }
+
+  /// Pop the most recently released message.
+  AppMsg take_sent() {
+    AppMsg m = std::move(sent.back());
+    sent.pop_back();
+    return m;
+  }
+
+  std::vector<AppMsg> sent;
+  std::vector<Announcement> announcements;
+  std::vector<LogProgressMsg> progresses;
+  std::vector<OutputRecord> outputs;
+  std::vector<std::tuple<ProcessId, ProcessId, MsgId>> acks;
+  std::vector<DepQuery> queries;
+  std::vector<std::pair<ProcessId, DepReply>> replies;
+
+ private:
+  int n_;
+  Simulator sim_;
+  Stats stats_;
+  Tracer tracer_;
+  SeqNo env_seq_ = 0;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,73 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace koptlog {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Row& Table::Row::cell(const std::string& v) {
+  cells_.push_back(v);
+  return *this;
+}
+
+Table::Row& Table::Row::cell(double v, int precision) {
+  cells_.push_back(format_double(v, precision));
+  return *this;
+}
+
+Table::Row& Table::Row::cell(int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+Table::Row::~Row() { table_.add_row(std::move(cells_)); }
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2)
+         << (c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  os << '\n';
+}
+
+void print_stats(const Stats& stats, std::ostream& os) {
+  os << "counters:\n";
+  for (const auto& [name, v] : stats.counters())
+    os << "  " << name << " = " << v << '\n';
+  os << "histograms:\n";
+  for (const auto& [name, h] : stats.histograms()) {
+    os << "  " << name << ": n=" << h.count() << " mean=" << h.mean()
+       << " p50=" << h.p50() << " p99=" << h.p99() << " max=" << h.max()
+       << '\n';
+  }
+}
+
+}  // namespace koptlog

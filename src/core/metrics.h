@@ -1,0 +1,48 @@
+// Table formatting for the benchmark harness: every experiment binary
+// prints one or more fixed-width tables (rows = parameter points, columns =
+// metrics), mirroring how the paper's evaluation would be reported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace koptlog {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Append one row; builder style so benches read naturally.
+  class Row {
+   public:
+    explicit Row(Table& t) : table_(t) {}
+    Row& cell(const std::string& v);
+    Row& cell(double v, int precision = 2);
+    Row& cell(int64_t v);
+    ~Row();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  Row row() { return Row(*this); }
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 2);
+
+/// Dump every counter and histogram in a Stats bag (debugging aid).
+void print_stats(const Stats& stats, std::ostream& os);
+
+}  // namespace koptlog

@@ -1,0 +1,404 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace koptlog {
+
+Oracle::Oracle(int n) : n_(n), chains_(static_cast<size_t>(n)) {
+  KOPT_CHECK(n > 0);
+}
+
+const Oracle::Node* Oracle::find(const IntervalId& iv) const {
+  auto it = nodes_.find(iv);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Oracle::Node& Oracle::node_at(const IntervalId& iv) {
+  auto it = nodes_.find(iv);
+  KOPT_CHECK_MSG(it != nodes_.end(), "unknown interval " << iv.str());
+  return it->second;
+}
+
+void Oracle::record_violation(std::string v) {
+  online_violations_.push_back(std::move(v));
+}
+
+void Oracle::add_node(Node n) {
+  KOPT_CHECK_MSG(nodes_.find(n.id) == nodes_.end(),
+                 "duplicate interval " << n.id.str());
+  auto& chain = chains_[static_cast<size_t>(n.id.pid)];
+  if (!chain.empty()) {
+    KOPT_CHECK_MSG(n.id.sii == chain.back().sii + 1,
+                   "non-contiguous interval " << n.id.str() << " after "
+                                              << chain.back().str());
+    n.prev = chain.back();
+  }
+  chain.push_back(n.id);
+  nodes_.emplace(n.id, std::move(n));
+}
+
+void Oracle::on_process_start(IntervalId initial, uint64_t app_hash) {
+  Node n;
+  n.id = initial;
+  n.app_hash = app_hash;
+  n.recovery_interval = true;  // no delivering message, like restart points
+  add_node(std::move(n));
+}
+
+void Oracle::on_interval_start(IntervalId iv, IntervalId sender_iv,
+                               uint64_t app_hash) {
+  Node n;
+  n.id = iv;
+  n.app_hash = app_hash;
+  if (sender_iv.pid != kEnvironment) n.sender_iv = sender_iv;
+  add_node(std::move(n));
+}
+
+void Oracle::on_interval_finalized(IntervalId iv, uint64_t app_hash) {
+  node_at(iv).app_hash = app_hash;
+}
+
+void Oracle::on_recovery_interval(IntervalId iv, uint64_t app_hash) {
+  Node n;
+  n.id = iv;
+  n.app_hash = app_hash;
+  n.recovery_interval = true;
+  add_node(std::move(n));
+}
+
+void Oracle::on_interval_replayed(IntervalId iv, uint64_t app_hash) {
+  const Node* n = find(iv);
+  if (n == nullptr) {
+    record_violation("replayed unknown interval " + iv.str());
+    return;
+  }
+  if (n->undone || n->lost) {
+    record_violation("replayed dead interval " + iv.str());
+    return;
+  }
+  if (n->app_hash != app_hash) {
+    std::ostringstream os;
+    os << "PWD replay divergence at " << iv.str() << ": hash "
+       << n->app_hash << " != " << app_hash;
+    record_violation(os.str());
+  }
+}
+
+void Oracle::on_stable_watermark(ProcessId pid, Entry watermark, SimTime when) {
+  auto& chain = chains_[static_cast<size_t>(pid)];
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    Node& n = node_at(*it);
+    if (n.id.sii > watermark.sii) continue;
+    if (n.stable) break;  // stability is a monotone prefix property
+    n.stable = true;
+    n.stable_time = when;
+  }
+}
+
+void Oracle::pop_chain_suffix(ProcessId pid, Sii keep_upto, bool lost) {
+  auto& chain = chains_[static_cast<size_t>(pid)];
+  while (!chain.empty() && chain.back().sii > keep_upto) {
+    Node& n = node_at(chain.back());
+    // A recovery/bookkeeping interval holds no application state and no
+    // dependency on it ever propagates (it is never a message's or
+    // output's born_of, and flush watermarks skip it); losing one in a
+    // crash destroys nothing, so it counts as undone, not lost.
+    if (lost && !n.recovery_interval) {
+      if (n.stable) {
+        record_violation("stable interval lost in crash: " + n.id.str());
+      }
+      n.lost = true;
+      lost_.push_back(n.id);
+      ++doom_generation_;
+    } else {
+      n.undone = true;
+      ++undone_count_;
+    }
+    chain.pop_back();
+  }
+}
+
+void Oracle::on_rollback(ProcessId pid, Sii restored_sii) {
+  pop_chain_suffix(pid, restored_sii, /*lost=*/false);
+}
+
+void Oracle::on_crash(ProcessId pid, Sii survivor_sii) {
+  pop_chain_suffix(pid, survivor_sii, /*lost=*/true);
+}
+
+void Oracle::on_entry_nulled(ProcessId at, ProcessId owner, Entry e,
+                             SimTime when) {
+  (void)at;
+  (void)when;
+  // Theorem 3: an entry may be dropped only once the named interval is
+  // truly stable. (The interval may later be undone — a stable orphan —
+  // that's fine; Theorem 2's proof only needs non-stable dependencies.)
+  const Node* n = find(IntervalId{owner, e.inc, e.sii});
+  if (n == nullptr) {
+    record_violation("nulled entry names unknown interval " + e.str() + "_" +
+                     std::to_string(owner));
+    return;
+  }
+  if (!n->stable) {
+    record_violation("Theorem 3 violated: nulled non-stable dependency " +
+                     n->id.str());
+  }
+}
+
+void Oracle::on_msg_released(const AppMsg& m, int non_null, int k,
+                             SimTime when) {
+  if (non_null > k) {
+    std::ostringstream os;
+    os << "K bound violated: released " << m.id.seq << " from P" << m.from
+       << " with " << non_null << " live entries, K=" << k;
+    record_violation(os.str());
+  }
+  ReleaseRecord r;
+  r.id = m.id;
+  r.born_of = m.born_of;
+  r.k = k;
+  r.when = when;
+  for (ProcessId j = 0; j < m.tdv.size(); ++j) {
+    if (m.tdv.at(j)) r.non_null_pids.push_back(j);
+  }
+  releases_.push_back(std::move(r));
+}
+
+void Oracle::on_msg_discarded(const AppMsg& m) {
+  discards_.emplace_back(m.id, m.born_of);
+}
+
+void Oracle::on_output_committed(MsgId id, IntervalId born_of, SimTime when) {
+  commits_.push_back(CommitRecord{id, born_of, when});
+}
+
+// ---------------------------------------------------------------------------
+// Doom (true orphanhood): reachability to a lost interval via parents.
+// ---------------------------------------------------------------------------
+
+bool Oracle::doomed(const IntervalId& iv) const {
+  const Node* n = find(iv);
+  KOPT_CHECK_MSG(n != nullptr, "doomed() on unknown interval " << iv.str());
+  return doomed_impl(*n);
+}
+
+bool Oracle::doomed_impl(const Node& root) const {
+  auto memo_valid = [this](const Node& n) {
+    return n.doom_gen == doom_generation_ && n.doom_memo != 0;
+  };
+  if (memo_valid(root)) return root.doom_memo == 1;
+
+  std::vector<const Node*> stack{&root};
+  while (!stack.empty()) {
+    const Node* n = stack.back();
+    if (memo_valid(*n)) {
+      stack.pop_back();
+      continue;
+    }
+    if (n->lost) {
+      n->doom_memo = 1;
+      n->doom_gen = doom_generation_;
+      stack.pop_back();
+      continue;
+    }
+    bool pending = false;
+    bool doomed_parent = false;
+    auto consider = [&](const std::optional<IntervalId>& p) {
+      if (doomed_parent || !p) return;
+      const Node* pn = find(*p);
+      KOPT_CHECK_MSG(pn != nullptr, "dangling parent " << p->str());
+      if (memo_valid(*pn)) {
+        if (pn->doom_memo == 1) doomed_parent = true;
+      } else if (pn->lost) {
+        doomed_parent = true;
+      } else {
+        stack.push_back(pn);
+        pending = true;
+      }
+    };
+    consider(n->prev);
+    consider(n->sender_iv);
+    if (doomed_parent) {
+      n->doom_memo = 1;
+      n->doom_gen = doom_generation_;
+      stack.pop_back();
+    } else if (!pending) {
+      n->doom_memo = 2;
+      n->doom_gen = doom_generation_;
+      stack.pop_back();
+    }
+    // else: parents pushed; revisit n once they are resolved.
+  }
+  return root.doom_memo == 1;
+}
+
+size_t Oracle::doomed_count() const {
+  size_t c = 0;
+  for (const auto& [id, n] : nodes_) {
+    if (doomed_impl(n)) ++c;
+  }
+  return c;
+}
+
+bool Oracle::is_stable(const IntervalId& iv) const {
+  const Node* n = find(iv);
+  return n != nullptr && n->stable;
+}
+
+std::optional<SimTime> Oracle::stable_at(const IntervalId& iv) const {
+  const Node* n = find(iv);
+  if (n == nullptr || !n->stable) return std::nullopt;
+  return n->stable_time;
+}
+
+// ---------------------------------------------------------------------------
+// End-of-run verification
+// ---------------------------------------------------------------------------
+
+Oracle::Report Oracle::verify(bool strict_thm4) const {
+  Report rep;
+  rep.intervals = nodes_.size();
+  rep.lost = lost_.size();
+  rep.undone = undone_count_;
+  rep.released_messages = releases_.size();
+  rep.discarded_messages = discards_.size();
+  rep.committed_outputs = commits_.size();
+  rep.violations = online_violations_;
+
+  // 1. No surviving interval is doomed (Theorems 1/2: every orphan was
+  //    eventually detected and undone).
+  for (const auto& chain : chains_) {
+    for (const IntervalId& iv : chain) {
+      if (doomed(iv)) {
+        rep.violations.push_back("surviving orphan interval " + iv.str());
+      }
+    }
+  }
+
+  // 2. Exactness: undone <=> doomed (modulo bookkeeping intervals swept
+  //    away with an undone suffix, and intervals lost to the crash itself).
+  size_t doomed_total = 0;
+  for (const auto& [id, n] : nodes_) {
+    bool d = doomed_impl(n);
+    if (d) ++doomed_total;
+    if (d && !n.undone && !n.lost) {
+      rep.violations.push_back("orphan interval never rolled back: " +
+                               id.str());
+    }
+    if (n.undone && !n.recovery_interval && !d) {
+      rep.violations.push_back("spurious rollback of " + id.str());
+    }
+  }
+  rep.doomed = doomed_total;
+
+  // 3. Discards were sound: a discarded message's sending interval must be
+  //    a true orphan.
+  for (const auto& [id, born_of] : discards_) {
+    if (!doomed(born_of)) {
+      std::ostringstream os;
+      os << "discarded non-orphan message " << id.seq << " from "
+         << born_of.str();
+      rep.violations.push_back(os.str());
+    }
+  }
+
+  // 4. Output-commit safety: a committed output's interval is never
+  //    revoked.
+  for (const CommitRecord& c : commits_) {
+    if (doomed(c.born_of)) {
+      std::ostringstream os;
+      os << "committed output " << c.id.seq << " from orphan interval "
+         << c.born_of.str();
+      rep.violations.push_back(os.str());
+    }
+  }
+
+  // 5. Strict Theorem 4: at release, every dependency of the message that
+  //    was not yet stable belongs to one of its <= K non-NULL entries.
+  if (strict_thm4) {
+    for (const ReleaseRecord& r : releases_) {
+      std::unordered_set<ProcessId> live(r.non_null_pids.begin(),
+                                         r.non_null_pids.end());
+      // BFS over the true dependency closure of the sending interval.
+      std::vector<const Node*> stack;
+      std::unordered_set<const Node*> seen;
+      const Node* root = find(r.born_of);
+      if (root == nullptr) continue;
+      stack.push_back(root);
+      seen.insert(root);
+      while (!stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        bool stable_at_release = n->stable && n->stable_time <= r.when;
+        if (!stable_at_release && live.count(n->id.pid) == 0) {
+          std::ostringstream os;
+          os << "Theorem 4 violated: msg " << r.id.seq << " from "
+             << r.born_of.str() << " released with non-stable dependency "
+             << n->id.str() << " outside its " << r.non_null_pids.size()
+             << " live entries";
+          rep.violations.push_back(os.str());
+          break;
+        }
+        auto visit = [&](const std::optional<IntervalId>& p) {
+          if (!p) return;
+          const Node* pn = find(*p);
+          if (pn != nullptr && seen.insert(pn).second) stack.push_back(pn);
+        };
+        visit(n->prev);
+        visit(n->sender_iv);
+      }
+    }
+  }
+
+  rep.ok = rep.violations.empty();
+  return rep;
+}
+
+std::vector<Oracle::NodeView> Oracle::nodes() const {
+  std::vector<NodeView> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) {
+    NodeView v;
+    v.id = n.id;
+    v.prev = n.prev;
+    v.sender = n.sender_iv;
+    v.stable = n.stable;
+    v.undone = n.undone;
+    v.lost = n.lost;
+    v.recovery = n.recovery_interval;
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(), [](const NodeView& a, const NodeView& b) {
+    if (a.id.pid != b.id.pid) return a.id.pid < b.id.pid;
+    if (a.id.sii != b.id.sii) return a.id.sii < b.id.sii;
+    return a.id.inc < b.id.inc;
+  });
+  return out;
+}
+
+std::string Oracle::Report::summary() const {
+  std::ostringstream os;
+  os << (ok ? "OK" : "VIOLATIONS") << ": intervals=" << intervals
+     << " lost=" << lost << " undone=" << undone << " doomed=" << doomed
+     << " released=" << released_messages
+     << " discarded=" << discarded_messages
+     << " outputs=" << committed_outputs;
+  if (!ok) {
+    os << "\n";
+    size_t shown = 0;
+    for (const auto& v : violations) {
+      os << "  ! " << v << "\n";
+      if (++shown >= 20) {
+        os << "  ... (" << violations.size() - shown << " more)\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace koptlog

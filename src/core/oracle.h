@@ -1,0 +1,188 @@
+// Oracle — ground-truth observer of the whole simulation, independent of
+// the protocol's own bookkeeping. It records the true transitive-dependency
+// graph over state intervals (every delivery links an interval to its
+// same-process predecessor and to the sender's interval), which intervals
+// became stable when, and which were lost or undone. Tests use it to verify
+// the paper's theorems against the protocol's actual behaviour:
+//   Thm 1/2 — every true orphan is eventually undone, and nothing else is;
+//   Thm 3   — a dependency entry is NULLed only once the named interval is
+//             truly stable;
+//   Thm 4   — at release, every non-stable dependency of a message belongs
+//             to one of its <= K non-NULL entries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/entry.h"
+#include "common/types.h"
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+class Oracle {
+ public:
+  explicit Oracle(int n);
+
+  // ---- facts reported by the substrate/processes ----
+
+  /// Process starts; its first interval `initial` exists and becomes stable
+  /// with the initial checkpoint (Corollary 3).
+  void on_process_start(IntervalId initial, uint64_t app_hash);
+
+  /// A delivery started interval `iv`; `sender_iv` is the interval the
+  /// message was sent from (pid kEnvironment = injected from outside).
+  /// Registered before the application handler runs, so stability/NULLing
+  /// events fired from inside the handler can already see the interval.
+  void on_interval_start(IntervalId iv, IntervalId sender_iv,
+                         uint64_t app_hash);
+
+  /// The application handler for `iv` finished; record the settled state
+  /// hash (the one replay must reproduce).
+  void on_interval_finalized(IntervalId iv, uint64_t app_hash);
+
+  /// Recovery replayed interval `iv`; the reconstructed state hash must
+  /// equal the hash recorded when the interval first executed (PWD model).
+  void on_interval_replayed(IntervalId iv, uint64_t app_hash);
+
+  /// A rollback created recovery interval `iv` (no delivering message).
+  void on_recovery_interval(IntervalId iv, uint64_t app_hash);
+
+  /// Flush/checkpoint completion: every interval of `pid` with index <=
+  /// watermark.sii (on the current chain) is now on stable storage.
+  void on_stable_watermark(ProcessId pid, Entry watermark, SimTime when);
+
+  /// Process pid rolled back to interval index `restored_sii`: every chain
+  /// interval beyond it is undone.
+  void on_rollback(ProcessId pid, Sii restored_sii);
+
+  /// Process pid crashed; intervals beyond `survivor_sii` (the volatile
+  /// suffix) are lost and can never be reconstructed.
+  void on_crash(ProcessId pid, Sii survivor_sii);
+
+  /// Process `at` NULLed its dependency entry on interval (e)_owner.
+  void on_entry_nulled(ProcessId at, ProcessId owner, Entry e, SimTime when);
+
+  /// The sender released message m with `non_null` live entries under
+  /// degree of optimism `k`.
+  void on_msg_released(const AppMsg& m, int non_null, int k, SimTime when);
+
+  /// A process discarded message m as orphan.
+  void on_msg_discarded(const AppMsg& m);
+
+  /// The outside world committed output `id` emitted by `born_of`.
+  void on_output_committed(MsgId id, IntervalId born_of, SimTime when);
+
+  // ---- queries / verification ----
+
+  /// True if `iv` transitively depends on a lost interval (is doomed).
+  bool doomed(const IntervalId& iv) const;
+
+  bool is_stable(const IntervalId& iv) const;
+  std::optional<SimTime> stable_at(const IntervalId& iv) const;
+
+  size_t interval_count() const { return nodes_.size(); }
+  size_t lost_count() const { return lost_.size(); }
+  size_t undone_count() const { return undone_count_; }
+  size_t doomed_count() const;
+
+  struct Report {
+    bool ok = true;
+    std::vector<std::string> violations;
+    size_t intervals = 0;
+    size_t lost = 0;
+    size_t undone = 0;
+    size_t doomed = 0;
+    size_t released_messages = 0;
+    size_t discarded_messages = 0;
+    size_t committed_outputs = 0;
+
+    std::string summary() const;
+  };
+
+  /// End-of-run verification. `strict_thm4` additionally recomputes, for
+  /// every released message, the true dependency closure and checks that
+  /// all dependencies outside the message's non-NULL set were stable at
+  /// release time (expensive; use on small runs).
+  Report verify(bool strict_thm4 = false) const;
+
+  /// Violations recorded online (replay hash mismatches, Thm-3 breaches,
+  /// K-bound breaches). Folded into verify()'s report.
+  const std::vector<std::string>& online_violations() const {
+    return online_violations_;
+  }
+
+  /// Read-only view of one recorded interval, for visualization/export
+  /// (core/timeline.h renders these as space-time diagrams).
+  struct NodeView {
+    IntervalId id;
+    std::optional<IntervalId> prev;
+    std::optional<IntervalId> sender;
+    bool stable = false;
+    bool undone = false;
+    bool lost = false;
+    bool recovery = false;
+  };
+
+  /// Every interval ever recorded, sorted by (pid, sii, inc).
+  std::vector<NodeView> nodes() const;
+
+  int system_size() const { return n_; }
+
+ private:
+  struct Node {
+    IntervalId id;
+    std::optional<IntervalId> prev;       // same-process predecessor
+    std::optional<IntervalId> sender_iv;  // cross-process parent
+    uint64_t app_hash = 0;
+    bool stable = false;
+    bool undone = false;
+    bool lost = false;
+    /// Interval created by a rollback/restart itself (no delivering
+    /// message, no log record): exempt from the undone=>doomed check.
+    bool recovery_interval = false;
+    SimTime stable_time = -1;
+    // doom memoization: 0 unknown, 1 doomed, 2 safe; valid while
+    // doom_gen matches the oracle's generation counter.
+    mutable int doom_memo = 0;
+    mutable uint64_t doom_gen = 0;
+  };
+
+  struct ReleaseRecord {
+    MsgId id;
+    IntervalId born_of;
+    std::vector<ProcessId> non_null_pids;
+    int k = 0;
+    SimTime when = 0;
+  };
+
+  struct CommitRecord {
+    MsgId id;
+    IntervalId born_of;
+    SimTime when = 0;
+  };
+
+  const Node* find(const IntervalId& iv) const;
+  Node& node_at(const IntervalId& iv);
+  bool doomed_impl(const Node& n) const;
+  void record_violation(std::string v);
+  void add_node(Node n);
+  void pop_chain_suffix(ProcessId pid, Sii keep_upto, bool lost);
+
+  int n_;
+  std::unordered_map<IntervalId, Node, IntervalIdHash> nodes_;
+  /// Current (surviving) chain of each process, in execution order.
+  std::vector<std::vector<IntervalId>> chains_;
+  std::vector<IntervalId> lost_;
+  size_t undone_count_ = 0;
+  /// Bumped whenever the lost set grows; invalidates doom memoization.
+  uint64_t doom_generation_ = 1;
+  std::vector<ReleaseRecord> releases_;
+  std::vector<std::pair<MsgId, IntervalId>> discards_;
+  std::vector<CommitRecord> commits_;
+  std::vector<std::string> online_violations_;
+};
+
+}  // namespace koptlog

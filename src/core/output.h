@@ -1,0 +1,25 @@
+// Outside-world output records. An output is a 0-optimistic message
+// (paper §4.2): it stays in the process's output buffer until every entry
+// of its dependency vector is NULL — i.e. every interval it depends on is
+// stable — and only then is it committed to the outside world.
+#pragma once
+
+#include "common/entry.h"
+#include "common/types.h"
+#include "core/dep_vector.h"
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+struct OutputRecord {
+  /// (pid, deterministic output counter): replay after a failure re-emits
+  /// the same outputs with the same ids, and the outside-world sink
+  /// deduplicates by id (exactly-once commit).
+  MsgId id;
+  AppPayload payload;
+  DepVector tdv;
+  IntervalId born_of;  ///< interval that emitted the output
+  SimTime created_at = 0;
+};
+
+}  // namespace koptlog

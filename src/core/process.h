@@ -1,0 +1,244 @@
+// Process — one participant in the K-optimistic logging protocol: the
+// complete recovery layer of paper Figures 2 and 3 (Strom–Yemini optimistic
+// recovery plus the paper's three improvements, each toggleable via
+// ProtocolConfig), sitting between a PWD application and the cluster's
+// network/storage substrate.
+//
+// Implementation notes relative to the paper's listing:
+//  * Incarnation numbers are durably journaled when incremented, so a
+//    crash after a rollback can never reuse an incarnation number (the
+//    failure announcement names the highest incarnation that ever existed;
+//    without this, orphan detection has a naming collision).
+//  * Flush watermarks advance only to the last *logged record's* interval,
+//    never to the bookkeeping interval a rollback/restart starts (that
+//    interval is only reconstructable from a checkpoint, so only a
+//    checkpoint may claim it stable).
+//  * Restart additionally verifies that no logged record is orphaned by
+//    the journaled incarnation end table — by protocol order (announcement
+//    processing truncates the log before anything else can intervene) this
+//    can never trigger, so it is an invariant check, not a filter.
+//  * Receivers deduplicate messages by replay-stable id: recovery replay
+//    re-executes application sends, which regenerates identical messages;
+//    duplicates are dropped at the receiver (and when re-enqueueing into
+//    the local send buffer).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/entry.h"
+#include "common/types.h"
+#include "core/application.h"
+#include "core/cluster_api.h"
+#include "core/config.h"
+#include "core/dep_vector.h"
+#include "core/interval_table.h"
+#include "core/output.h"
+#include "core/protocol_msg.h"
+#include "core/recovery_process.h"
+#include "sim/executor.h"
+#include "storage/stable_storage.h"
+
+namespace koptlog {
+
+class Process final : public RecoveryProcess, private AppContext {
+ public:
+  Process(ProcessId pid, int n, const ProtocolConfig& cfg, ClusterApi& api,
+          std::unique_ptr<Application> app);
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Initialize (Figure 2): empty dependency vector (Corollary 3), run the
+  /// application's on_start, take the initial checkpoint, start timers.
+  /// `initial` lets tests begin mid-history (e.g. the Figure 1 scenario
+  /// starts with P0 in incarnation 1 and P3 in incarnation 2).
+  void start(Entry initial = Entry{0, 1});
+  void start_process() override { start(); }
+
+  // ---- events, invoked by the cluster through the executor ----
+  void handle_app_msg(const AppMsg& m) override;
+  void handle_announcement(const Announcement& a) override;
+  void handle_log_progress(const LogProgressMsg& lp) override;
+  /// Reliable-delivery mode: the receiver confirmed message `id`.
+  void handle_ack(const MsgId& id) override;
+  /// Dependency-assembly queries belong to the direct-tracking engine;
+  /// this protocol carries transitive information on the messages
+  /// themselves and never needs them.
+  void handle_dep_query(const DepQuery&) override {}
+  void handle_dep_reply(const DepReply&) override {}
+
+  // ---- failure injection (cluster) ----
+  /// Crash now: every volatile structure is lost.
+  void crash() override;
+  /// Restart (Figure 3): restore, replay, announce; cluster schedules this
+  /// config.restart_delay_us after the crash.
+  void restart() override;
+
+  // ---- drain support ----
+  /// Synchronously flush the volatile log and publish the new watermark.
+  void force_flush();
+  /// Broadcast this process's logging-progress notification now.
+  void broadcast_progress();
+  /// Reliable-delivery mode: re-send every unacknowledged non-orphan
+  /// released message now (also runs on the retransmission timer).
+  void retransmit_unacked();
+  /// Take a checkpoint now (checkpoint timer / coordinated marker).
+  /// Flushes the volatile log, snapshots application + recovery state,
+  /// applies Corollary 2 and runs garbage collection.
+  void checkpoint_now() override {
+    if (alive_) do_checkpoint();
+  }
+
+  void drain_tick() override {
+    force_flush();
+    broadcast_progress();
+    retransmit_unacked();
+  }
+  bool quiescent() const override {
+    return receive_buffer_.empty() && send_buffer_.empty() &&
+           output_buffer_.empty() && unacked_.empty() &&
+           storage_.parked().empty() &&
+           storage_.log().volatile_count() == 0;
+  }
+
+  // ---- inspection (tests, benches, examples) ----
+  bool alive() const override { return alive_; }
+  ProcessId pid() const override { return pid_; }
+  Entry current() const { return current_; }
+  const DepVector& tdv() const { return tdv_; }
+  const IntervalTable& iet() const { return iet_; }
+  const IntervalTable& log_table() const { return log_; }
+  const StableStorage& storage() const { return storage_; }
+  Executor& executor() override { return exec_; }
+  const Application& app() const { return *app_; }
+  size_t receive_buffer_size() const { return receive_buffer_.size(); }
+  size_t send_buffer_size() const { return send_buffer_.size(); }
+  size_t output_buffer_size() const { return output_buffer_.size(); }
+  size_t unacked_count() const { return unacked_.size(); }
+  int64_t deliveries() const { return deliveries_; }
+  int64_t rollbacks() const { return rollbacks_; }
+
+  /// Is this message deliverable right now? (exposed for tests)
+  bool deliverable(const AppMsg& m) const;
+  /// Does this vector depend on an interval our IET says was rolled back?
+  bool orphan_vec(const DepVector& v) const;
+
+ private:
+  struct BufferedSend {
+    AppMsg msg;
+    SimTime queued_at = 0;
+    /// Release threshold for this message: the system K, or a per-message
+    /// override (§4.2).
+    int k_limit = 0;
+  };
+  struct BufferedRecv {
+    AppMsg msg;
+    SimTime arrived_at = 0;
+  };
+
+  // ---- AppContext (application-facing) ----
+  void send(ProcessId to, const AppPayload& payload) override;
+  void send_with_k(ProcessId to, const AppPayload& payload, int k) override;
+  void send_impl(ProcessId to, const AppPayload& payload, int k_limit);
+  void output(const AppPayload& payload) override;
+  ProcessId self() const override { return pid_; }
+  int system_size() const override { return n_; }
+
+  // ---- protocol internals ----
+  void deliver(const AppMsg& m);
+  void try_deliver();
+  bool sy_deliverable(const AppMsg& m) const;
+  void run_app_handler(ProcessId from, const AppPayload& payload);
+
+  void check_send_buffer();
+  void check_output_buffer();
+  /// Null local tdv entries covered by log_, then re-examine all buffers.
+  /// Called after any new stability information (Receive_log, Corollary 1
+  /// on announcements, local flush/checkpoint).
+  void apply_stability_info();
+  void discard_orphans_from_buffers();
+
+  void do_checkpoint();
+  /// Reclaim checkpoints and log records that recovery can never need
+  /// again (see ProtocolConfig::garbage_collect).
+  void garbage_collect();
+  void start_async_flush();
+  void finish_flush(size_t upto, Entry watermark, uint64_t epoch);
+  /// Record the fact that every interval up to `watermark` is now stable.
+  void note_own_stable(Entry watermark);
+
+  /// Account a blocking stable-storage write: service time + counters.
+  void charge_sync_write(SimTime cost);
+
+  /// reliable_delivery: acknowledge (and unpark) every record that has
+  /// newly reached stable storage. Acks are deferred to stability so that a
+  /// crash can never lose a message whose sender already stopped
+  /// retransmitting it.
+  void ack_stable_records();
+  /// Tell the sender of `m` to stop retransmitting it (orphans are
+  /// discarded on both ends, so receipt-of-an-orphan is final too).
+  void ack_discarded(const AppMsg& m);
+
+  void rollback();
+  /// Restore the latest non-orphan checkpoint and replay the non-orphan
+  /// logged prefix. Returns the log position replay stopped at.
+  size_t restore_and_replay(bool is_restart);
+  void bump_incarnation_durably();
+  void announce(Entry ended, bool from_failure);
+  void process_announcement_body(const Announcement& a);
+
+  void schedule_timers();
+  size_t wire_bytes(const AppMsg& m) const {
+    return m.wire_bytes(cfg_.null_stable_entries);
+  }
+  Oracle* oracle() { return api_.oracle(); }
+  void trace(const std::function<void(std::ostream&)>& fn) const;
+
+  // ---- identity & collaborators ----
+  const ProcessId pid_;
+  const int n_;
+  const ProtocolConfig cfg_;
+  const int effective_k_;
+  ClusterApi& api_;
+  Executor exec_;
+  std::unique_ptr<Application> app_;
+  StableStorage storage_;
+
+  // ---- volatile protocol state (lost on crash) ----
+  bool alive_ = false;
+  Entry current_{0, 1};
+  DepVector tdv_;
+  IntervalTable iet_;
+  IntervalTable log_;
+  std::vector<BufferedRecv> receive_buffer_;
+  std::vector<BufferedSend> send_buffer_;
+  std::vector<OutputRecord> output_buffer_;
+  /// reliable_delivery: released-but-unacknowledged messages, the "sender's
+  /// volatile log" of paper §2 fn. 3. Lost on crash; recovery replay
+  /// regenerates it.
+  std::map<MsgId, AppMsg> unacked_;
+  std::set<MsgId> delivered_ids_;
+  /// Ids whose delivery is stable (ack already sent); duplicates of these
+  /// are re-acked in case the first ack was lost.
+  std::set<MsgId> acked_ids_;
+  /// Log position up to which ack_stable_records() has scanned.
+  size_t acked_upto_ = 0;
+  std::set<std::pair<ProcessId, Entry>> processed_announcements_;
+  SeqNo send_seq_ = 0;
+  SeqNo output_seq_ = 0;
+  bool in_replay_ = false;
+  /// Bumped on crash; stale timer firings and async-flush completions check
+  /// it and become no-ops. (Rollbacks don't bump it: finish_flush detects a
+  /// truncated log by re-checking the watermark record's identity.)
+  uint64_t epoch_ = 0;
+
+  // ---- metrics ----
+  int64_t deliveries_ = 0;
+  int64_t rollbacks_ = 0;
+};
+
+}  // namespace koptlog

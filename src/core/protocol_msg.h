@@ -1,0 +1,119 @@
+// Wire-level message types exchanged by recovery-layer processes:
+// application messages with piggybacked dependency vectors, failure /
+// rollback announcements, and logging-progress notifications.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/entry.h"
+#include "common/types.h"
+#include "core/dep_vector.h"
+
+namespace koptlog {
+
+/// Unique, replay-stable message identity: the sender plus a deterministic
+/// per-sender send counter. Replay after a failure re-executes application
+/// sends, which regenerates byte-identical messages with identical ids;
+/// receivers discard duplicates by id.
+struct MsgId {
+  ProcessId src = 0;
+  SeqNo seq = 0;
+
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+};
+
+/// Application-level payload. Fixed shape so that workloads stay trivially
+/// serializable and deterministic; the fields' meaning is workload-defined.
+struct AppPayload {
+  int32_t kind = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+  int32_t ttl = 0;
+
+  static constexpr size_t kWireBytes = 4 + 8 + 8 + 8 + 4;
+
+  friend bool operator==(const AppPayload&, const AppPayload&) = default;
+};
+
+/// An application message as it travels through the recovery layer. `tdv`
+/// is the piggybacked dependency vector; while the message sits in the
+/// sender's send buffer, Check_send_buffer keeps NULLing entries that became
+/// stable, and the message is released once <= K entries remain (§4.2).
+struct AppMsg {
+  MsgId id;
+  ProcessId from = 0;
+  ProcessId to = 0;
+  AppPayload payload;
+  DepVector tdv;
+  /// The sender state interval the message was sent from — (t,x)_i of the
+  /// send. Used by the ground-truth oracle, and by receivers only for
+  /// tracing (the protocol itself relies solely on tdv).
+  IntervalId born_of;
+  SimTime sent_at = 0;
+
+  /// Exact encoded size (wire/codec.h round-trips it; tests pin equality):
+  /// from(4) + to(4) + id.seq(8) + born_of inc(4) + sii(8) + payload +
+  /// NULL-omitting or full vector.
+  size_t wire_bytes(bool null_omission) const {
+    constexpr size_t kHeader = 4 + 4 + 8 + 4 + 8;
+    return kHeader + AppPayload::kWireBytes +
+           (null_omission ? tdv.wire_bytes() : tdv.wire_bytes_full());
+  }
+};
+
+/// Rollback/failure announcement r_i: "incarnation `ended.inc` of process
+/// `from` ended at interval index `ended.sii`". By Corollary 1 it doubles
+/// as a logging-progress notification that (t, x0) is stable.
+struct Announcement {
+  ProcessId from = 0;
+  Entry ended;
+  /// True when sent by a genuinely failed process (Figure 3 Restart);
+  /// false for the non-failure rollback announcements that only the
+  /// Strom–Yemini-style configuration (announce_all_rollbacks) sends.
+  bool from_failure = true;
+
+  static constexpr size_t kWireBytes = 4 + 4 + 8 + 1;
+};
+
+/// Periodic logging-progress notification: the sender's stable watermark
+/// for each of its incarnations (paper §2 "Logging progress notification").
+struct LogProgressMsg {
+  ProcessId from = 0;
+  std::vector<Entry> stable;  // one entry per incarnation, max index
+
+  size_t wire_bytes() const { return 4 + 2 + stable.size() * (4 + 8); }
+};
+
+/// Direct-dependency-tracking assembly (paper §5): ask the owner of
+/// interval `target` whether the owner's state up to `target` is stable,
+/// and which cross-process intervals it (still) depends on.
+struct DepQuery {
+  ProcessId requester = 0;
+  IntervalId target;
+  SeqNo query_id = 0;
+
+  static constexpr size_t kWireBytes = 4 + 4 + 4 + 8 + 8;
+};
+
+struct DepReply {
+  enum class Status : int32_t {
+    kUnknown,     ///< the owner has not (yet) seen this interval
+    kRolledBack,  ///< the interval was undone or lost — dependents are orphans
+    kPending,     ///< exists but not yet stable; ask again later
+    kStable,      ///< stable; `deps` lists its live cross-process parents
+  };
+  ProcessId owner = 0;
+  SeqNo query_id = 0;
+  IntervalId target;
+  Status status = Status::kUnknown;
+  /// Cross-process intervals the owner's chain up to `target` directly
+  /// depends on and does not yet know to be stable (already-stable ones
+  /// are pruned at the owner — they cannot make anyone an orphan).
+  std::vector<IntervalId> deps;
+
+  size_t wire_bytes() const { return 34 + deps.size() * 16; }
+};
+
+}  // namespace koptlog

@@ -1,0 +1,49 @@
+// RecoveryProcess — the event surface a recovery-layer engine exposes to
+// the Cluster. Two engines implement it: Process (the paper's K-optimistic
+// logging with transitive/commit dependency tracking) and DirectProcess
+// (the related-work comparison point of paper §5: direct dependency
+// tracking with constant-size piggybacks and assembly at commit/recovery
+// time).
+#pragma once
+
+#include "common/types.h"
+#include "core/protocol_msg.h"
+#include "sim/executor.h"
+
+namespace koptlog {
+
+class RecoveryProcess {
+ public:
+  virtual ~RecoveryProcess() = default;
+
+  /// Initialize: initial checkpoint, timers.
+  virtual void start_process() = 0;
+
+  // ---- events, invoked by the cluster through the executor ----
+  virtual void handle_app_msg(const AppMsg& m) = 0;
+  virtual void handle_announcement(const Announcement& a) = 0;
+  virtual void handle_log_progress(const LogProgressMsg& lp) = 0;
+  virtual void handle_ack(const MsgId& id) = 0;
+  virtual void handle_dep_query(const DepQuery& q) = 0;
+  virtual void handle_dep_reply(const DepReply& r) = 0;
+
+  // ---- failure injection ----
+  virtual void crash() = 0;
+  virtual void restart() = 0;
+
+  /// Take a checkpoint now (coordinated-checkpointing marker receipt).
+  virtual void checkpoint_now() = 0;
+
+  // ---- drain support ----
+  /// One drain round: force pending stability/communication work so the
+  /// system can reach quiescence (flush, notify, retransmit, re-query...).
+  virtual void drain_tick() = 0;
+  /// True when every local buffer is empty (used to detect quiescence).
+  virtual bool quiescent() const = 0;
+
+  virtual bool alive() const = 0;
+  virtual ProcessId pid() const = 0;
+  virtual Executor& executor() = 0;
+};
+
+}  // namespace koptlog

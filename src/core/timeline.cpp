@@ -1,0 +1,97 @@
+#include "core/timeline.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace koptlog {
+
+namespace {
+
+char marker(const Oracle::NodeView& v) {
+  if (v.lost) return '!';
+  if (v.undone) return '~';
+  if (v.recovery) return '*';
+  if (v.stable) return '#';
+  return ' ';
+}
+
+std::string dot_id(const IntervalId& iv) {
+  std::ostringstream os;
+  os << "p" << iv.pid << "_i" << iv.inc << "_x" << iv.sii;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_ascii(const Oracle& oracle, TimelineOptions opts) {
+  std::map<ProcessId, std::vector<Oracle::NodeView>> lanes;
+  for (const Oracle::NodeView& v : oracle.nodes()) lanes[v.id.pid].push_back(v);
+
+  std::ostringstream os;
+  os << "space-time diagram ('#' stable, '~' undone, '!' lost, '*' "
+        "recovery, ' ' volatile)\n";
+  for (const auto& [pid, nodes] : lanes) {
+    if (nodes.size() < opts.min_intervals) continue;
+    os << 'P' << pid << " |";
+    size_t shown = 0;
+    size_t cap = opts.ascii_max_per_process;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (cap > 0 && shown >= cap) {
+        os << "... +" << nodes.size() - i << " more";
+        break;
+      }
+      const Oracle::NodeView& v = nodes[i];
+      os << marker(v) << '(' << v.id.inc << ',' << v.id.sii << ")|";
+      ++shown;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_dot(const Oracle& oracle, TimelineOptions opts) {
+  std::vector<Oracle::NodeView> nodes = oracle.nodes();
+  std::map<ProcessId, std::vector<const Oracle::NodeView*>> lanes;
+  for (const Oracle::NodeView& v : nodes) lanes[v.id.pid].push_back(&v);
+
+  std::ostringstream os;
+  os << "digraph koptlog {\n"
+     << "  rankdir=LR;\n"
+     << "  node [shape=box, fontsize=10, height=0.25];\n"
+     << "  edge [fontsize=8];\n";
+  for (const auto& [pid, lane] : lanes) {
+    if (lane.size() < opts.min_intervals) continue;
+    os << "  subgraph cluster_p" << pid << " {\n"
+       << "    label=\"P" << pid << "\";\n"
+       << "    color=lightgray;\n";
+    for (const Oracle::NodeView* v : lane) {
+      os << "    " << dot_id(v->id) << " [label=\"(" << v->id.inc << ','
+         << v->id.sii << ")\"";
+      if (v->lost) {
+        os << ", style=filled, fillcolor=\"#e57373\"";  // lost: red
+      } else if (v->undone) {
+        os << ", style=filled, fillcolor=\"#e0e0e0\", fontcolor=gray";
+      } else if (v->stable) {
+        os << ", style=filled, fillcolor=\"#aed581\"";  // stable: green
+      }
+      if (v->recovery) os << ", shape=diamond";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  // Chain edges (solid) and message edges (dashed).
+  for (const Oracle::NodeView& v : nodes) {
+    if (v.prev) {
+      os << "  " << dot_id(*v.prev) << " -> " << dot_id(v.id) << ";\n";
+    }
+    if (v.sender) {
+      os << "  " << dot_id(*v.sender) << " -> " << dot_id(v.id)
+         << " [style=dashed, color=\"#1976d2\", constraint=false];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace koptlog

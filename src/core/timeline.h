@@ -1,0 +1,36 @@
+// Timeline export — regenerate Figure-1-style space-time diagrams from any
+// run. The ground-truth oracle already holds every state interval with its
+// chain and message parents plus its fate (stable / undone / lost), which is
+// exactly the information the paper's Figure 1 depicts: shaded boxes for
+// stable intervals, message arrows, rollbacks and failure points.
+//
+// Two renderers:
+//  * to_ascii — one lane per process, intervals in execution order with a
+//    status marker; quick to eyeball in a terminal.
+//  * to_dot   — Graphviz digraph: chain edges solid, message edges dashed;
+//    stable intervals filled, undone gray, lost red, recovery points
+//    diamonds. `dot -Tsvg run.dot -o run.svg` gives the paper's figure for
+//    your own run.
+#pragma once
+
+#include <string>
+
+#include "core/oracle.h"
+
+namespace koptlog {
+
+struct TimelineOptions {
+  /// Omit processes with fewer than this many intervals (declutters DOT).
+  size_t min_intervals = 0;
+  /// Cap per-process intervals in the ASCII rendering (0 = no cap).
+  size_t ascii_max_per_process = 24;
+};
+
+/// Legend: each interval prints as M(t,x) with marker M:
+///   '#' stable   '~' undone (rolled back)   '!' lost in a crash
+///   '*' recovery/bookkeeping interval       ' ' live but volatile
+std::string to_ascii(const Oracle& oracle, TimelineOptions opts = {});
+
+std::string to_dot(const Oracle& oracle, TimelineOptions opts = {});
+
+}  // namespace koptlog

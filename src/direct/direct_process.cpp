@@ -1,0 +1,727 @@
+#include "direct/direct_process.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace koptlog {
+
+namespace {
+constexpr const char* kSent = "msgs.sent";
+constexpr const char* kReleased = "msgs.released";
+constexpr const char* kReceived = "msgs.received";
+constexpr const char* kDuplicate = "msgs.duplicate";
+constexpr const char* kDelivered = "msgs.delivered";
+constexpr const char* kDiscardedRecv = "msgs.discarded_orphan_recv";
+constexpr const char* kDiscardedOutput = "outputs.discarded_orphan";
+constexpr const char* kRollbacks = "rollback.count";
+constexpr const char* kUndone = "rollback.undone_intervals";
+constexpr const char* kRestarts = "restart.count";
+constexpr const char* kReplayed = "restart.replayed_msgs";
+constexpr const char* kAnnSent = "announce.sent";
+constexpr const char* kAnnRecv = "announce.received";
+constexpr const char* kPiggyback = "msg.piggyback_bytes";
+}  // namespace
+
+DirectProcess::DirectProcess(ProcessId pid, int n, const ProtocolConfig& cfg,
+                             ClusterApi& api, std::unique_ptr<Application> app)
+    : pid_(pid),
+      n_(n),
+      cfg_(cfg),
+      api_(api),
+      exec_(api.sim()),
+      app_(std::move(app)),
+      storage_(cfg.storage),
+      iet_(n),
+      log_(n),
+      commit_stable_(n) {
+  KOPT_CHECK(pid >= 0 && pid < n);
+  KOPT_CHECK(app_ != nullptr);
+}
+
+Cluster::EngineFactory DirectProcess::factory() {
+  return [](ProcessId pid, const ClusterConfig& cfg, ClusterApi& api,
+            std::unique_ptr<Application> app) -> std::unique_ptr<RecoveryProcess> {
+    return std::make_unique<DirectProcess>(pid, cfg.n, cfg.protocol, api,
+                                           std::move(app));
+  };
+}
+
+void DirectProcess::start_process() {
+  KOPT_CHECK(!alive_);
+  alive_ = true;
+  current_ = Entry{0, 1};
+  segments_ = {{1, 0}};
+  storage_.set_durable_max_inc(0);
+  if (Oracle* orc = oracle())
+    orc->on_process_start(IntervalId{pid_, 0, 1}, app_->state_hash());
+  app_->on_start(*this);
+  do_checkpoint();
+  schedule_timers();
+}
+
+// ---------------------------------------------------------------------------
+// Application context: constant-size piggyback, immediate release
+// ---------------------------------------------------------------------------
+
+void DirectProcess::send(ProcessId to, const AppPayload& payload) {
+  KOPT_CHECK(to >= 0 && to < n_);
+  AppMsg m;
+  m.id = MsgId{pid_, ++send_seq_};
+  m.from = pid_;
+  m.to = to;
+  m.payload = payload;
+  m.tdv = DepVector(0);  // nothing but the sender's interval id travels
+  m.born_of = IntervalId{pid_, current_.inc, current_.sii};
+  m.sent_at = api_.sim().now();
+  api_.stats().inc(kSent);
+  api_.stats().inc(kReleased);
+  api_.stats().sample(kPiggyback,
+                      static_cast<double>(m.wire_bytes(/*null_omission=*/true)));
+  api_.route_app_msg(std::move(m));
+}
+
+void DirectProcess::output(const AppPayload& payload) {
+  PendingCommit pc;
+  pc.rec.id = MsgId{pid_, ++output_seq_};
+  pc.rec.payload = payload;
+  pc.rec.tdv = DepVector(0);
+  pc.rec.born_of = IntervalId{pid_, current_.inc, current_.sii};
+  pc.rec.created_at = api_.sim().now();
+  // A recovery replay may re-emit an output whose pending entry survived.
+  for (const PendingCommit& existing : pending_) {
+    if (existing.rec.id == pc.rec.id) return;
+  }
+  pc.unresolved.insert(pc.rec.born_of);
+  pending_.push_back(std::move(pc));
+}
+
+// ---------------------------------------------------------------------------
+// Delivery
+// ---------------------------------------------------------------------------
+
+void DirectProcess::handle_app_msg(const AppMsg& m) {
+  if (!alive_) return;
+  api_.stats().inc(kReceived);
+  if (delivered_ids_.count(m.id) != 0 || held_ids_.count(m.id) != 0) {
+    api_.stats().inc(kDuplicate);
+    return;
+  }
+  // Direct orphan check: is the *sending* interval known rolled back?
+  // (Transitive orphans are caught by cascading rollback announcements.)
+  if (m.from != kEnvironment && born_of_rolled_back(m.born_of)) {
+    api_.stats().inc(kDiscardedRecv);
+    if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
+    return;
+  }
+  hold_for_delivery(m);
+}
+
+void DirectProcess::hold_for_delivery(const AppMsg& m) {
+  // The conservative window: announcements ride the faster control plane,
+  // so by the time the hold expires, a message from a just-rolled-back
+  // incarnation is recognizably an orphan instead of a cascade seed.
+  if (cfg_.ddt_delivery_hold_us <= 0) {
+    deliver(m);
+    return;
+  }
+  held_ids_.insert(m.id);
+  uint64_t epoch = epoch_;
+  api_.sim().schedule_after(cfg_.ddt_delivery_hold_us, [this, m, epoch] {
+    if (epoch != epoch_ || !alive_) return;
+    held_ids_.erase(m.id);
+    if (delivered_ids_.count(m.id) != 0) return;
+    if (m.from != kEnvironment && born_of_rolled_back(m.born_of)) {
+      api_.stats().inc(kDiscardedRecv);
+      if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
+      return;
+    }
+    exec_.submit([this, m] {
+      if (!alive_ || delivered_ids_.count(m.id) != 0) return;
+      if (m.from != kEnvironment && born_of_rolled_back(m.born_of)) {
+        api_.stats().inc(kDiscardedRecv);
+        if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
+        return;
+      }
+      deliver(m);
+    });
+  });
+}
+
+void DirectProcess::deliver(const AppMsg& m) {
+  exec_.occupy(cfg_.deliver_cost_us);
+  ++current_.sii;
+  delivered_ids_.insert(m.id);
+  IntervalId iv{pid_, current_.inc, current_.sii};
+  storage_.log().append(LogRecord{m, iv});
+  ++deliveries_;
+  api_.stats().inc(kDelivered);
+  if (Oracle* orc = oracle())
+    orc->on_interval_start(iv, m.born_of, app_->state_hash());
+  app_->on_deliver(*this, m.from, m.payload);
+  if (Oracle* orc = oracle())
+    orc->on_interval_finalized(iv, app_->state_hash());
+}
+
+// ---------------------------------------------------------------------------
+// Announcements and rollback cascades
+// ---------------------------------------------------------------------------
+
+void DirectProcess::handle_announcement(const Announcement& a) {
+  if (!alive_) return;
+  auto key = std::make_pair(a.from, a.ended);
+  if (processed_announcements_.count(key) != 0) return;
+  processed_announcements_.insert(key);
+  exec_.occupy(storage_.costs().sync_write_us);
+  ++storage_.sync_writes;
+  api_.stats().inc("storage.sync_writes");
+  storage_.journal_announcement(a);
+  api_.stats().inc(kAnnRecv);
+  iet_.insert(a.from, a.ended);
+  log_.insert(a.from, a.ended);
+  maybe_rollback();
+  commit_tick();
+}
+
+void DirectProcess::maybe_rollback() {
+  const MessageLog& log = storage_.log();
+  for (size_t p = log.base(); p < log.size(); ++p) {
+    const AppMsg& m = log.at(p).msg;
+    if (m.from != kEnvironment && born_of_rolled_back(m.born_of)) {
+      if (getenv("KOPT_DDT_DEBUG")) {
+        fprintf(stderr,
+                "P%d t=%lld rollback: record %s (msg id %d:%llu sent_at=%lld) "
+                "born_of %s flagged\n",
+                pid_, (long long)api_.sim().now(), log.at(p).started.str().c_str(),
+                m.id.src, (unsigned long long)m.id.seq, (long long)m.sent_at,
+                m.born_of.str().c_str());
+      }
+      rollback_to_before(p);
+      return;
+    }
+  }
+}
+
+void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
+  ++rollbacks_;
+  api_.stats().inc(kRollbacks);
+  Incarnation ending_inc = current_.inc;
+
+  size_t nvol = storage_.log().volatile_count();
+  storage_.log().flush_all();
+  storage_.records_flushed += static_cast<int64_t>(nvol);
+  exec_.occupy(storage_.costs().sync_write_us +
+               static_cast<SimTime>(nvol) *
+                   storage_.costs().async_flush_per_msg_us);
+  ++storage_.sync_writes;
+  api_.stats().inc("storage.sync_writes");
+
+  // Restore the latest checkpoint at or before the first orphaned record.
+  auto idx = storage_.checkpoints().latest_where(
+      [&](const Checkpoint& cp) { return cp.log_pos <= first_orphan_pos; });
+  KOPT_CHECK_MSG(idx.has_value(), "no checkpoint before the orphan point");
+  const Checkpoint& cp = storage_.checkpoints().at(*idx);
+  SeqNo send_seq_before = send_seq_;
+  SeqNo output_seq_before = output_seq_;
+  app_->restore(cp.app_state);
+  KOPT_CHECK(app_->state_hash() == cp.app_hash);
+  current_ = cp.at;
+  send_seq_ = cp.send_seq;
+  output_seq_ = cp.output_seq;
+  while (!segments_.empty() && segments_.back().first > current_.sii)
+    segments_.pop_back();
+  KOPT_CHECK(!segments_.empty() && segments_.back().second == current_.inc);
+
+  for (size_t p = cp.log_pos; p < first_orphan_pos; ++p) {
+    const LogRecord& r = storage_.log().at(p);
+    exec_.occupy(cfg_.replay_per_msg_us);
+    current_ = r.started.entry();
+    delivered_ids_.insert(r.msg.id);
+    app_->on_deliver(*this, r.msg.from, r.msg.payload);
+    if (Oracle* orc = oracle())
+      orc->on_interval_replayed(r.started, app_->state_hash());
+    api_.stats().inc(kReplayed);
+  }
+  storage_.checkpoints().discard_after(*idx);
+
+  if (Oracle* orc = oracle()) orc->on_rollback(pid_, current_.sii);
+
+  std::vector<LogRecord> dropped =
+      storage_.log().truncate_from(first_orphan_pos);
+  api_.stats().inc(kUndone, static_cast<int64_t>(dropped.size()));
+  std::vector<AppMsg> redeliver;
+  for (LogRecord& rec : dropped) {
+    delivered_ids_.erase(rec.msg.id);
+    if (rec.msg.from != kEnvironment && born_of_rolled_back(rec.msg.born_of)) {
+      api_.stats().inc(kDiscardedRecv);
+      if (Oracle* orc = oracle()) orc->on_msg_discarded(rec.msg);
+    } else {
+      redeliver.push_back(std::move(rec.msg));
+    }
+  }
+
+  // Pending outputs emitted by undone intervals are gone.
+  std::erase_if(pending_, [&](const PendingCommit& pc) {
+    return pc.rec.born_of.sii > current_.sii;
+  });
+
+  stable_up_to_ = current_.sii;
+  log_.insert(pid_, Entry{ending_inc, current_.sii});
+  if (Oracle* orc = oracle())
+    orc->on_stable_watermark(pid_, Entry{ending_inc, current_.sii},
+                             api_.sim().now());
+
+  // Without transitive tracking every rollback MUST be announced — this is
+  // the cascade that reaches transitive orphans (paper §5's tradeoff).
+  announce(Entry{ending_inc, current_.sii}, /*from_failure=*/false);
+
+  bump_incarnation_durably();
+  ++current_.sii;
+  segments_.emplace_back(current_.sii, current_.inc);
+  if (Oracle* orc = oracle())
+    orc->on_recovery_interval(IntervalId{pid_, current_.inc, current_.sii},
+                              app_->state_hash());
+
+  // New-incarnation sends must not reuse ids the undone era handed out.
+  send_seq_ = std::max(send_seq_, send_seq_before);
+  output_seq_ = std::max(output_seq_, output_seq_before);
+
+  // Redeliveries take the same conservative-hold path as fresh arrivals:
+  // announcements already in flight get to veto them first. This is what
+  // keeps the rollback cascade finite.
+  for (AppMsg& m : redeliver) {
+    delivered_ids_.erase(m.id);
+    hold_for_delivery(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restart
+// ---------------------------------------------------------------------------
+
+void DirectProcess::crash() {
+  KOPT_CHECK(alive_);
+  alive_ = false;
+  ++epoch_;
+  exec_.reset();
+  api_.stats().inc("crash.count");
+  std::vector<LogRecord> lost = storage_.log().lose_volatile();
+  (void)lost;
+  delivered_ids_.clear();
+  held_ids_.clear();
+  processed_announcements_.clear();
+  pending_.clear();
+  iet_.clear();
+  log_.clear();
+  commit_stable_.clear();
+  if (Oracle* orc = oracle()) {
+    Sii surv = storage_.checkpoints().empty()
+                   ? 0
+                   : storage_.checkpoints().latest().at.sii;
+    if (storage_.log().stable_count() > storage_.log().base()) {
+      surv = std::max(
+          surv,
+          storage_.log().at(storage_.log().stable_count() - 1).started.sii);
+    }
+    orc->on_crash(pid_, surv);
+  }
+}
+
+void DirectProcess::rebuild_segments_from_storage() {
+  // The segment list changes only at rollbacks/restarts, and each of those
+  // synchronously journals its own announcement — so the journal replays
+  // the chain's incarnation structure exactly.
+  segments_ = {{1, 0}};
+  for (const Announcement& a : storage_.announcement_journal()) {
+    if (a.from != pid_) continue;
+    segments_.emplace_back(a.ended.sii + 1, a.ended.inc + 1);
+  }
+}
+
+void DirectProcess::restart() {
+  KOPT_CHECK(!alive_);
+  alive_ = true;
+  api_.stats().inc(kRestarts);
+  for (const Announcement& a : storage_.announcement_journal()) {
+    iet_.insert(a.from, a.ended);
+    log_.insert(a.from, a.ended);
+    processed_announcements_.insert({a.from, a.ended});
+  }
+  rebuild_segments_from_storage();
+
+  // Restore the latest checkpoint and replay every stable record.
+  KOPT_CHECK(!storage_.checkpoints().empty());
+  const Checkpoint& cp = storage_.checkpoints().latest();
+  app_->restore(cp.app_state);
+  KOPT_CHECK(app_->state_hash() == cp.app_hash);
+  current_ = cp.at;
+  send_seq_ = cp.send_seq;
+  output_seq_ = cp.output_seq;
+  for (const auto& [inc, sii] : cp.self_watermarks)
+    log_.insert(pid_, Entry{inc, sii});
+  for (size_t p = cp.log_pos; p < storage_.log().size(); ++p) {
+    const LogRecord& r = storage_.log().at(p);
+    KOPT_CHECK_MSG(r.msg.from == kEnvironment ||
+                       !born_of_rolled_back(r.msg.born_of),
+                   "orphan record in stable log at restart");
+    exec_.occupy(cfg_.replay_per_msg_us);
+    current_ = r.started.entry();
+    delivered_ids_.insert(r.msg.id);
+    app_->on_deliver(*this, r.msg.from, r.msg.payload);
+    if (Oracle* orc = oracle())
+      orc->on_interval_replayed(r.started, app_->state_hash());
+    api_.stats().inc(kReplayed);
+  }
+  stable_up_to_ = current_.sii;
+
+  Entry fa{storage_.durable_max_inc(), current_.sii};
+  announce(fa, /*from_failure=*/true);
+  log_.insert(pid_, fa);
+  if (Oracle* orc = oracle())
+    orc->on_stable_watermark(pid_, fa, api_.sim().now());
+
+  bump_incarnation_durably();
+  ++current_.sii;
+  segments_.emplace_back(current_.sii, current_.inc);
+  if (Oracle* orc = oracle())
+    orc->on_recovery_interval(IntervalId{pid_, current_.inc, current_.sii},
+                              app_->state_hash());
+  schedule_timers();
+}
+
+// ---------------------------------------------------------------------------
+// Stability bookkeeping
+// ---------------------------------------------------------------------------
+
+std::optional<Incarnation> DirectProcess::incarnation_at(Sii x) const {
+  if (x > current_.sii || segments_.empty() || x < segments_.front().first)
+    return std::nullopt;
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), x,
+      [](Sii v, const std::pair<Sii, Incarnation>& s) { return v < s.first; });
+  --it;
+  return it->second;
+}
+
+void DirectProcess::note_stable_up_to(Sii x) {
+  if (x <= stable_up_to_) return;
+  stable_up_to_ = x;
+  std::optional<Incarnation> inc = incarnation_at(x);
+  KOPT_CHECK(inc.has_value());
+  log_.insert(pid_, Entry{*inc, x});
+  if (Oracle* orc = oracle())
+    orc->on_stable_watermark(pid_, Entry{*inc, x}, api_.sim().now());
+}
+
+void DirectProcess::do_checkpoint() {
+  size_t nvol = storage_.log().volatile_count();
+  storage_.log().flush_all();
+  storage_.records_flushed += static_cast<int64_t>(nvol);
+  exec_.occupy(storage_.costs().checkpoint_write_us +
+               static_cast<SimTime>(nvol) *
+                   storage_.costs().async_flush_per_msg_us);
+  ++storage_.checkpoints_taken;
+  api_.stats().inc("checkpoint.count");
+  Checkpoint cp;
+  cp.at = current_;
+  cp.tdv = DepVector(n_);
+  cp.log_pos = storage_.log().size();
+  cp.send_seq = send_seq_;
+  cp.output_seq = output_seq_;
+  cp.app_state = app_->snapshot();
+  cp.app_hash = app_->state_hash();
+  cp.self_watermarks = log_.of(pid_).entries();
+  storage_.checkpoints().push(std::move(cp));
+  note_stable_up_to(current_.sii);
+  commit_tick();
+}
+
+void DirectProcess::start_async_flush() {
+  size_t nvol = storage_.log().volatile_count();
+  if (nvol == 0) return;
+  ++storage_.async_flushes;
+  api_.stats().inc("flush.count");
+  size_t upto = storage_.log().size();
+  Entry last = storage_.log().at(upto - 1).started.entry();
+  uint64_t epoch = epoch_;
+  SimTime d = storage_.costs().async_flush_base_us +
+              static_cast<SimTime>(nvol) *
+                  storage_.costs().async_flush_per_msg_us;
+  api_.sim().schedule_after(d, [this, upto, last, epoch] {
+    finish_flush(upto, epoch);
+    (void)last;
+  });
+}
+
+void DirectProcess::finish_flush(size_t upto, uint64_t epoch) {
+  if (epoch != epoch_ || !alive_) return;
+  if (upto > storage_.log().size() || upto <= storage_.log().base()) return;
+  // Truncation since issue voids the flush (same record-identity check as
+  // the main engine, via the started entry's chain membership).
+  Entry last = storage_.log().at(upto - 1).started.entry();
+  std::optional<Incarnation> inc = incarnation_at(last.sii);
+  if (!inc || *inc != last.inc) return;
+  storage_.log().flush_to(upto);
+  note_stable_up_to(last.sii);
+  commit_tick();
+}
+
+void DirectProcess::force_flush() {
+  if (!alive_) return;
+  size_t nvol = storage_.log().volatile_count();
+  if (nvol > 0) {
+    storage_.log().flush_all();
+    storage_.records_flushed += static_cast<int64_t>(nvol);
+    ++storage_.async_flushes;
+    note_stable_up_to(
+        storage_.log().at(storage_.log().size() - 1).started.sii);
+  }
+}
+
+void DirectProcess::broadcast_progress() {
+  if (!alive_) return;
+  LogProgressMsg lp;
+  lp.from = pid_;
+  for (const auto& [inc, sii] : log_.of(pid_).entries())
+    lp.stable.push_back(Entry{inc, sii});
+  if (!lp.stable.empty()) api_.broadcast_log_progress(lp);
+}
+
+void DirectProcess::handle_log_progress(const LogProgressMsg& lp) {
+  if (!alive_) return;
+  for (const Entry& e : lp.stable) log_.insert(lp.from, e);
+}
+
+void DirectProcess::bump_incarnation_durably() {
+  Incarnation next = storage_.durable_max_inc() + 1;
+  exec_.occupy(storage_.costs().sync_write_us);
+  ++storage_.sync_writes;
+  api_.stats().inc("storage.sync_writes");
+  storage_.set_durable_max_inc(next);
+  current_.inc = next;
+}
+
+void DirectProcess::announce(Entry ended, bool from_failure) {
+  Announcement a{pid_, ended, from_failure};
+  exec_.occupy(storage_.costs().sync_write_us);
+  ++storage_.sync_writes;
+  api_.stats().inc("storage.sync_writes");
+  storage_.journal_announcement(a);
+  processed_announcements_.insert({pid_, ended});
+  iet_.insert(pid_, ended);
+  log_.insert(pid_, ended);
+  api_.stats().inc(kAnnSent);
+  api_.broadcast_announcement(a);
+}
+
+// ---------------------------------------------------------------------------
+// Output commit: transitive closure assembly (the §5 tradeoff)
+// ---------------------------------------------------------------------------
+
+DepReply DirectProcess::answer_query(const IntervalId& target) const {
+  DepReply r;
+  r.owner = pid_;
+  r.target = target;
+  if (born_of_rolled_back(target)) {
+    r.status = DepReply::Status::kRolledBack;
+    return r;
+  }
+  std::optional<Incarnation> inc = incarnation_at(target.sii);
+  if (!inc) {
+    r.status = target.inc < current_.inc ? DepReply::Status::kRolledBack
+                                         : DepReply::Status::kUnknown;
+    return r;
+  }
+  if (*inc != target.inc) {
+    r.status = DepReply::Status::kRolledBack;
+    return r;
+  }
+  if (target.sii > stable_up_to_) {
+    r.status = DepReply::Status::kPending;
+    return r;
+  }
+  r.status = DepReply::Status::kStable;
+  // Cross-process direct dependencies of the chain up to the target,
+  // collapsed Johnson-style to the per-process lexicographic maximum: on
+  // one chain, a later interval subsumes every earlier one (its stability
+  // implies theirs, and a rollback that undoes an earlier one undoes it
+  // too), so the closure fixpoint only ever needs the maxima. The log scan
+  // is the assembly cost the paper calls out (§5).
+  std::map<ProcessId, Entry> maxima;
+  const MessageLog& log = storage_.log();
+  for (size_t p = log.base(); p < log.size(); ++p) {
+    const LogRecord& rec = log.at(p);
+    if (rec.started.sii > target.sii) break;
+    const IntervalId& born = rec.msg.born_of;
+    if (born.pid == kEnvironment || born.pid == pid_) continue;
+    if (commit_stable_.of(born.pid).covers(born.entry())) continue;
+    auto [it, inserted] = maxima.try_emplace(born.pid, born.entry());
+    if (!inserted && it->second < born.entry()) it->second = born.entry();
+  }
+  for (const auto& [owner_pid, entry] : maxima)
+    r.deps.push_back(IntervalId{owner_pid, entry.inc, entry.sii});
+  return r;
+}
+
+void DirectProcess::handle_dep_query(const DepQuery& q) {
+  if (!alive_) return;
+  DepReply r = answer_query(q.target);
+  r.query_id = q.query_id;
+  api_.send_dep_reply(q.requester, r);
+}
+
+void DirectProcess::apply_reply(const DepReply& r) {
+  std::vector<size_t> discard;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    PendingCommit& pc = pending_[i];
+    auto it = pc.unresolved.find(r.target);
+    if (it == pc.unresolved.end()) continue;
+    switch (r.status) {
+      case DepReply::Status::kRolledBack:
+        discard.push_back(i);
+        break;
+      case DepReply::Status::kStable:
+        pc.unresolved.erase(it);
+        pc.resolved.insert(r.target);
+        for (const IntervalId& dep : r.deps) {
+          if (commit_stable_.of(dep.pid).covers(dep.entry())) continue;
+          // One chain's later interval subsumes its earlier ones: keep only
+          // the per-process maximum in the working sets.
+          bool subsumed = false;
+          for (const IntervalId& have : pc.resolved) {
+            if (have.pid == dep.pid && !(have.entry() < dep.entry())) {
+              subsumed = true;
+              break;
+            }
+          }
+          if (subsumed) continue;
+          for (auto uit = pc.unresolved.begin();
+               uit != pc.unresolved.end() && !subsumed;) {
+            if (uit->pid == dep.pid) {
+              if (!(uit->entry() < dep.entry())) {
+                subsumed = true;
+                break;
+              }
+              uit = pc.unresolved.erase(uit);  // dep supersedes it
+            } else {
+              ++uit;
+            }
+          }
+          if (!subsumed) pc.unresolved.insert(dep);
+        }
+        break;
+      case DepReply::Status::kPending:
+      case DepReply::Status::kUnknown:
+        break;  // ask again on the next tick
+    }
+  }
+  for (auto it = discard.rbegin(); it != discard.rend(); ++it) {
+    api_.stats().inc(kDiscardedOutput);
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->unresolved.empty()) {
+      try_commit(*it);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DirectProcess::handle_dep_reply(const DepReply& r) {
+  if (!alive_) return;
+  apply_reply(r);
+}
+
+void DirectProcess::try_commit(PendingCommit& pc) {
+  // The whole transitive closure is stable: nothing it depends on can ever
+  // be lost, so the output can never be revoked.
+  for (const IntervalId& iv : pc.resolved)
+    commit_stable_.insert(iv.pid, iv.entry());
+  api_.commit_output(pc.rec);
+}
+
+void DirectProcess::commit_tick() {
+  if (!alive_) return;
+  // Gather the union of unresolved targets across all pending outputs:
+  // each distinct interval is resolved at most once per tick (a reply
+  // applies to every pending output that waits on it).
+  std::set<IntervalId> to_ask;
+  std::vector<size_t> discard;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    PendingCommit& pc = pending_[i];
+    bool doomed = false;
+    for (const IntervalId& target : pc.unresolved) {
+      if (born_of_rolled_back(target)) {
+        doomed = true;
+        break;
+      }
+      to_ask.insert(target);
+    }
+    if (doomed) discard.push_back(i);
+  }
+  for (auto it = discard.rbegin(); it != discard.rend(); ++it) {
+    api_.stats().inc(kDiscardedOutput);
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+  std::vector<DepReply> local;
+  for (const IntervalId& target : to_ask) {
+    if (target.pid == pid_) {
+      local.push_back(answer_query(target));
+    } else {
+      DepQuery q;
+      q.requester = pid_;
+      q.target = target;
+      q.query_id = ++query_seq_;
+      api_.send_dep_query(q);
+    }
+  }
+  for (const DepReply& r : local) apply_reply(r);
+}
+
+// ---------------------------------------------------------------------------
+// Timers, drain
+// ---------------------------------------------------------------------------
+
+void DirectProcess::schedule_timers() {
+  uint64_t epoch = epoch_;
+  auto arm = [this, epoch](SimTime period, auto&& tick, auto&& self_arm) -> void {
+    if (period <= 0) return;
+    api_.sim().schedule_after(period, [this, epoch, period, tick, self_arm] {
+      if (epoch != epoch_ || !alive_ || api_.draining()) return;
+      tick();
+      self_arm(period, tick, self_arm);
+    });
+  };
+  arm(cfg_.flush_interval_us, [this] { start_async_flush(); }, arm);
+  if (!cfg_.coordinated_checkpoints) {
+    arm(cfg_.checkpoint_interval_us,
+        [this] {
+          exec_.submit([this] {
+            if (alive_) do_checkpoint();
+          });
+        },
+        arm);
+  }
+  arm(cfg_.notify_interval_us,
+      [this] {
+        broadcast_progress();
+        commit_tick();
+      },
+      arm);
+}
+
+void DirectProcess::drain_tick() {
+  force_flush();
+  broadcast_progress();
+  commit_tick();
+}
+
+bool DirectProcess::quiescent() const {
+  return pending_.empty() && held_ids_.empty() &&
+         storage_.log().volatile_count() == 0;
+}
+
+}  // namespace koptlog

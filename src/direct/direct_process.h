@@ -1,0 +1,161 @@
+// DirectProcess — the related-work comparison engine of paper §5: direct
+// dependency tracking in the style of Johnson & Zwaenepoel [6,7] and
+// Sistla & Welch [10]. Messages piggyback ONLY the sender's current state
+// interval id (constant size — "in general more scalable"), and the price
+// is paid elsewhere, exactly as the paper says: "at the time of output
+// commit and recovery, the system needs to assemble direct dependencies to
+// obtain transitive dependencies".
+//
+// Concretely, relative to the K-optimistic engine (core/process.*):
+//  * no dependency vector, no deliverability rule: every non-orphan
+//    message is delivered immediately;
+//  * orphan detection is only *direct*: a process rolls back when a logged
+//    delivery's sending interval is announced rolled-back. Transitive
+//    orphans are reached by CASCADING announcements — every rollback must
+//    be announced (Theorem 1 cannot apply without transitive tracking);
+//  * output commit assembles the transitive closure at commit time by
+//    querying each dependency's owner (DepQuery/DepReply on the control
+//    plane): an interval resolves once its owner reports it stable,
+//    handing back the cross-process intervals it in turn depends on.
+//    An output commits when the whole closure has resolved stable.
+//
+// The engine runs under the same Cluster, workloads, failure injector and
+// ground-truth oracle as the main protocol, so bench_e11 can put the §5
+// tradeoff on one table.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/application.h"
+#include "core/cluster.h"
+#include "core/cluster_api.h"
+#include "core/config.h"
+#include "core/interval_table.h"
+#include "core/output.h"
+#include "core/recovery_process.h"
+#include "sim/executor.h"
+#include "storage/stable_storage.h"
+
+namespace koptlog {
+
+class DirectProcess final : public RecoveryProcess, private AppContext {
+ public:
+  DirectProcess(ProcessId pid, int n, const ProtocolConfig& cfg,
+                ClusterApi& api, std::unique_ptr<Application> app);
+
+  void start_process() override;
+  void handle_app_msg(const AppMsg& m) override;
+  void handle_announcement(const Announcement& a) override;
+  void handle_log_progress(const LogProgressMsg& lp) override;
+  void handle_ack(const MsgId&) override {}  // reliable mode not supported
+  void handle_dep_query(const DepQuery& q) override;
+  void handle_dep_reply(const DepReply& r) override;
+  void crash() override;
+  void restart() override;
+  void checkpoint_now() override {
+    if (alive_) do_checkpoint();
+  }
+  void drain_tick() override;
+  bool quiescent() const override;
+  bool alive() const override { return alive_; }
+  ProcessId pid() const override { return pid_; }
+  Executor& executor() override { return exec_; }
+
+  // ---- inspection ----
+  Entry current() const { return current_; }
+  int64_t deliveries() const { return deliveries_; }
+  int64_t rollbacks() const { return rollbacks_; }
+  size_t pending_commits() const { return pending_.size(); }
+  const StableStorage& storage() const { return storage_; }
+
+  /// Cluster engine factory for ClusterConfig-driven construction.
+  static Cluster::EngineFactory factory();
+
+  /// Synchronously flush the volatile log (drain support, tests).
+  void force_flush();
+  /// Broadcast this process's stability watermarks now.
+  void broadcast_progress();
+
+ private:
+  struct PendingCommit {
+    OutputRecord rec;
+    /// Intervals whose stability (and onward deps) are not yet known.
+    std::set<IntervalId> unresolved;
+    std::set<IntervalId> resolved;
+  };
+
+  // AppContext
+  void send(ProcessId to, const AppPayload& payload) override;
+  void send_with_k(ProcessId to, const AppPayload& payload, int) override {
+    send(to, payload);  // direct tracking has no K; everything is optimistic
+  }
+  void output(const AppPayload& payload) override;
+  ProcessId self() const override { return pid_; }
+  int system_size() const override { return n_; }
+
+  void deliver(const AppMsg& m);
+  /// Park an arrival for the conservative hold window, then orphan-check
+  /// and deliver it.
+  void hold_for_delivery(const AppMsg& m);
+  bool born_of_rolled_back(const IntervalId& iv) const {
+    return iet_.of(iv.pid).orphans(iv.entry());
+  }
+
+  /// Which incarnation was live at chain index x (from the segment list);
+  /// nullopt if x is beyond the current chain.
+  std::optional<Incarnation> incarnation_at(Sii x) const;
+  /// Answer a dependency query about one of our intervals.
+  DepReply answer_query(const IntervalId& target) const;
+  void apply_reply(const DepReply& r);
+  /// Issue queries (or resolve locally) for every unresolved target.
+  void commit_tick();
+  void try_commit(PendingCommit& pc);
+
+  void rollback_to_before(size_t first_orphan_pos);
+  void maybe_rollback();  // scan the log against the current IET
+  void rebuild_segments_from_storage();
+  void note_stable_up_to(Sii x);
+  void do_checkpoint();
+  void start_async_flush();
+  void finish_flush(size_t upto, uint64_t epoch);
+  void bump_incarnation_durably();
+  void announce(Entry ended, bool from_failure);
+  void schedule_timers();
+  Oracle* oracle() { return api_.oracle(); }
+
+  const ProcessId pid_;
+  const int n_;
+  const ProtocolConfig cfg_;
+  ClusterApi& api_;
+  Executor exec_;
+  std::unique_ptr<Application> app_;
+  StableStorage storage_;
+
+  bool alive_ = false;
+  Entry current_{0, 1};
+  /// Current chain as (first index, incarnation) segments, oldest first.
+  std::vector<std::pair<Sii, Incarnation>> segments_;
+  Sii stable_up_to_ = 0;
+  IntervalTable iet_;
+  IntervalTable log_;  ///< remote stability knowledge (progress + announcements)
+  /// Intervals whose full transitive closure is known stable (learned from
+  /// successful commits); prunes future assemblies on both ends.
+  IntervalTable commit_stable_;
+  std::set<MsgId> delivered_ids_;
+  std::set<MsgId> held_ids_;  ///< in the conservative hold window
+  std::set<std::pair<ProcessId, Entry>> processed_announcements_;
+  std::vector<PendingCommit> pending_;
+  SeqNo send_seq_ = 0;
+  SeqNo output_seq_ = 0;
+  SeqNo query_seq_ = 0;
+  uint64_t epoch_ = 0;
+
+  int64_t deliveries_ = 0;
+  int64_t rollbacks_ = 0;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,26 @@
+#include "net/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace koptlog {
+
+SimTime LatencyModel::sample(Rng& rng, size_t bytes) const {
+  double t = static_cast<double>(base_us) +
+             per_byte_us * static_cast<double>(bytes);
+  switch (jitter) {
+    case Jitter::kNone:
+      break;
+    case Jitter::kUniform:
+      if (jitter_us > 0)
+        t += static_cast<double>(rng.next_below(static_cast<uint64_t>(jitter_us)));
+      break;
+    case Jitter::kExponential:
+      if (jitter_us > 0)
+        t += rng.next_exponential(static_cast<double>(jitter_us));
+      break;
+  }
+  return std::max<SimTime>(1, static_cast<SimTime>(std::llround(t)));
+}
+
+}  // namespace koptlog

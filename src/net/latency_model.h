@@ -1,0 +1,25 @@
+// Message latency model: fixed propagation delay, per-byte serialization
+// cost, and random jitter. Jitter is what makes channels non-FIFO, which the
+// K-optimistic protocol explicitly tolerates (unlike Strom–Yemini).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace koptlog {
+
+enum class Jitter { kNone, kUniform, kExponential };
+
+struct LatencyModel {
+  SimTime base_us = 100;        ///< propagation delay
+  double per_byte_us = 0.01;    ///< bandwidth term
+  SimTime jitter_us = 200;      ///< jitter scale (range or mean)
+  Jitter jitter = Jitter::kUniform;
+
+  /// Sample the one-way latency for a message of `bytes` bytes.
+  SimTime sample(Rng& rng, size_t bytes) const;
+};
+
+}  // namespace koptlog

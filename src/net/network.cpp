@@ -1,0 +1,20 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+namespace koptlog {
+
+void Network::send(ProcessId from, ProcessId to, size_t bytes,
+                   std::function<void()> deliver) {
+  ++messages_sent_;
+  bytes_sent_ += static_cast<int64_t>(bytes);
+  SimTime arrival = sim_.now() + latency_.sample(rng_, bytes);
+  if (fifo_) {
+    SimTime& last = last_arrival_[{from, to}];
+    arrival = std::max(arrival, last + 1);
+    last = arrival;
+  }
+  sim_.schedule_at(arrival, std::move(deliver));
+}
+
+}  // namespace koptlog

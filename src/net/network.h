@@ -1,0 +1,51 @@
+// Simulated point-to-point network. The network is payload-agnostic: it
+// computes an arrival time for a message of a given size and schedules the
+// caller-supplied delivery action. Ordering per channel is configurable:
+//   - non-FIFO (default): each message samples an independent latency, so
+//     later sends may arrive first — the regime the K-optimistic protocol
+//     is designed for;
+//   - FIFO: arrival times per (from, to) channel are forced monotone — the
+//     regime Strom–Yemini assumes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/latency_model.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace koptlog {
+
+class Network {
+ public:
+  Network(Simulator& sim, Rng rng, LatencyModel latency, bool fifo)
+      : sim_(sim), rng_(rng), latency_(latency), fifo_(fifo) {}
+
+  /// Send `bytes` from `from` to `to`; `deliver` runs at the arrival time.
+  /// Whether the destination is alive is the receiver's business — the
+  /// cluster drops packets addressed to crashed processes at delivery time.
+  void send(ProcessId from, ProcessId to, size_t bytes,
+            std::function<void()> deliver);
+
+  bool fifo() const { return fifo_; }
+  const LatencyModel& latency_model() const { return latency_; }
+
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulator& sim_;
+  Rng rng_;
+  LatencyModel latency_;
+  bool fifo_;
+  int64_t messages_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+  /// Last scheduled arrival per channel, for FIFO mode.
+  std::map<std::pair<ProcessId, ProcessId>, SimTime> last_arrival_;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,42 @@
+#include "sim/executor.h"
+
+#include <utility>
+
+namespace koptlog {
+
+void Executor::submit(Action fn) {
+  KOPT_CHECK(fn != nullptr);
+  queue_.push_back(std::move(fn));
+  if (!pump_scheduled_) schedule_pump();
+}
+
+void Executor::reset() {
+  queue_.clear();
+  busy_until_ = sim_.now();
+  pump_scheduled_ = false;
+  ++epoch_;
+}
+
+void Executor::schedule_pump() {
+  pump_scheduled_ = true;
+  uint64_t epoch = epoch_;
+  sim_.schedule_at(std::max(sim_.now(), busy_until_), [this, epoch] {
+    if (epoch != epoch_) return;  // crashed since scheduling
+    pump();
+  });
+}
+
+void Executor::pump() {
+  pump_scheduled_ = false;
+  if (queue_.empty()) return;
+  if (sim_.now() < busy_until_) {
+    schedule_pump();
+    return;
+  }
+  Action fn = std::move(queue_.front());
+  queue_.pop_front();
+  fn();  // may call occupy() and submit()
+  if (!queue_.empty() && !pump_scheduled_) schedule_pump();
+}
+
+}  // namespace koptlog

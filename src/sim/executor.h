@@ -1,0 +1,52 @@
+// Executor — per-process single-threaded service model. Actions submitted
+// to a process run strictly in submission order; an action may call
+// occupy() to model work (message handling cost, synchronous stable-storage
+// writes), which delays every subsequent action. This is what turns
+// pessimistic logging's synchronous writes into measurable failure-free
+// overhead.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace koptlog {
+
+class Executor {
+ public:
+  using Action = std::function<void()>;
+
+  explicit Executor(Simulator& sim) : sim_(sim) {}
+
+  /// Enqueue an action; it runs when the process is next idle.
+  void submit(Action fn);
+
+  /// Called from inside a running action: the process is busy for `d` more
+  /// simulated microseconds.
+  void occupy(SimTime d) {
+    KOPT_CHECK(d >= 0);
+    busy_until_ = std::max(busy_until_, sim_.now()) + d;
+  }
+
+  /// Drop all queued actions and reset the busy window (process crash).
+  /// Bumps an epoch so that pump events already in the simulator queue
+  /// become no-ops.
+  void reset();
+
+  SimTime busy_until() const { return busy_until_; }
+  bool idle() const { return queue_.empty() && !pump_scheduled_; }
+
+ private:
+  void schedule_pump();
+  void pump();
+
+  Simulator& sim_;
+  std::deque<Action> queue_;
+  SimTime busy_until_ = 0;
+  bool pump_scheduled_ = false;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace koptlog

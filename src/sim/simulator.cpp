@@ -1,0 +1,50 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace koptlog {
+
+SeqNo Simulator::schedule_at(SimTime t, Action fn) {
+  KOPT_CHECK_MSG(t >= now_, "cannot schedule into the past: t=" << t
+                                                                << " now=" << now_);
+  KOPT_CHECK(fn != nullptr);
+  SeqNo seq = next_seq_++;
+  queue_.push(Event{t, seq, std::move(fn)});
+  return seq;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move the action out via const_cast, which
+  // is safe because pop() immediately removes the element.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  KOPT_CHECK(ev.time >= now_);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+size_t Simulator::run(size_t max_events) {
+  stopped_ = false;
+  size_t n = 0;
+  while (!stopped_ && n < max_events && step()) ++n;
+  KOPT_CHECK_MSG(n < max_events, "event budget exhausted — livelock?");
+  return n;
+}
+
+size_t Simulator::run_until(SimTime t_end, size_t max_events) {
+  stopped_ = false;
+  size_t n = 0;
+  while (!stopped_ && n < max_events && !queue_.empty() &&
+         queue_.top().time <= t_end) {
+    step();
+    ++n;
+  }
+  KOPT_CHECK_MSG(n < max_events, "event budget exhausted — livelock?");
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+  return n;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,76 @@
+// Deterministic single-threaded discrete-event simulator. Events fire in
+// (time, insertion-sequence) order, so two runs with the same seed produce
+// byte-identical histories.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace koptlog {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now). Returns the event's
+  /// sequence number (strictly increasing — also the FIFO tie-breaker).
+  SeqNo schedule_at(SimTime t, Action fn);
+
+  /// Schedule `fn` after `delay` (>= 0) simulated microseconds.
+  SeqNo schedule_after(SimTime delay, Action fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  /// Execute the next event; returns false when no events remain.
+  bool step();
+
+  /// Run until the queue drains, `stop()` is called, or `max_events` is hit.
+  /// Returns the number of events executed.
+  size_t run(size_t max_events = kDefaultEventBudget);
+
+  /// Run events with time <= t_end. Afterwards now() == t_end if the run was
+  /// not stopped early.
+  size_t run_until(SimTime t_end, size_t max_events = kDefaultEventBudget);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  size_t events_executed() const { return executed_; }
+
+  static constexpr size_t kDefaultEventBudget = 200'000'000;
+
+ private:
+  struct Event {
+    SimTime time;
+    SeqNo seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  SeqNo next_seq_ = 0;
+  size_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace koptlog

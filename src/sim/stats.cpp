@@ -1,0 +1,55 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+namespace koptlog {
+
+void Histogram::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  double clamped = std::min(std::max(q, 0.0), 1.0);
+  size_t idx = static_cast<size_t>(
+      std::ceil(clamped * static_cast<double>(samples_.size())));
+  if (idx > 0) --idx;
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+void Histogram::clear() {
+  samples_.clear();
+  sorted_ = true;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+int64_t Stats::counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+const Histogram& Stats::histogram(const std::string& name) const {
+  static const Histogram kEmpty;
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? kEmpty : it->second;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,67 @@
+// Metrics primitives used by the cluster and the benchmark harness:
+// named counters and sample histograms with exact quantiles.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace koptlog {
+
+/// Collects samples; quantiles are exact (sorted on demand). Simulation runs
+/// are small enough that storing all samples is fine; a cap guards benches.
+class Histogram {
+ public:
+  explicit Histogram(size_t max_samples = 1u << 22) : max_samples_(max_samples) {}
+
+  void add(double v);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// q in [0,1]; nearest-rank over retained samples.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+
+  void clear();
+
+ private:
+  size_t max_samples_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A string-keyed bag of counters and histograms. Cheap to copy for
+/// before/after diffing in benches.
+class Stats {
+ public:
+  void inc(const std::string& name, int64_t delta = 1) { counters_[name] += delta; }
+  int64_t counter(const std::string& name) const;
+
+  void sample(const std::string& name, double v) { histograms_[name].add(v); }
+  const Histogram& histogram(const std::string& name) const;
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  void clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,24 @@
+#include "storage/checkpoint_store.h"
+
+namespace koptlog {
+
+std::optional<size_t> CheckpointStore::latest_where(
+    const std::function<bool(const Checkpoint&)>& pred) const {
+  for (size_t i = checkpoints_.size(); i-- > 0;) {
+    if (pred(checkpoints_[i])) return i;
+  }
+  return std::nullopt;
+}
+
+void CheckpointStore::discard_after(size_t keep) {
+  KOPT_CHECK(keep < checkpoints_.size());
+  checkpoints_.resize(keep + 1);
+}
+
+void CheckpointStore::discard_before(size_t keep) {
+  KOPT_CHECK(keep < checkpoints_.size());
+  checkpoints_.erase(checkpoints_.begin(),
+                     checkpoints_.begin() + static_cast<ptrdiff_t>(keep));
+}
+
+}  // namespace koptlog

@@ -1,0 +1,65 @@
+// Per-process checkpoint store. A checkpoint captures the application state
+// plus the recovery-layer state that replay needs (current index, dependency
+// vector, send counter, log position). Several checkpoints are retained:
+// Rollback may need to restore an older one when the latest checkpoint is
+// itself orphaned (Figure 3: "Restore the latest checkpoint with tdv such
+// that ...; Discard the checkpoints that follow").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/entry.h"
+#include "core/dep_vector.h"
+
+namespace koptlog {
+
+struct Checkpoint {
+  Entry at;                        ///< current (t,x) when taken
+  DepVector tdv;                   ///< dependency vector when taken
+  size_t log_pos = 0;              ///< message-log length when taken
+  SeqNo send_seq = 0;              ///< deterministic send counter
+  SeqNo output_seq = 0;            ///< deterministic output counter
+  std::vector<uint8_t> app_state;  ///< Application::snapshot()
+  uint64_t app_hash = 0;           ///< Application::state_hash() when taken
+  /// This process's own per-incarnation stable watermarks at checkpoint
+  /// time. Restart rebuilds its stability table from these plus the
+  /// retained log records — needed once garbage collection reclaims the
+  /// old records that would otherwise carry the information.
+  std::map<Incarnation, Sii> self_watermarks;
+};
+
+class CheckpointStore {
+ public:
+  void push(Checkpoint cp) { checkpoints_.push_back(std::move(cp)); }
+
+  size_t size() const { return checkpoints_.size(); }
+  bool empty() const { return checkpoints_.empty(); }
+
+  const Checkpoint& latest() const {
+    KOPT_CHECK(!checkpoints_.empty());
+    return checkpoints_.back();
+  }
+
+  const Checkpoint& at(size_t i) const { return checkpoints_[i]; }
+
+  /// Index of the latest checkpoint satisfying `pred`, if any.
+  std::optional<size_t> latest_where(
+      const std::function<bool(const Checkpoint&)>& pred) const;
+
+  /// Discard the checkpoints after index `keep` (Rollback).
+  void discard_after(size_t keep);
+
+  /// Garbage collection: discard the checkpoints before index `keep`.
+  /// Later indices shift down by `keep`.
+  void discard_before(size_t keep);
+
+ private:
+  std::vector<Checkpoint> checkpoints_;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,34 @@
+#include "storage/message_log.h"
+
+namespace koptlog {
+
+std::vector<LogRecord> MessageLog::lose_volatile() {
+  std::vector<LogRecord> lost(records_.begin() + static_cast<ptrdiff_t>(stable_prefix_),
+                              records_.end());
+  records_.resize(stable_prefix_);
+  return lost;
+}
+
+std::vector<LogRecord> MessageLog::truncate_from(size_t pos) {
+  KOPT_CHECK(pos >= base_ && pos <= size());
+  size_t idx = pos - base_;
+  std::vector<LogRecord> dropped(records_.begin() + static_cast<ptrdiff_t>(idx),
+                                 records_.end());
+  records_.resize(idx);
+  if (stable_prefix_ > idx) stable_prefix_ = idx;
+  return dropped;
+}
+
+size_t MessageLog::discard_prefix(size_t pos) {
+  if (pos <= base_) return 0;
+  KOPT_CHECK_MSG(pos <= stable_count(),
+                 "cannot GC volatile records (pos=" << pos << ", stable="
+                                                    << stable_count() << ")");
+  size_t n = pos - base_;
+  records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(n));
+  stable_prefix_ -= n;
+  base_ = pos;
+  return n;
+}
+
+}  // namespace koptlog

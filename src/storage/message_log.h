@@ -1,0 +1,82 @@
+// Per-process message log: the delivered-message records that, together
+// with checkpoints, make state intervals reconstructable. Records first
+// land in a volatile buffer (optimistic logging) and move to stable storage
+// on flush; a failure loses the volatile suffix, which is precisely what
+// creates orphans.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/entry.h"
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+/// One logged delivery: the full message (content + piggyback, needed to
+/// re-run the deterministic merge during replay) plus the interval the
+/// delivery started.
+struct LogRecord {
+  AppMsg msg;
+  IntervalId started;  ///< (t,x)_i of the interval this delivery began
+};
+
+/// Record positions are *logical*: they keep their value across
+/// garbage collection of the log's prefix (discard_prefix), so checkpoint
+/// log positions never need rewriting.
+class MessageLog {
+ public:
+  /// Append a freshly delivered message to the volatile buffer.
+  void append(LogRecord rec) { records_.push_back(std::move(rec)); }
+
+  /// Move every volatile record to stable storage ("log all the unlogged
+  /// messages"). Returns how many records were flushed.
+  size_t flush_all() {
+    size_t n = records_.size() - stable_prefix_;
+    stable_prefix_ = records_.size();
+    return n;
+  }
+
+  /// Asynchronous-flush completion: records [0, pos) are now stable.
+  void flush_to(size_t pos) {
+    KOPT_CHECK(pos <= size());
+    if (pos > base_) stable_prefix_ = std::max(stable_prefix_, pos - base_);
+  }
+
+  /// One past the last logical position.
+  size_t size() const { return base_ + records_.size(); }
+  /// First retained logical position (grows with garbage collection).
+  size_t base() const { return base_; }
+  size_t stable_count() const { return base_ + stable_prefix_; }
+  size_t volatile_count() const { return records_.size() - stable_prefix_; }
+  size_t retained_count() const { return records_.size(); }
+
+  const LogRecord& at(size_t pos) const {
+    KOPT_CHECK_MSG(pos >= base_ && pos < size(),
+                   "log position " << pos << " outside [" << base_ << ", "
+                                   << size() << ")");
+    return records_[pos - base_];
+  }
+
+  /// Crash: the volatile suffix is lost. Returns the lost records so the
+  /// oracle can mark the corresponding intervals as lost.
+  std::vector<LogRecord> lose_volatile();
+
+  /// Rollback: drop every record at logical position >= pos (both stable
+  /// and — by protocol order, already flushed — volatile ones). Returns the
+  /// dropped records; the caller re-buffers the non-orphans.
+  std::vector<LogRecord> truncate_from(size_t pos);
+
+  /// Garbage collection: reclaim every (stable) record before logical
+  /// position `pos`. Returns how many records were reclaimed.
+  size_t discard_prefix(size_t pos);
+
+ private:
+  std::vector<LogRecord> records_;
+  size_t stable_prefix_ = 0;  ///< physical index into records_
+  size_t base_ = 0;           ///< logical position of records_[0]
+};
+
+}  // namespace koptlog

@@ -1,0 +1,5 @@
+#include "storage/stable_storage.h"
+
+// StableStorage is currently header-only; this translation unit anchors the
+// module and keeps a stable home for future out-of-line definitions.
+namespace koptlog {}

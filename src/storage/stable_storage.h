@@ -1,0 +1,80 @@
+// StableStorage — one per process: the checkpoint store, the message log,
+// the synchronously-logged announcement journal (iet entries survive
+// failures, Figure 3), and the stable-storage cost model that makes
+// pessimistic vs. optimistic failure-free overhead measurable.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "core/protocol_msg.h"
+#include "storage/checkpoint_store.h"
+#include "storage/message_log.h"
+
+namespace koptlog {
+
+/// Cost model for stable-storage operations, in simulated microseconds.
+/// Synchronous writes block the issuing process; asynchronous flushes are
+/// modelled as background DMA and only delay the stability watermark.
+struct StorageCosts {
+  SimTime sync_write_us = 500;       ///< one synchronous record write
+  SimTime async_flush_base_us = 300; ///< latency before a flush batch lands
+  SimTime async_flush_per_msg_us = 5;
+  SimTime checkpoint_write_us = 2000;
+};
+
+class StableStorage {
+ public:
+  explicit StableStorage(StorageCosts costs) : costs_(costs) {}
+
+  MessageLog& log() { return log_; }
+  const MessageLog& log() const { return log_; }
+
+  CheckpointStore& checkpoints() { return checkpoints_; }
+  const CheckpointStore& checkpoints() const { return checkpoints_; }
+
+  /// Synchronously journal an announcement (own failure announcement or a
+  /// received one). The journal survives failures; Restart replays it to
+  /// rebuild the incarnation end table.
+  void journal_announcement(const Announcement& a) { journal_.push_back(a); }
+  const std::vector<Announcement>& announcement_journal() const { return journal_; }
+
+  /// Undone-but-logged messages. A rollback truncates the undone suffix of
+  /// the message log, but those messages were already on stable storage
+  /// (the rollback flushes first) and will be redelivered; parking them
+  /// keeps them crash-safe until the *redelivery* is stable, exactly as if
+  /// they had never left the log. Unparked when the new record is flushed
+  /// or the message turns out to be an orphan.
+  void park(const AppMsg& msg) { parked_[msg.id] = msg; }
+  void unpark(const MsgId& id) { parked_.erase(id); }
+  const std::map<MsgId, AppMsg>& parked() const { return parked_; }
+
+  /// Highest incarnation number ever used by this process, synchronously
+  /// journaled at every increment so a crash can never cause an incarnation
+  /// number to be reused (which would break orphan detection).
+  Incarnation durable_max_inc() const { return durable_max_inc_; }
+  void set_durable_max_inc(Incarnation inc) {
+    KOPT_CHECK(inc >= durable_max_inc_);
+    durable_max_inc_ = inc;
+  }
+
+  const StorageCosts& costs() const { return costs_; }
+
+  /// Accounting for benches.
+  int64_t sync_writes = 0;
+  int64_t async_flushes = 0;
+  int64_t records_flushed = 0;
+  int64_t checkpoints_taken = 0;
+
+ private:
+  StorageCosts costs_;
+  MessageLog log_;
+  CheckpointStore checkpoints_;
+  std::vector<Announcement> journal_;
+  std::map<MsgId, AppMsg> parked_;
+  Incarnation durable_max_inc_ = 0;
+};
+
+}  // namespace koptlog

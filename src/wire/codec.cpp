@@ -1,0 +1,262 @@
+#include "wire/codec.h"
+
+#include "common/check.h"
+
+namespace koptlog::wire {
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+void Encoder::u16(uint16_t v) {
+  out_.push_back(static_cast<uint8_t>(v));
+  out_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Encoder::u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+bool Decoder::take(size_t n) {
+  if (failed_ || pos_ + n > in_.size()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Decoder::u8() {
+  if (!take(1)) return 0;
+  return in_[pos_++];
+}
+
+uint16_t Decoder::u16() {
+  if (!take(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+uint32_t Decoder::u32() {
+  if (!take(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(in_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::u64() {
+  if (!take(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(in_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Application messages
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_vector(Encoder& e, const DepVector& v, bool null_omission) {
+  if (null_omission) {
+    e.u16(static_cast<uint16_t>(v.non_null_count()));
+    for (ProcessId j = 0; j < v.size(); ++j) {
+      if (!v.at(j)) continue;
+      e.u16(static_cast<uint16_t>(j));
+      e.i32(v.at(j)->inc);
+      e.i64(v.at(j)->sii);
+    }
+  } else {
+    // The Strom-Yemini baseline ships the full size-N vector; NULL slots
+    // travel as (-1,-1).
+    e.u16(static_cast<uint16_t>(v.size()));
+    for (ProcessId j = 0; j < v.size(); ++j) {
+      e.u16(static_cast<uint16_t>(j));
+      e.i32(v.at(j) ? v.at(j)->inc : -1);
+      e.i64(v.at(j) ? v.at(j)->sii : -1);
+    }
+  }
+}
+
+bool decode_vector(Decoder& d, DepVector& v, int n) {
+  uint16_t count = d.u16();
+  if (static_cast<int>(count) > n) return false;
+  for (uint16_t i = 0; i < count && !d.failed(); ++i) {
+    uint16_t j = d.u16();
+    int32_t inc = d.i32();
+    int64_t sii = d.i64();
+    if (static_cast<int>(j) >= n) return false;
+    if (inc >= 0) v.set(static_cast<ProcessId>(j), Entry{inc, sii});
+  }
+  return !d.failed();
+}
+
+void encode_payload(Encoder& e, const AppPayload& p) {
+  e.i32(p.kind);
+  e.i64(p.a);
+  e.i64(p.b);
+  e.i64(p.c);
+  e.i32(p.ttl);
+}
+
+AppPayload decode_payload(Decoder& d) {
+  AppPayload p;
+  p.kind = d.i32();
+  p.a = d.i64();
+  p.b = d.i64();
+  p.c = d.i64();
+  p.ttl = d.i32();
+  return p;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_app_msg(const AppMsg& m, bool null_omission) {
+  Encoder e;
+  e.i32(m.from);
+  e.i32(m.to);
+  e.u64(m.id.seq);  // id.src == from
+  e.i32(m.born_of.inc);
+  e.i64(m.born_of.sii);  // born_of.pid == from
+  encode_payload(e, m.payload);
+  encode_vector(e, m.tdv, null_omission);
+  return e.take();
+}
+
+std::optional<AppMsg> decode_app_msg(std::span<const uint8_t> bytes, int n,
+                                     bool null_omission) {
+  (void)null_omission;  // the count-prefixed format decodes either form
+  Decoder d(bytes);
+  AppMsg m;
+  m.from = d.i32();
+  m.to = d.i32();
+  m.id = MsgId{m.from, d.u64()};
+  m.born_of.pid = m.from;
+  m.born_of.inc = d.i32();
+  m.born_of.sii = d.i64();
+  m.payload = decode_payload(d);
+  m.tdv = DepVector(n);
+  if (!decode_vector(d, m.tdv, n)) return std::nullopt;
+  if (!d.done()) return std::nullopt;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Control messages
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> encode_announcement(const Announcement& a) {
+  Encoder e;
+  e.i32(a.from);
+  e.i32(a.ended.inc);
+  e.i64(a.ended.sii);
+  e.u8(a.from_failure ? 1 : 0);
+  return e.take();
+}
+
+std::optional<Announcement> decode_announcement(std::span<const uint8_t> b) {
+  Decoder d(b);
+  Announcement a;
+  a.from = d.i32();
+  a.ended.inc = d.i32();
+  a.ended.sii = d.i64();
+  a.from_failure = d.u8() != 0;
+  if (!d.done()) return std::nullopt;
+  return a;
+}
+
+std::vector<uint8_t> encode_log_progress(const LogProgressMsg& lp) {
+  Encoder e;
+  e.i32(lp.from);
+  e.u16(static_cast<uint16_t>(lp.stable.size()));
+  for (const Entry& en : lp.stable) {
+    e.i32(en.inc);
+    e.i64(en.sii);
+  }
+  return e.take();
+}
+
+std::optional<LogProgressMsg> decode_log_progress(std::span<const uint8_t> b) {
+  Decoder d(b);
+  LogProgressMsg lp;
+  lp.from = d.i32();
+  uint16_t count = d.u16();
+  for (uint16_t i = 0; i < count && !d.failed(); ++i) {
+    Entry en;
+    en.inc = d.i32();
+    en.sii = d.i64();
+    lp.stable.push_back(en);
+  }
+  if (!d.done()) return std::nullopt;
+  return lp;
+}
+
+std::vector<uint8_t> encode_dep_query(const DepQuery& q) {
+  Encoder e;
+  e.i32(q.requester);
+  e.i32(q.target.pid);
+  e.i32(q.target.inc);
+  e.i64(q.target.sii);
+  e.u64(q.query_id);
+  return e.take();
+}
+
+std::optional<DepQuery> decode_dep_query(std::span<const uint8_t> b) {
+  Decoder d(b);
+  DepQuery q;
+  q.requester = d.i32();
+  q.target.pid = d.i32();
+  q.target.inc = d.i32();
+  q.target.sii = d.i64();
+  q.query_id = d.u64();
+  if (!d.done()) return std::nullopt;
+  return q;
+}
+
+std::vector<uint8_t> encode_dep_reply(const DepReply& r) {
+  Encoder e;
+  e.i32(r.owner);
+  e.u64(r.query_id);
+  e.i32(r.target.pid);
+  e.i32(r.target.inc);
+  e.i64(r.target.sii);
+  e.i32(static_cast<int32_t>(r.status));
+  e.u16(static_cast<uint16_t>(r.deps.size()));
+  for (const IntervalId& iv : r.deps) {
+    e.i32(iv.pid);
+    e.i32(iv.inc);
+    e.i64(iv.sii);
+  }
+  return e.take();
+}
+
+std::optional<DepReply> decode_dep_reply(std::span<const uint8_t> b) {
+  Decoder d(b);
+  DepReply r;
+  r.owner = d.i32();
+  r.query_id = d.u64();
+  r.target.pid = d.i32();
+  r.target.inc = d.i32();
+  r.target.sii = d.i64();
+  int32_t status = d.i32();
+  if (status < 0 || status > 3) return std::nullopt;
+  r.status = static_cast<DepReply::Status>(status);
+  uint16_t count = d.u16();
+  for (uint16_t i = 0; i < count && !d.failed(); ++i) {
+    IntervalId iv;
+    iv.pid = d.i32();
+    iv.inc = d.i32();
+    iv.sii = d.i64();
+    r.deps.push_back(iv);
+  }
+  if (!d.done()) return std::nullopt;
+  return r;
+}
+
+}  // namespace koptlog::wire

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+
+namespace koptlog {
+namespace {
+
+ClusterConfig base_config(int n, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.enable_oracle = true;
+  return cfg;
+}
+
+TEST(ClusterSmokeTest, FailureFreeUniformRunDrainsAndVerifies) {
+  ClusterConfig cfg = base_config(4, 1);
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 20, 1000, 50'000, /*ttl=*/6, /*seed=*/7);
+  cluster.run_for(200'000);
+  cluster.drain();
+
+  EXPECT_GT(cluster.stats().counter("msgs.delivered"), 20);
+  EXPECT_EQ(cluster.stats().counter("rollback.count"), 0);
+  Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_EQ(rep.lost, 0u);
+}
+
+TEST(ClusterSmokeTest, SingleFailureRecoversAndVerifies) {
+  ClusterConfig cfg = base_config(4, 2);
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 30, 1000, 100'000, /*ttl=*/8, /*seed=*/9);
+  cluster.fail_at(60'000, 1);
+  cluster.run_for(400'000);
+  cluster.drain();
+
+  EXPECT_EQ(cluster.stats().counter("crash.count"), 1);
+  EXPECT_EQ(cluster.stats().counter("restart.count"), 1);
+  Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(ClusterSmokeTest, PessimisticModeNeverRollsBackPeers) {
+  ClusterConfig cfg = base_config(4, 3);
+  cfg.protocol = ProtocolConfig::pessimistic();
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 30, 1000, 100'000, /*ttl=*/8, /*seed=*/5);
+  cluster.fail_at(50'000, 0);
+  cluster.fail_at(120'000, 2);
+  cluster.run_for(500'000);
+  cluster.drain();
+
+  EXPECT_EQ(cluster.stats().counter("crash.count"), 2);
+  // Pessimistic logging: recovery is fully localized.
+  EXPECT_EQ(cluster.stats().counter("rollback.count"), 0);
+  EXPECT_EQ(cluster.stats().counter("msgs.discarded_orphan_recv"), 0);
+  Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_EQ(rep.lost, 0u);  // nothing volatile existed to lose
+}
+
+TEST(ClusterSmokeTest, OutputsCommitExactlyOnceAcrossFailure) {
+  ClusterConfig cfg = base_config(3, 4);
+  Cluster cluster(cfg, make_client_server_app({}));
+  cluster.start();
+  inject_client_requests(cluster, 25, 1000, 150'000, /*seed=*/11);
+  cluster.fail_at(80'000, 0);
+  cluster.run_for(500'000);
+  cluster.drain();
+
+  // The sink saw each output id at most once.
+  std::set<MsgId> seen;
+  for (const auto& out : cluster.outputs()) {
+    EXPECT_TRUE(seen.insert(out.id).second);
+  }
+  Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(ClusterSmokeTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ClusterConfig cfg = base_config(4, 77);
+    Cluster cluster(cfg, make_uniform_app({}));
+    cluster.start();
+    inject_uniform_load(cluster, 15, 1000, 80'000, 6, 3);
+    cluster.fail_at(40'000, 2);
+    cluster.run_for(300'000);
+    cluster.drain();
+    return std::make_tuple(cluster.stats().counter("msgs.delivered"),
+                           cluster.stats().counter("rollback.count"),
+                           cluster.outputs().size(),
+                           cluster.sim().events_executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace koptlog

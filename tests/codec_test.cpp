@@ -1,0 +1,177 @@
+// Wire codec tests: round-trips for every message type, size equality with
+// the analytic wire_bytes() estimates (so the benches report real encoded
+// sizes), and robustness against truncated/garbage input.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "wire/codec.h"
+
+namespace koptlog {
+namespace {
+
+using namespace wire;
+
+AppMsg sample_msg(int n) {
+  AppMsg m;
+  m.id = MsgId{2, 77};
+  m.from = 2;
+  m.to = 5;
+  m.payload = AppPayload{3, -123456789012345, 42, 9000, 7};
+  m.tdv = DepVector(n);
+  m.tdv.set(0, Entry{1, 3});
+  m.tdv.set(4, Entry{0, 999999});
+  m.born_of = IntervalId{2, 1, 17};
+  return m;
+}
+
+TEST(CodecTest, AppMsgRoundTripNullOmission) {
+  AppMsg m = sample_msg(8);
+  auto bytes = encode_app_msg(m, true);
+  auto back = decode_app_msg(bytes, 8, true);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id, m.id);
+  EXPECT_EQ(back->from, m.from);
+  EXPECT_EQ(back->to, m.to);
+  EXPECT_EQ(back->payload, m.payload);
+  EXPECT_EQ(back->born_of, m.born_of);
+  EXPECT_EQ(back->tdv, m.tdv);
+}
+
+TEST(CodecTest, AppMsgRoundTripFullVector) {
+  AppMsg m = sample_msg(6);
+  auto bytes = encode_app_msg(m, false);
+  auto back = decode_app_msg(bytes, 6, false);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->tdv, m.tdv);  // NULL slots survive the (-1,-1) encoding
+}
+
+TEST(CodecTest, AppMsgEncodedSizeMatchesEstimate) {
+  for (int live = 0; live <= 8; ++live) {
+    AppMsg m = sample_msg(8);
+    m.tdv = DepVector(8);
+    for (int j = 0; j < live; ++j)
+      m.tdv.set(j, Entry{0, static_cast<Sii>(j + 1)});
+    EXPECT_EQ(encode_app_msg(m, true).size(), m.wire_bytes(true))
+        << "live=" << live;
+    EXPECT_EQ(encode_app_msg(m, false).size(), m.wire_bytes(false))
+        << "live=" << live;
+  }
+}
+
+TEST(CodecTest, NullOmissionSavesExactlyTheNullSlots) {
+  AppMsg m = sample_msg(32);
+  size_t omitted = encode_app_msg(m, true).size();
+  size_t full = encode_app_msg(m, false).size();
+  EXPECT_EQ(full - omitted, (32u - 2u) * DepVector::kWireEntryBytes);
+}
+
+TEST(CodecTest, AnnouncementRoundTripAndSize) {
+  Announcement a{3, Entry{2, 456}, true};
+  auto bytes = encode_announcement(a);
+  EXPECT_EQ(bytes.size(), Announcement::kWireBytes);
+  auto back = decode_announcement(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, 3);
+  EXPECT_EQ(back->ended, (Entry{2, 456}));
+  EXPECT_TRUE(back->from_failure);
+}
+
+TEST(CodecTest, LogProgressRoundTripAndSize) {
+  LogProgressMsg lp;
+  lp.from = 1;
+  lp.stable = {Entry{0, 10}, Entry{1, 25}, Entry{2, 26}};
+  auto bytes = encode_log_progress(lp);
+  EXPECT_EQ(bytes.size(), lp.wire_bytes());
+  auto back = decode_log_progress(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, 1);
+  ASSERT_EQ(back->stable.size(), 3u);
+  EXPECT_EQ(back->stable[1], (Entry{1, 25}));
+}
+
+TEST(CodecTest, DepQueryRoundTripAndSize) {
+  DepQuery q{4, IntervalId{2, 1, 99}, 1234};
+  auto bytes = encode_dep_query(q);
+  EXPECT_EQ(bytes.size(), DepQuery::kWireBytes);
+  auto back = decode_dep_query(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->requester, 4);
+  EXPECT_EQ(back->target, (IntervalId{2, 1, 99}));
+  EXPECT_EQ(back->query_id, 1234u);
+}
+
+TEST(CodecTest, DepReplyRoundTripAndSize) {
+  DepReply r;
+  r.owner = 2;
+  r.query_id = 9;
+  r.target = IntervalId{2, 0, 5};
+  r.status = DepReply::Status::kStable;
+  r.deps = {IntervalId{0, 0, 3}, IntervalId{3, 1, 8}};
+  auto bytes = encode_dep_reply(r);
+  EXPECT_EQ(bytes.size(), r.wire_bytes());
+  auto back = decode_dep_reply(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, DepReply::Status::kStable);
+  ASSERT_EQ(back->deps.size(), 2u);
+  EXPECT_EQ(back->deps[1], (IntervalId{3, 1, 8}));
+}
+
+TEST(CodecTest, TruncatedInputFailsCleanly) {
+  AppMsg m = sample_msg(8);
+  auto bytes = encode_app_msg(m, true);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::span<const uint8_t> prefix(bytes.data(), cut);
+    EXPECT_FALSE(decode_app_msg(prefix, 8, true).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, TrailingGarbageIsRejected) {
+  Announcement a{1, Entry{0, 4}, false};
+  auto bytes = encode_announcement(a);
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(decode_announcement(bytes).has_value());
+}
+
+TEST(CodecTest, VectorEntryForOutOfRangeProcessIsRejected) {
+  AppMsg m = sample_msg(8);
+  auto bytes = encode_app_msg(m, true);
+  // Decode claiming a smaller system: entry pid 4 is now out of range.
+  EXPECT_FALSE(decode_app_msg(bytes, 3, true).has_value());
+}
+
+TEST(CodecTest, RandomizedRoundTripSweep) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 200; ++iter) {
+    int n = 1 + static_cast<int>(rng.next_below(32));
+    AppMsg m;
+    m.from = static_cast<ProcessId>(rng.next_below(static_cast<uint64_t>(n)));
+    m.to = static_cast<ProcessId>(rng.next_below(static_cast<uint64_t>(n)));
+    m.id = MsgId{m.from, rng.next_u64() >> 1};
+    m.payload.kind = static_cast<int32_t>(rng.next_below(100));
+    m.payload.a = static_cast<int64_t>(rng.next_u64());
+    m.payload.b = static_cast<int64_t>(rng.next_u64());
+    m.payload.c = static_cast<int64_t>(rng.next_u64());
+    m.payload.ttl = static_cast<int32_t>(rng.next_below(16));
+    m.born_of = IntervalId{m.from, static_cast<Incarnation>(rng.next_below(5)),
+                           static_cast<Sii>(rng.next_below(1000) + 1)};
+    m.tdv = DepVector(n);
+    for (ProcessId j = 0; j < n; ++j) {
+      if (rng.next_bernoulli(0.4)) {
+        m.tdv.set(j, Entry{static_cast<Incarnation>(rng.next_below(4)),
+                           static_cast<Sii>(rng.next_below(100000))});
+      }
+    }
+    bool omission = rng.next_bernoulli(0.5);
+    auto bytes = encode_app_msg(m, omission);
+    EXPECT_EQ(bytes.size(), m.wire_bytes(omission));
+    auto back = decode_app_msg(bytes, n, omission);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->tdv, m.tdv);
+    EXPECT_EQ(back->payload, m.payload);
+    EXPECT_EQ(back->born_of, m.born_of);
+  }
+}
+
+}  // namespace
+}  // namespace koptlog

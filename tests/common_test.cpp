@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "common/entry.h"
+#include "common/rng.h"
+
+namespace koptlog {
+namespace {
+
+TEST(EntryTest, LexicographicOrderOnIncThenSii) {
+  EXPECT_LT((Entry{0, 5}), (Entry{1, 2}));
+  EXPECT_LT((Entry{1, 2}), (Entry{1, 3}));
+  EXPECT_EQ((Entry{2, 7}), (Entry{2, 7}));
+  EXPECT_GT((Entry{3, 1}), (Entry{2, 999}));
+}
+
+TEST(EntryTest, NullIsSmallerThanEverything) {
+  OptEntry null;
+  OptEntry small = Entry{0, 0};
+  EXPECT_TRUE(lex_less(null, small));
+  EXPECT_FALSE(lex_less(small, null));
+  EXPECT_FALSE(lex_less(null, null));
+}
+
+TEST(EntryTest, LexMaxAndMinRespectNull) {
+  OptEntry null;
+  OptEntry a = Entry{1, 4};
+  OptEntry b = Entry{0, 9};
+  EXPECT_EQ(lex_max(null, a), a);
+  EXPECT_EQ(lex_max(a, null), a);
+  EXPECT_EQ(lex_max(a, b), a);
+  EXPECT_EQ(lex_min(a, b), b);
+  EXPECT_EQ(lex_min(null, a), null);
+}
+
+TEST(EntryTest, Formatting) {
+  EXPECT_EQ((Entry{0, 4}).str(), "(0,4)");
+  EXPECT_EQ(to_string(OptEntry{}), "NULL");
+  EXPECT_EQ((IntervalId{3, 2, 6}).str(), "(2,6)_3");
+}
+
+TEST(IntervalIdTest, OrderingAndHash) {
+  IntervalId a{0, 0, 1};
+  IntervalId b{0, 0, 2};
+  IntervalId c{1, 0, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  IntervalIdHash h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_NE(h(a), h(c));
+  EXPECT_EQ(h(a), h(IntervalId{0, 0, 1}));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkIndependentOfParentAdvance) {
+  Rng a(7);
+  Rng child1 = a.fork("net");
+  a.next_u64();  // advancing the parent after forking...
+  Rng a2(7);
+  Rng child2 = a2.fork("net");
+  // ...does not change what an identically-forked child produces.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+}
+
+TEST(RngTest, ForkDiffersByLabel) {
+  Rng a(7);
+  EXPECT_NE(a.fork("x").next_u64(), a.fork("y").next_u64());
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng a(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.next_below(17), 17u);
+    double d = a.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    int64_t r = a.next_range(-3, 3);
+    EXPECT_GE(r, -3);
+    EXPECT_LE(r, 3);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRequestedMean) {
+  Rng a(99);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += a.next_exponential(250.0);
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 250.0, 15.0);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng a(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += a.next_bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(HashTest, Fnv1aStableAndSensitive) {
+  const char d1[] = "abc";
+  const char d2[] = "abd";
+  EXPECT_EQ(fnv1a64(d1, 3), fnv1a64(d1, 3));
+  EXPECT_NE(fnv1a64(d1, 3), fnv1a64(d2, 3));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(CheckTest, ThrowsInvariantViolationWithContext) {
+  try {
+    KOPT_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,106 @@
+// Coordinated checkpointing (paper §2: "each process takes independent or
+// coordinated checkpoints [4]"): the cluster's marker rounds replace the
+// per-process timers; each round's checkpoints form a recovery line.
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+#include "direct/direct_process.h"
+
+namespace koptlog {
+namespace {
+
+TEST(CoordinatedCheckpoints, RoundsDriveEveryProcess) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 101;
+  cfg.enable_oracle = true;
+  cfg.protocol.coordinated_checkpoints = true;
+  cfg.protocol.checkpoint_interval_us = 50'000;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 30, 1'000, 300'000, 6, 103);
+  cluster.run_for(400'000);
+  cluster.drain();
+  int64_t rounds = cluster.stats().counter("checkpoint.rounds");
+  EXPECT_GE(rounds, 7);
+  // Every alive process checkpointed once per round (plus its initial
+  // checkpoint at start).
+  EXPECT_EQ(cluster.stats().counter("checkpoint.count"), cfg.n * (rounds + 1));
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(CoordinatedCheckpoints, RecoveryLineSkewIsOneControlLatency) {
+  // With coordinated rounds, the per-round checkpoints land within the
+  // control plane's latency spread of each other.
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 102;
+  cfg.enable_oracle = false;
+  cfg.protocol.coordinated_checkpoints = true;
+  cfg.protocol.checkpoint_interval_us = 60'000;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 20, 1'000, 200'000, 6, 105);
+  cluster.run_for(65'000);  // exactly one round has fired
+  SimTime max_skew = cfg.control_latency.base_us + cfg.control_latency.jitter_us;
+  for (ProcessId pid = 0; pid < cfg.n; ++pid) {
+    // initial + the round's checkpoint:
+    EXPECT_EQ(cluster.process(pid).storage().checkpoints_taken, 2)
+        << "P" << pid << " within skew window " << max_skew;
+  }
+}
+
+TEST(CoordinatedCheckpoints, SurvivesFailuresAndVerifies) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.seed = 103;
+  cfg.enable_oracle = true;
+  cfg.protocol.coordinated_checkpoints = true;
+  cfg.protocol.checkpoint_interval_us = 40'000;
+  Cluster cluster(cfg, make_client_server_app({}));
+  cluster.start();
+  inject_client_requests(cluster, 50, 1'000, 300'000, 107);
+  cluster.fail_at(100'000, 1);
+  cluster.fail_at(220'000, 3);
+  cluster.run_for(900'000);
+  cluster.drain();
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_GT(cluster.stats().counter("gc.records_reclaimed"), 0);
+}
+
+TEST(CoordinatedCheckpoints, WorksWithTheDirectEngine) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 104;
+  cfg.enable_oracle = true;
+  cfg.protocol.coordinated_checkpoints = true;
+  Cluster cluster(cfg, make_uniform_app({}), DirectProcess::factory());
+  cluster.start();
+  inject_uniform_load(cluster, 30, 1'000, 200'000, 6, 109);
+  cluster.fail_at(90'000, 2);
+  cluster.run_for(800'000);
+  cluster.drain();
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(CoordinatedCheckpoints, IndependentModeUnchanged) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 105;
+  cfg.enable_oracle = false;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 10, 1'000, 100'000, 5, 111);
+  cluster.run_for(300'000);
+  cluster.drain();
+  EXPECT_EQ(cluster.stats().counter("checkpoint.rounds"), 0);
+  EXPECT_GT(cluster.stats().counter("checkpoint.count"), 3);
+}
+
+}  // namespace
+}  // namespace koptlog

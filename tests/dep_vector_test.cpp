@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/dep_vector.h"
+
+namespace koptlog {
+namespace {
+
+TEST(DepVectorTest, StartsAllNull) {
+  DepVector v(4);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_EQ(v.non_null_count(), 0);
+  EXPECT_TRUE(v.all_null());
+}
+
+TEST(DepVectorTest, SetClearCount) {
+  DepVector v(3);
+  v.set(1, Entry{0, 4});
+  v.set(2, Entry{2, 6});
+  EXPECT_EQ(v.non_null_count(), 2);
+  EXPECT_FALSE(v.all_null());
+  v.clear(1);
+  EXPECT_EQ(v.non_null_count(), 1);
+  EXPECT_FALSE(v.at(1).has_value());
+  ASSERT_TRUE(v.at(2).has_value());
+  EXPECT_EQ(*v.at(2), (Entry{2, 6}));
+}
+
+TEST(DepVectorTest, MergeMaxIsEntrywiseLexMax) {
+  DepVector a(4), b(4);
+  a.set(0, Entry{1, 3});
+  a.set(1, Entry{0, 4});
+  b.set(1, Entry{1, 5});  // newer incarnation wins
+  b.set(2, Entry{0, 2});
+  a.merge_max(b);
+  EXPECT_EQ(*a.at(0), (Entry{1, 3}));  // kept: b had NULL
+  EXPECT_EQ(*a.at(1), (Entry{1, 5}));  // overwritten by lex max
+  EXPECT_EQ(*a.at(2), (Entry{0, 2}));  // acquired
+  EXPECT_FALSE(a.at(3).has_value());
+}
+
+TEST(DepVectorTest, MergeMaxSameIncarnationKeepsLargerIndex) {
+  DepVector a(2), b(2);
+  a.set(0, Entry{2, 6});
+  b.set(0, Entry{2, 9});
+  a.merge_max(b);
+  EXPECT_EQ(*a.at(0), (Entry{2, 9}));
+}
+
+TEST(DepVectorTest, MergeSizeMismatchThrows) {
+  DepVector a(2), b(3);
+  EXPECT_THROW(a.merge_max(b), InvariantViolation);
+}
+
+TEST(DepVectorTest, WireBytesOmitNulls) {
+  DepVector v(8);
+  EXPECT_EQ(v.wire_bytes(), DepVector::kWireHeaderBytes);
+  v.set(3, Entry{0, 1});
+  v.set(5, Entry{1, 2});
+  EXPECT_EQ(v.wire_bytes(),
+            DepVector::kWireHeaderBytes + 2 * DepVector::kWireEntryBytes);
+  EXPECT_EQ(v.wire_bytes_full(),
+            DepVector::kWireHeaderBytes + 8 * DepVector::kWireEntryBytes);
+}
+
+TEST(DepVectorTest, EqualityAndFormatting) {
+  DepVector a(3), b(3);
+  a.set(1, Entry{0, 4});
+  EXPECT_NE(a, b);
+  b.set(1, Entry{0, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.str(), "{(0,4)_1}");
+  EXPECT_EQ(DepVector(2).str(), "{}");
+}
+
+// The Figure 1 example, §2: P4's dependency after delivering m2 and m6 in
+// the fully-asynchronous single-entry-per-process scheme.
+TEST(DepVectorTest, Figure1MergeAtP4) {
+  // After m2: {(1,3)_0, (0,4)_1, (2,6)_3, (0,2)_4}
+  DepVector p4(6);
+  p4.set(0, Entry{1, 3});
+  p4.set(1, Entry{0, 4});
+  p4.set(3, Entry{2, 6});
+  p4.set(4, Entry{0, 2});
+  // m6 carries {(1,5)_1, (0,3)_2}; with the Strom–Yemini coupling the P1
+  // entry is overwritten by the lexicographic max once (0,4)_1 is stable.
+  DepVector m6(6);
+  m6.set(1, Entry{1, 5});
+  m6.set(2, Entry{0, 3});
+  p4.merge_max(m6);
+  p4.set(4, Entry{0, 3});  // delivering m6 starts interval (0,3)_4
+  EXPECT_EQ(*p4.at(0), (Entry{1, 3}));
+  EXPECT_EQ(*p4.at(1), (Entry{1, 5}));
+  EXPECT_EQ(*p4.at(2), (Entry{0, 3}));
+  EXPECT_EQ(*p4.at(3), (Entry{2, 6}));
+  EXPECT_EQ(*p4.at(4), (Entry{0, 3}));
+  EXPECT_EQ(p4.non_null_count(), 5);
+}
+
+}  // namespace
+}  // namespace koptlog

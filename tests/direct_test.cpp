@@ -1,0 +1,215 @@
+// Tests for the direct-dependency-tracking engine (paper §5's comparison
+// point): constant-size piggybacks, immediate delivery, cascading rollback
+// announcements, and commit-time transitive-closure assembly.
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "direct/direct_process.h"
+#include "test_harness.h"
+
+namespace koptlog {
+namespace {
+
+std::unique_ptr<DirectProcess> make_direct(TestHarness& h, ProcessId pid,
+                                           int n) {
+  ProtocolConfig cfg;
+  cfg.deliver_cost_us = 0;
+  cfg.replay_per_msg_us = 0;
+  cfg.ddt_delivery_hold_us = 0;  // manual stepping: deliver synchronously
+  cfg.storage.sync_write_us = 0;
+  cfg.storage.checkpoint_write_us = 0;
+  cfg.storage.async_flush_per_msg_us = 0;
+  return std::make_unique<DirectProcess>(pid, n, cfg, h,
+                                         std::make_unique<ScriptedApp>());
+}
+
+TEST(DirectEngine, MessagesCarryOnlyTheSenderInterval) {
+  TestHarness h(4);
+  auto p = make_direct(h, 0, 4);
+  p->start_process();
+  AppPayload cmd;
+  cmd.kind = ScriptedApp::kSendCmd;
+  cmd.a = 1;
+  p->handle_app_msg(h.env_msg(0, cmd));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].tdv.size(), 0);  // no vector at all
+  EXPECT_EQ(h.sent[0].born_of, (IntervalId{0, 0, 2}));
+}
+
+TEST(DirectEngine, DeliversImmediatelyAcrossIncarnations) {
+  TestHarness h(3);
+  auto p = make_direct(h, 2, 3);
+  p->start_process();
+  // Even a message from a new incarnation of P1 is delivered at once —
+  // direct tracking has no deliverability rule to wait on.
+  AppMsg m = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  m.from = 1;
+  m.id = MsgId{1, 1};
+  m.born_of = IntervalId{1, 3, 9};
+  p->handle_app_msg(m);
+  EXPECT_EQ(p->deliveries(), 1);
+}
+
+TEST(DirectEngine, DirectOrphansAreDiscarded) {
+  TestHarness h(3);
+  auto p = make_direct(h, 2, 3);
+  p->start_process();
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  AppMsg m = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  m.from = 1;
+  m.id = MsgId{1, 7};
+  m.born_of = IntervalId{1, 0, 6};  // rolled back
+  p->handle_app_msg(m);
+  EXPECT_EQ(p->deliveries(), 0);
+  EXPECT_EQ(h.stats().counter("msgs.discarded_orphan_recv"), 1);
+}
+
+TEST(DirectEngine, RollbackCascadesViaAnnouncement) {
+  TestHarness h(3);
+  auto p = make_direct(h, 2, 3);
+  p->start_process();
+  // Deliver a message sent from P1's interval (0,6).
+  AppMsg m = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  m.from = 1;
+  m.id = MsgId{1, 1};
+  m.born_of = IntervalId{1, 0, 6};
+  p->handle_app_msg(m);
+  h.tick(*p);
+  EXPECT_EQ(p->current(), (Entry{0, 3}));
+  // P1 fails back to (0,4): our (0,2) delivery is a direct orphan.
+  size_t before = h.announcements.size();
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p->rollbacks(), 1);
+  // Unlike the Theorem-1 engine, the non-failed rollback IS announced —
+  // that is the cascade that reaches transitive orphans.
+  ASSERT_EQ(h.announcements.size(), before + 1);
+  EXPECT_EQ(h.announcements.back().from, 2);
+  EXPECT_FALSE(h.announcements.back().from_failure);
+  // The innocent filler was redelivered in incarnation 1.
+  EXPECT_EQ(p->current(), (Entry{1, 3}));
+}
+
+TEST(DirectEngine, AnswerQueryLifecycle) {
+  TestHarness h(3);
+  auto p = make_direct(h, 0, 3);
+  p->start_process();
+  h.tick(*p);  // (0,2), volatile
+  // Pending: exists but not stable.
+  p->handle_dep_query(DepQuery{2, IntervalId{0, 0, 2}, 1});
+  ASSERT_EQ(h.replies.size(), 1u);
+  EXPECT_EQ(h.replies[0].second.status, DepReply::Status::kPending);
+  // Stable after a flush.
+  p->force_flush();
+  p->handle_dep_query(DepQuery{2, IntervalId{0, 0, 2}, 2});
+  ASSERT_EQ(h.replies.size(), 2u);
+  EXPECT_EQ(h.replies[1].second.status, DepReply::Status::kStable);
+  // Unknown: an interval we have not reached yet.
+  p->handle_dep_query(DepQuery{2, IntervalId{0, 0, 9}, 3});
+  EXPECT_EQ(h.replies[2].second.status, DepReply::Status::kUnknown);
+}
+
+TEST(DirectEngine, StableReplyListsCrossProcessDeps) {
+  TestHarness h(3);
+  auto p = make_direct(h, 0, 3);
+  p->start_process();
+  AppMsg m = h.env_msg(0, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  m.from = 1;
+  m.id = MsgId{1, 5};
+  m.born_of = IntervalId{1, 0, 7};
+  p->handle_app_msg(m);  // (0,2) directly depends on (0,7)_1
+  p->force_flush();
+  p->handle_dep_query(DepQuery{2, IntervalId{0, 0, 2}, 1});
+  ASSERT_EQ(h.replies.size(), 1u);
+  const DepReply& r = h.replies[0].second;
+  EXPECT_EQ(r.status, DepReply::Status::kStable);
+  ASSERT_EQ(r.deps.size(), 1u);
+  EXPECT_EQ(r.deps[0], (IntervalId{1, 0, 7}));
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level: the engine plugs into the same harness as the main one.
+// ---------------------------------------------------------------------------
+
+Cluster make_direct_cluster(ClusterConfig cfg, Cluster::AppFactory app) {
+  return Cluster(cfg, app, DirectProcess::factory());
+}
+
+TEST(DirectEngine, FailureFreeClusterRunVerifies) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 91;
+  cfg.enable_oracle = true;
+  Cluster cluster = make_direct_cluster(cfg, make_client_server_app({}));
+  cluster.start();
+  inject_client_requests(cluster, 30, 1'000, 150'000, 93);
+  cluster.run_for(600'000);
+  cluster.drain();
+  EXPECT_GT(cluster.outputs().size(), 0u);
+  // Assembly traffic happened.
+  EXPECT_GT(cluster.stats().counter("ddt.queries"), 0);
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(DirectEngine, FailuresRecoverAndVerify) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.seed = 92;
+  cfg.enable_oracle = true;
+  Cluster cluster = make_direct_cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 40, 1'000, 200'000, 7, 95);
+  cluster.fail_at(60'000, 1);
+  cluster.fail_at(140'000, 3);
+  cluster.run_for(900'000);
+  cluster.drain();
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(DirectEngine, CascadeAnnouncesMoreThanFailures) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.seed = 93;
+  cfg.enable_oracle = true;
+  // Slow logging widens the orphan window so failures actually cascade.
+  cfg.protocol.flush_interval_us = 50'000;
+  cfg.protocol.notify_interval_us = 60'000;
+  cfg.protocol.checkpoint_interval_us = 400'000;
+  Cluster cluster = make_direct_cluster(cfg, make_pipeline_app({}));
+  cluster.start();
+  inject_pipeline_load(cluster, 40, 1'000, 150'000);
+  cluster.fail_at(100'000, 1);
+  cluster.run_for(900'000);
+  cluster.drain();
+  if (cluster.stats().counter("rollback.count") > 0) {
+    // Every rollback was announced (cascade), so announcements exceed the
+    // single failure announcement.
+    EXPECT_GT(cluster.stats().counter("announce.sent"), 1);
+  }
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(DirectEngine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    ClusterConfig cfg;
+    cfg.n = 4;
+    cfg.seed = 94;
+    cfg.enable_oracle = false;
+    Cluster cluster = make_direct_cluster(cfg, make_uniform_app({}));
+    cluster.start();
+    inject_uniform_load(cluster, 20, 1'000, 100'000, 6, 97);
+    cluster.fail_at(50'000, 2);
+    cluster.run_for(500'000);
+    cluster.drain();
+    return std::make_tuple(cluster.stats().counter("msgs.delivered"),
+                           cluster.outputs().size(),
+                           cluster.sim().events_executed());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/executor.h"
+#include "sim/simulator.h"
+
+namespace koptlog {
+namespace {
+
+TEST(ExecutorTest, RunsActionsInSubmissionOrder) {
+  Simulator sim;
+  Executor ex(sim);
+  std::vector<int> order;
+  ex.submit([&] { order.push_back(1); });
+  ex.submit([&] { order.push_back(2); });
+  ex.submit([&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ExecutorTest, OccupyDelaysSubsequentActions) {
+  Simulator sim;
+  Executor ex(sim);
+  SimTime t1 = -1, t2 = -1, t3 = -1;
+  ex.submit([&] {
+    t1 = sim.now();
+    ex.occupy(100);
+  });
+  ex.submit([&] {
+    t2 = sim.now();
+    ex.occupy(50);
+  });
+  ex.submit([&] { t3 = sim.now(); });
+  sim.run();
+  EXPECT_EQ(t1, 0);
+  EXPECT_EQ(t2, 100);
+  EXPECT_EQ(t3, 150);
+}
+
+TEST(ExecutorTest, ActionsSubmittedWhileBusyWaitForBusyWindow) {
+  Simulator sim;
+  Executor ex(sim);
+  SimTime t2 = -1;
+  ex.submit([&] { ex.occupy(200); });
+  sim.schedule_at(50, [&] { ex.submit([&] { t2 = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(t2, 200);
+}
+
+TEST(ExecutorTest, IdleExecutorRunsImmediately) {
+  Simulator sim;
+  Executor ex(sim);
+  SimTime t = -1;
+  sim.schedule_at(500, [&] { ex.submit([&] { t = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(t, 500);
+}
+
+TEST(ExecutorTest, ResetDropsQueuedActions) {
+  Simulator sim;
+  Executor ex(sim);
+  int ran = 0;
+  ex.submit([&] {
+    ++ran;
+    ex.occupy(100);
+  });
+  ex.submit([&] { ++ran; });  // will be dropped by reset below
+  sim.schedule_at(10, [&] { ex.reset(); });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ExecutorTest, UsableAgainAfterReset) {
+  Simulator sim;
+  Executor ex(sim);
+  int ran = 0;
+  ex.submit([&] { ex.occupy(1000); });
+  sim.schedule_at(1, [&] {
+    ex.reset();
+    ex.submit([&] { ++ran; });
+  });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  // The busy window was cleared by reset, so the action ran at reset time.
+  EXPECT_EQ(sim.now(), 1);
+}
+
+TEST(ExecutorTest, ActionsMaySubmitMoreActions) {
+  Simulator sim;
+  Executor ex(sim);
+  std::vector<int> order;
+  ex.submit([&] {
+    order.push_back(1);
+    ex.submit([&] { order.push_back(3); });
+    ex.occupy(10);
+    order.push_back(2);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(ExecutorTest, IdleReflectsQueueState) {
+  Simulator sim;
+  Executor ex(sim);
+  EXPECT_TRUE(ex.idle());
+  ex.submit([] {});
+  EXPECT_FALSE(ex.idle());
+  sim.run();
+  EXPECT_TRUE(ex.idle());
+}
+
+}  // namespace
+}  // namespace koptlog

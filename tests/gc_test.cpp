@@ -1,0 +1,148 @@
+// Garbage collection tests (paper §2: logging progress enables "output
+// commit and garbage collection"). The GC rule is Theorem 2 turned around:
+// a checkpoint with no live (non-stable) dependency entries can never be
+// orphaned, so nothing older than the newest such checkpoint is ever needed
+// by rollback or restart.
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "test_harness.h"
+
+namespace koptlog {
+namespace {
+
+TEST(GarbageCollection, ReclaimsRecordsAndCheckpointsWhenSafe) {
+  TestHarness h(2);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  for (int i = 0; i < 5; ++i) h.tick(*p);
+  EXPECT_EQ(p->storage().log().retained_count(), 5u);
+  // Checkpoint: everything local is stable, the vector is empty -> the new
+  // checkpoint is the GC pivot and the old records/checkpoints go away.
+  p->checkpoint_now();
+  EXPECT_EQ(p->storage().log().retained_count(), 0u);
+  EXPECT_EQ(p->storage().log().base(), 5u);
+  EXPECT_EQ(p->storage().checkpoints().size(), 1u);
+  EXPECT_EQ(h.stats().counter("gc.records_reclaimed"), 5);
+  EXPECT_EQ(h.stats().counter("gc.checkpoints_reclaimed"), 1);
+}
+
+TEST(GarbageCollection, CheckpointWithLiveRemoteDependencyIsNotAPivot) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  // Acquire a dependency on a remote interval that is NOT known stable.
+  AppMsg dep = h.env_msg(0, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 5});
+  dep.born_of = IntervalId{1, 0, 5};
+  p->handle_app_msg(dep);
+  p->checkpoint_now();
+  // The new checkpoint could still be orphaned by P1's failure: it must be
+  // restorable *from the older checkpoint*, so nothing is reclaimed past
+  // the initial one.
+  EXPECT_EQ(p->storage().checkpoints().size(), 2u);
+  EXPECT_EQ(p->storage().log().retained_count(), 1u);
+  // Once P1 certifies (0,5) stable, the next checkpoint can collect.
+  LogProgressMsg lp;
+  lp.from = 1;
+  lp.stable = {Entry{0, 5}};
+  p->handle_log_progress(lp);
+  h.tick(*p);
+  p->checkpoint_now();
+  EXPECT_EQ(p->storage().checkpoints().size(), 1u);
+  EXPECT_EQ(p->storage().log().retained_count(), 0u);
+}
+
+TEST(GarbageCollection, RollbackAfterGcRestoresThePivot) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  h.tick(*p);
+  p->checkpoint_now();  // pivot at (0,2); earlier state reclaimed
+  ASSERT_EQ(p->storage().checkpoints().size(), 1u);
+  // Now pick up an orphan-to-be dependency and roll back.
+  AppMsg dep = h.env_msg(0, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 9});
+  dep.born_of = IntervalId{1, 0, 9};
+  p->handle_app_msg(dep);
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p->rollbacks(), 1);
+  EXPECT_EQ(p->current(), (Entry{1, 3}));  // restored (0,2), new incarnation
+}
+
+TEST(GarbageCollection, RestartAfterGcReplaysOnlyRetainedRecords) {
+  TestHarness h(2);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  for (int i = 0; i < 4; ++i) h.tick(*p);
+  p->checkpoint_now();  // reclaims the 4 records
+  h.tick(*p);           // (0,6), volatile
+  p->force_flush();
+  h.tick(*p);  // (0,7), volatile -> lost in the crash
+  p->crash();
+  p->restart();
+  // Replays exactly the one retained stable record; recovered to (0,6).
+  EXPECT_EQ(h.stats().counter("restart.replayed_msgs"), 1);
+  ASSERT_FALSE(h.announcements.empty());
+  EXPECT_EQ(h.announcements.back().ended, (Entry{0, 6}));
+}
+
+TEST(GarbageCollection, SelfWatermarksSurviveGcAndCrash) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  // Build incarnation 1 via a rollback, then checkpoint + GC repeatedly.
+  AppMsg dep = h.env_msg(0, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 9});
+  dep.born_of = IntervalId{1, 0, 9};
+  p->handle_app_msg(dep);
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  ASSERT_EQ(p->current().inc, 1);
+  h.tick(*p);
+  p->checkpoint_now();
+  h.tick(*p);
+  p->checkpoint_now();  // GC reclaims incarnation-0-era state
+  p->crash();
+  p->restart();
+  // Despite GC + crash, the restart still knows incarnation 0's stable
+  // watermark (carried by the checkpoint's self_watermarks), so remote
+  // dependencies on old incarnations can still be certified.
+  EXPECT_TRUE(p->log_table().of(0).covers(Entry{0, 1}));
+}
+
+TEST(GarbageCollection, DisabledKeepsEverything) {
+  TestHarness h(2);
+  ProtocolConfig cfg;
+  cfg.garbage_collect = false;
+  auto p = h.make_process(0, cfg);
+  p->start();
+  for (int i = 0; i < 5; ++i) h.tick(*p);
+  p->checkpoint_now();
+  EXPECT_EQ(p->storage().log().retained_count(), 5u);
+  EXPECT_EQ(p->storage().checkpoints().size(), 2u);
+}
+
+TEST(GarbageCollection, BoundsStorageInLongClusterRuns) {
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 81;
+  cfg.protocol.checkpoint_interval_us = 40'000;
+  cfg.enable_oracle = true;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 120, 1'000, 800'000, 7, 83);
+  cluster.fail_at(300'000, 1);
+  cluster.run_for(2'000'000);
+  cluster.drain();
+  EXPECT_GT(cluster.stats().counter("gc.records_reclaimed"), 0);
+  // The retained log stays far below the total ever delivered.
+  double max_retained = cluster.stats().histogram("storage.log_retained").max();
+  EXPECT_LT(max_retained,
+            static_cast<double>(cluster.stats().counter("msgs.delivered")) / 2);
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+}  // namespace
+}  // namespace koptlog

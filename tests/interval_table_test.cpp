@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/interval_table.h"
+
+namespace koptlog {
+namespace {
+
+TEST(EntrySetTest, InsertKeepsMaxPerIncarnation) {
+  // Figure 3's Insert(se, (t,x')) routine.
+  EntrySet se;
+  se.insert(Entry{0, 4});
+  se.insert(Entry{0, 2});
+  se.insert(Entry{0, 7});
+  se.insert(Entry{1, 3});
+  EXPECT_EQ(se.size(), 2u);
+  EXPECT_EQ(se.index_of(0), 7);
+  EXPECT_EQ(se.index_of(1), 3);
+  EXPECT_FALSE(se.index_of(2).has_value());
+}
+
+TEST(EntrySetTest, CoversIsPerIncarnation) {
+  EntrySet se;
+  se.insert(Entry{1, 5});
+  EXPECT_TRUE(se.covers(Entry{1, 5}));
+  EXPECT_TRUE(se.covers(Entry{1, 3}));
+  EXPECT_FALSE(se.covers(Entry{1, 6}));
+  // A watermark for incarnation 1 says nothing about incarnation 0.
+  EXPECT_FALSE(se.covers(Entry{0, 2}));
+}
+
+TEST(EntrySetTest, OrphansDetectsRolledBackDependencies) {
+  // iet entry (t, x0): every interval (s, x) with s <= t and x > x0 was
+  // rolled back.
+  EntrySet iet;
+  iet.insert(Entry{0, 4});  // incarnation 0 ended at index 4
+  EXPECT_TRUE(iet.orphans(Entry{0, 5}));
+  EXPECT_FALSE(iet.orphans(Entry{0, 4}));
+  EXPECT_FALSE(iet.orphans(Entry{0, 1}));
+  // A dependency on a *newer* incarnation is untouched by this entry.
+  EXPECT_FALSE(iet.orphans(Entry{1, 9}));
+}
+
+TEST(EntrySetTest, OrphansAcrossIncarnations) {
+  EntrySet iet;
+  iet.insert(Entry{3, 10});  // incarnation 3 ended at 10
+  // If incarnation 3 ended at 10, incarnation 2 ended at or before 10, so a
+  // dependency on (2, 12) is certainly rolled back.
+  EXPECT_TRUE(iet.orphans(Entry{2, 12}));
+  EXPECT_FALSE(iet.orphans(Entry{2, 9}));
+  EXPECT_FALSE(iet.orphans(Entry{4, 12}));
+}
+
+TEST(EntrySetTest, OrphansUsesAnyQualifyingEntry) {
+  EntrySet iet;
+  iet.insert(Entry{1, 20});
+  iet.insert(Entry{2, 5});
+  // (1, 8): entry (2,5) has inc 2 >= 1 and 5 < 8 -> rolled back, even
+  // though incarnation 1's own end (20) would not flag it.
+  EXPECT_TRUE(iet.orphans(Entry{1, 8}));
+}
+
+TEST(EntrySetTest, MaxIncarnation) {
+  EntrySet se;
+  EXPECT_FALSE(se.max_incarnation().has_value());
+  se.insert(Entry{2, 1});
+  se.insert(Entry{0, 9});
+  EXPECT_EQ(se.max_incarnation(), 2);
+}
+
+TEST(EntrySetTest, Formatting) {
+  EntrySet se;
+  se.insert(Entry{0, 4});
+  se.insert(Entry{1, 5});
+  EXPECT_EQ(se.str(), "{(0,4), (1,5)}");
+}
+
+TEST(IntervalTableTest, PerProcessSetsAndTotal) {
+  IntervalTable t(3);
+  EXPECT_EQ(t.size(), 3);
+  t.insert(0, Entry{0, 1});
+  t.insert(0, Entry{1, 2});
+  t.insert(2, Entry{0, 5});
+  EXPECT_EQ(t.total_entries(), 3u);
+  EXPECT_TRUE(t.of(0).covers(Entry{1, 2}));
+  EXPECT_TRUE(t.of(2).covers(Entry{0, 4}));
+  EXPECT_TRUE(t.of(1).empty());
+}
+
+TEST(IntervalTableTest, ClearEmptiesAllSets) {
+  IntervalTable t(2);
+  t.insert(0, Entry{0, 1});
+  t.insert(1, Entry{0, 1});
+  t.clear();
+  EXPECT_EQ(t.total_entries(), 0u);
+}
+
+// Corollary 1 as used at P4 in Figure 1: announcement r1 = (0,4)_1 both
+// ends incarnation 0 (iet) and certifies (0,4)_1 stable (log).
+TEST(IntervalTableTest, AnnouncementServesBothTables) {
+  IntervalTable iet(6), log(6);
+  Entry r1{0, 4};
+  iet.insert(1, r1);
+  log.insert(1, r1);
+  // P3 depended on (0,5)_1 -> orphan.
+  EXPECT_TRUE(iet.of(1).orphans(Entry{0, 5}));
+  // P4 depended on (0,4)_1 -> not orphan, and the entry may be omitted.
+  EXPECT_FALSE(iet.of(1).orphans(Entry{0, 4}));
+  EXPECT_TRUE(log.of(1).covers(Entry{0, 4}));
+}
+
+}  // namespace
+}  // namespace koptlog

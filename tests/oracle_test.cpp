@@ -1,0 +1,206 @@
+// Unit tests of the ground-truth oracle itself — including negative tests
+// that feed it protocol-violating histories and assert the violations are
+// reported (so the property sweeps' "rep.ok" actually means something).
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/oracle.h"
+
+namespace koptlog {
+namespace {
+
+AppMsg msg_from(IntervalId born_of, int n, SeqNo seq) {
+  AppMsg m;
+  m.id = MsgId{born_of.pid, seq};
+  m.from = born_of.pid;
+  m.tdv = DepVector(n);
+  m.born_of = born_of;
+  return m;
+}
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() : o(3) {
+    o.on_process_start(IntervalId{0, 0, 1}, 10);
+    o.on_process_start(IntervalId{1, 0, 1}, 11);
+    o.on_process_start(IntervalId{2, 0, 1}, 12);
+  }
+  Oracle o;
+};
+
+TEST_F(OracleTest, CleanHistoryVerifies) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_stable_watermark(0, Entry{0, 2}, 100);
+  Oracle::Report rep = o.verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_EQ(rep.intervals, 4u);
+}
+
+TEST_F(OracleTest, DoomPropagatesThroughMessagesAndSuccessors) {
+  // P0: (0,2) volatile; P1 delivers a message sent from it -> (0,2)_1;
+  // P1 continues to (0,3)_1. P0 crashes losing (0,2)_0.
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{0, 0, 2}, 2);
+  o.on_interval_start(IntervalId{1, 0, 3}, IntervalId{kEnvironment, 0, 0}, 3);
+  o.on_crash(0, 1);
+  EXPECT_TRUE(o.doomed(IntervalId{1, 0, 2}));
+  EXPECT_TRUE(o.doomed(IntervalId{1, 0, 3}));  // via same-process prev
+  EXPECT_FALSE(o.doomed(IntervalId{1, 0, 1}));
+  EXPECT_FALSE(o.doomed(IntervalId{2, 0, 1}));
+  EXPECT_EQ(o.doomed_count(), 3u);  // (0,2)_0 itself plus the two at P1
+}
+
+TEST_F(OracleTest, SurvivingOrphanIsReported) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{0, 0, 2}, 2);
+  o.on_crash(0, 1);
+  // P1 never rolls back -> violation.
+  Oracle::Report rep = o.verify();
+  EXPECT_FALSE(rep.ok);
+  ASSERT_FALSE(rep.violations.empty());
+  EXPECT_NE(rep.violations[0].find("orphan"), std::string::npos);
+}
+
+TEST_F(OracleTest, ProperRollbackClearsTheViolation) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{0, 0, 2}, 2);
+  o.on_crash(0, 1);
+  o.on_rollback(1, 1);  // P1 undoes (0,2)_1
+  o.on_recovery_interval(IntervalId{1, 1, 2}, 11);
+  EXPECT_TRUE(o.verify().ok) << o.verify().summary();
+}
+
+TEST_F(OracleTest, SpuriousRollbackIsReported) {
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{kEnvironment, 0, 0}, 2);
+  o.on_rollback(1, 1);  // undoes a perfectly healthy interval
+  Oracle::Report rep = o.verify();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("spurious"), std::string::npos);
+}
+
+TEST_F(OracleTest, Theorem3ViolationNullingNonStableEntry) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_entry_nulled(1, 0, Entry{0, 2}, 50);  // (0,2)_0 is not stable
+  Oracle::Report rep = o.verify();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("Theorem 3"), std::string::npos);
+}
+
+TEST_F(OracleTest, NullingStableEntryIsFine) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_stable_watermark(0, Entry{0, 2}, 40);
+  o.on_entry_nulled(1, 0, Entry{0, 2}, 50);
+  EXPECT_TRUE(o.verify().ok);
+}
+
+TEST_F(OracleTest, KBoundViolationIsReported) {
+  AppMsg m = msg_from(IntervalId{0, 0, 1}, 3, 1);
+  o.on_msg_released(m, /*non_null=*/3, /*k=*/1, 10);
+  Oracle::Report rep = o.verify();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("K bound"), std::string::npos);
+}
+
+TEST_F(OracleTest, StrictTheorem4CatchesUncoveredNonStableDependency) {
+  // (0,2)_0 (volatile) -> message delivered at P1 starting (0,2)_1; P1
+  // releases a message claiming only its own entry is live.
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{0, 0, 2}, 2);
+  AppMsg m = msg_from(IntervalId{1, 0, 2}, 3, 1);
+  m.tdv.set(1, Entry{0, 2});  // live entry for P1 only; P0's dep uncovered
+  o.on_msg_released(m, 1, 1, 99);
+  Oracle::Report rep = o.verify(/*strict_thm4=*/true);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("Theorem 4"), std::string::npos);
+  // Without the strict pass the release is not re-derived.
+  EXPECT_TRUE(o.verify(false).ok);
+}
+
+TEST_F(OracleTest, StrictTheorem4AcceptsStableOrCoveredDependencies) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{0, 0, 2}, 2);
+  o.on_stable_watermark(0, Entry{0, 2}, 50);  // P0's part became stable
+  o.on_stable_watermark(1, Entry{0, 1}, 10);
+  AppMsg m = msg_from(IntervalId{1, 0, 2}, 3, 1);
+  m.tdv.set(1, Entry{0, 2});
+  o.on_msg_released(m, 1, 1, 99);  // after P0's stability
+  EXPECT_TRUE(o.verify(true).ok) << o.verify(true).summary();
+}
+
+TEST_F(OracleTest, DiscardOfNonOrphanIsReported) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  AppMsg m = msg_from(IntervalId{0, 0, 2}, 3, 1);
+  o.on_msg_discarded(m);
+  Oracle::Report rep = o.verify();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("discarded non-orphan"), std::string::npos);
+}
+
+TEST_F(OracleTest, DiscardOfTrueOrphanIsFine) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_crash(0, 1);
+  AppMsg m = msg_from(IntervalId{0, 0, 2}, 3, 1);
+  o.on_msg_discarded(m);
+  EXPECT_TRUE(o.verify().ok);
+}
+
+TEST_F(OracleTest, RevokedCommittedOutputIsReported) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_output_committed(MsgId{0, 1}, IntervalId{0, 0, 2}, 60);
+  o.on_crash(0, 1);  // (0,2)_0 lost after the output committed
+  Oracle::Report rep = o.verify();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations[0].find("committed output"), std::string::npos);
+}
+
+TEST_F(OracleTest, ReplayHashMismatchIsReported) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_interval_finalized(IntervalId{0, 0, 2}, 1234);
+  o.on_interval_replayed(IntervalId{0, 0, 2}, 9999);
+  ASSERT_FALSE(o.online_violations().empty());
+  EXPECT_NE(o.online_violations()[0].find("divergence"), std::string::npos);
+}
+
+TEST_F(OracleTest, StableIntervalLostIsReported) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  o.on_stable_watermark(0, Entry{0, 2}, 10);
+  o.on_crash(0, 1);  // claims a stable interval was lost
+  ASSERT_FALSE(o.online_violations().empty());
+  EXPECT_NE(o.online_violations()[0].find("stable interval lost"),
+            std::string::npos);
+}
+
+TEST_F(OracleTest, LostRecoveryIntervalIsBenign) {
+  o.on_rollback(0, 1);  // no-op pop
+  o.on_recovery_interval(IntervalId{0, 1, 2}, 10);
+  o.on_crash(0, 1);  // loses only the bookkeeping interval
+  Oracle::Report rep = o.verify();
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  EXPECT_EQ(rep.lost, 0u);
+  EXPECT_EQ(rep.undone, 1u);
+}
+
+TEST_F(OracleTest, NonContiguousIntervalThrows) {
+  EXPECT_THROW(o.on_interval_start(IntervalId{0, 0, 5},
+                                   IntervalId{kEnvironment, 0, 0}, 1),
+               InvariantViolation);
+}
+
+TEST_F(OracleTest, DuplicateIntervalThrows) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  EXPECT_THROW(o.on_interval_start(IntervalId{0, 0, 2},
+                                   IntervalId{kEnvironment, 0, 0}, 1),
+               InvariantViolation);
+}
+
+TEST_F(OracleTest, StabilityQueriesExposeTime) {
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 1);
+  EXPECT_FALSE(o.is_stable(IntervalId{0, 0, 2}));
+  EXPECT_FALSE(o.stable_at(IntervalId{0, 0, 2}).has_value());
+  o.on_stable_watermark(0, Entry{0, 2}, 77);
+  EXPECT_TRUE(o.is_stable(IntervalId{0, 0, 2}));
+  EXPECT_EQ(o.stable_at(IntervalId{0, 0, 2}), 77);
+}
+
+}  // namespace
+}  // namespace koptlog

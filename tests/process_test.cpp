@@ -1,0 +1,435 @@
+// Protocol-level unit tests of Process (paper Figures 2-3) on the manual
+// harness: one assertion per protocol rule.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "test_harness.h"
+
+namespace koptlog {
+namespace {
+
+ProtocolConfig quiet_config() {
+  ProtocolConfig cfg;  // timers are disabled by the harness (draining)
+  return cfg;
+}
+
+TEST(ProcessInit, Corollary3NoDependenciesAtStart) {
+  TestHarness h(3);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  EXPECT_TRUE(p->tdv().all_null());
+  EXPECT_EQ(p->current(), (Entry{0, 1}));
+  // The initial checkpoint exists, making interval (0,1) stable.
+  EXPECT_EQ(p->storage().checkpoints().size(), 1u);
+  EXPECT_TRUE(p->log_table().of(0).covers(Entry{0, 1}));
+}
+
+TEST(ProcessInit, FiniteKWithoutNullingIsRejected) {
+  TestHarness h(4);
+  ProtocolConfig cfg;
+  cfg.k = 2;
+  cfg.null_stable_entries = false;
+  EXPECT_THROW(h.make_process(0, cfg), InvariantViolation);
+}
+
+TEST(ProcessDeliver, EachDeliveryStartsANewInterval) {
+  TestHarness h(2);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  h.tick(*p);
+  EXPECT_EQ(p->current(), (Entry{0, 2}));
+  h.tick(*p);
+  EXPECT_EQ(p->current(), (Entry{0, 3}));
+  EXPECT_EQ(p->deliveries(), 2);
+  // Own entry tracks the current interval.
+  ASSERT_TRUE(p->tdv().at(0).has_value());
+  EXPECT_EQ(*p->tdv().at(0), (Entry{0, 3}));
+}
+
+TEST(ProcessDeliver, MergeAcquiresSenderDependencies) {
+  TestHarness h(3);
+  auto p0 = h.make_process(0, quiet_config());
+  auto p1 = h.make_process(1, quiet_config());
+  p0->start();
+  p1->start();
+  AppMsg m = h.command_send(*p0, 1);  // sent from (0,2)_0
+  ASSERT_EQ(m.from, 0);
+  EXPECT_EQ(m.born_of, (IntervalId{0, 0, 2}));
+  p1->handle_app_msg(m);
+  ASSERT_TRUE(p1->tdv().at(0).has_value());
+  EXPECT_EQ(*p1->tdv().at(0), (Entry{0, 2}));
+  EXPECT_EQ(*p1->tdv().at(1), (Entry{0, 2}));  // own new interval
+}
+
+TEST(ProcessDeliver, DuplicateMessagesAreDropped) {
+  TestHarness h(2);
+  auto p0 = h.make_process(0, quiet_config());
+  auto p1 = h.make_process(1, quiet_config());
+  p0->start();
+  p1->start();
+  AppMsg m = h.command_send(*p0, 1);
+  p1->handle_app_msg(m);
+  p1->handle_app_msg(m);
+  EXPECT_EQ(p1->deliveries(), 1);
+  EXPECT_EQ(h.stats().counter("msgs.duplicate"), 1);
+}
+
+TEST(SendBuffer, KZeroHoldsUntilDependenciesStable) {
+  TestHarness h(2);
+  ProtocolConfig cfg = quiet_config();
+  cfg.k = 0;
+  auto p = h.make_process(0, cfg);
+  p->start();
+  h.command_send(*p, 1);
+  // The command delivery gave the message a dependency on (0,2)_0, which
+  // is not yet stable -> held.
+  EXPECT_EQ(p->send_buffer_size(), 1u);
+  EXPECT_TRUE(h.sent.empty());
+  // Flushing the log makes (0,2)_0 stable; the entry NULLs and the message
+  // releases with zero risk.
+  p->force_flush();
+  EXPECT_EQ(p->send_buffer_size(), 0u);
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].tdv.non_null_count(), 0);
+}
+
+TEST(SendBuffer, KOneReleasesWithSingleLiveEntry) {
+  TestHarness h(4);
+  ProtocolConfig cfg = quiet_config();
+  cfg.k = 1;
+  auto p = h.make_process(0, cfg);
+  p->start();
+  AppMsg m = h.command_send(*p, 1);
+  // Only the sender's own (non-stable) entry is live -> exactly 1 <= K.
+  EXPECT_EQ(p->send_buffer_size(), 0u);
+  EXPECT_EQ(m.tdv.non_null_count(), 1);
+  EXPECT_EQ(*m.tdv.at(0), (Entry{0, 2}));
+}
+
+TEST(SendBuffer, TransitiveRiskCountsTowardK) {
+  TestHarness h(4);
+  ProtocolConfig cfg = quiet_config();
+  cfg.k = 1;
+  auto p0 = h.make_process(0, cfg);
+  auto p1 = h.make_process(1, cfg);
+  p0->start();
+  p1->start();
+  AppMsg m01 = h.command_send(*p0, 1);
+  p1->handle_app_msg(m01);  // P1 now depends on P0's non-stable interval
+  h.command_send(*p1, 2);
+  // P1's outgoing message has 2 live entries (P0's and its own) > K=1.
+  EXPECT_EQ(p1->send_buffer_size(), 1u);
+  // P0 flushes and notifies: P0's entry NULLs, risk drops to 1, releases.
+  p0->force_flush();
+  p0->broadcast_progress();
+  ASSERT_FALSE(h.progresses.empty());
+  p1->handle_log_progress(h.progresses.back());
+  EXPECT_EQ(p1->send_buffer_size(), 0u);
+}
+
+TEST(Deliverability, TwoIncarnationConflictWaitsForStability) {
+  TestHarness h(3);
+  auto p2 = h.make_process(2, quiet_config());
+  p2->start();
+  // P2 already depends on (0,4)_1.
+  AppMsg old_dep = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  old_dep.tdv.set(1, Entry{0, 4});
+  old_dep.born_of = IntervalId{1, 0, 4};
+  p2->handle_app_msg(old_dep);
+  ASSERT_EQ(*p2->tdv().at(1), (Entry{0, 4}));
+  // A message carrying (1,6)_1 arrives: two incarnations of P1 would
+  // coexist; (0,4)_1 is not known stable -> held.
+  AppMsg new_dep = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 1, 0, 0});
+  new_dep.tdv.set(1, Entry{1, 6});
+  new_dep.born_of = IntervalId{1, 1, 6};
+  p2->handle_app_msg(new_dep);
+  EXPECT_EQ(p2->receive_buffer_size(), 1u);
+  EXPECT_EQ(*p2->tdv().at(1), (Entry{0, 4}));
+  // A logging-progress notification certifying (0,4)_1 unblocks it
+  // (Corollary 1 via Theorem 2).
+  LogProgressMsg lp;
+  lp.from = 1;
+  lp.stable = {Entry{0, 4}};
+  p2->handle_log_progress(lp);
+  EXPECT_EQ(p2->receive_buffer_size(), 0u);
+  EXPECT_EQ(*p2->tdv().at(1), (Entry{1, 6}));
+}
+
+TEST(Deliverability, Corollary1NoExistingEntryDeliversImmediately) {
+  TestHarness h(3);
+  auto p5 = h.make_process(2, quiet_config());
+  p5->start();
+  // m7 carries a dependency on P1's new incarnation; P5 has no entry for
+  // P1 at all, so no wait (paper §3, last paragraph).
+  AppMsg m7 = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  m7.tdv.set(1, Entry{1, 5});
+  m7.born_of = IntervalId{1, 1, 5};
+  p5->handle_app_msg(m7);
+  EXPECT_EQ(p5->receive_buffer_size(), 0u);
+  EXPECT_EQ(*p5->tdv().at(1), (Entry{1, 5}));
+}
+
+TEST(OrphanDetection, IncomingOrphanMessagesAreDiscarded) {
+  TestHarness h(3);
+  auto p2 = h.make_process(2, quiet_config());
+  p2->start();
+  // P1's incarnation 0 ended at 4.
+  p2->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  // A late message depending on (0,6)_1 is an orphan.
+  AppMsg orphan = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  orphan.tdv.set(1, Entry{0, 6});
+  orphan.born_of = IntervalId{1, 0, 6};
+  p2->handle_app_msg(orphan);
+  EXPECT_EQ(p2->deliveries(), 0);
+  EXPECT_EQ(h.stats().counter("msgs.discarded_orphan_recv"), 1);
+  // But a message depending on the surviving prefix is fine.
+  AppMsg fine = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 1, 0, 0});
+  fine.tdv.set(1, Entry{0, 4});
+  fine.born_of = IntervalId{1, 0, 4};
+  p2->handle_app_msg(fine);
+  EXPECT_EQ(p2->deliveries(), 1);
+}
+
+TEST(OrphanDetection, AnnouncementRollsBackDependentProcess) {
+  TestHarness h(3);
+  auto p2 = h.make_process(2, quiet_config());
+  p2->start();
+  h.tick(*p2);  // (0,2)
+  // Acquire a dependency on (0,6)_1 at interval (0,3)_2.
+  AppMsg dep = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 6});
+  dep.born_of = IntervalId{1, 0, 6};
+  p2->handle_app_msg(dep);
+  h.tick(*p2);  // (0,4), still orphaned-to-be
+  EXPECT_EQ(p2->current(), (Entry{0, 4}));
+  // P1 announces incarnation 0 ended at 4 -> (0,6)_1 rolled back -> P2's
+  // intervals (0,3) and (0,4) are orphans; P2 rolls back to (0,2) and
+  // starts incarnation 1 at index 3.
+  p2->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p2->rollbacks(), 1);
+  // The rollback restored (0,2), started incarnation 1 at index 3, and the
+  // undone (non-orphan) filler was redelivered as (1,4).
+  EXPECT_EQ(p2->current(), (Entry{1, 4}));
+  EXPECT_FALSE(p2->tdv().at(1).has_value());
+  // Theorem 1: the non-failed rolled-back process does NOT announce.
+  EXPECT_TRUE(h.announcements.empty());
+}
+
+TEST(OrphanDetection, AnnounceAllRollbacksModeBroadcasts) {
+  TestHarness h(3);
+  ProtocolConfig cfg = quiet_config();
+  cfg.announce_all_rollbacks = true;
+  cfg.null_stable_entries = true;  // keep the improved tracking otherwise
+  auto p2 = h.make_process(2, cfg);
+  p2->start();
+  AppMsg dep = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 6});
+  dep.born_of = IntervalId{1, 0, 6};
+  p2->handle_app_msg(dep);
+  p2->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  ASSERT_EQ(h.announcements.size(), 1u);
+  EXPECT_EQ(h.announcements[0].from, 2);
+  EXPECT_FALSE(h.announcements[0].from_failure);
+  EXPECT_EQ(h.announcements[0].ended, (Entry{0, 1}));
+}
+
+TEST(Rollback, NonOrphanUndoneMessagesAreRedelivered) {
+  TestHarness h(4);
+  auto p2 = h.make_process(2, quiet_config());
+  p2->start();
+  // (0,2): orphan-to-be dependency on (0,6)_1.
+  AppMsg dep = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 6});
+  dep.born_of = IntervalId{1, 0, 6};
+  p2->handle_app_msg(dep);
+  // (0,3): an innocent message from P3 — undone by the rollback but not an
+  // orphan, so it must be redelivered afterwards.
+  AppMsg innocent = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 7, 0, 0});
+  innocent.tdv.set(3, Entry{0, 2});
+  innocent.born_of = IntervalId{3, 0, 2};
+  p2->handle_app_msg(innocent);
+  EXPECT_EQ(p2->deliveries(), 2);
+  p2->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p2->rollbacks(), 1);
+  // Redelivered in the new incarnation: deliveries counts it again.
+  EXPECT_EQ(p2->deliveries(), 3);
+  EXPECT_EQ(p2->current(), (Entry{1, 3}));
+  ASSERT_TRUE(p2->tdv().at(3).has_value());
+  EXPECT_EQ(*p2->tdv().at(3), (Entry{0, 2}));
+}
+
+TEST(CrashRestart, ReplaysStablePrefixAndAnnounces) {
+  TestHarness h(2);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  h.tick(*p);  // (0,2)
+  h.tick(*p);  // (0,3)
+  p->force_flush();
+  h.tick(*p);  // (0,4), volatile
+  uint64_t hash_at_3_unavailable = 0;
+  (void)hash_at_3_unavailable;
+  p->crash();
+  EXPECT_FALSE(p->alive());
+  p->restart();
+  EXPECT_TRUE(p->alive());
+  // Recovered to (0,3); announced (0,3) as incarnation 0's end; new
+  // incarnation starts at (1,4).
+  ASSERT_EQ(h.announcements.size(), 1u);
+  EXPECT_EQ(h.announcements[0].ended, (Entry{0, 3}));
+  EXPECT_TRUE(h.announcements[0].from_failure);
+  EXPECT_EQ(p->current(), (Entry{1, 4}));
+  EXPECT_EQ(h.stats().counter("restart.replayed_msgs"), 2);
+}
+
+TEST(CrashRestart, ReplayRegeneratesSendsWithIdenticalIds) {
+  TestHarness h(2);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  AppMsg original = h.command_send(*p, 1, /*tag=*/42);
+  p->force_flush();
+  p->crash();
+  p->restart();
+  // The replayed send is byte-identical (same id, same payload) so the
+  // receiver would dedup it.
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].id, original.id);
+  EXPECT_EQ(h.sent[0].payload, original.payload);
+}
+
+TEST(CrashRestart, VolatileDependentsBecomeOrphansElsewhere) {
+  TestHarness h(3);
+  auto p0 = h.make_process(0, quiet_config());
+  auto p1 = h.make_process(1, quiet_config());
+  p0->start();
+  p1->start();
+  AppMsg m = h.command_send(*p0, 1);  // from volatile (0,2)_0
+  p1->handle_app_msg(m);
+  h.tick(*p1);
+  p0->crash();
+  p0->restart();  // announces (0,1): interval (0,2)_0 was lost
+  ASSERT_EQ(h.announcements.size(), 1u);
+  EXPECT_EQ(h.announcements[0].ended, (Entry{0, 1}));
+  p1->handle_announcement(h.announcements[0]);
+  EXPECT_EQ(p1->rollbacks(), 1);
+  // The orphan message was discarded; the innocent filler was redelivered
+  // (2 original deliveries + 1 redelivery).
+  EXPECT_EQ(p1->deliveries(), 3);
+  EXPECT_EQ(h.stats().counter("msgs.discarded_orphan_recv"), 1);
+}
+
+TEST(CrashRestart, IncarnationNumbersAreNeverReused) {
+  TestHarness h(3);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  // Roll back once (via an announcement-induced orphan) -> incarnation 1.
+  AppMsg dep = h.env_msg(0, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  dep.tdv.set(1, Entry{0, 9});
+  dep.born_of = IntervalId{1, 0, 9};
+  p->handle_app_msg(dep);
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p->current().inc, 1);
+  // Crash before anything of incarnation 1 reaches stable storage.
+  p->crash();
+  p->restart();
+  // The failure announcement names incarnation 1 (the durable maximum),
+  // and the new incarnation is 2 — never 1 again.
+  ASSERT_FALSE(h.announcements.empty());
+  EXPECT_EQ(h.announcements.back().ended.inc, 1);
+  EXPECT_EQ(p->current().inc, 2);
+}
+
+TEST(CrashRestart, JournaledAnnouncementsSurviveFailure) {
+  TestHarness h(3);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  p->handle_announcement(Announcement{2, Entry{0, 7}, true});
+  p->crash();
+  p->restart();
+  // The incarnation end table was rebuilt from the journal: a late orphan
+  // depending on (0,9)_2 is still rejected.
+  AppMsg orphan = h.env_msg(0, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  orphan.tdv.set(2, Entry{0, 9});
+  orphan.born_of = IntervalId{2, 0, 9};
+  p->handle_app_msg(orphan);
+  EXPECT_EQ(h.stats().counter("msgs.discarded_orphan_recv"), 1);
+}
+
+TEST(OutputCommit, HeldUntilAllEntriesNull) {
+  TestHarness h(2);
+  auto p = h.make_process(0, quiet_config());
+  p->start();
+  h.command_output(*p, 5);
+  // The emitting interval (0,2)_0 is not stable yet.
+  EXPECT_EQ(p->output_buffer_size(), 1u);
+  EXPECT_TRUE(h.outputs.empty());
+  p->force_flush();
+  EXPECT_EQ(p->output_buffer_size(), 0u);
+  ASSERT_EQ(h.outputs.size(), 1u);
+  EXPECT_EQ(h.outputs[0].payload.b, 5);
+  EXPECT_EQ(h.outputs[0].born_of, (IntervalId{0, 0, 2}));
+}
+
+TEST(OutputCommit, WaitsForRemoteStability) {
+  TestHarness h(3);
+  auto p0 = h.make_process(0, quiet_config());
+  auto p1 = h.make_process(1, quiet_config());
+  p0->start();
+  p1->start();
+  AppMsg m = h.command_send(*p0, 1);
+  p1->handle_app_msg(m);
+  h.command_output(*p1, 9);
+  p1->force_flush();  // own interval stable, but P0's dependency remains
+  EXPECT_EQ(p1->output_buffer_size(), 1u);
+  p0->force_flush();
+  p0->broadcast_progress();
+  p1->handle_log_progress(h.progresses.back());
+  EXPECT_EQ(p1->output_buffer_size(), 0u);
+  ASSERT_EQ(h.outputs.size(), 1u);
+}
+
+TEST(Checkpoint, Corollary2NullsOwnEntry) {
+  TestHarness h(2);
+  ProtocolConfig cfg = quiet_config();
+  cfg.checkpoint_interval_us = 0;  // manual only
+  auto p = h.make_process(0, cfg);
+  p->start();
+  h.tick(*p);
+  ASSERT_TRUE(p->tdv().at(0).has_value());
+  p->force_flush();  // flush watermark also certifies the current interval
+  EXPECT_FALSE(p->tdv().at(0).has_value());
+}
+
+TEST(StromYemini, DeliveryWaitsForPriorIncarnationAnnouncement) {
+  TestHarness h(3);
+  ProtocolConfig cfg = ProtocolConfig::strom_yemini();
+  auto p2 = h.make_process(2, cfg);
+  p2->start();
+  // A message carrying (1,6)_1 arrives before the announcement ending
+  // incarnation 0 of P1: SY delays even though P2 has no entry for P1.
+  AppMsg m = h.env_msg(2, AppPayload{ScriptedApp::kNoop, 0, 0, 0, 0});
+  m.tdv.set(1, Entry{1, 6});
+  m.born_of = IntervalId{1, 1, 6};
+  p2->handle_app_msg(m);
+  EXPECT_EQ(p2->receive_buffer_size(), 1u);
+  p2->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p2->receive_buffer_size(), 0u);
+  EXPECT_EQ(p2->deliveries(), 1);
+}
+
+TEST(StromYemini, FullVectorsNeverShrink) {
+  TestHarness h(3);
+  ProtocolConfig cfg = ProtocolConfig::strom_yemini();
+  auto p0 = h.make_process(0, cfg);
+  p0->start();
+  AppMsg first = h.command_send(*p0, 1);
+  EXPECT_EQ(first.tdv.non_null_count(), 1);
+  // Without Theorem 2, entries stay after stability.
+  p0->force_flush();
+  AppMsg second = h.command_send(*p0, 1);
+  EXPECT_EQ(second.tdv.non_null_count(), 1);
+  EXPECT_EQ(*second.tdv.at(0), (Entry{0, 3}));
+  EXPECT_GT(second.wire_bytes(false), second.wire_bytes(true));
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,190 @@
+// Recovery edge cases on the full cluster: repeated failures of the same
+// process, near-simultaneous failures, failure storms, rollback cascades
+// across a pipeline, and behaviour right at the drain boundary.
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+
+namespace koptlog {
+namespace {
+
+ClusterConfig cfg_with(int n, uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.enable_oracle = true;
+  return cfg;
+}
+
+void verify(Cluster& cluster) {
+  Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(RecoveryEdge, RepeatedFailuresOfSameProcess) {
+  Cluster cluster(cfg_with(4, 21), make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 60, 1'000, 400'000, 8, 13);
+  for (int i = 0; i < 5; ++i) {
+    cluster.fail_at(60'000 + i * 70'000, 1);
+  }
+  cluster.run_for(900'000);
+  cluster.drain();
+  EXPECT_EQ(cluster.stats().counter("crash.count"),
+            cluster.stats().counter("restart.count"));
+  // Every failure of P1 increments its incarnation at least once.
+  EXPECT_GE(cluster.process(1).current().inc, 5);
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, NearSimultaneousFailuresOfAllProcesses) {
+  Cluster cluster(cfg_with(4, 22), make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 50, 1'000, 300'000, 8, 17);
+  for (ProcessId pid = 0; pid < 4; ++pid) {
+    cluster.fail_at(150'000 + pid * 500, pid);  // within one restart window
+  }
+  cluster.run_for(900'000);
+  cluster.drain();
+  EXPECT_EQ(cluster.stats().counter("crash.count"), 4);
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, FailureStormManySmallCrashes) {
+  Cluster cluster(cfg_with(6, 23), make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 80, 1'000, 600'000, 6, 19);
+  apply_failure_plan(cluster, FailurePlan::random(Rng(23).fork("storm"), 6, 12,
+                                                  30'000, 700'000));
+  cluster.run_for(1'500'000);
+  cluster.drain();
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, PipelineCascadeRollsBackDownstreamOnly) {
+  // A pipeline makes rollback propagation directional: a failure at stage s
+  // can orphan stages > s (they consumed its outputs) but never stages < s.
+  ClusterConfig cfg = cfg_with(5, 24);
+  // Slow logging maximizes the volatile window so the crash creates orphans.
+  cfg.protocol.flush_interval_us = 60'000;
+  cfg.protocol.notify_interval_us = 80'000;
+  cfg.protocol.checkpoint_interval_us = 500'000;
+  Cluster cluster(cfg, make_pipeline_app({}));
+  cluster.start();
+  inject_pipeline_load(cluster, 40, 1'000, 150'000);
+  cluster.fail_at(100'000, 2);
+  cluster.run_for(900'000);
+  cluster.drain();
+  EXPECT_EQ(cluster.process(0).rollbacks(), 0);
+  EXPECT_EQ(cluster.process(1).rollbacks(), 0);
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, CrashBeforeAnyCheckpointIntervalElapsed) {
+  ClusterConfig cfg = cfg_with(3, 25);
+  cfg.protocol.checkpoint_interval_us = 10'000'000;  // effectively never
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 30, 1'000, 100'000, 6, 29);
+  cluster.fail_at(50'000, 0);  // only the initial checkpoint exists
+  cluster.run_for(600'000);
+  cluster.drain();
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, CrashDuringAnotherProcessRecoveryWindow) {
+  ClusterConfig cfg = cfg_with(4, 26);
+  cfg.protocol.restart_delay_us = 50'000;  // long recovery window
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 50, 1'000, 300'000, 7, 31);
+  cluster.fail_at(100'000, 0);
+  cluster.fail_at(110'000, 1);  // while P0 is still down
+  cluster.run_for(900'000);
+  cluster.drain();
+  EXPECT_EQ(cluster.stats().counter("crash.count"), 2);
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, FailureInjectionOnDownProcessIsSkipped) {
+  ClusterConfig cfg = cfg_with(3, 27);
+  cfg.protocol.restart_delay_us = 100'000;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 20, 1'000, 80'000, 5, 37);
+  cluster.fail_at(50'000, 1);
+  cluster.fail_at(60'000, 1);  // P1 still down: skipped, not queued
+  cluster.run_for(600'000);
+  cluster.drain();
+  EXPECT_EQ(cluster.stats().counter("crash.count"), 1);
+  EXPECT_EQ(cluster.stats().counter("crash.skipped_already_down"), 1);
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, ZeroOptimisticSurvivesFailureStormWithoutLostOutputs) {
+  ClusterConfig cfg = cfg_with(4, 28);
+  cfg.protocol.k = 0;
+  Cluster cluster(cfg, make_client_server_app({}));
+  cluster.start();
+  inject_client_requests(cluster, 40, 1'000, 300'000, 41);
+  apply_failure_plan(cluster, FailurePlan::random(Rng(28).fork("storm"), 4, 6,
+                                                  30'000, 400'000));
+  cluster.run_for(1'200'000);
+  cluster.drain();
+  // K=0: released messages can never be revoked by any failure — so no
+  // released message was ever discarded as an orphan at a receiver.
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  const Histogram& risk = cluster.stats().histogram("send.risk");
+  if (risk.count() > 0) {
+    EXPECT_EQ(risk.max(), 0.0);
+  }
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, FifoAndNonFifoBothVerify) {
+  for (bool fifo : {false, true}) {
+    ClusterConfig cfg = cfg_with(4, 30 + (fifo ? 1 : 0));
+    cfg.fifo = fifo;
+    Cluster cluster(cfg, make_uniform_app({}));
+    cluster.start();
+    inject_uniform_load(cluster, 40, 1'000, 200'000, 7, 43);
+    cluster.fail_at(90'000, 2);
+    cluster.run_for(700'000);
+    cluster.drain();
+    verify(cluster);
+  }
+}
+
+TEST(RecoveryEdge, HighJitterExtremeReordering) {
+  ClusterConfig cfg = cfg_with(4, 33);
+  cfg.data_latency.jitter_us = 30'000;  // latencies span 30ms
+  cfg.data_latency.jitter = Jitter::kExponential;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 40, 1'000, 200'000, 7, 47);
+  cluster.fail_at(100'000, 3);
+  cluster.run_for(900'000);
+  cluster.drain();
+  verify(cluster);
+}
+
+TEST(RecoveryEdge, TraceSinkObservesProtocolEvents) {
+  ClusterConfig cfg = cfg_with(3, 34);
+  Cluster cluster(cfg, make_uniform_app({}));
+  std::string log;
+  cluster.set_trace(Tracer::string_sink(log), TraceLevel::kDebug);
+  cluster.start();
+  inject_uniform_load(cluster, 10, 1'000, 50'000, 5, 51);
+  cluster.fail_at(30'000, 0);
+  cluster.run_for(400'000);
+  cluster.drain();
+  EXPECT_NE(log.find("CRASH"), std::string::npos);
+  EXPECT_NE(log.find("RESTART complete"), std::string::npos);
+  EXPECT_NE(log.find("deliver"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace koptlog {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulatorTest, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule_after(1, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 4);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), InvariantViolation);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(25);
+  EXPECT_EQ(sim.now(), 25);  // clock advances even with no events
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, StopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, EventBudgetGuardsAgainstLivelock) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_after(1, forever); };
+  sim.schedule_at(0, forever);
+  EXPECT_THROW(sim.run(1000), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,101 @@
+// Soak / chaos tests: long runs, many failures, mixed configurations —
+// everything the short sweeps might miss, all oracle-verified. Bounded to
+// keep the suite fast on one core, but an order of magnitude bigger than
+// any other test.
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+#include "direct/direct_process.h"
+
+namespace koptlog {
+namespace {
+
+TEST(Soak, LongMixedRunWithFailureChurn) {
+  ClusterConfig cfg;
+  cfg.n = 8;
+  cfg.seed = 20260708;
+  cfg.enable_oracle = true;
+  cfg.protocol.k = 2;
+  cfg.protocol.reliable_delivery = true;
+  Cluster cluster(cfg, make_uniform_app({.extra_send_denominator = 3,
+                                         .output_every = 5}));
+  cluster.start();
+  inject_uniform_load(cluster, 300, 1'000, 2'000'000, 8, 11);
+  apply_failure_plan(cluster,
+                     FailurePlan::random(Rng(cfg.seed).fork("churn"), cfg.n,
+                                         20, 50'000, 2'200'000));
+  cluster.run_for(5'000'000);
+  cluster.drain();
+
+  EXPECT_EQ(cluster.stats().counter("crash.count"),
+            cluster.stats().counter("restart.count"));
+  EXPECT_GT(cluster.stats().counter("msgs.delivered"), 1'000);
+  EXPECT_GT(cluster.outputs().size(), 100u);
+  Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(Soak, HighFrequencyCheckpointsAndGcUnderChurn) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 777;
+  cfg.enable_oracle = true;
+  cfg.protocol.checkpoint_interval_us = 15'000;
+  cfg.protocol.flush_interval_us = 3'000;
+  cfg.protocol.notify_interval_us = 5'000;
+  Cluster cluster(cfg, make_client_server_app({}));
+  cluster.start();
+  inject_client_requests(cluster, 250, 1'000, 1'500'000, 13);
+  apply_failure_plan(cluster,
+                     FailurePlan::random(Rng(777).fork("gc-churn"), cfg.n, 10,
+                                         40'000, 1'600'000));
+  cluster.run_for(4'000'000);
+  cluster.drain();
+  EXPECT_GT(cluster.stats().counter("gc.records_reclaimed"), 0);
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+TEST(Soak, DirectEngineChurn) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 31337;
+  cfg.enable_oracle = true;
+  Cluster cluster(cfg, make_uniform_app({}), DirectProcess::factory());
+  cluster.start();
+  inject_uniform_load(cluster, 200, 1'000, 1'500'000, 7, 17);
+  apply_failure_plan(cluster,
+                     FailurePlan::random(Rng(31337).fork("ddt-churn"), cfg.n,
+                                         10, 40'000, 1'600'000));
+  cluster.run_for(4'000'000);
+  cluster.drain();
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+  // The conservative hold keeps the cascade finite: rollbacks stay within
+  // a small multiple of the failure count.
+  EXPECT_LT(cluster.stats().counter("rollback.count"), 150);
+}
+
+TEST(Soak, StromYeminiChurnFifo) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 424242;
+  cfg.enable_oracle = true;
+  cfg.protocol = ProtocolConfig::strom_yemini();
+  cfg.fifo = true;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 200, 1'000, 1'500'000, 7, 19);
+  apply_failure_plan(cluster,
+                     FailurePlan::random(Rng(424242).fork("sy-churn"), cfg.n,
+                                         8, 40'000, 1'600'000));
+  cluster.run_for(4'000'000);
+  cluster.drain();
+  Oracle::Report rep = cluster.oracle()->verify(true);
+  EXPECT_TRUE(rep.ok) << rep.summary();
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.h"
+#include "sim/stats.h"
+
+namespace koptlog {
+namespace {
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantilesNearestRank) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(HistogramTest, QuantileAfterInterleavedAdds) {
+  Histogram h;
+  h.add(5);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  h.add(1);
+  h.add(9);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.add(3);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(StatsTest, CountersDefaultZeroAndAccumulate) {
+  Stats s;
+  EXPECT_EQ(s.counter("x"), 0);
+  s.inc("x");
+  s.inc("x", 4);
+  EXPECT_EQ(s.counter("x"), 5);
+}
+
+TEST(StatsTest, HistogramLookupMissingIsEmpty) {
+  Stats s;
+  EXPECT_EQ(s.histogram("nope").count(), 0u);
+  s.sample("h", 2.0);
+  EXPECT_EQ(s.histogram("h").count(), 1u);
+}
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"k", "value"});
+  t.row().cell(int64_t{0}).cell(3.14159, 2);
+  t.row().cell("N").cell("wide-cell-content");
+  std::ostringstream os;
+  t.print(os, "demo");
+  std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell-content"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, FormatDouble) {
+  EXPECT_EQ(format_double(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(StatsTest, PrintStatsDumpsEverything) {
+  Stats s;
+  s.inc("a.count", 2);
+  s.sample("b.lat", 10.0);
+  std::ostringstream os;
+  print_stats(s, os);
+  EXPECT_NE(os.str().find("a.count = 2"), std::string::npos);
+  EXPECT_NE(os.str().find("b.lat"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koptlog

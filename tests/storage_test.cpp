@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "storage/stable_storage.h"
+
+namespace koptlog {
+namespace {
+
+LogRecord make_record(ProcessId pid, Incarnation inc, Sii sii) {
+  LogRecord r;
+  r.msg.id = MsgId{0, static_cast<SeqNo>(sii)};
+  r.msg.from = 0;
+  r.msg.to = pid;
+  r.msg.tdv = DepVector(4);
+  r.started = IntervalId{pid, inc, sii};
+  return r;
+}
+
+TEST(MessageLogTest, AppendIsVolatileUntilFlush) {
+  MessageLog log;
+  log.append(make_record(1, 0, 2));
+  log.append(make_record(1, 0, 3));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.stable_count(), 0u);
+  EXPECT_EQ(log.volatile_count(), 2u);
+  EXPECT_EQ(log.flush_all(), 2u);
+  EXPECT_EQ(log.stable_count(), 2u);
+  EXPECT_EQ(log.volatile_count(), 0u);
+}
+
+TEST(MessageLogTest, FlushToIsMonotone) {
+  MessageLog log;
+  for (Sii s = 2; s <= 6; ++s) log.append(make_record(1, 0, s));
+  log.flush_to(3);
+  EXPECT_EQ(log.stable_count(), 3u);
+  log.flush_to(1);  // going backwards is a no-op
+  EXPECT_EQ(log.stable_count(), 3u);
+  log.flush_to(5);
+  EXPECT_EQ(log.stable_count(), 5u);
+}
+
+TEST(MessageLogTest, LoseVolatileDropsOnlySuffix) {
+  MessageLog log;
+  for (Sii s = 2; s <= 5; ++s) log.append(make_record(1, 0, s));
+  log.flush_to(2);
+  auto lost = log.lose_volatile();
+  ASSERT_EQ(lost.size(), 2u);
+  EXPECT_EQ(lost[0].started.sii, 4);
+  EXPECT_EQ(lost[1].started.sii, 5);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.volatile_count(), 0u);
+}
+
+TEST(MessageLogTest, TruncateReturnsDroppedAndFixesStablePrefix) {
+  MessageLog log;
+  for (Sii s = 2; s <= 7; ++s) log.append(make_record(1, 0, s));
+  log.flush_all();
+  auto dropped = log.truncate_from(3);
+  ASSERT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(dropped[0].started.sii, 5);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.stable_count(), 3u);
+  // The log can grow again after truncation.
+  log.append(make_record(1, 1, 5));
+  EXPECT_EQ(log.volatile_count(), 1u);
+}
+
+TEST(MessageLogTest, TruncateBeyondEndThrows) {
+  MessageLog log;
+  log.append(make_record(1, 0, 2));
+  EXPECT_THROW(log.truncate_from(5), InvariantViolation);
+}
+
+TEST(MessageLogTest, DiscardPrefixKeepsLogicalPositions) {
+  MessageLog log;
+  for (Sii s = 2; s <= 9; ++s) log.append(make_record(1, 0, s));
+  log.flush_to(6);  // records at logical [0,6) stable
+  EXPECT_EQ(log.discard_prefix(4), 4u);
+  EXPECT_EQ(log.base(), 4u);
+  EXPECT_EQ(log.size(), 8u);
+  EXPECT_EQ(log.retained_count(), 4u);
+  EXPECT_EQ(log.stable_count(), 6u);
+  // Logical addressing unchanged: position 5 is still the record for (0,7).
+  EXPECT_EQ(log.at(5).started.sii, 7);
+  // Positions below base are inaccessible.
+  EXPECT_THROW(log.at(3), InvariantViolation);
+  // discard_prefix is idempotent-monotone.
+  EXPECT_EQ(log.discard_prefix(2), 0u);
+  // Cannot GC the volatile suffix.
+  EXPECT_THROW(log.discard_prefix(7), InvariantViolation);
+}
+
+TEST(MessageLogTest, TruncateAndFlushHonorLogicalBase) {
+  MessageLog log;
+  for (Sii s = 2; s <= 7; ++s) log.append(make_record(1, 0, s));
+  log.flush_all();
+  log.discard_prefix(3);
+  auto dropped = log.truncate_from(5);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].started.sii, 7);
+  EXPECT_EQ(log.size(), 5u);
+  log.append(make_record(1, 1, 7));
+  log.flush_to(6);
+  EXPECT_EQ(log.stable_count(), 6u);
+  EXPECT_EQ(log.volatile_count(), 0u);
+}
+
+TEST(CheckpointStoreTest, DiscardBeforeShiftsIndices) {
+  CheckpointStore store;
+  for (Sii s = 1; s <= 4; ++s) {
+    Checkpoint cp;
+    cp.at = Entry{0, s};
+    store.push(std::move(cp));
+  }
+  store.discard_before(2);
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.at(0).at.sii, 3);
+  EXPECT_EQ(store.latest().at.sii, 4);
+}
+
+TEST(StableStorageTest, ParkUnparkRoundTrip) {
+  StableStorage st(StorageCosts{});
+  AppMsg m;
+  m.id = MsgId{2, 7};
+  st.park(m);
+  EXPECT_EQ(st.parked().size(), 1u);
+  st.park(m);  // idempotent overwrite
+  EXPECT_EQ(st.parked().size(), 1u);
+  st.unpark(MsgId{2, 7});
+  EXPECT_TRUE(st.parked().empty());
+  st.unpark(MsgId{2, 7});  // unparking absent id is a no-op
+}
+
+TEST(CheckpointStoreTest, LatestWhereFindsNewestMatching) {
+  CheckpointStore store;
+  for (Sii s = 1; s <= 5; ++s) {
+    Checkpoint cp;
+    cp.at = Entry{0, s};
+    cp.tdv = DepVector(2);
+    store.push(std::move(cp));
+  }
+  auto idx = store.latest_where(
+      [](const Checkpoint& cp) { return cp.at.sii <= 3; });
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(store.at(*idx).at.sii, 3);
+  auto none = store.latest_where([](const Checkpoint&) { return false; });
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(CheckpointStoreTest, DiscardAfterKeepsPrefix) {
+  CheckpointStore store;
+  for (Sii s = 1; s <= 4; ++s) {
+    Checkpoint cp;
+    cp.at = Entry{0, s};
+    store.push(std::move(cp));
+  }
+  store.discard_after(1);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.latest().at.sii, 2);
+}
+
+TEST(StableStorageTest, DurableIncarnationIsMonotone) {
+  StableStorage st(StorageCosts{});
+  EXPECT_EQ(st.durable_max_inc(), 0);
+  st.set_durable_max_inc(2);
+  EXPECT_EQ(st.durable_max_inc(), 2);
+  st.set_durable_max_inc(2);  // idempotent ok
+  EXPECT_THROW(st.set_durable_max_inc(1), InvariantViolation);
+}
+
+TEST(StableStorageTest, AnnouncementJournalAccumulates) {
+  StableStorage st(StorageCosts{});
+  st.journal_announcement(Announcement{1, Entry{0, 4}, true});
+  st.journal_announcement(Announcement{2, Entry{1, 9}, false});
+  ASSERT_EQ(st.announcement_journal().size(), 2u);
+  EXPECT_EQ(st.announcement_journal()[0].from, 1);
+  EXPECT_EQ(st.announcement_journal()[1].ended, (Entry{1, 9}));
+}
+
+}  // namespace
+}  // namespace koptlog

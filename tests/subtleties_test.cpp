@@ -1,0 +1,140 @@
+// Tests for the under-specified corners documented in PROTOCOL.md §4 —
+// the decisions the paper's listing leaves implicit. Each test pins one
+// invariant that a naive transcription of Figures 2-3 would violate.
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace koptlog {
+namespace {
+
+AppMsg poisoned(TestHarness& h, ProcessId to, Entry bad_dep_on_p1,
+                int32_t kind = ScriptedApp::kNoop, int64_t a = 0) {
+  AppMsg m = h.env_msg(to, AppPayload{kind, a, 0, 0, 0});
+  m.tdv.set(1, bad_dep_on_p1);
+  m.born_of = IntervalId{1, bad_dep_on_p1.inc, bad_dep_on_p1.sii};
+  return m;
+}
+
+// PROTOCOL.md §4.2: a flush must never certify the bookkeeping interval a
+// rollback starts — only a checkpoint may, because only a checkpoint makes
+// it reconstructable.
+TEST(Subtleties, FlushNeverCertifiesTheRecoveryInterval) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  p->handle_app_msg(poisoned(h, 0, Entry{0, 9}));
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  ASSERT_EQ(p->current(), (Entry{1, 2}));  // the recovery interval
+  // A flush with no new records publishes nothing about (1,2)...
+  p->force_flush();
+  EXPECT_FALSE(p->log_table().of(0).covers(Entry{1, 2}));
+  // ...and the own-entry for it correspondingly stays live.
+  ASSERT_TRUE(p->tdv().at(0).has_value());
+  EXPECT_EQ(*p->tdv().at(0), (Entry{1, 2}));
+  // A checkpoint makes it reconstructable and may certify it.
+  p->checkpoint_now();
+  EXPECT_TRUE(p->log_table().of(0).covers(Entry{1, 2}));
+  EXPECT_FALSE(p->tdv().at(0).has_value());
+}
+
+// ...but once a delivery of the new incarnation is flushed, the watermark
+// legitimately covers the bookkeeping interval beneath it (the restart
+// replay reconstructs past it without materializing it).
+TEST(Subtleties, FlushedSuccessorCoversTheRecoveryIntervalBeneath) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  p->handle_app_msg(poisoned(h, 0, Entry{0, 9}));
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  h.tick(*p);  // (1,3), a real record
+  p->force_flush();
+  EXPECT_TRUE(p->log_table().of(0).covers(Entry{1, 3}));
+  EXPECT_TRUE(p->log_table().of(0).covers(Entry{1, 2}));
+}
+
+// PROTOCOL.md §4.6: after a rollback, new sends must not reuse message ids
+// handed out by the undone era (the send counter is clamped, not reset).
+TEST(Subtleties, SendCounterNeverRegressesAcrossRollback) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  // A poisoned command: its delivery sends data (seq 1) and is an orphan.
+  AppMsg cmd = poisoned(h, 0, Entry{0, 9}, ScriptedApp::kSendCmd, /*a=*/2);
+  p->handle_app_msg(cmd);
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].id.seq, 1u);
+  h.sent.clear();
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p->rollbacks(), 1);
+  // The orphaned send's id (seq 1) is burned: the next send takes seq 2.
+  AppMsg next = h.command_send(*p, 2);
+  EXPECT_EQ(next.id.seq, 2u);
+}
+
+// PROTOCOL.md §4.4: a checkpoint taken while the state was an undetected
+// orphan must be skipped by the restore search; the initial checkpoint is
+// the always-present fallback.
+TEST(Subtleties, OrphanedCheckpointIsSkippedAtRollback) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  p->handle_app_msg(poisoned(h, 0, Entry{0, 9}));
+  p->checkpoint_now();  // checkpoint of an orphan-to-be state
+  ASSERT_EQ(p->storage().checkpoints().size(), 2u);
+  p->handle_announcement(Announcement{1, Entry{0, 4}, true});
+  EXPECT_EQ(p->rollbacks(), 1);
+  // The poisoned checkpoint was discarded; only the initial one remains,
+  // and the process restarted its chain from it.
+  EXPECT_EQ(p->storage().checkpoints().size(), 1u);
+  EXPECT_EQ(p->current(), (Entry{1, 2}));
+}
+
+// Announcements are idempotent: redelivery (the cluster's restart catch-up
+// path re-sends every historical announcement) must not journal or roll
+// back twice.
+TEST(Subtleties, DuplicateAnnouncementsAreNoOps) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  p->handle_app_msg(poisoned(h, 0, Entry{0, 9}));
+  Announcement r{1, Entry{0, 4}, true};
+  p->handle_announcement(r);
+  ASSERT_EQ(p->rollbacks(), 1);
+  size_t journal = p->storage().announcement_journal().size();
+  p->handle_announcement(r);
+  p->handle_announcement(r);
+  EXPECT_EQ(p->rollbacks(), 1);
+  EXPECT_EQ(p->storage().announcement_journal().size(), journal);
+}
+
+// PROTOCOL.md §4.7: an end-table entry for incarnation t also dooms
+// dependencies on earlier incarnations beyond its index — end to end.
+TEST(Subtleties, LaterIncarnationAnnouncementOrphansEarlierDependencies) {
+  TestHarness h(3);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start();
+  p->handle_app_msg(poisoned(h, 0, Entry{2, 9}));  // dep on (2,9)_1
+  // P1 announces that incarnation 5 ended at index 7: incarnation 2 ended
+  // at or before 7, so (2,9)_1 is rolled back and we are an orphan.
+  p->handle_announcement(Announcement{1, Entry{5, 7}, true});
+  EXPECT_EQ(p->rollbacks(), 1);
+}
+
+// The initial interval of a process started mid-history (Figure-1 style)
+// is stable by fiat via its initial checkpoint, whatever its incarnation.
+TEST(Subtleties, MidHistoryStartIsStableImmediately) {
+  TestHarness h(2);
+  auto p = h.make_process(0, ProtocolConfig{});
+  p->start(Entry{3, 8});
+  EXPECT_TRUE(p->log_table().of(0).covers(Entry{3, 8}));
+  EXPECT_EQ(p->storage().durable_max_inc(), 3);
+  // A crash right away recovers to exactly that point, announcing inc 3.
+  p->crash();
+  p->restart();
+  EXPECT_EQ(h.announcements.back().ended, (Entry{3, 8}));
+  EXPECT_EQ(p->current(), (Entry{4, 9}));
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,9 @@
+// Forwarder: the manual harness lives in the library (core/manual.h) so the
+// Figure-1 example and bench can reuse it; tests keep their historical name.
+#pragma once
+
+#include "core/manual.h"
+
+namespace koptlog {
+using TestHarness = ManualHarness;
+}  // namespace koptlog

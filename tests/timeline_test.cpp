@@ -1,0 +1,80 @@
+// Timeline rendering tests: ASCII lanes and Graphviz export from the
+// oracle's interval graph.
+#include <gtest/gtest.h>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/timeline.h"
+
+namespace koptlog {
+namespace {
+
+Oracle make_small_history() {
+  Oracle o(2);
+  o.on_process_start(IntervalId{0, 0, 1}, 1);
+  o.on_process_start(IntervalId{1, 0, 1}, 2);
+  o.on_interval_start(IntervalId{0, 0, 2}, IntervalId{kEnvironment, 0, 0}, 3);
+  o.on_interval_start(IntervalId{1, 0, 2}, IntervalId{0, 0, 2}, 4);
+  o.on_stable_watermark(0, Entry{0, 2}, 10);
+  o.on_crash(1, 1);
+  return o;
+}
+
+TEST(TimelineTest, AsciiShowsLanesAndMarkers) {
+  Oracle o = make_small_history();
+  std::string s = to_ascii(o);
+  EXPECT_NE(s.find("P0 |"), std::string::npos);
+  EXPECT_NE(s.find("P1 |"), std::string::npos);
+  EXPECT_NE(s.find("#(0,2)"), std::string::npos);  // stable
+  EXPECT_NE(s.find("!(0,2)"), std::string::npos);  // lost at P1
+  EXPECT_NE(s.find("*(0,1)"), std::string::npos);  // initial/recovery
+}
+
+TEST(TimelineTest, AsciiCapTruncatesLongLanes) {
+  Oracle o(1);
+  o.on_process_start(IntervalId{0, 0, 1}, 0);
+  for (Sii x = 2; x <= 40; ++x)
+    o.on_interval_start(IntervalId{0, 0, x}, IntervalId{kEnvironment, 0, 0}, 0);
+  TimelineOptions opts;
+  opts.ascii_max_per_process = 5;
+  std::string s = to_ascii(o, opts);
+  EXPECT_NE(s.find("more"), std::string::npos);
+  EXPECT_EQ(s.find("(0,10)"), std::string::npos);
+}
+
+TEST(TimelineTest, DotContainsNodesEdgesAndStyles) {
+  Oracle o = make_small_history();
+  std::string s = to_dot(o);
+  EXPECT_NE(s.find("digraph koptlog"), std::string::npos);
+  EXPECT_NE(s.find("subgraph cluster_p0"), std::string::npos);
+  // Chain edge P0 (0,1) -> (0,2):
+  EXPECT_NE(s.find("p0_i0_x1 -> p0_i0_x2"), std::string::npos);
+  // Message edge P0 (0,2) -> P1 (0,2), dashed:
+  EXPECT_NE(s.find("p0_i0_x2 -> p1_i0_x2 [style=dashed"), std::string::npos);
+  // Stable fill and lost fill:
+  EXPECT_NE(s.find("#aed581"), std::string::npos);
+  EXPECT_NE(s.find("#e57373"), std::string::npos);
+}
+
+TEST(TimelineTest, EndToEndClusterRunRenders) {
+  ClusterConfig cfg;
+  cfg.n = 3;
+  cfg.seed = 5;
+  cfg.enable_oracle = true;
+  Cluster cluster(cfg, make_uniform_app({}));
+  cluster.start();
+  inject_uniform_load(cluster, 10, 1'000, 50'000, 5, 7);
+  cluster.fail_at(30'000, 1);
+  cluster.run_for(300'000);
+  cluster.drain();
+  std::string ascii = to_ascii(*cluster.oracle());
+  std::string dot = to_dot(*cluster.oracle());
+  EXPECT_NE(ascii.find("P2 |"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // Something was lost or undone in the failure:
+  EXPECT_TRUE(ascii.find('!') != std::string::npos ||
+              ascii.find('~') != std::string::npos);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,195 @@
+// Workload application tests: PWD determinism (same inputs -> same state,
+// same sends), snapshot/restore round-trips, and shape checks per workload.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "app/workloads.h"
+
+namespace koptlog {
+namespace {
+
+/// Minimal AppContext that records what a handler produced.
+class RecordingContext final : public AppContext {
+ public:
+  RecordingContext(ProcessId self, int n) : self_(self), n_(n) {}
+
+  void send(ProcessId to, const AppPayload& payload) override {
+    sends.emplace_back(to, payload);
+  }
+  void send_with_k(ProcessId to, const AppPayload& payload, int) override {
+    sends.emplace_back(to, payload);
+  }
+  void output(const AppPayload& payload) override {
+    outputs.push_back(payload);
+  }
+  ProcessId self() const override { return self_; }
+  int system_size() const override { return n_; }
+
+  std::vector<std::pair<ProcessId, AppPayload>> sends;
+  std::vector<AppPayload> outputs;
+
+ private:
+  ProcessId self_;
+  int n_;
+};
+
+AppPayload token(int64_t a, int32_t ttl) {
+  AppPayload p;
+  p.kind = kToken;
+  p.a = a;
+  p.ttl = ttl;
+  return p;
+}
+
+TEST(UniformAppTest, DeterministicReplay) {
+  auto factory = make_uniform_app({});
+  auto app1 = factory(0);
+  auto app2 = factory(0);
+  RecordingContext ctx1(0, 4), ctx2(0, 4);
+  for (int i = 0; i < 20; ++i) {
+    app1->on_deliver(ctx1, (i * 7) % 4, token(i * 1234567, 5));
+    app2->on_deliver(ctx2, (i * 7) % 4, token(i * 1234567, 5));
+  }
+  EXPECT_EQ(app1->state_hash(), app2->state_hash());
+  ASSERT_EQ(ctx1.sends.size(), ctx2.sends.size());
+  for (size_t i = 0; i < ctx1.sends.size(); ++i) {
+    EXPECT_EQ(ctx1.sends[i].first, ctx2.sends[i].first);
+    EXPECT_EQ(ctx1.sends[i].second, ctx2.sends[i].second);
+  }
+}
+
+TEST(UniformAppTest, OrderSensitivity) {
+  auto factory = make_uniform_app({});
+  auto app1 = factory(0);
+  auto app2 = factory(0);
+  RecordingContext ctx(0, 4);
+  app1->on_deliver(ctx, 1, token(10, 0));
+  app1->on_deliver(ctx, 2, token(20, 0));
+  app2->on_deliver(ctx, 2, token(20, 0));
+  app2->on_deliver(ctx, 1, token(10, 0));
+  EXPECT_NE(app1->state_hash(), app2->state_hash());
+}
+
+TEST(UniformAppTest, TtlBoundsPropagation) {
+  auto app = make_uniform_app({.extra_send_denominator = 0})(0);
+  RecordingContext ctx(0, 4);
+  app->on_deliver(ctx, 1, token(5, 0));  // ttl exhausted: no forwarding
+  EXPECT_TRUE(ctx.sends.empty());
+  app->on_deliver(ctx, 1, token(5, 3));
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].second.ttl, 2);
+  EXPECT_NE(ctx.sends[0].first, 0);  // never self
+}
+
+TEST(UniformAppTest, SnapshotRestoreRoundTrip) {
+  auto factory = make_uniform_app({});
+  auto app = factory(0);
+  RecordingContext ctx(0, 4);
+  for (int i = 0; i < 10; ++i) app->on_deliver(ctx, 1, token(i, 2));
+  auto snap = app->snapshot();
+  uint64_t hash = app->state_hash();
+  for (int i = 0; i < 5; ++i) app->on_deliver(ctx, 2, token(i, 2));
+  EXPECT_NE(app->state_hash(), hash);
+  app->restore(snap);
+  EXPECT_EQ(app->state_hash(), hash);
+}
+
+TEST(UniformAppTest, OutputsEveryKthDelivery) {
+  auto app = make_uniform_app({.extra_send_denominator = 0, .output_every = 3})(0);
+  RecordingContext ctx(0, 4);
+  for (int i = 1; i <= 9; ++i) app->on_deliver(ctx, 1, token(i, 0));
+  EXPECT_EQ(ctx.outputs.size(), 3u);
+}
+
+TEST(PipelineAppTest, ForwardsToNextStageOnly) {
+  auto factory = make_pipeline_app({});
+  auto mid = factory(1);
+  RecordingContext ctx(1, 4);
+  AppPayload item;
+  item.kind = kPipeItem;
+  item.a = 5;
+  item.b = 0;
+  mid->on_deliver(ctx, 0, item);
+  ASSERT_EQ(ctx.sends.size(), 1u);
+  EXPECT_EQ(ctx.sends[0].first, 2);
+  EXPECT_TRUE(ctx.outputs.empty());
+}
+
+TEST(PipelineAppTest, LastStageEmitsOutput) {
+  auto factory = make_pipeline_app({.output_every = 1});
+  auto last = factory(3);
+  RecordingContext ctx(3, 4);
+  AppPayload item;
+  item.kind = kPipeItem;
+  item.a = 5;
+  item.b = 9;
+  last->on_deliver(ctx, 2, item);
+  EXPECT_TRUE(ctx.sends.empty());
+  ASSERT_EQ(ctx.outputs.size(), 1u);
+  EXPECT_EQ(ctx.outputs[0].b, 9);
+}
+
+TEST(ClientServerAppTest, RemoteOwnerRoundTrip) {
+  auto factory = make_client_server_app({.output_every = 1});
+  auto frontend = factory(0);
+  RecordingContext fctx(0, 4);
+  AppPayload req;
+  req.kind = kRequest;
+  req.a = 5;  // owner = 5 % 4 = 1 != 0
+  frontend->on_deliver(fctx, kEnvironment, req);
+  ASSERT_EQ(fctx.sends.size(), 1u);
+  EXPECT_EQ(fctx.sends[0].first, 1);
+  EXPECT_EQ(fctx.sends[0].second.kind, kSubRequest);
+  EXPECT_EQ(fctx.sends[0].second.b, 0);  // reply-to
+
+  auto owner = factory(1);
+  RecordingContext octx(1, 4);
+  owner->on_deliver(octx, 0, fctx.sends[0].second);
+  ASSERT_EQ(octx.sends.size(), 1u);
+  EXPECT_EQ(octx.sends[0].first, 0);
+  EXPECT_EQ(octx.sends[0].second.kind, kReply);
+
+  frontend->on_deliver(fctx, 1, octx.sends[0].second);
+  EXPECT_EQ(fctx.outputs.size(), 1u);
+}
+
+TEST(ClientServerAppTest, LocalOwnerAnswersDirectly) {
+  auto app = make_client_server_app({.output_every = 1})(2);
+  RecordingContext ctx(2, 4);
+  AppPayload req;
+  req.kind = kRequest;
+  req.a = 6;  // owner = 6 % 4 = 2 == self
+  app->on_deliver(ctx, kEnvironment, req);
+  EXPECT_TRUE(ctx.sends.empty());
+  EXPECT_EQ(ctx.outputs.size(), 1u);
+}
+
+TEST(ClientServerAppTest, SnapshotIncludesReplyCounter) {
+  auto factory = make_client_server_app({.output_every = 2});
+  auto app = factory(2);
+  RecordingContext ctx(2, 4);
+  AppPayload req;
+  req.kind = kRequest;
+  req.a = 6;
+  app->on_deliver(ctx, kEnvironment, req);  // 1 reply, no output yet
+  EXPECT_TRUE(ctx.outputs.empty());
+  auto snap = app->snapshot();
+  uint64_t hash = app->state_hash();
+
+  auto clone = factory(2);
+  clone->restore(snap);
+  EXPECT_EQ(clone->state_hash(), hash);
+  // The restored counter continues: the next reply is the 2nd -> output.
+  RecordingContext cctx(2, 4);
+  clone->on_deliver(cctx, kEnvironment, req);
+  EXPECT_EQ(cctx.outputs.size(), 1u);
+}
+
+TEST(HashChainAppTest, SnapshotIsCompact) {
+  auto app = make_uniform_app({})(0);
+  EXPECT_EQ(app->snapshot().size(), 16u);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,192 @@
+// koptlog_sim — scenario driver CLI: run any workload under any recovery
+// configuration and print metrics, the oracle's verdict, and (optionally) a
+// space-time diagram of the run.
+//
+//   koptlog_sim --n 6 --k 2 --workload clientserver --injections 200
+//               --failures 3 --seed 7 --dot run.dot --ascii
+//   dot -Tsvg run.dot -o run.svg     # your own Figure 1
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "app/workloads.h"
+#include "baseline/pessimistic.h"
+#include "core/cluster.h"
+#include "core/failure_injector.h"
+#include "core/metrics.h"
+#include "core/timeline.h"
+#include "direct/direct_process.h"
+
+using namespace koptlog;
+
+namespace {
+
+struct Args {
+  int n = 4;
+  int k = -1;  // -1 = N (traditional optimistic)
+  uint64_t seed = 1;
+  std::string workload = "uniform";
+  std::string engine = "kopt";  // kopt | direct | pessimistic | strom-yemini
+  int injections = 100;
+  int ttl = 7;
+  int failures = 0;
+  SimTime horizon_ms = 1'000;
+  SimTime flush_ms = 5;
+  SimTime notify_ms = 10;
+  SimTime checkpoint_ms = 100;
+  SimTime sync_us = 500;
+  bool fifo = false;
+  bool reliable = false;
+  bool no_gc = false;
+  bool no_oracle = false;
+  bool ascii = false;
+  bool stats = false;
+  std::string dot_file;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cout
+      << "usage: " << argv0 << " [options]\n"
+      << "  --engine kopt|direct|pessimistic|strom-yemini   (default kopt)\n"
+      << "  --workload uniform|pipeline|clientserver        (default uniform)\n"
+      << "  --n INT           processes (default 4)\n"
+      << "  --k INT           degree of optimism; -1 = N (default -1)\n"
+      << "  --seed INT        run seed (default 1)\n"
+      << "  --injections INT  environment requests (default 100)\n"
+      << "  --ttl INT         uniform-workload hop budget (default 7)\n"
+      << "  --failures INT    random crashes during the run (default 0)\n"
+      << "  --horizon-ms INT  injection window (default 1000)\n"
+      << "  --flush-ms/--notify-ms/--checkpoint-ms  logging cadence\n"
+      << "  --sync-us INT     synchronous stable-storage write cost\n"
+      << "  --fifo --reliable --no-gc --no-oracle   toggles\n"
+      << "  --ascii           print a space-time diagram\n"
+      << "  --dot FILE        write a Graphviz space-time diagram\n"
+      << "  --stats           dump every counter/histogram\n";
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string f = argv[i];
+    if (f == "--engine") a.engine = need(i);
+    else if (f == "--workload") a.workload = need(i);
+    else if (f == "--n") a.n = std::stoi(need(i));
+    else if (f == "--k") a.k = std::stoi(need(i));
+    else if (f == "--seed") a.seed = std::stoull(need(i));
+    else if (f == "--injections") a.injections = std::stoi(need(i));
+    else if (f == "--ttl") a.ttl = std::stoi(need(i));
+    else if (f == "--failures") a.failures = std::stoi(need(i));
+    else if (f == "--horizon-ms") a.horizon_ms = std::stoll(need(i));
+    else if (f == "--flush-ms") a.flush_ms = std::stoll(need(i));
+    else if (f == "--notify-ms") a.notify_ms = std::stoll(need(i));
+    else if (f == "--checkpoint-ms") a.checkpoint_ms = std::stoll(need(i));
+    else if (f == "--sync-us") a.sync_us = std::stoll(need(i));
+    else if (f == "--fifo") a.fifo = true;
+    else if (f == "--reliable") a.reliable = true;
+    else if (f == "--no-gc") a.no_gc = true;
+    else if (f == "--no-oracle") a.no_oracle = true;
+    else if (f == "--ascii") a.ascii = true;
+    else if (f == "--dot") a.dot_file = need(i);
+    else if (f == "--stats") a.stats = true;
+    else usage(argv[0]);
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parse(argc, argv);
+
+  ClusterConfig cfg;
+  cfg.n = a.n;
+  cfg.seed = a.seed;
+  cfg.fifo = a.fifo;
+  cfg.enable_oracle = !a.no_oracle;
+  if (a.engine == "pessimistic") {
+    cfg.protocol = pessimistic_baseline();
+  } else if (a.engine == "strom-yemini") {
+    cfg.protocol = strom_yemini_baseline();
+    cfg.fifo = true;
+  } else {
+    cfg.protocol.k = a.k < 0 ? ProtocolConfig::kUnboundedK : a.k;
+  }
+  cfg.protocol.flush_interval_us = a.flush_ms * 1000;
+  cfg.protocol.notify_interval_us = a.notify_ms * 1000;
+  cfg.protocol.checkpoint_interval_us = a.checkpoint_ms * 1000;
+  cfg.protocol.storage.sync_write_us = a.sync_us;
+  cfg.protocol.reliable_delivery = a.reliable;
+  cfg.protocol.garbage_collect = !a.no_gc;
+
+  Cluster::AppFactory app =
+      a.workload == "pipeline"       ? make_pipeline_app({})
+      : a.workload == "clientserver" ? make_client_server_app({})
+                                     : make_uniform_app({});
+
+  Cluster cluster = a.engine == "direct"
+                        ? Cluster(cfg, app, DirectProcess::factory())
+                        : Cluster(cfg, app);
+  cluster.start();
+
+  SimTime load_end = a.horizon_ms * 1000;
+  if (a.workload == "pipeline") {
+    inject_pipeline_load(cluster, a.injections, 1'000, load_end);
+  } else if (a.workload == "clientserver") {
+    inject_client_requests(cluster, a.injections, 1'000, load_end, a.seed + 3);
+  } else {
+    inject_uniform_load(cluster, a.injections, 1'000, load_end, a.ttl,
+                        a.seed + 1);
+  }
+  if (a.failures > 0) {
+    apply_failure_plan(cluster,
+                       FailurePlan::random(Rng(a.seed).fork("cli"), a.n,
+                                           a.failures, load_end / 10,
+                                           load_end + load_end / 4));
+  }
+
+  cluster.run_for(load_end * 3);
+  cluster.drain();
+
+  std::cout << "engine=" << a.engine << " workload=" << a.workload
+            << " n=" << a.n << " seed=" << a.seed << "\n"
+            << "  delivered          " << cluster.stats().counter("msgs.delivered")
+            << "\n  released           " << cluster.stats().counter("msgs.released")
+            << "\n  outputs committed  " << cluster.outputs().size()
+            << "\n  crashes/restarts   " << cluster.stats().counter("crash.count")
+            << "/" << cluster.stats().counter("restart.count")
+            << "\n  peer rollbacks     " << cluster.stats().counter("rollback.count")
+            << "\n  orphans discarded  "
+            << cluster.stats().counter("msgs.discarded_orphan_recv")
+            << "\n  piggyback mean B   "
+            << format_double(cluster.stats().histogram("msg.piggyback_bytes").mean(), 1)
+            << "\n  commit p99 us      "
+            << format_double(
+                   cluster.stats().histogram("output.commit_latency_us").p99(), 0)
+            << "\n  sim makespan ms    " << cluster.sim().now() / 1000 << "\n";
+
+  if (a.stats) print_stats(cluster.stats(), std::cout);
+
+  int rc = 0;
+  if (cluster.oracle() != nullptr) {
+    Oracle::Report rep = cluster.oracle()->verify(/*strict_thm4=*/true);
+    std::cout << "oracle: " << rep.summary() << "\n";
+    rc = rep.ok ? 0 : 1;
+  }
+
+  if (a.ascii && cluster.oracle() != nullptr) {
+    std::cout << "\n" << to_ascii(*cluster.oracle());
+  }
+  if (!a.dot_file.empty() && cluster.oracle() != nullptr) {
+    std::ofstream out(a.dot_file);
+    out << to_dot(*cluster.oracle());
+    std::cout << "wrote " << a.dot_file << " (render: dot -Tsvg " << a.dot_file
+              << " -o run.svg)\n";
+  }
+  return rc;
+}
