@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer test variant: build with -fsanitize=address,undefined
+# (KOPTLOG_SANITIZE=ON) in a dedicated build directory and run the unit
+# tests plus the Figure 1 trace tests under it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . -DKOPTLOG_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" --target koptlog_tests -j "$(nproc)"
+
+# Unit tests for the runtime components + the deterministic Figure 1
+# walkthrough: the highest-value surface for UB/ASan, and fast enough to
+# gate on. Everything else still runs in the regular (unsanitized) job.
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism'

@@ -249,14 +249,12 @@ void Cluster::drain() {
   for (auto& up : processes_) {
     RecoveryProcess& p = *up;
     os << "P" << p.pid() << (p.alive() ? "" : " DOWN")
-       << (p.quiescent() ? "" : " busy") << "; ";
-    if (auto* kp = dynamic_cast<Process*>(&p)) {
-      os << "  [at " << kp->current().str()
-         << " recv=" << kp->receive_buffer_size()
-         << " send=" << kp->send_buffer_size()
-         << " out=" << kp->output_buffer_size()
-         << " vol=" << kp->storage().log().volatile_count() << "] ";
-    }
+       << (p.quiescent() ? "" : " busy") << "; "
+       << "  [at " << p.current().str()
+       << " recv=" << p.receive_buffer_size()
+       << " send=" << p.send_buffer_size()
+       << " out=" << p.output_buffer_size()
+       << " vol=" << p.storage().log().volatile_count() << "] ";
   }
   KOPT_CHECK_MSG(false, "cluster failed to drain: " << os.str());
 }

@@ -1,18 +1,17 @@
 #include "core/process.h"
 
 #include <algorithm>
-#include <optional>
 #include <ostream>
 #include <utility>
 
 #include "common/check.h"
+#include "core/oracle.h"
 
 namespace koptlog {
 
 namespace {
 /// Names used in the shared Stats bag. Aggregated across processes.
 constexpr const char* kSent = "msgs.sent";
-constexpr const char* kReleased = "msgs.released";
 constexpr const char* kReceived = "msgs.received";
 constexpr const char* kDuplicate = "msgs.duplicate";
 constexpr const char* kDelivered = "msgs.delivered";
@@ -22,15 +21,8 @@ constexpr const char* kDiscardedOutput = "outputs.discarded_orphan";
 constexpr const char* kRollbacks = "rollback.count";
 constexpr const char* kUndone = "rollback.undone_intervals";
 constexpr const char* kRestarts = "restart.count";
-constexpr const char* kReplayed = "restart.replayed_msgs";
 constexpr const char* kAnnSent = "announce.sent";
-constexpr const char* kAnnRecv = "announce.received";
-constexpr const char* kFlushes = "flush.count";
-constexpr const char* kCheckpoints = "checkpoint.count";
 constexpr const char* kProgressSent = "log_progress.sent";
-constexpr const char* kHoldUs = "send.hold_us";
-constexpr const char* kRisk = "send.risk";
-constexpr const char* kPiggyback = "msg.piggyback_bytes";
 constexpr const char* kRecvWaitUs = "recv.wait_us";
 constexpr const char* kTdvNonNull = "tdv.non_null";
 }  // namespace
@@ -45,6 +37,11 @@ Process::Process(ProcessId pid, int n, const ProtocolConfig& cfg,
       exec_(api.sim()),
       app_(std::move(app)),
       storage_(cfg.storage),
+      rt_{pid_, n_, api_, exec_, storage_},
+      channel_(rt_, cfg_.reliable_delivery, recv_),
+      send_buffer_(rt_, cfg_.null_stable_entries, channel_),
+      output_buffer_(rt_, cfg_.null_stable_entries),
+      replay_(rt_, cfg_, [this] { return alive_; }),
       tdv_(n),
       iet_(n),
       log_(n) {
@@ -99,14 +96,8 @@ void Process::send_impl(ProcessId to, const AppPayload& payload, int k_limit) {
   m.born_of = IntervalId{pid_, current_.inc, current_.sii};
   m.sent_at = api_.sim().now();
   api_.stats().inc(kSent);
-  // A recovery replay re-executes this send; if the original copy is still
-  // buffered, keep it (it may already have more entries NULLed).
-  for (const BufferedSend& b : send_buffer_) {
-    if (b.msg.id == m.id) return;
-  }
-  send_buffer_.push_back(
-      BufferedSend{std::move(m), api_.sim().now(), k_limit});
-  check_send_buffer();
+  if (send_buffer_.enqueue(std::move(m), api_.sim().now(), k_limit))
+    check_send_buffer();
 }
 
 void Process::output(const AppPayload& payload) {
@@ -116,7 +107,7 @@ void Process::output(const AppPayload& payload) {
   rec.tdv = tdv_;
   rec.born_of = IntervalId{pid_, current_.inc, current_.sii};
   rec.created_at = api_.sim().now();
-  output_buffer_.push_back(std::move(rec));
+  output_buffer_.push(std::move(rec));
   check_output_buffer();
 }
 
@@ -170,66 +161,44 @@ bool Process::sy_deliverable(const AppMsg& m) const {
 // Receiving and delivering
 // ---------------------------------------------------------------------------
 
+void Process::discard_orphan_recv(const AppMsg& m) {
+  api_.stats().inc(kDiscardedRecv);
+  if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
+  channel_.ack_discarded(m);
+}
+
 void Process::handle_app_msg(const AppMsg& m) {
   if (!alive_) return;  // raced with a crash; counts as an in-transit loss
   api_.stats().inc(kReceived);
-  if (delivered_ids_.count(m.id) != 0 ||
-      std::any_of(receive_buffer_.begin(), receive_buffer_.end(),
-                  [&](const BufferedRecv& b) { return b.msg.id == m.id; })) {
+  if (recv_.seen(m.id)) {
     api_.stats().inc(kDuplicate);
-    // Re-ack duplicates of already-stable deliveries: the first ack may
-    // have been lost. (Not-yet-stable duplicates are NOT acked; the
-    // pending stability will ack, and until then the sender must keep the
-    // message.)
-    if (cfg_.reliable_delivery && acked_ids_.count(m.id) != 0 &&
-        m.from != kEnvironment) {
-      api_.send_ack(pid_, m.from, m.id);
-    }
+    channel_.reack_duplicate(m);
     return;
   }
   // Check_orphan({m}).
   if (orphan_vec(m.tdv)) {
-    api_.stats().inc(kDiscardedRecv);
-    if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
-    ack_discarded(m);
+    discard_orphan_recv(m);
     trace([&](std::ostream& os) {
       os << "discard orphan msg from P" << m.from << ' ' << m.born_of.str();
     });
     return;
   }
-  receive_buffer_.push_back(BufferedRecv{m, api_.sim().now()});
+  recv_.push(m, api_.sim().now());
   try_deliver();
 }
 
 void Process::try_deliver() {
-  bool progress = true;
-  while (progress && alive_) {
-    progress = false;
-    for (size_t i = 0; i < receive_buffer_.size(); ++i) {
-      // Announcements processed since arrival may have orphaned it.
-      if (orphan_vec(receive_buffer_[i].msg.tdv)) {
-        api_.stats().inc(kDiscardedRecv);
-        if (Oracle* orc = oracle())
-          orc->on_msg_discarded(receive_buffer_[i].msg);
-        ack_discarded(receive_buffer_[i].msg);
-        receive_buffer_.erase(receive_buffer_.begin() +
-                              static_cast<ptrdiff_t>(i));
-        progress = true;
-        break;
-      }
-      if (deliverable(receive_buffer_[i].msg)) {
-        BufferedRecv b = std::move(receive_buffer_[i]);
-        receive_buffer_.erase(receive_buffer_.begin() +
-                              static_cast<ptrdiff_t>(i));
-        api_.stats().sample(kRecvWaitUs,
-                            static_cast<double>(api_.sim().now() - b.arrived_at));
+  recv_.drain_deliverable(
+      [&] { return alive_; },
+      [&](const AppMsg& m) { return orphan_vec(m.tdv); },
+      [&](const AppMsg& m) { discard_orphan_recv(m); },
+      [&](const AppMsg& m) { return deliverable(m); },
+      [&](ReceiveBuffer::Buffered&& b) {
+        api_.stats().sample(
+            kRecvWaitUs, static_cast<double>(api_.sim().now() - b.arrived_at));
         if (api_.sim().now() > b.arrived_at) api_.stats().inc("recv.delayed");
         deliver(b.msg);
-        progress = true;
-        break;
-      }
-    }
-  }
+      });
 }
 
 void Process::deliver(const AppMsg& m) {
@@ -238,7 +207,7 @@ void Process::deliver(const AppMsg& m) {
   tdv_.merge_max(m.tdv);
   ++current_.sii;
   tdv_.set(pid_, current_);
-  delivered_ids_.insert(m.id);
+  recv_.mark_delivered(m.id);
   IntervalId iv{pid_, current_.inc, current_.sii};
   storage_.log().append(LogRecord{m, iv});
   ++deliveries_;
@@ -251,7 +220,7 @@ void Process::deliver(const AppMsg& m) {
     // sends below carry no dependencies at all.
     storage_.log().flush_all();
     ++storage_.records_flushed;
-    charge_sync_write(storage_.costs().sync_write_us);
+    replay_.charge_sync_write(storage_.costs().sync_write_us);
     note_own_stable(current_);
     if (cfg_.null_stable_entries) {
       if (Oracle* orc = oracle())
@@ -277,131 +246,52 @@ void Process::run_app_handler(ProcessId from, const AppPayload& payload) {
 // Send buffer, output buffer, stability information
 // ---------------------------------------------------------------------------
 
+void Process::null_stable_entries(DepVector& v) {
+  for (ProcessId j = 0; j < n_; ++j) {
+    const OptEntry& e = v.at(j);
+    if (e && log_.of(j).covers(*e)) {
+      if (Oracle* orc = oracle())
+        orc->on_entry_nulled(pid_, j, *e, api_.sim().now());
+      v.clear(j);
+    }
+  }
+}
+
 void Process::check_send_buffer() {
   // Check_send_buffer (Figure 2): NULL entries that became stable, then
   // release every message with at most K live entries.
-  std::vector<BufferedSend> kept;
-  kept.reserve(send_buffer_.size());
-  for (BufferedSend& b : send_buffer_) {
-    if (cfg_.null_stable_entries) {
-      for (ProcessId j = 0; j < n_; ++j) {
-        const OptEntry& e = b.msg.tdv.at(j);
-        if (e && log_.of(j).covers(*e)) {
-          if (Oracle* orc = oracle())
-            orc->on_entry_nulled(pid_, j, *e, api_.sim().now());
-          b.msg.tdv.clear(j);
-        }
-      }
-    }
-    int live = b.msg.tdv.non_null_count();
-    if (live <= b.k_limit) {
-      api_.stats().inc(kReleased);
-      if (api_.sim().now() > b.queued_at)
-        api_.stats().inc("msgs.released_delayed");
-      api_.stats().sample(kHoldUs,
-                          static_cast<double>(api_.sim().now() - b.queued_at));
-      api_.stats().sample(kRisk, static_cast<double>(live));
-      api_.stats().sample(kPiggyback, static_cast<double>(wire_bytes(b.msg)));
-      api_.stats().sample("msg.vector_bytes",
-                          static_cast<double>(cfg_.null_stable_entries
-                                                  ? b.msg.tdv.wire_bytes()
-                                                  : b.msg.tdv.wire_bytes_full()));
-      if (Oracle* orc = oracle())
-        orc->on_msg_released(b.msg, live, b.k_limit, api_.sim().now());
-      if (cfg_.reliable_delivery) unacked_[b.msg.id] = b.msg;
-      // The message leaves the host once the process's current busy window
-      // (application work plus any blocking stable-storage writes — the
-      // pessimistic discipline's cost) has drained.
-      SimTime ready = std::max(api_.sim().now(), exec_.busy_until());
-      if (ready > api_.sim().now()) {
-        api_.sim().schedule_at(ready, [this, msg = std::move(b.msg)]() mutable {
-          api_.route_app_msg(std::move(msg));
-        });
-      } else {
-        api_.route_app_msg(std::move(b.msg));
-      }
-    } else {
-      kept.push_back(std::move(b));
-    }
-  }
-  send_buffer_ = std::move(kept);
+  send_buffer_.release_eligible(
+      cfg_.null_stable_entries
+          ? std::function<void(DepVector&)>(
+                [this](DepVector& v) { null_stable_entries(v); })
+          : std::function<void(DepVector&)>());
 }
 
 void Process::check_output_buffer() {
-  // An output is a 0-optimistic message: commit once every interval it
-  // depends on is known stable. With Theorem 2 on that means "all entries
-  // NULL"; in the Strom–Yemini/full-TDV configurations entries are never
-  // NULLed, so stability is tested against the log table directly.
-  std::vector<OutputRecord> kept;
-  kept.reserve(output_buffer_.size());
-  for (OutputRecord& rec : output_buffer_) {
-    bool ready = true;
-    for (ProcessId j = 0; j < n_; ++j) {
-      const OptEntry& e = rec.tdv.at(j);
-      if (!e) continue;
-      if (!log_.of(j).covers(*e)) {
-        ready = false;
-        continue;
-      }
-      if (cfg_.null_stable_entries) {
-        if (Oracle* orc = oracle())
-          orc->on_entry_nulled(pid_, j, *e, api_.sim().now());
-        rec.tdv.clear(j);
-      }
-    }
-    if (ready) {
-      // Like message release, the commit reaches the outside world when the
-      // busy window (including blocking writes) has drained.
-      SimTime at = std::max(api_.sim().now(), exec_.busy_until());
-      if (at > api_.sim().now()) {
-        api_.sim().schedule_at(
-            at, [this, r = std::move(rec)] { api_.commit_output(r); });
-      } else {
-        api_.commit_output(rec);
-      }
-    } else {
-      kept.push_back(std::move(rec));
-    }
-  }
-  output_buffer_ = std::move(kept);
+  output_buffer_.check(
+      [this](ProcessId j, const Entry& e) { return log_.of(j).covers(e); });
 }
 
 void Process::apply_stability_info() {
   if (!alive_) return;
-  if (cfg_.null_stable_entries) {
-    for (ProcessId j = 0; j < n_; ++j) {
-      const OptEntry& e = tdv_.at(j);
-      if (e && log_.of(j).covers(*e)) {
-        if (Oracle* orc = oracle())
-          orc->on_entry_nulled(pid_, j, *e, api_.sim().now());
-        tdv_.clear(j);
-      }
-    }
-  }
+  if (cfg_.null_stable_entries) null_stable_entries(tdv_);
   check_send_buffer();
   check_output_buffer();
   try_deliver();
 }
 
 void Process::discard_orphans_from_buffers() {
-  std::erase_if(receive_buffer_, [&](const BufferedRecv& b) {
-    if (!orphan_vec(b.msg.tdv)) return false;
-    api_.stats().inc(kDiscardedRecv);
-    if (Oracle* orc = oracle()) orc->on_msg_discarded(b.msg);
-    ack_discarded(b.msg);
-    return true;
-  });
-  std::erase_if(send_buffer_, [&](const BufferedSend& b) {
-    if (!orphan_vec(b.msg.tdv)) return false;
-    api_.stats().inc(kDiscardedSend);
-    if (Oracle* orc = oracle()) orc->on_msg_discarded(b.msg);
-    return true;
-  });
-  std::erase_if(output_buffer_, [&](const OutputRecord& rec) {
-    if (!orphan_vec(rec.tdv)) return false;
-    api_.stats().inc(kDiscardedOutput);
-    return true;
-  });
+  recv_.discard_if([&](const AppMsg& m) { return orphan_vec(m.tdv); },
+                   [&](const AppMsg& m) { discard_orphan_recv(m); });
+  send_buffer_.discard_if([&](const AppMsg& m) { return orphan_vec(m.tdv); },
+                          [&](const AppMsg& m) {
+                            api_.stats().inc(kDiscardedSend);
+                            if (Oracle* orc = oracle())
+                              orc->on_msg_discarded(m);
+                          });
+  output_buffer_.discard_if(
+      [&](const DepVector& v) { return orphan_vec(v); },
+      [&](const OutputRecord&) { api_.stats().inc(kDiscardedOutput); });
 }
 
 // ---------------------------------------------------------------------------
@@ -410,13 +300,7 @@ void Process::discard_orphans_from_buffers() {
 
 void Process::handle_announcement(const Announcement& a) {
   if (!alive_) return;  // the cluster re-queues announcements for us
-  auto key = std::make_pair(a.from, a.ended);
-  if (processed_announcements_.count(key) != 0) return;
-  processed_announcements_.insert(key);
-  // "Synchronously log the received announcement" (Figure 3).
-  charge_sync_write(storage_.costs().sync_write_us);
-  storage_.journal_announcement(a);
-  api_.stats().inc(kAnnRecv);
+  if (!replay_.note_remote_announcement(a)) return;
   process_announcement_body(a);
 }
 
@@ -439,21 +323,12 @@ void Process::handle_log_progress(const LogProgressMsg& lp) {
 
 void Process::handle_ack(const MsgId& id) {
   if (!alive_) return;
-  unacked_.erase(id);
+  channel_.on_ack(id);
 }
 
 void Process::retransmit_unacked() {
   if (!alive_ || !cfg_.reliable_delivery) return;
-  for (auto it = unacked_.begin(); it != unacked_.end();) {
-    if (orphan_vec(it->second.tdv)) {
-      // The receiver would discard it anyway; no point re-sending.
-      it = unacked_.erase(it);
-      continue;
-    }
-    api_.stats().inc("msgs.retransmitted");
-    api_.route_app_msg(it->second);
-    ++it;
-  }
+  channel_.retransmit([&](const AppMsg& m) { return orphan_vec(m.tdv); });
 }
 
 void Process::broadcast_progress() {
@@ -472,28 +347,17 @@ void Process::broadcast_progress() {
 // ---------------------------------------------------------------------------
 
 void Process::do_checkpoint() {
-  // "When a checkpoint is taken, all messages in the volatile buffer are
-  // also written to stable storage at the same time so that stable state
-  // intervals are always continuous" (§2).
-  size_t nvol = storage_.log().volatile_count();
-  storage_.log().flush_all();
-  storage_.records_flushed += static_cast<int64_t>(nvol);
-  exec_.occupy(storage_.costs().checkpoint_write_us +
-               static_cast<SimTime>(nvol) *
-                   storage_.costs().async_flush_per_msg_us);
-  ++storage_.checkpoints_taken;
-  api_.stats().inc(kCheckpoints);
-  ack_stable_records();
-  Checkpoint cp;
-  cp.at = current_;
-  cp.tdv = tdv_;
-  cp.log_pos = storage_.log().size();
-  cp.send_seq = send_seq_;
-  cp.output_seq = output_seq_;
-  cp.app_state = app_->snapshot();
-  cp.app_hash = app_->state_hash();
-  cp.self_watermarks = log_.of(pid_).entries();
-  storage_.checkpoints().push(std::move(cp));
+  replay_.take_checkpoint([&](Checkpoint& cp) {
+    channel_.ack_stable_records();
+    cp.at = current_;
+    cp.tdv = tdv_;
+    cp.log_pos = storage_.log().size();
+    cp.send_seq = send_seq_;
+    cp.output_seq = output_seq_;
+    cp.app_state = app_->snapshot();
+    cp.app_hash = app_->state_hash();
+    cp.self_watermarks = log_.of(pid_).entries();
+  });
   // Corollary 2: the checkpoint makes everything up to `current_` stable,
   // which in turn NULLs our own entry in apply_stability_info().
   note_own_stable(current_);
@@ -507,35 +371,13 @@ void Process::garbage_collect() {
   // orphaned state must still hold a dependency entry on some non-stable
   // (lost) interval, and this checkpoint holds none. Rollback/restart will
   // therefore never need anything older than it.
-  const CheckpointStore& cps = storage_.checkpoints();
-  std::optional<size_t> pivot;
-  for (size_t i = cps.size(); i-- > 0;) {
-    const Checkpoint& cp = cps.at(i);
-    bool safe = true;
-    for (ProcessId j = 0; j < n_ && safe; ++j) {
+  replay_.garbage_collect([&](const Checkpoint& cp) {
+    for (ProcessId j = 0; j < n_; ++j) {
       const OptEntry& e = cp.tdv.at(j);
-      if (e && !log_.of(j).covers(*e)) safe = false;
+      if (e && !log_.of(j).covers(*e)) return false;
     }
-    if (safe) {
-      pivot = i;
-      break;
-    }
-  }
-  if (!pivot) return;
-  const size_t reclaim_to =
-      std::min(cps.at(*pivot).log_pos, storage_.log().stable_count());
-  size_t records = storage_.log().discard_prefix(reclaim_to);
-  size_t checkpoints = *pivot;
-  if (checkpoints > 0) storage_.checkpoints().discard_before(checkpoints);
-  if (records > 0) api_.stats().inc("gc.records_reclaimed",
-                                    static_cast<int64_t>(records));
-  if (checkpoints > 0)
-    api_.stats().inc("gc.checkpoints_reclaimed",
-                     static_cast<int64_t>(checkpoints));
-  api_.stats().sample("storage.log_retained",
-                      static_cast<double>(storage_.log().retained_count()));
-  api_.stats().sample("storage.checkpoints_retained",
-                      static_cast<double>(storage_.checkpoints().size()));
+    return true;
+  });
 }
 
 void Process::note_own_stable(Entry watermark) {
@@ -545,50 +387,28 @@ void Process::note_own_stable(Entry watermark) {
 }
 
 void Process::start_async_flush() {
-  size_t nvol = storage_.log().volatile_count();
-  if (nvol == 0) return;
-  ++storage_.async_flushes;
-  api_.stats().inc(kFlushes);
-  size_t upto = storage_.log().size();
-  // The watermark is the interval of the last *logged record*, not
-  // `current_`: a rollback/restart bookkeeping interval has no record and
-  // is only reconstructable from a checkpoint, so a flush must never claim
-  // it stable.
-  Entry watermark = storage_.log().at(upto - 1).started.entry();
-  uint64_t epoch = epoch_;
-  SimTime d = storage_.costs().async_flush_base_us +
-              static_cast<SimTime>(nvol) *
-                  storage_.costs().async_flush_per_msg_us;
-  api_.sim().schedule_after(
-      d, [this, upto, watermark, epoch] { finish_flush(upto, watermark, epoch); });
-}
-
-void Process::finish_flush(size_t upto, Entry watermark, uint64_t epoch) {
-  if (epoch != epoch_ || !alive_) return;
-  // A rollback may have truncated (and regrown, in a new incarnation) the
-  // log since this flush was issued — the watermark is then void; garbage
-  // collection may have reclaimed the prefix — the flush already happened.
-  if (upto > storage_.log().size() || upto <= storage_.log().base() ||
-      storage_.log().at(upto - 1).started.entry() != watermark)
-    return;
-  size_t before = storage_.log().stable_count();
-  storage_.log().flush_to(upto);
-  storage_.records_flushed +=
-      static_cast<int64_t>(storage_.log().stable_count() - before);
-  ack_stable_records();
-  note_own_stable(watermark);
-  apply_stability_info();
+  replay_.start_async_flush([this](size_t upto, Entry watermark) {
+    // A rollback may have truncated (and regrown, in a new incarnation) the
+    // log since this flush was issued — the watermark is then void; garbage
+    // collection may have reclaimed the prefix — the flush already happened.
+    if (upto > storage_.log().size() || upto <= storage_.log().base() ||
+        storage_.log().at(upto - 1).started.entry() != watermark)
+      return;
+    replay_.complete_flush(upto);
+    channel_.ack_stable_records();
+    note_own_stable(watermark);
+    apply_stability_info();
+  });
 }
 
 void Process::force_flush() {
   if (!alive_) return;
-  size_t nvol = storage_.log().volatile_count();
-  if (nvol > 0) {
-    storage_.log().flush_all();
-    storage_.records_flushed += static_cast<int64_t>(nvol);
+  if (storage_.log().volatile_count() > 0) {
+    replay_.flush_volatile();
     ++storage_.async_flushes;
-    ack_stable_records();
-    note_own_stable(storage_.log().at(storage_.log().size() - 1).started.entry());
+    channel_.ack_stable_records();
+    note_own_stable(
+        storage_.log().at(storage_.log().size() - 1).started.entry());
   }
   apply_stability_info();
 }
@@ -597,44 +417,9 @@ void Process::force_flush() {
 // Rollback / crash / restart
 // ---------------------------------------------------------------------------
 
-void Process::ack_stable_records() {
-  size_t upto = storage_.log().stable_count();
-  acked_upto_ = std::max(acked_upto_, storage_.log().base());
-  for (size_t i = acked_upto_; i < upto; ++i) {
-    const AppMsg& m = storage_.log().at(i).msg;
-    storage_.unpark(m.id);
-    if (cfg_.reliable_delivery && m.from != kEnvironment) {
-      acked_ids_.insert(m.id);
-      api_.send_ack(pid_, m.from, m.id);
-    }
-  }
-  acked_upto_ = upto;
-}
-
-void Process::ack_discarded(const AppMsg& m) {
-  storage_.unpark(m.id);
-  if (cfg_.reliable_delivery && m.from != kEnvironment)
-    api_.send_ack(pid_, m.from, m.id);
-}
-
-void Process::charge_sync_write(SimTime cost) {
-  exec_.occupy(cost);
-  ++storage_.sync_writes;
-  api_.stats().inc("storage.sync_writes");
-}
-
-void Process::bump_incarnation_durably() {
-  Incarnation next = storage_.durable_max_inc() + 1;
-  charge_sync_write(storage_.costs().sync_write_us);
-  storage_.set_durable_max_inc(next);
-  current_.inc = next;
-}
-
 void Process::announce(Entry ended, bool from_failure) {
   Announcement a{pid_, ended, from_failure};
-  charge_sync_write(storage_.costs().sync_write_us);
-  storage_.journal_announcement(a);
-  processed_announcements_.insert({pid_, ended});
+  replay_.record_own_announcement(a);
   iet_.insert(pid_, ended);
   log_.insert(pid_, ended);
   api_.stats().inc(kAnnSent);
@@ -658,30 +443,26 @@ size_t Process::restore_and_replay(bool is_restart) {
   send_seq_ = cp.send_seq;
   output_seq_ = cp.output_seq;
 
-  in_replay_ = true;
-  size_t pos = cp.log_pos;
-  while (pos < storage_.log().size()) {
-    const LogRecord& r = storage_.log().at(pos);
-    if (orphan_vec(r.msg.tdv)) {
-      // Condition (I): the first orphan delivery ends the replayable
-      // prefix. At restart this cannot happen: announcement processing
-      // truncates the log synchronously, so no stable record is ever
-      // orphaned by a journaled announcement.
-      KOPT_CHECK_MSG(!is_restart, "orphan record in stable log at restart");
-      break;
-    }
-    exec_.occupy(cfg_.replay_per_msg_us);
-    tdv_.merge_max(r.msg.tdv);
-    current_ = r.started.entry();
-    tdv_.set(pid_, current_);
-    delivered_ids_.insert(r.msg.id);
-    run_app_handler(r.msg.from, r.msg.payload);
-    if (Oracle* orc = oracle())
-      orc->on_interval_replayed(r.started, app_->state_hash());
-    api_.stats().inc(kReplayed);
-    ++pos;
-  }
-  in_replay_ = false;
+  size_t pos = replay_.replay(
+      cp.log_pos, storage_.log().size(),
+      [&](const LogRecord& r) {
+        // Condition (I): the first orphan delivery ends the replayable
+        // prefix. At restart this cannot happen: announcement processing
+        // truncates the log synchronously, so no stable record is ever
+        // orphaned by a journaled announcement.
+        if (!orphan_vec(r.msg.tdv)) return false;
+        KOPT_CHECK_MSG(!is_restart, "orphan record in stable log at restart");
+        return true;
+      },
+      [&](const LogRecord& r) {
+        tdv_.merge_max(r.msg.tdv);
+        current_ = r.started.entry();
+        tdv_.set(pid_, current_);
+        recv_.mark_delivered(r.msg.id);
+        run_app_handler(r.msg.from, r.msg.payload);
+        if (Oracle* orc = oracle())
+          orc->on_interval_replayed(r.started, app_->state_hash());
+      });
   storage_.checkpoints().discard_after(*idx);
   return pos;
 }
@@ -700,12 +481,10 @@ void Process::rollback() {
   // "Log all the unlogged messages to the stable storage" — flushed without
   // publishing a watermark: the about-to-be-undone suffix must not be
   // claimed stable.
-  size_t nvol = storage_.log().volatile_count();
-  storage_.log().flush_all();
-  storage_.records_flushed += static_cast<int64_t>(nvol);
-  charge_sync_write(storage_.costs().sync_write_us +
-                    static_cast<SimTime>(nvol) *
-                        storage_.costs().async_flush_per_msg_us);
+  size_t nvol = replay_.flush_volatile();
+  replay_.charge_sync_write(storage_.costs().sync_write_us +
+                            static_cast<SimTime>(nvol) *
+                                storage_.costs().async_flush_per_msg_us);
 
   size_t stop = restore_and_replay(/*is_restart=*/false);
   // Replay regenerated the original ids for the kept prefix; from here on,
@@ -719,23 +498,21 @@ void Process::rollback() {
   // to Receive buffer" (they will be delivered again, in the new
   // incarnation).
   std::vector<LogRecord> dropped = storage_.log().truncate_from(stop);
-  acked_upto_ = std::min(acked_upto_, storage_.log().size());
+  recv_.set_acked_upto(std::min(recv_.acked_upto(), storage_.log().size()));
   api_.stats().inc(kUndone, static_cast<int64_t>(dropped.size()));
   for (LogRecord& rec : dropped) {
-    delivered_ids_.erase(rec.msg.id);
-    acked_ids_.erase(rec.msg.id);
+    recv_.unmark_delivered(rec.msg.id);
+    recv_.unmark_acked(rec.msg.id);
     if (orphan_vec(rec.msg.tdv)) {
-      api_.stats().inc(kDiscardedRecv);
-      if (Oracle* orc = oracle()) orc->on_msg_discarded(rec.msg);
-      ack_discarded(rec.msg);
+      discard_orphan_recv(rec.msg);
     } else {
       // The message stays on stable storage (it was flushed above) until
       // its redelivery is stable: a crash in between must not lose it.
       storage_.park(rec.msg);
-      receive_buffer_.push_back(BufferedRecv{std::move(rec.msg), api_.sim().now()});
+      recv_.push(std::move(rec.msg), api_.sim().now());
     }
   }
-  ack_stable_records();
+  channel_.ack_stable_records();
 
   // The kept prefix is stable up to the restored interval; record and (in
   // the Strom–Yemini configuration) announce the incarnation's end.
@@ -743,7 +520,7 @@ void Process::rollback() {
   if (cfg_.announce_all_rollbacks)
     announce(Entry{ending_inc, current_.sii}, /*from_failure=*/false);
 
-  bump_incarnation_durably();
+  current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   tdv_.set(pid_, current_);
   if (Oracle* orc = oracle())
@@ -757,39 +534,19 @@ void Process::rollback() {
 void Process::crash() {
   KOPT_CHECK_MSG(alive_, "crash of a process that is already down");
   alive_ = false;
-  ++epoch_;
-  exec_.reset();
-  api_.stats().inc("crash.count");
-
   // Everything volatile is gone.
-  std::vector<LogRecord> lost = storage_.log().lose_volatile();
-  receive_buffer_.clear();
+  std::vector<LogRecord> lost = replay_.on_crash();
+  recv_.clear();
   send_buffer_.clear();
   output_buffer_.clear();
-  unacked_.clear();
-  delivered_ids_.clear();
-  acked_ids_.clear();
-  acked_upto_ = 0;
-  processed_announcements_.clear();
+  channel_.clear();
   tdv_ = DepVector(n_);
   iet_.clear();
   log_.clear();
-
-  if (Oracle* orc = oracle()) {
-    // Survivor boundary: the latest checkpointed interval or the last
-    // stable log record, whichever is later.
-    Sii surv = storage_.checkpoints().empty()
-                   ? 0
-                   : storage_.checkpoints().latest().at.sii;
-    if (storage_.log().stable_count() > storage_.log().base()) {
-      surv = std::max(
-          surv,
-          storage_.log().at(storage_.log().stable_count() - 1).started.sii);
-    }
-    orc->on_crash(pid_, surv);
-  }
-  trace([&](std::ostream& os) { os << "CRASH (lost " << lost.size()
-                                   << " volatile records)"; });
+  replay_.report_crash_to_oracle();
+  trace([&](std::ostream& os) {
+    os << "CRASH (lost " << lost.size() << " volatile records)";
+  });
 }
 
 void Process::restart() {
@@ -799,11 +556,10 @@ void Process::restart() {
 
   // Rebuild the synchronously-journaled state: incarnation end table and
   // logging-progress facts carried by announcements.
-  for (const Announcement& a : storage_.announcement_journal()) {
+  replay_.restore_announcements([&](const Announcement& a) {
     iet_.insert(a.from, a.ended);
     log_.insert(a.from, a.ended);
-    processed_announcements_.insert({a.from, a.ended});
-  }
+  });
   // Rebuild our own per-incarnation stability watermarks from stable
   // storage itself: every surviving log record and checkpoint names the
   // interval it belongs to, and everything on stable storage is, by
@@ -827,13 +583,13 @@ void Process::restart() {
   KOPT_CHECK(stop == storage_.log().size());
   // Everything on stable storage is (re-)acknowledged — the pre-crash acks
   // may never have reached their senders.
-  ack_stable_records();
+  channel_.ack_stable_records();
   // Parked messages (undone by a pre-crash rollback, redelivery not yet
   // stable) go back into the receive buffer; orphaned ones are dropped.
   {
     std::vector<MsgId> to_unpark;
     for (const auto& [id, msg] : storage_.parked()) {
-      if (delivered_ids_.count(id) != 0) continue;  // replayed already
+      if (recv_.delivered(id)) continue;  // replayed already
       if (orphan_vec(msg.tdv)) {
         api_.stats().inc(kDiscardedRecv);
         if (Oracle* orc = oracle()) orc->on_msg_discarded(msg);
@@ -841,7 +597,7 @@ void Process::restart() {
         if (cfg_.reliable_delivery && msg.from != kEnvironment)
           api_.send_ack(pid_, msg.from, id);
       } else {
-        receive_buffer_.push_back(BufferedRecv{msg, api_.sim().now()});
+        recv_.push(msg, api_.sim().now());
       }
     }
     for (const MsgId& id : to_unpark) storage_.unpark(id);
@@ -854,7 +610,7 @@ void Process::restart() {
   announce(fa, /*from_failure=*/true);
   note_own_stable(fa);
 
-  bump_incarnation_durably();
+  current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   tdv_.set(pid_, current_);
   if (Oracle* orc = oracle())
@@ -873,29 +629,19 @@ void Process::restart() {
 // ---------------------------------------------------------------------------
 
 void Process::schedule_timers() {
-  uint64_t epoch = epoch_;
-  auto arm = [this, epoch](SimTime period, auto&& tick, auto&& self_arm) -> void {
-    if (period <= 0) return;
-    api_.sim().schedule_after(period, [this, epoch, period, tick, self_arm] {
-      if (epoch != epoch_ || !alive_ || api_.draining()) return;
-      tick();
-      self_arm(period, tick, self_arm);
-    });
-  };
-  arm(cfg_.flush_interval_us, [this] { start_async_flush(); }, arm);
+  replay_.arm_periodic(cfg_.flush_interval_us, [this] { start_async_flush(); });
   // In coordinated mode the cluster's marker rounds drive checkpoints.
   if (!cfg_.coordinated_checkpoints) {
-    arm(cfg_.checkpoint_interval_us,
-        [this] {
-          exec_.submit([this] {
-            if (alive_) do_checkpoint();
-          });
-        },
-        arm);
+    replay_.arm_periodic(cfg_.checkpoint_interval_us, [this] {
+      exec_.submit([this] {
+        if (alive_) do_checkpoint();
+      });
+    });
   }
-  arm(cfg_.notify_interval_us, [this] { broadcast_progress(); }, arm);
+  replay_.arm_periodic(cfg_.notify_interval_us, [this] { broadcast_progress(); });
   if (cfg_.reliable_delivery)
-    arm(cfg_.retransmit_interval_us, [this] { retransmit_unacked(); }, arm);
+    replay_.arm_periodic(cfg_.retransmit_interval_us,
+                         [this] { retransmit_unacked(); });
 }
 
 void Process::trace(const std::function<void(std::ostream&)>& fn) const {

@@ -4,6 +4,14 @@
 // ProtocolConfig), sitting between a PWD application and the cluster's
 // network/storage substrate.
 //
+// The engine composes the shared runtime components (src/runtime/): the
+// send/receive/output buffers, the reliable channel, and the
+// checkpoint/replay machinery own the buffering, accounting and
+// stable-storage mechanics; this class supplies the K-optimistic *policy* —
+// the transitive dependency vector, the incarnation end table,
+// deliverability (Corollary 1), orphan detection over vectors, and the
+// Theorem 2 commit-dependency NULLing step.
+//
 // Implementation notes relative to the paper's listing:
 //  * Incarnation numbers are durably journaled when incremented, so a
 //    crash after a rollback can never reuse an incarnation number (the
@@ -25,8 +33,6 @@
 
 #include <functional>
 #include <memory>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "common/entry.h"
@@ -39,6 +45,12 @@
 #include "core/output.h"
 #include "core/protocol_msg.h"
 #include "core/recovery_process.h"
+#include "runtime/output_buffer.h"
+#include "runtime/receive_buffer.h"
+#include "runtime/reliable_channel.h"
+#include "runtime/replay_engine.h"
+#include "runtime/runtime_services.h"
+#include "runtime/send_buffer.h"
 #include "sim/executor.h"
 #include "storage/stable_storage.h"
 
@@ -99,28 +111,27 @@ class Process final : public RecoveryProcess, private AppContext {
     retransmit_unacked();
   }
   bool quiescent() const override {
-    return receive_buffer_.empty() && send_buffer_.empty() &&
-           output_buffer_.empty() && unacked_.empty() &&
-           storage_.parked().empty() &&
+    return recv_.empty() && send_buffer_.empty() && output_buffer_.empty() &&
+           channel_.empty() && storage_.parked().empty() &&
            storage_.log().volatile_count() == 0;
   }
 
   // ---- inspection (tests, benches, examples) ----
   bool alive() const override { return alive_; }
   ProcessId pid() const override { return pid_; }
-  Entry current() const { return current_; }
+  Entry current() const override { return current_; }
   const DepVector& tdv() const { return tdv_; }
   const IntervalTable& iet() const { return iet_; }
   const IntervalTable& log_table() const { return log_; }
-  const StableStorage& storage() const { return storage_; }
+  const StableStorage& storage() const override { return storage_; }
   Executor& executor() override { return exec_; }
   const Application& app() const { return *app_; }
-  size_t receive_buffer_size() const { return receive_buffer_.size(); }
-  size_t send_buffer_size() const { return send_buffer_.size(); }
-  size_t output_buffer_size() const { return output_buffer_.size(); }
-  size_t unacked_count() const { return unacked_.size(); }
-  int64_t deliveries() const { return deliveries_; }
-  int64_t rollbacks() const { return rollbacks_; }
+  size_t receive_buffer_size() const override { return recv_.size(); }
+  size_t send_buffer_size() const override { return send_buffer_.size(); }
+  size_t output_buffer_size() const override { return output_buffer_.size(); }
+  size_t unacked_count() const { return channel_.unacked_count(); }
+  int64_t deliveries() const override { return deliveries_; }
+  int64_t rollbacks() const override { return rollbacks_; }
 
   /// Is this message deliverable right now? (exposed for tests)
   bool deliverable(const AppMsg& m) const;
@@ -128,18 +139,6 @@ class Process final : public RecoveryProcess, private AppContext {
   bool orphan_vec(const DepVector& v) const;
 
  private:
-  struct BufferedSend {
-    AppMsg msg;
-    SimTime queued_at = 0;
-    /// Release threshold for this message: the system K, or a per-message
-    /// override (§4.2).
-    int k_limit = 0;
-  };
-  struct BufferedRecv {
-    AppMsg msg;
-    SimTime arrived_at = 0;
-  };
-
   // ---- AppContext (application-facing) ----
   void send(ProcessId to, const AppPayload& payload) override;
   void send_with_k(ProcessId to, const AppPayload& payload, int k) override;
@@ -154,6 +153,9 @@ class Process final : public RecoveryProcess, private AppContext {
   bool sy_deliverable(const AppMsg& m) const;
   void run_app_handler(ProcessId from, const AppPayload& payload);
 
+  /// NULL every entry of `v` covered by stability knowledge (Theorem 2's
+  /// commit dependency step), auditing each with the oracle.
+  void null_stable_entries(DepVector& v);
   void check_send_buffer();
   void check_output_buffer();
   /// Null local tdv entries covered by log_, then re-examine all buffers.
@@ -161,40 +163,26 @@ class Process final : public RecoveryProcess, private AppContext {
   /// on announcements, local flush/checkpoint).
   void apply_stability_info();
   void discard_orphans_from_buffers();
+  /// A received (or undone) message turned out to be an orphan: count it,
+  /// report it, and release the sender from retransmitting it.
+  void discard_orphan_recv(const AppMsg& m);
 
   void do_checkpoint();
   /// Reclaim checkpoints and log records that recovery can never need
   /// again (see ProtocolConfig::garbage_collect).
   void garbage_collect();
   void start_async_flush();
-  void finish_flush(size_t upto, Entry watermark, uint64_t epoch);
   /// Record the fact that every interval up to `watermark` is now stable.
   void note_own_stable(Entry watermark);
-
-  /// Account a blocking stable-storage write: service time + counters.
-  void charge_sync_write(SimTime cost);
-
-  /// reliable_delivery: acknowledge (and unpark) every record that has
-  /// newly reached stable storage. Acks are deferred to stability so that a
-  /// crash can never lose a message whose sender already stopped
-  /// retransmitting it.
-  void ack_stable_records();
-  /// Tell the sender of `m` to stop retransmitting it (orphans are
-  /// discarded on both ends, so receipt-of-an-orphan is final too).
-  void ack_discarded(const AppMsg& m);
 
   void rollback();
   /// Restore the latest non-orphan checkpoint and replay the non-orphan
   /// logged prefix. Returns the log position replay stopped at.
   size_t restore_and_replay(bool is_restart);
-  void bump_incarnation_durably();
   void announce(Entry ended, bool from_failure);
   void process_announcement_body(const Announcement& a);
 
   void schedule_timers();
-  size_t wire_bytes(const AppMsg& m) const {
-    return m.wire_bytes(cfg_.null_stable_entries);
-  }
   Oracle* oracle() { return api_.oracle(); }
   void trace(const std::function<void(std::ostream&)>& fn) const;
 
@@ -207,34 +195,23 @@ class Process final : public RecoveryProcess, private AppContext {
   Executor exec_;
   std::unique_ptr<Application> app_;
   StableStorage storage_;
+  RuntimeServices rt_;
 
-  // ---- volatile protocol state (lost on crash) ----
+  // ---- shared runtime components (mechanism) ----
+  ReceiveBuffer recv_;
+  ReliableChannel channel_;
+  SendBuffer send_buffer_;
+  OutputBuffer output_buffer_;
+  ReplayEngine replay_;
+
+  // ---- K-optimistic policy state (volatile, lost on crash) ----
   bool alive_ = false;
   Entry current_{0, 1};
   DepVector tdv_;
   IntervalTable iet_;
   IntervalTable log_;
-  std::vector<BufferedRecv> receive_buffer_;
-  std::vector<BufferedSend> send_buffer_;
-  std::vector<OutputRecord> output_buffer_;
-  /// reliable_delivery: released-but-unacknowledged messages, the "sender's
-  /// volatile log" of paper §2 fn. 3. Lost on crash; recovery replay
-  /// regenerates it.
-  std::map<MsgId, AppMsg> unacked_;
-  std::set<MsgId> delivered_ids_;
-  /// Ids whose delivery is stable (ack already sent); duplicates of these
-  /// are re-acked in case the first ack was lost.
-  std::set<MsgId> acked_ids_;
-  /// Log position up to which ack_stable_records() has scanned.
-  size_t acked_upto_ = 0;
-  std::set<std::pair<ProcessId, Entry>> processed_announcements_;
   SeqNo send_seq_ = 0;
   SeqNo output_seq_ = 0;
-  bool in_replay_ = false;
-  /// Bumped on crash; stale timer firings and async-flush completions check
-  /// it and become no-ops. (Rollbacks don't bump it: finish_flush detects a
-  /// truncated log by re-checking the watermark record's identity.)
-  uint64_t epoch_ = 0;
 
   // ---- metrics ----
   int64_t deliveries_ = 0;

@@ -6,11 +6,16 @@
 // time).
 #pragma once
 
+#include <cstdint>
+
+#include "common/entry.h"
 #include "common/types.h"
 #include "core/protocol_msg.h"
 #include "sim/executor.h"
 
 namespace koptlog {
+
+class StableStorage;
 
 class RecoveryProcess {
  public:
@@ -44,6 +49,21 @@ class RecoveryProcess {
   virtual bool alive() const = 0;
   virtual ProcessId pid() const = 0;
   virtual Executor& executor() = 0;
+
+  // ---- engine-agnostic inspection (tests, benches, diagnostics) ----
+  /// The interval this process is currently in (incarnation, index).
+  virtual Entry current() const = 0;
+  /// The process's stable storage (log, checkpoints, cost counters).
+  virtual const StableStorage& storage() const = 0;
+  /// Arrivals waiting for a deliverability decision (buffered or held).
+  virtual size_t receive_buffer_size() const = 0;
+  /// Sends waiting for their release condition (0 for engines that release
+  /// immediately).
+  virtual size_t send_buffer_size() const = 0;
+  /// Outputs whose commit condition is not yet established.
+  virtual size_t output_buffer_size() const = 0;
+  virtual int64_t deliveries() const = 0;
+  virtual int64_t rollbacks() const = 0;
 };
 
 }  // namespace koptlog

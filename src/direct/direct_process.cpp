@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/oracle.h"
 
 namespace koptlog {
 
@@ -18,9 +19,7 @@ constexpr const char* kDiscardedOutput = "outputs.discarded_orphan";
 constexpr const char* kRollbacks = "rollback.count";
 constexpr const char* kUndone = "rollback.undone_intervals";
 constexpr const char* kRestarts = "restart.count";
-constexpr const char* kReplayed = "restart.replayed_msgs";
 constexpr const char* kAnnSent = "announce.sent";
-constexpr const char* kAnnRecv = "announce.received";
 constexpr const char* kPiggyback = "msg.piggyback_bytes";
 }  // namespace
 
@@ -33,6 +32,8 @@ DirectProcess::DirectProcess(ProcessId pid, int n, const ProtocolConfig& cfg,
       exec_(api.sim()),
       app_(std::move(app)),
       storage_(cfg.storage),
+      rt_{pid_, n_, api_, exec_, storage_},
+      replay_(rt_, cfg_, [this] { return alive_; }),
       iet_(n),
       log_(n),
       commit_stable_(n) {
@@ -104,7 +105,7 @@ void DirectProcess::output(const AppPayload& payload) {
 void DirectProcess::handle_app_msg(const AppMsg& m) {
   if (!alive_) return;
   api_.stats().inc(kReceived);
-  if (delivered_ids_.count(m.id) != 0 || held_ids_.count(m.id) != 0) {
+  if (recv_.delivered(m.id) || held_ids_.count(m.id) != 0) {
     api_.stats().inc(kDuplicate);
     return;
   }
@@ -127,18 +128,18 @@ void DirectProcess::hold_for_delivery(const AppMsg& m) {
     return;
   }
   held_ids_.insert(m.id);
-  uint64_t epoch = epoch_;
+  uint64_t epoch = replay_.epoch();
   api_.sim().schedule_after(cfg_.ddt_delivery_hold_us, [this, m, epoch] {
-    if (epoch != epoch_ || !alive_) return;
+    if (epoch != replay_.epoch() || !alive_) return;
     held_ids_.erase(m.id);
-    if (delivered_ids_.count(m.id) != 0) return;
+    if (recv_.delivered(m.id)) return;
     if (m.from != kEnvironment && born_of_rolled_back(m.born_of)) {
       api_.stats().inc(kDiscardedRecv);
       if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
       return;
     }
     exec_.submit([this, m] {
-      if (!alive_ || delivered_ids_.count(m.id) != 0) return;
+      if (!alive_ || recv_.delivered(m.id)) return;
       if (m.from != kEnvironment && born_of_rolled_back(m.born_of)) {
         api_.stats().inc(kDiscardedRecv);
         if (Oracle* orc = oracle()) orc->on_msg_discarded(m);
@@ -152,7 +153,7 @@ void DirectProcess::hold_for_delivery(const AppMsg& m) {
 void DirectProcess::deliver(const AppMsg& m) {
   exec_.occupy(cfg_.deliver_cost_us);
   ++current_.sii;
-  delivered_ids_.insert(m.id);
+  recv_.mark_delivered(m.id);
   IntervalId iv{pid_, current_.inc, current_.sii};
   storage_.log().append(LogRecord{m, iv});
   ++deliveries_;
@@ -170,14 +171,7 @@ void DirectProcess::deliver(const AppMsg& m) {
 
 void DirectProcess::handle_announcement(const Announcement& a) {
   if (!alive_) return;
-  auto key = std::make_pair(a.from, a.ended);
-  if (processed_announcements_.count(key) != 0) return;
-  processed_announcements_.insert(key);
-  exec_.occupy(storage_.costs().sync_write_us);
-  ++storage_.sync_writes;
-  api_.stats().inc("storage.sync_writes");
-  storage_.journal_announcement(a);
-  api_.stats().inc(kAnnRecv);
+  if (!replay_.note_remote_announcement(a)) return;
   iet_.insert(a.from, a.ended);
   log_.insert(a.from, a.ended);
   maybe_rollback();
@@ -208,14 +202,10 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   api_.stats().inc(kRollbacks);
   Incarnation ending_inc = current_.inc;
 
-  size_t nvol = storage_.log().volatile_count();
-  storage_.log().flush_all();
-  storage_.records_flushed += static_cast<int64_t>(nvol);
-  exec_.occupy(storage_.costs().sync_write_us +
-               static_cast<SimTime>(nvol) *
-                   storage_.costs().async_flush_per_msg_us);
-  ++storage_.sync_writes;
-  api_.stats().inc("storage.sync_writes");
+  size_t nvol = replay_.flush_volatile();
+  replay_.charge_sync_write(storage_.costs().sync_write_us +
+                            static_cast<SimTime>(nvol) *
+                                storage_.costs().async_flush_per_msg_us);
 
   // Restore the latest checkpoint at or before the first orphaned record.
   auto idx = storage_.checkpoints().latest_where(
@@ -233,16 +223,14 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
     segments_.pop_back();
   KOPT_CHECK(!segments_.empty() && segments_.back().second == current_.inc);
 
-  for (size_t p = cp.log_pos; p < first_orphan_pos; ++p) {
-    const LogRecord& r = storage_.log().at(p);
-    exec_.occupy(cfg_.replay_per_msg_us);
-    current_ = r.started.entry();
-    delivered_ids_.insert(r.msg.id);
-    app_->on_deliver(*this, r.msg.from, r.msg.payload);
-    if (Oracle* orc = oracle())
-      orc->on_interval_replayed(r.started, app_->state_hash());
-    api_.stats().inc(kReplayed);
-  }
+  replay_.replay(cp.log_pos, first_orphan_pos, nullptr,
+                 [&](const LogRecord& r) {
+                   current_ = r.started.entry();
+                   recv_.mark_delivered(r.msg.id);
+                   app_->on_deliver(*this, r.msg.from, r.msg.payload);
+                   if (Oracle* orc = oracle())
+                     orc->on_interval_replayed(r.started, app_->state_hash());
+                 });
   storage_.checkpoints().discard_after(*idx);
 
   if (Oracle* orc = oracle()) orc->on_rollback(pid_, current_.sii);
@@ -252,7 +240,7 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   api_.stats().inc(kUndone, static_cast<int64_t>(dropped.size()));
   std::vector<AppMsg> redeliver;
   for (LogRecord& rec : dropped) {
-    delivered_ids_.erase(rec.msg.id);
+    recv_.unmark_delivered(rec.msg.id);
     if (rec.msg.from != kEnvironment && born_of_rolled_back(rec.msg.born_of)) {
       api_.stats().inc(kDiscardedRecv);
       if (Oracle* orc = oracle()) orc->on_msg_discarded(rec.msg);
@@ -276,7 +264,7 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   // the cascade that reaches transitive orphans (paper §5's tradeoff).
   announce(Entry{ending_inc, current_.sii}, /*from_failure=*/false);
 
-  bump_incarnation_durably();
+  current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   segments_.emplace_back(current_.sii, current_.inc);
   if (Oracle* orc = oracle())
@@ -291,7 +279,7 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   // announcements already in flight get to veto them first. This is what
   // keeps the rollback cascade finite.
   for (AppMsg& m : redeliver) {
-    delivered_ids_.erase(m.id);
+    recv_.unmark_delivered(m.id);
     hold_for_delivery(m);
   }
 }
@@ -303,29 +291,15 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
 void DirectProcess::crash() {
   KOPT_CHECK(alive_);
   alive_ = false;
-  ++epoch_;
-  exec_.reset();
-  api_.stats().inc("crash.count");
-  std::vector<LogRecord> lost = storage_.log().lose_volatile();
+  std::vector<LogRecord> lost = replay_.on_crash();
   (void)lost;
-  delivered_ids_.clear();
+  recv_.clear();
   held_ids_.clear();
-  processed_announcements_.clear();
   pending_.clear();
   iet_.clear();
   log_.clear();
   commit_stable_.clear();
-  if (Oracle* orc = oracle()) {
-    Sii surv = storage_.checkpoints().empty()
-                   ? 0
-                   : storage_.checkpoints().latest().at.sii;
-    if (storage_.log().stable_count() > storage_.log().base()) {
-      surv = std::max(
-          surv,
-          storage_.log().at(storage_.log().stable_count() - 1).started.sii);
-    }
-    orc->on_crash(pid_, surv);
-  }
+  replay_.report_crash_to_oracle();
 }
 
 void DirectProcess::rebuild_segments_from_storage() {
@@ -343,11 +317,10 @@ void DirectProcess::restart() {
   KOPT_CHECK(!alive_);
   alive_ = true;
   api_.stats().inc(kRestarts);
-  for (const Announcement& a : storage_.announcement_journal()) {
+  replay_.restore_announcements([&](const Announcement& a) {
     iet_.insert(a.from, a.ended);
     log_.insert(a.from, a.ended);
-    processed_announcements_.insert({a.from, a.ended});
-  }
+  });
   rebuild_segments_from_storage();
 
   // Restore the latest checkpoint and replay every stable record.
@@ -360,19 +333,21 @@ void DirectProcess::restart() {
   output_seq_ = cp.output_seq;
   for (const auto& [inc, sii] : cp.self_watermarks)
     log_.insert(pid_, Entry{inc, sii});
-  for (size_t p = cp.log_pos; p < storage_.log().size(); ++p) {
-    const LogRecord& r = storage_.log().at(p);
-    KOPT_CHECK_MSG(r.msg.from == kEnvironment ||
-                       !born_of_rolled_back(r.msg.born_of),
-                   "orphan record in stable log at restart");
-    exec_.occupy(cfg_.replay_per_msg_us);
-    current_ = r.started.entry();
-    delivered_ids_.insert(r.msg.id);
-    app_->on_deliver(*this, r.msg.from, r.msg.payload);
-    if (Oracle* orc = oracle())
-      orc->on_interval_replayed(r.started, app_->state_hash());
-    api_.stats().inc(kReplayed);
-  }
+  replay_.replay(
+      cp.log_pos, storage_.log().size(),
+      [&](const LogRecord& r) {
+        KOPT_CHECK_MSG(r.msg.from == kEnvironment ||
+                           !born_of_rolled_back(r.msg.born_of),
+                       "orphan record in stable log at restart");
+        return false;
+      },
+      [&](const LogRecord& r) {
+        current_ = r.started.entry();
+        recv_.mark_delivered(r.msg.id);
+        app_->on_deliver(*this, r.msg.from, r.msg.payload);
+        if (Oracle* orc = oracle())
+          orc->on_interval_replayed(r.started, app_->state_hash());
+      });
   stable_up_to_ = current_.sii;
 
   Entry fa{storage_.durable_max_inc(), current_.sii};
@@ -381,7 +356,7 @@ void DirectProcess::restart() {
   if (Oracle* orc = oracle())
     orc->on_stable_watermark(pid_, fa, api_.sim().now());
 
-  bump_incarnation_durably();
+  current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   segments_.emplace_back(current_.sii, current_.inc);
   if (Oracle* orc = oracle())
@@ -415,64 +390,38 @@ void DirectProcess::note_stable_up_to(Sii x) {
 }
 
 void DirectProcess::do_checkpoint() {
-  size_t nvol = storage_.log().volatile_count();
-  storage_.log().flush_all();
-  storage_.records_flushed += static_cast<int64_t>(nvol);
-  exec_.occupy(storage_.costs().checkpoint_write_us +
-               static_cast<SimTime>(nvol) *
-                   storage_.costs().async_flush_per_msg_us);
-  ++storage_.checkpoints_taken;
-  api_.stats().inc("checkpoint.count");
-  Checkpoint cp;
-  cp.at = current_;
-  cp.tdv = DepVector(n_);
-  cp.log_pos = storage_.log().size();
-  cp.send_seq = send_seq_;
-  cp.output_seq = output_seq_;
-  cp.app_state = app_->snapshot();
-  cp.app_hash = app_->state_hash();
-  cp.self_watermarks = log_.of(pid_).entries();
-  storage_.checkpoints().push(std::move(cp));
+  replay_.take_checkpoint([&](Checkpoint& cp) {
+    cp.at = current_;
+    cp.tdv = DepVector(n_);
+    cp.log_pos = storage_.log().size();
+    cp.send_seq = send_seq_;
+    cp.output_seq = output_seq_;
+    cp.app_state = app_->snapshot();
+    cp.app_hash = app_->state_hash();
+    cp.self_watermarks = log_.of(pid_).entries();
+  });
   note_stable_up_to(current_.sii);
   commit_tick();
 }
 
 void DirectProcess::start_async_flush() {
-  size_t nvol = storage_.log().volatile_count();
-  if (nvol == 0) return;
-  ++storage_.async_flushes;
-  api_.stats().inc("flush.count");
-  size_t upto = storage_.log().size();
-  Entry last = storage_.log().at(upto - 1).started.entry();
-  uint64_t epoch = epoch_;
-  SimTime d = storage_.costs().async_flush_base_us +
-              static_cast<SimTime>(nvol) *
-                  storage_.costs().async_flush_per_msg_us;
-  api_.sim().schedule_after(d, [this, upto, last, epoch] {
-    finish_flush(upto, epoch);
-    (void)last;
+  replay_.start_async_flush([this](size_t upto, Entry) {
+    if (upto > storage_.log().size() || upto <= storage_.log().base()) return;
+    // Truncation since issue voids the flush (same record-identity check as
+    // the main engine, via the started entry's chain membership).
+    Entry last = storage_.log().at(upto - 1).started.entry();
+    std::optional<Incarnation> inc = incarnation_at(last.sii);
+    if (!inc || *inc != last.inc) return;
+    storage_.log().flush_to(upto);
+    note_stable_up_to(last.sii);
+    commit_tick();
   });
-}
-
-void DirectProcess::finish_flush(size_t upto, uint64_t epoch) {
-  if (epoch != epoch_ || !alive_) return;
-  if (upto > storage_.log().size() || upto <= storage_.log().base()) return;
-  // Truncation since issue voids the flush (same record-identity check as
-  // the main engine, via the started entry's chain membership).
-  Entry last = storage_.log().at(upto - 1).started.entry();
-  std::optional<Incarnation> inc = incarnation_at(last.sii);
-  if (!inc || *inc != last.inc) return;
-  storage_.log().flush_to(upto);
-  note_stable_up_to(last.sii);
-  commit_tick();
 }
 
 void DirectProcess::force_flush() {
   if (!alive_) return;
-  size_t nvol = storage_.log().volatile_count();
-  if (nvol > 0) {
-    storage_.log().flush_all();
-    storage_.records_flushed += static_cast<int64_t>(nvol);
+  if (storage_.log().volatile_count() > 0) {
+    replay_.flush_volatile();
     ++storage_.async_flushes;
     note_stable_up_to(
         storage_.log().at(storage_.log().size() - 1).started.sii);
@@ -493,22 +442,9 @@ void DirectProcess::handle_log_progress(const LogProgressMsg& lp) {
   for (const Entry& e : lp.stable) log_.insert(lp.from, e);
 }
 
-void DirectProcess::bump_incarnation_durably() {
-  Incarnation next = storage_.durable_max_inc() + 1;
-  exec_.occupy(storage_.costs().sync_write_us);
-  ++storage_.sync_writes;
-  api_.stats().inc("storage.sync_writes");
-  storage_.set_durable_max_inc(next);
-  current_.inc = next;
-}
-
 void DirectProcess::announce(Entry ended, bool from_failure) {
   Announcement a{pid_, ended, from_failure};
-  exec_.occupy(storage_.costs().sync_write_us);
-  ++storage_.sync_writes;
-  api_.stats().inc("storage.sync_writes");
-  storage_.journal_announcement(a);
-  processed_announcements_.insert({pid_, ended});
+  replay_.record_own_announcement(a);
   iet_.insert(pid_, ended);
   log_.insert(pid_, ended);
   api_.stats().inc(kAnnSent);
@@ -686,31 +622,18 @@ void DirectProcess::commit_tick() {
 // ---------------------------------------------------------------------------
 
 void DirectProcess::schedule_timers() {
-  uint64_t epoch = epoch_;
-  auto arm = [this, epoch](SimTime period, auto&& tick, auto&& self_arm) -> void {
-    if (period <= 0) return;
-    api_.sim().schedule_after(period, [this, epoch, period, tick, self_arm] {
-      if (epoch != epoch_ || !alive_ || api_.draining()) return;
-      tick();
-      self_arm(period, tick, self_arm);
-    });
-  };
-  arm(cfg_.flush_interval_us, [this] { start_async_flush(); }, arm);
+  replay_.arm_periodic(cfg_.flush_interval_us, [this] { start_async_flush(); });
   if (!cfg_.coordinated_checkpoints) {
-    arm(cfg_.checkpoint_interval_us,
-        [this] {
-          exec_.submit([this] {
-            if (alive_) do_checkpoint();
-          });
-        },
-        arm);
+    replay_.arm_periodic(cfg_.checkpoint_interval_us, [this] {
+      exec_.submit([this] {
+        if (alive_) do_checkpoint();
+      });
+    });
   }
-  arm(cfg_.notify_interval_us,
-      [this] {
-        broadcast_progress();
-        commit_tick();
-      },
-      arm);
+  replay_.arm_periodic(cfg_.notify_interval_us, [this] {
+    broadcast_progress();
+    commit_tick();
+  });
 }
 
 void DirectProcess::drain_tick() {

@@ -19,6 +19,12 @@
 //    handing back the cross-process intervals it in turn depends on.
 //    An output commits when the whole closure has resolved stable.
 //
+// The engine shares the checkpoint/replay/flush machinery (and the
+// delivered-id bookkeeping) with the main protocol through the
+// src/runtime/ components; what stays here is the §5 policy — the
+// incarnation-segment chain, direct orphan checks, the conservative
+// delivery hold, and the query-based commit closure.
+//
 // The engine runs under the same Cluster, workloads, failure injector and
 // ground-truth oracle as the main protocol, so bench_e11 can put the §5
 // tradeoff on one table.
@@ -37,6 +43,9 @@
 #include "core/interval_table.h"
 #include "core/output.h"
 #include "core/recovery_process.h"
+#include "runtime/receive_buffer.h"
+#include "runtime/replay_engine.h"
+#include "runtime/runtime_services.h"
 #include "sim/executor.h"
 #include "storage/stable_storage.h"
 
@@ -66,11 +75,16 @@ class DirectProcess final : public RecoveryProcess, private AppContext {
   Executor& executor() override { return exec_; }
 
   // ---- inspection ----
-  Entry current() const { return current_; }
-  int64_t deliveries() const { return deliveries_; }
-  int64_t rollbacks() const { return rollbacks_; }
+  Entry current() const override { return current_; }
+  int64_t deliveries() const override { return deliveries_; }
+  int64_t rollbacks() const override { return rollbacks_; }
   size_t pending_commits() const { return pending_.size(); }
-  const StableStorage& storage() const { return storage_; }
+  const StableStorage& storage() const override { return storage_; }
+  /// Arrivals parked in the conservative hold window.
+  size_t receive_buffer_size() const override { return held_ids_.size(); }
+  /// Direct tracking releases every send immediately.
+  size_t send_buffer_size() const override { return 0; }
+  size_t output_buffer_size() const override { return pending_.size(); }
 
   /// Cluster engine factory for ClusterConfig-driven construction.
   static Cluster::EngineFactory factory();
@@ -121,8 +135,6 @@ class DirectProcess final : public RecoveryProcess, private AppContext {
   void note_stable_up_to(Sii x);
   void do_checkpoint();
   void start_async_flush();
-  void finish_flush(size_t upto, uint64_t epoch);
-  void bump_incarnation_durably();
   void announce(Entry ended, bool from_failure);
   void schedule_timers();
   Oracle* oracle() { return api_.oracle(); }
@@ -134,6 +146,13 @@ class DirectProcess final : public RecoveryProcess, private AppContext {
   Executor exec_;
   std::unique_ptr<Application> app_;
   StableStorage storage_;
+  RuntimeServices rt_;
+
+  // ---- shared runtime components (mechanism) ----
+  /// Used for its delivered-id bookkeeping only: direct tracking delivers
+  /// immediately, so nothing is ever buffered awaiting deliverability.
+  ReceiveBuffer recv_;
+  ReplayEngine replay_;
 
   bool alive_ = false;
   Entry current_{0, 1};
@@ -145,14 +164,11 @@ class DirectProcess final : public RecoveryProcess, private AppContext {
   /// Intervals whose full transitive closure is known stable (learned from
   /// successful commits); prunes future assemblies on both ends.
   IntervalTable commit_stable_;
-  std::set<MsgId> delivered_ids_;
   std::set<MsgId> held_ids_;  ///< in the conservative hold window
-  std::set<std::pair<ProcessId, Entry>> processed_announcements_;
   std::vector<PendingCommit> pending_;
   SeqNo send_seq_ = 0;
   SeqNo output_seq_ = 0;
   SeqNo query_seq_ = 0;
-  uint64_t epoch_ = 0;
 
   int64_t deliveries_ = 0;
   int64_t rollbacks_ = 0;

@@ -1,0 +1,49 @@
+#include "runtime/output_buffer.h"
+
+#include <utility>
+
+#include "core/oracle.h"
+
+namespace koptlog {
+
+void OutputBuffer::check(
+    const std::function<bool(ProcessId, const Entry&)>& stable) {
+  std::vector<OutputRecord> kept;
+  kept.reserve(items_.size());
+  for (OutputRecord& rec : items_) {
+    bool ready = true;
+    for (ProcessId j = 0; j < rt_.n; ++j) {
+      const OptEntry& e = rec.tdv.at(j);
+      if (!e) continue;
+      if (!stable(j, *e)) {
+        ready = false;
+        continue;
+      }
+      if (null_stable_entries_) {
+        if (Oracle* orc = rt_.oracle())
+          orc->on_entry_nulled(rt_.pid, j, *e, rt_.sim().now());
+        rec.tdv.clear(j);
+      }
+    }
+    if (ready) {
+      rt_.dispatch_at_idle([rt = &rt_, r = std::move(rec)] {
+        rt->api.commit_output(r);
+      });
+    } else {
+      kept.push_back(std::move(rec));
+    }
+  }
+  items_ = std::move(kept);
+}
+
+size_t OutputBuffer::discard_if(
+    const std::function<bool(const DepVector&)>& orphan,
+    const std::function<void(const OutputRecord&)>& on_discard) {
+  return std::erase_if(items_, [&](const OutputRecord& rec) {
+    if (!orphan(rec.tdv)) return false;
+    on_discard(rec);
+    return true;
+  });
+}
+
+}  // namespace koptlog

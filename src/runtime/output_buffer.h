@@ -1,0 +1,46 @@
+// OutputBuffer — 0-optimistic output commit (paper §4.2: an output is a
+// message to the outside world with K = 0). A record stays buffered until
+// every interval it depends on is known stable, as judged by the hosting
+// engine's stability predicate; with commit dependency tracking on, entries
+// are NULLed as they pass the test, so "ready" means "all entries NULL".
+// Commits reach the outside world once the process's busy window drains.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/output.h"
+#include "runtime/runtime_services.h"
+
+namespace koptlog {
+
+class OutputBuffer {
+ public:
+  OutputBuffer(RuntimeServices& rt, bool null_stable_entries)
+      : rt_(rt), null_stable_entries_(null_stable_entries) {}
+
+  void push(OutputRecord rec) { items_.push_back(std::move(rec)); }
+
+  /// Commit every record whose dependencies all satisfy `stable`. With
+  /// Theorem 2 on, stable entries are NULLed (oracle-audited); in the
+  /// Strom–Yemini/full-TDV configurations entries are never NULLed, so
+  /// stability is re-tested against `stable` each time.
+  void check(const std::function<bool(ProcessId, const Entry&)>& stable);
+
+  /// Drop every buffered orphan, reporting each to `on_discard`.
+  size_t discard_if(const std::function<bool(const DepVector&)>& orphan,
+                    const std::function<void(const OutputRecord&)>& on_discard);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Crash: the buffer is volatile (replay re-emits the outputs).
+  void clear() { items_.clear(); }
+
+ private:
+  RuntimeServices& rt_;
+  bool null_stable_entries_;
+  std::vector<OutputRecord> items_;
+};
+
+}  // namespace koptlog

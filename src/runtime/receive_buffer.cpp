@@ -1,0 +1,50 @@
+#include "runtime/receive_buffer.h"
+
+#include <algorithm>
+
+namespace koptlog {
+
+bool ReceiveBuffer::buffered(const MsgId& id) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const Buffered& b) { return b.msg.id == id; });
+}
+
+void ReceiveBuffer::drain_deliverable(
+    const std::function<bool()>& active,
+    const std::function<bool(const AppMsg&)>& orphan,
+    const std::function<void(const AppMsg&)>& on_discard,
+    const std::function<bool(const AppMsg&)>& deliverable,
+    const std::function<void(Buffered&&)>& deliver) {
+  bool progress = true;
+  while (progress && active()) {
+    progress = false;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      // Announcements processed since arrival may have orphaned it.
+      if (orphan(items_[i].msg)) {
+        on_discard(items_[i].msg);
+        items_.erase(items_.begin() + static_cast<ptrdiff_t>(i));
+        progress = true;
+        break;
+      }
+      if (deliverable(items_[i].msg)) {
+        Buffered b = std::move(items_[i]);
+        items_.erase(items_.begin() + static_cast<ptrdiff_t>(i));
+        deliver(std::move(b));
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+size_t ReceiveBuffer::discard_if(
+    const std::function<bool(const AppMsg&)>& orphan,
+    const std::function<void(const AppMsg&)>& on_discard) {
+  return std::erase_if(items_, [&](const Buffered& b) {
+    if (!orphan(b.msg)) return false;
+    on_discard(b.msg);
+    return true;
+  });
+}
+
+}  // namespace koptlog

@@ -1,0 +1,88 @@
+// ReceiveBuffer — buffered arrivals awaiting a deliverability decision,
+// plus the receiver-side duplicate/ack bookkeeping every engine needs:
+// which message ids have been delivered (recovery replay regenerates
+// identical messages, so duplicates must be dropped by id), which delivered
+// ids have stable — and therefore acknowledged — deliveries, and how far
+// the stable log has been scanned for acks. All of it is volatile: a crash
+// clears the lot and replay/restart rebuilds it.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+class ReceiveBuffer {
+ public:
+  struct Buffered {
+    AppMsg msg;
+    SimTime arrived_at = 0;
+  };
+
+  void push(AppMsg msg, SimTime now) {
+    items_.push_back(Buffered{std::move(msg), now});
+  }
+
+  /// Is a message with this id sitting in the buffer?
+  bool buffered(const MsgId& id) const;
+
+  /// Duplicate suppression: already delivered, or already buffered.
+  bool seen(const MsgId& id) const {
+    return delivered_ids_.count(id) != 0 || buffered(id);
+  }
+
+  /// Repeatedly scan the buffer while `active`: a buffered orphan is
+  /// reported to `on_discard` and dropped; the first deliverable message is
+  /// handed to `deliver` (removed first — delivery may re-enter the
+  /// buffer). Each removal restarts the scan, since a delivery can make
+  /// earlier-buffered messages deliverable (or orphaned).
+  void drain_deliverable(const std::function<bool()>& active,
+                         const std::function<bool(const AppMsg&)>& orphan,
+                         const std::function<void(const AppMsg&)>& on_discard,
+                         const std::function<bool(const AppMsg&)>& deliverable,
+                         const std::function<void(Buffered&&)>& deliver);
+
+  /// Drop every buffered message matching `orphan`, reporting each to
+  /// `on_discard`. Returns how many were dropped.
+  size_t discard_if(const std::function<bool(const AppMsg&)>& orphan,
+                    const std::function<void(const AppMsg&)>& on_discard);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // ---- delivered-id bookkeeping ----
+  bool delivered(const MsgId& id) const { return delivered_ids_.count(id) != 0; }
+  void mark_delivered(const MsgId& id) { delivered_ids_.insert(id); }
+  void unmark_delivered(const MsgId& id) { delivered_ids_.erase(id); }
+
+  // ---- stability-deferred ack bookkeeping ----
+  /// Ids whose delivery is stable (ack already sent); duplicates of these
+  /// are re-acked in case the first ack was lost.
+  bool acked(const MsgId& id) const { return acked_ids_.count(id) != 0; }
+  void mark_acked(const MsgId& id) { acked_ids_.insert(id); }
+  void unmark_acked(const MsgId& id) { acked_ids_.erase(id); }
+
+  /// Log position up to which stable records have been scanned for acks.
+  size_t acked_upto() const { return acked_upto_; }
+  void set_acked_upto(size_t pos) { acked_upto_ = pos; }
+
+  /// Crash: every volatile structure is lost.
+  void clear() {
+    items_.clear();
+    delivered_ids_.clear();
+    acked_ids_.clear();
+    acked_upto_ = 0;
+  }
+
+ private:
+  std::vector<Buffered> items_;
+  std::set<MsgId> delivered_ids_;
+  std::set<MsgId> acked_ids_;
+  size_t acked_upto_ = 0;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,42 @@
+#include "runtime/reliable_channel.h"
+
+namespace koptlog {
+
+void ReliableChannel::retransmit(
+    const std::function<bool(const AppMsg&)>& orphan) {
+  for (auto it = unacked_.begin(); it != unacked_.end();) {
+    if (orphan(it->second)) {
+      it = unacked_.erase(it);
+      continue;
+    }
+    rt_.stats().inc("msgs.retransmitted");
+    rt_.api.route_app_msg(it->second);
+    ++it;
+  }
+}
+
+void ReliableChannel::ack_stable_records() {
+  size_t upto = rt_.storage.log().stable_count();
+  recv_.set_acked_upto(std::max(recv_.acked_upto(), rt_.storage.log().base()));
+  for (size_t i = recv_.acked_upto(); i < upto; ++i) {
+    const AppMsg& m = rt_.storage.log().at(i).msg;
+    rt_.storage.unpark(m.id);
+    if (enabled_ && m.from != kEnvironment) {
+      recv_.mark_acked(m.id);
+      rt_.api.send_ack(rt_.pid, m.from, m.id);
+    }
+  }
+  recv_.set_acked_upto(upto);
+}
+
+void ReliableChannel::ack_discarded(const AppMsg& m) {
+  rt_.storage.unpark(m.id);
+  if (enabled_ && m.from != kEnvironment) rt_.api.send_ack(rt_.pid, m.from, m.id);
+}
+
+void ReliableChannel::reack_duplicate(const AppMsg& m) {
+  if (enabled_ && recv_.acked(m.id) && m.from != kEnvironment)
+    rt_.api.send_ack(rt_.pid, m.from, m.id);
+}
+
+}  // namespace koptlog

@@ -1,0 +1,176 @@
+#include "runtime/replay_engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/oracle.h"
+
+namespace koptlog {
+
+std::vector<LogRecord> ReplayEngine::on_crash() {
+  ++epoch_;
+  rt_.exec.reset();
+  rt_.stats().inc("crash.count");
+  processed_announcements_.clear();
+  return rt_.storage.log().lose_volatile();
+}
+
+void ReplayEngine::report_crash_to_oracle() {
+  if (Oracle* orc = rt_.oracle()) {
+    Sii surv = rt_.storage.checkpoints().empty()
+                   ? 0
+                   : rt_.storage.checkpoints().latest().at.sii;
+    if (rt_.storage.log().stable_count() > rt_.storage.log().base()) {
+      surv = std::max(surv, rt_.storage.log()
+                                .at(rt_.storage.log().stable_count() - 1)
+                                .started.sii);
+    }
+    orc->on_crash(rt_.pid, surv);
+  }
+}
+
+void ReplayEngine::charge_sync_write(SimTime cost) {
+  rt_.exec.occupy(cost);
+  ++rt_.storage.sync_writes;
+  rt_.stats().inc("storage.sync_writes");
+}
+
+Incarnation ReplayEngine::bump_incarnation_durably() {
+  Incarnation next = rt_.storage.durable_max_inc() + 1;
+  charge_sync_write(rt_.storage.costs().sync_write_us);
+  rt_.storage.set_durable_max_inc(next);
+  return next;
+}
+
+bool ReplayEngine::note_remote_announcement(const Announcement& a) {
+  auto key = std::make_pair(a.from, a.ended);
+  if (processed_announcements_.count(key) != 0) return false;
+  processed_announcements_.insert(key);
+  // "Synchronously log the received announcement" (Figure 3).
+  charge_sync_write(rt_.storage.costs().sync_write_us);
+  rt_.storage.journal_announcement(a);
+  rt_.stats().inc("announce.received");
+  return true;
+}
+
+void ReplayEngine::record_own_announcement(const Announcement& a) {
+  charge_sync_write(rt_.storage.costs().sync_write_us);
+  rt_.storage.journal_announcement(a);
+  processed_announcements_.insert({a.from, a.ended});
+}
+
+void ReplayEngine::restore_announcements(
+    const std::function<void(const Announcement&)>& apply) {
+  for (const Announcement& a : rt_.storage.announcement_journal()) {
+    apply(a);
+    processed_announcements_.insert({a.from, a.ended});
+  }
+}
+
+size_t ReplayEngine::flush_volatile() {
+  size_t nvol = rt_.storage.log().volatile_count();
+  rt_.storage.log().flush_all();
+  rt_.storage.records_flushed += static_cast<int64_t>(nvol);
+  return nvol;
+}
+
+void ReplayEngine::start_async_flush(
+    const std::function<void(size_t upto, Entry watermark)>& finish) {
+  size_t nvol = rt_.storage.log().volatile_count();
+  if (nvol == 0) return;
+  ++rt_.storage.async_flushes;
+  rt_.stats().inc("flush.count");
+  size_t upto = rt_.storage.log().size();
+  // The watermark is the interval of the last *logged record*, not the
+  // engine's current interval: a rollback/restart bookkeeping interval has
+  // no record and is only reconstructable from a checkpoint, so a flush
+  // must never claim it stable.
+  Entry watermark = rt_.storage.log().at(upto - 1).started.entry();
+  uint64_t epoch = epoch_;
+  SimTime d = rt_.storage.costs().async_flush_base_us +
+              static_cast<SimTime>(nvol) *
+                  rt_.storage.costs().async_flush_per_msg_us;
+  rt_.sim().schedule_after(d, [this, finish, upto, watermark, epoch] {
+    if (epoch != epoch_ || !alive_()) return;
+    finish(upto, watermark);
+  });
+}
+
+size_t ReplayEngine::complete_flush(size_t upto) {
+  size_t before = rt_.storage.log().stable_count();
+  rt_.storage.log().flush_to(upto);
+  size_t delta = rt_.storage.log().stable_count() - before;
+  rt_.storage.records_flushed += static_cast<int64_t>(delta);
+  return delta;
+}
+
+void ReplayEngine::take_checkpoint(
+    const std::function<void(Checkpoint&)>& fill) {
+  // "When a checkpoint is taken, all messages in the volatile buffer are
+  // also written to stable storage at the same time so that stable state
+  // intervals are always continuous" (§2).
+  size_t nvol = flush_volatile();
+  rt_.exec.occupy(rt_.storage.costs().checkpoint_write_us +
+                  static_cast<SimTime>(nvol) *
+                      rt_.storage.costs().async_flush_per_msg_us);
+  ++rt_.storage.checkpoints_taken;
+  rt_.stats().inc("checkpoint.count");
+  Checkpoint cp;
+  fill(cp);
+  rt_.storage.checkpoints().push(std::move(cp));
+}
+
+size_t ReplayEngine::replay(size_t from, size_t bound,
+                            const std::function<bool(const LogRecord&)>& stop,
+                            const std::function<void(const LogRecord&)>& apply) {
+  size_t pos = from;
+  while (pos < bound) {
+    const LogRecord& r = rt_.storage.log().at(pos);
+    if (stop && stop(r)) break;
+    rt_.exec.occupy(cfg_.replay_per_msg_us);
+    apply(r);
+    rt_.stats().inc("restart.replayed_msgs");
+    ++pos;
+  }
+  return pos;
+}
+
+void ReplayEngine::garbage_collect(
+    const std::function<bool(const Checkpoint&)>& safe) {
+  const CheckpointStore& cps = rt_.storage.checkpoints();
+  std::optional<size_t> pivot;
+  for (size_t i = cps.size(); i-- > 0;) {
+    if (safe(cps.at(i))) {
+      pivot = i;
+      break;
+    }
+  }
+  if (!pivot) return;
+  const size_t reclaim_to =
+      std::min(cps.at(*pivot).log_pos, rt_.storage.log().stable_count());
+  size_t records = rt_.storage.log().discard_prefix(reclaim_to);
+  size_t checkpoints = *pivot;
+  if (checkpoints > 0) rt_.storage.checkpoints().discard_before(checkpoints);
+  if (records > 0)
+    rt_.stats().inc("gc.records_reclaimed", static_cast<int64_t>(records));
+  if (checkpoints > 0)
+    rt_.stats().inc("gc.checkpoints_reclaimed",
+                    static_cast<int64_t>(checkpoints));
+  rt_.stats().sample("storage.log_retained",
+                     static_cast<double>(rt_.storage.log().retained_count()));
+  rt_.stats().sample("storage.checkpoints_retained",
+                     static_cast<double>(rt_.storage.checkpoints().size()));
+}
+
+void ReplayEngine::arm_periodic(SimTime period,
+                                const std::function<void()>& tick) {
+  if (period <= 0) return;
+  uint64_t epoch = epoch_;
+  rt_.sim().schedule_after(period, [this, epoch, period, tick] {
+    if (epoch != epoch_ || !alive_() || rt_.api.draining()) return;
+    tick();
+    arm_periodic(period, tick);
+  });
+}
+
+}  // namespace koptlog

@@ -1,0 +1,110 @@
+// ReplayEngine — the checkpoint/replay/stable-storage mechanism shared by
+// every recovery engine: synchronous and asynchronous log flushes (with the
+// epoch guard that voids completions raced by a crash), checkpoint capture,
+// garbage collection, durable incarnation bumps, synchronously-journaled
+// announcement bookkeeping, the logged-prefix replay loop, and the
+// epoch-guarded periodic timers. What to replay, when a record is an
+// orphan, and which checkpoint is safe remain the hosting engine's policy,
+// supplied as predicates.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "runtime/runtime_services.h"
+#include "storage/checkpoint_store.h"
+#include "storage/message_log.h"
+
+namespace koptlog {
+
+class ReplayEngine {
+ public:
+  /// `alive` probes the hosting engine: timers and flush completions become
+  /// no-ops once the process is down.
+  ReplayEngine(RuntimeServices& rt, const ProtocolConfig& cfg,
+               std::function<bool()> alive)
+      : rt_(rt), cfg_(cfg), alive_(std::move(alive)) {}
+
+  /// Bumped on crash; stale timer firings and async-flush completions check
+  /// it and become no-ops. (Rollbacks don't bump it: flush completions
+  /// detect a truncated log by re-checking the watermark record's
+  /// identity.)
+  uint64_t epoch() const { return epoch_; }
+
+  /// Crash: invalidate in-flight completions and timers, drop queued
+  /// executor actions, lose the volatile log suffix. Returns the lost
+  /// records so the oracle can mark the corresponding intervals lost.
+  std::vector<LogRecord> on_crash();
+
+  /// Report the crash's survivor boundary to the oracle: the latest
+  /// checkpointed interval or the last stable log record, whichever is
+  /// later.
+  void report_crash_to_oracle();
+
+  /// Account a blocking stable-storage write: service time + counters.
+  void charge_sync_write(SimTime cost);
+
+  /// Durably bump the incarnation number (synchronously journaled, so a
+  /// crash can never reuse one). Returns the new incarnation.
+  Incarnation bump_incarnation_durably();
+
+  // ---- announcement journal (synchronously written, survives failures) ----
+  /// A remote announcement arrived: dedup against the processed set, then
+  /// synchronously journal it (Figure 3). Returns false for duplicates.
+  bool note_remote_announcement(const Announcement& a);
+  /// Journal and broadcast this process's own announcement.
+  void record_own_announcement(const Announcement& a);
+  /// Restart: replay the journal, rebuilding the processed set; `apply`
+  /// re-applies each announcement to the engine's tables.
+  void restore_announcements(const std::function<void(const Announcement&)>& apply);
+
+  // ---- flushing ----
+  /// Synchronously move the whole volatile log to stable storage (cost is
+  /// charged by the caller — checkpoint, rollback and drain each charge
+  /// differently). Returns how many records were flushed.
+  size_t flush_volatile();
+
+  /// Begin an asynchronous flush of the current volatile suffix; `finish`
+  /// runs at completion — unless a crash bumped the epoch or the process is
+  /// down — with the issued log bound and the interval of the last record
+  /// it covers (the watermark a completed flush may claim stable).
+  void start_async_flush(const std::function<void(size_t upto, Entry watermark)>& finish);
+
+  /// Flush-completion bookkeeping: records [0, upto) are now stable.
+  /// Returns how many records newly became stable.
+  size_t complete_flush(size_t upto);
+
+  // ---- checkpoint / replay / GC ----
+  /// Checkpoint mechanism (§2: volatile records are flushed with the
+  /// checkpoint so stable state intervals stay continuous): flush, charge
+  /// the checkpoint write, then push the checkpoint populated by `fill`.
+  void take_checkpoint(const std::function<void(Checkpoint&)>& fill);
+
+  /// Replay logged records [from, bound): each record not stopped by `stop`
+  /// is charged replay cost and handed to `apply`. Returns the position
+  /// replay stopped at.
+  size_t replay(size_t from, size_t bound,
+                const std::function<bool(const LogRecord&)>& stop,
+                const std::function<void(const LogRecord&)>& apply);
+
+  /// Reclaim checkpoints and log records that recovery can never need
+  /// again: everything older than the newest checkpoint `safe` accepts
+  /// (one that can never be orphaned).
+  void garbage_collect(const std::function<bool(const Checkpoint&)>& safe);
+
+  /// Arm a periodic timer bound to the current epoch: it stops firing on
+  /// crash, death, or when the harness enters its drain phase.
+  void arm_periodic(SimTime period, const std::function<void()>& tick);
+
+ private:
+  RuntimeServices& rt_;
+  const ProtocolConfig& cfg_;
+  std::function<bool()> alive_;
+  std::set<std::pair<ProcessId, Entry>> processed_announcements_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace koptlog

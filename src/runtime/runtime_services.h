@@ -1,0 +1,39 @@
+// RuntimeServices — the small context every runtime component works
+// against: the hosting cluster's services (simulator clock/scheduler,
+// stats, tracer, oracle), the per-process executor, and the process's
+// stable storage. Components receive this instead of reaching into engine
+// privates, so any RecoveryProcess engine can compose them.
+#pragma once
+
+#include "core/cluster_api.h"
+#include "sim/executor.h"
+#include "storage/stable_storage.h"
+
+namespace koptlog {
+
+struct RuntimeServices {
+  ProcessId pid;
+  int n;
+  ClusterApi& api;
+  Executor& exec;
+  StableStorage& storage;
+
+  Simulator& sim() const { return api.sim(); }
+  Stats& stats() const { return api.stats(); }
+  Oracle* oracle() const { return api.oracle(); }
+
+  /// Run `fn` once the process's current busy window (application work plus
+  /// any blocking stable-storage writes) has drained: released messages and
+  /// committed outputs leave the host only when the process is idle again.
+  template <typename Fn>
+  void dispatch_at_idle(Fn&& fn) const {
+    SimTime ready = std::max(sim().now(), exec.busy_until());
+    if (ready > sim().now()) {
+      sim().schedule_at(ready, std::forward<Fn>(fn));
+    } else {
+      fn();
+    }
+  }
+};
+
+}  // namespace koptlog

@@ -1,0 +1,60 @@
+#include "runtime/send_buffer.h"
+
+#include <utility>
+
+#include "core/oracle.h"
+
+namespace koptlog {
+
+bool SendBuffer::enqueue(AppMsg msg, SimTime now, int k_limit) {
+  for (const Buffered& b : items_) {
+    if (b.msg.id == msg.id) return false;
+  }
+  items_.push_back(Buffered{std::move(msg), now, k_limit});
+  return true;
+}
+
+void SendBuffer::release_eligible(
+    const std::function<void(DepVector&)>& null_stable) {
+  std::vector<Buffered> kept;
+  kept.reserve(items_.size());
+  for (Buffered& b : items_) {
+    if (null_stable) null_stable(b.msg.tdv);
+    int live = b.msg.tdv.non_null_count();
+    if (live <= b.k_limit) {
+      rt_.stats().inc("msgs.released");
+      if (rt_.sim().now() > b.queued_at)
+        rt_.stats().inc("msgs.released_delayed");
+      rt_.stats().sample("send.hold_us",
+                         static_cast<double>(rt_.sim().now() - b.queued_at));
+      rt_.stats().sample("send.risk", static_cast<double>(live));
+      rt_.stats().sample("msg.piggyback_bytes",
+                         static_cast<double>(b.msg.wire_bytes(null_omission_)));
+      rt_.stats().sample("msg.vector_bytes",
+                         static_cast<double>(null_omission_
+                                                 ? b.msg.tdv.wire_bytes()
+                                                 : b.msg.tdv.wire_bytes_full()));
+      if (Oracle* orc = rt_.oracle())
+        orc->on_msg_released(b.msg, live, b.k_limit, rt_.sim().now());
+      channel_.track(b.msg);
+      rt_.dispatch_at_idle([rt = &rt_, msg = std::move(b.msg)]() mutable {
+        rt->api.route_app_msg(std::move(msg));
+      });
+    } else {
+      kept.push_back(std::move(b));
+    }
+  }
+  items_ = std::move(kept);
+}
+
+size_t SendBuffer::discard_if(
+    const std::function<bool(const AppMsg&)>& orphan,
+    const std::function<void(const AppMsg&)>& on_discard) {
+  return std::erase_if(items_, [&](const Buffered& b) {
+    if (!orphan(b.msg)) return false;
+    on_discard(b.msg);
+    return true;
+  });
+}
+
+}  // namespace koptlog

@@ -1,0 +1,62 @@
+// SendBuffer — queued outgoing messages with the per-message K release
+// policy of paper §4.2 (Check_send_buffer, Figure 2). A message waits here
+// until its dependency vector has at most k_limit live entries — the
+// system-wide K, or a per-message override — then leaves the host once the
+// process's busy window has drained. What counts as a "live" entry is the
+// hosting engine's policy: it supplies the nulling step that erases entries
+// covered by its stability knowledge.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/protocol_msg.h"
+#include "runtime/reliable_channel.h"
+#include "runtime/runtime_services.h"
+
+namespace koptlog {
+
+class SendBuffer {
+ public:
+  struct Buffered {
+    AppMsg msg;
+    SimTime queued_at = 0;
+    /// Release threshold for this message: the system K, or a per-message
+    /// override (§4.2).
+    int k_limit = 0;
+  };
+
+  /// `null_omission` is the engine's wire format (Theorem 2 vectors omit
+  /// NULL entries); `channel` tracks released messages for retransmission.
+  SendBuffer(RuntimeServices& rt, bool null_omission, ReliableChannel& channel)
+      : rt_(rt), null_omission_(null_omission), channel_(channel) {}
+
+  /// Queue a message for release. A recovery replay re-executes application
+  /// sends; if the original copy is still buffered, it is kept (it may
+  /// already have more entries NULLed) and `msg` is dropped. Returns false
+  /// for such duplicates, true if the message was queued.
+  bool enqueue(AppMsg msg, SimTime now, int k_limit);
+
+  /// Check_send_buffer (Figure 2): apply the engine's `null_stable` step to
+  /// each buffered vector, then release every message with at most k_limit
+  /// live entries.
+  void release_eligible(const std::function<void(DepVector&)>& null_stable);
+
+  /// Drop every buffered orphan, reporting each to `on_discard`.
+  size_t discard_if(const std::function<bool(const AppMsg&)>& orphan,
+                    const std::function<void(const AppMsg&)>& on_discard);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Crash: the buffer is volatile.
+  void clear() { items_.clear(); }
+
+ private:
+  RuntimeServices& rt_;
+  bool null_omission_;
+  ReliableChannel& channel_;
+  std::vector<Buffered> items_;
+};
+
+}  // namespace koptlog

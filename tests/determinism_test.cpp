@@ -1,0 +1,83 @@
+// Determinism regression: the runtime-component decomposition must keep
+// the engines bit-for-bit deterministic. Two runs of the same seeded
+// uniform workload with one injected failure must produce identical
+// committed-output sequences and identical stats counters — for the
+// K-optimistic engine and for the direct-tracking engine.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/process.h"
+#include "direct/direct_process.h"
+
+namespace koptlog {
+namespace {
+
+struct RunResult {
+  std::vector<Cluster::CommittedOutput> outputs;
+  std::map<std::string, int64_t> counters;
+};
+
+RunResult run_once(const ClusterConfig& cfg,
+                   const Cluster::EngineFactory& factory) {
+  Cluster cluster(cfg, make_uniform_app({.output_every = 4}), factory);
+  cluster.start();
+  inject_uniform_load(cluster, 120, 1'000, 600'000, 5, 11);
+  cluster.fail_at(250'000, 1);
+  cluster.run_for(2'000'000);
+  cluster.drain();
+  return RunResult{cluster.outputs(), cluster.stats().counters()};
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    const Cluster::CommittedOutput& x = a.outputs[i];
+    const Cluster::CommittedOutput& y = b.outputs[i];
+    EXPECT_EQ(x.id, y.id) << "output " << i;
+    EXPECT_EQ(x.pid, y.pid) << "output " << i;
+    EXPECT_EQ(x.payload, y.payload) << "output " << i;
+    EXPECT_EQ(x.born_of, y.born_of) << "output " << i;
+    EXPECT_EQ(x.committed_at, y.committed_at) << "output " << i;
+  }
+  EXPECT_EQ(a.counters, b.counters);
+}
+
+Cluster::EngineFactory k_optimistic_factory() {
+  return [](ProcessId pid, const ClusterConfig& cfg, ClusterApi& api,
+            std::unique_ptr<Application> app)
+             -> std::unique_ptr<RecoveryProcess> {
+    return std::make_unique<Process>(pid, cfg.n, cfg.protocol, api,
+                                     std::move(app));
+  };
+}
+
+TEST(Determinism, KOptimisticEngineIsSeedDeterministic) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 8881;
+  cfg.protocol.k = 2;
+  RunResult first = run_once(cfg, k_optimistic_factory());
+  RunResult second = run_once(cfg, k_optimistic_factory());
+  ASSERT_GT(first.outputs.size(), 0u);
+  EXPECT_GT(first.counters.at("crash.count"), 0);
+  expect_identical(first, second);
+}
+
+TEST(Determinism, DirectEngineIsSeedDeterministic) {
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 8881;
+  RunResult first = run_once(cfg, DirectProcess::factory());
+  RunResult second = run_once(cfg, DirectProcess::factory());
+  ASSERT_GT(first.outputs.size(), 0u);
+  EXPECT_GT(first.counters.at("crash.count"), 0);
+  expect_identical(first, second);
+}
+
+}  // namespace
+}  // namespace koptlog

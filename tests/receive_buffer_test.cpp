@@ -1,0 +1,97 @@
+// ReceiveBuffer unit tests: duplicate suppression by replay-stable id,
+// the restart-on-removal drain loop (a delivery can make earlier-buffered
+// messages deliverable), orphan discard, and the crash-clears-everything
+// contract for the delivered/acked bookkeeping.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "runtime/receive_buffer.h"
+#include "runtime_test_util.h"
+
+namespace koptlog {
+namespace {
+
+TEST(ReceiveBufferTest, SeenCoversBufferedAndDelivered) {
+  RuntimeFixture fx;
+  ReceiveBuffer rb;
+  AppMsg m = fx.msg(1, 1);
+
+  EXPECT_FALSE(rb.seen(m.id));
+  rb.push(m, 0);
+  EXPECT_TRUE(rb.buffered(m.id));
+  EXPECT_TRUE(rb.seen(m.id));
+
+  rb.mark_delivered(MsgId{2, 9});
+  EXPECT_TRUE(rb.seen(MsgId{2, 9}));
+  EXPECT_FALSE(rb.buffered(MsgId{2, 9}));
+}
+
+TEST(ReceiveBufferTest, DrainRestartsScanAfterEachDelivery) {
+  RuntimeFixture fx;
+  ReceiveBuffer rb;
+  // m1 buffered first but only deliverable once m2 has been delivered —
+  // the drain must restart its scan after removing m2.
+  AppMsg m1 = fx.msg(1, 1);
+  AppMsg m2 = fx.msg(2, 2);
+  rb.push(m1, 0);
+  rb.push(m2, 0);
+
+  std::set<SeqNo> delivered;
+  std::vector<SeqNo> order;
+  rb.drain_deliverable(
+      [] { return true; }, [](const AppMsg&) { return false; },
+      [](const AppMsg&) {},
+      [&](const AppMsg& m) {
+        return m.id.seq == 2 || delivered.count(2) != 0;
+      },
+      [&](ReceiveBuffer::Buffered&& b) {
+        delivered.insert(b.msg.id.seq);
+        order.push_back(b.msg.id.seq);
+      });
+
+  EXPECT_EQ(order, (std::vector<SeqNo>{2, 1}));
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(ReceiveBufferTest, DrainDiscardsOrphansAndStopsWhenInactive) {
+  RuntimeFixture fx;
+  ReceiveBuffer rb;
+  rb.push(fx.msg(1, 1), 0);  // orphan
+  rb.push(fx.msg(2, 2), 0);  // deliverable, but delivery kills the process
+
+  std::vector<SeqNo> discarded;
+  std::vector<SeqNo> delivered;
+  bool active = true;
+  rb.drain_deliverable(
+      [&] { return active; },
+      [](const AppMsg& m) { return m.id.seq == 1; },
+      [&](const AppMsg& m) { discarded.push_back(m.id.seq); },
+      [](const AppMsg&) { return true; },
+      [&](ReceiveBuffer::Buffered&& b) {
+        delivered.push_back(b.msg.id.seq);
+        active = false;  // e.g. the delivery triggered a rollback
+      });
+
+  EXPECT_EQ(discarded, (std::vector<SeqNo>{1}));
+  EXPECT_EQ(delivered, (std::vector<SeqNo>{2}));
+}
+
+TEST(ReceiveBufferTest, ClearResetsAllVolatileBookkeeping) {
+  RuntimeFixture fx;
+  ReceiveBuffer rb;
+  rb.push(fx.msg(1, 1), 0);
+  rb.mark_delivered(MsgId{1, 1});
+  rb.mark_acked(MsgId{1, 1});
+  rb.set_acked_upto(5);
+
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.delivered(MsgId{1, 1}));
+  EXPECT_FALSE(rb.acked(MsgId{1, 1}));
+  EXPECT_EQ(rb.acked_upto(), 0u);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -35,7 +35,7 @@ TEST(RecoveryEdge, RepeatedFailuresOfSameProcess) {
   EXPECT_EQ(cluster.stats().counter("crash.count"),
             cluster.stats().counter("restart.count"));
   // Every failure of P1 increments its incarnation at least once.
-  EXPECT_GE(cluster.process(1).current().inc, 5);
+  EXPECT_GE(cluster.engine(1).current().inc, 5);
   verify(cluster);
 }
 
@@ -77,8 +77,8 @@ TEST(RecoveryEdge, PipelineCascadeRollsBackDownstreamOnly) {
   cluster.fail_at(100'000, 2);
   cluster.run_for(900'000);
   cluster.drain();
-  EXPECT_EQ(cluster.process(0).rollbacks(), 0);
-  EXPECT_EQ(cluster.process(1).rollbacks(), 0);
+  EXPECT_EQ(cluster.engine(0).rollbacks(), 0);
+  EXPECT_EQ(cluster.engine(1).rollbacks(), 0);
   verify(cluster);
 }
 

@@ -1,0 +1,124 @@
+// ReliableChannel unit tests: acks are deferred until the delivery's log
+// record reaches stable storage (so a receiver crash can never lose a
+// message whose sender already stopped retransmitting), already-stable
+// duplicates are re-acked, and the sender side retransmits only
+// non-orphans.
+#include <gtest/gtest.h>
+
+#include "runtime/receive_buffer.h"
+#include "runtime/reliable_channel.h"
+#include "runtime_test_util.h"
+#include "storage/message_log.h"
+
+namespace koptlog {
+namespace {
+
+class ReliableChannelTest : public ::testing::Test {
+ protected:
+  void log_delivery(const AppMsg& m, Sii sii) {
+    fx.storage.log().append(LogRecord{m, IntervalId{0, 1, sii}});
+  }
+
+  RuntimeFixture fx;
+  ReceiveBuffer recv;
+  ReliableChannel ch{fx.rt, /*enabled=*/true, recv};
+};
+
+TEST_F(ReliableChannelTest, AcksAreDeferredToStability) {
+  AppMsg m1 = fx.msg(1, 1);
+  AppMsg m2 = fx.msg(2, 2);
+  log_delivery(m1, 1);
+  log_delivery(m2, 2);
+
+  // Both records are still volatile: nothing may be acknowledged yet.
+  ch.ack_stable_records();
+  EXPECT_TRUE(fx.api.acks.empty());
+  EXPECT_FALSE(recv.acked(m1.id));
+
+  // The flush lands: both deliveries become stable and are acked in log
+  // order, exactly once.
+  fx.storage.log().flush_all();
+  ch.ack_stable_records();
+  ASSERT_EQ(fx.api.acks.size(), 2u);
+  EXPECT_EQ(std::get<1>(fx.api.acks[0]), 1);  // ack to m1's sender
+  EXPECT_EQ(std::get<2>(fx.api.acks[0]), m1.id);
+  EXPECT_EQ(std::get<1>(fx.api.acks[1]), 2);
+  EXPECT_TRUE(recv.acked(m1.id));
+  EXPECT_TRUE(recv.acked(m2.id));
+  EXPECT_EQ(recv.acked_upto(), 2u);
+
+  // Re-scanning finds nothing new.
+  ch.ack_stable_records();
+  EXPECT_EQ(fx.api.acks.size(), 2u);
+}
+
+TEST_F(ReliableChannelTest, EnvironmentDeliveriesAreNeverAcked) {
+  AppMsg env = fx.msg(kEnvironment, 1);
+  log_delivery(env, 1);
+  fx.storage.log().flush_all();
+  ch.ack_stable_records();
+  EXPECT_TRUE(fx.api.acks.empty());
+  EXPECT_EQ(recv.acked_upto(), 1u);
+}
+
+TEST_F(ReliableChannelTest, StableRecordsAreUnparkedAsTheyAreAcked) {
+  AppMsg m = fx.msg(1, 1);
+  fx.storage.park(m);
+  log_delivery(m, 1);
+  fx.storage.log().flush_all();
+  ch.ack_stable_records();
+  EXPECT_TRUE(fx.storage.parked().empty());
+}
+
+TEST_F(ReliableChannelTest, ReacksOnlyAlreadyStableDuplicates) {
+  AppMsg m = fx.msg(1, 1);
+
+  // Not yet stable: a duplicate arrival must NOT be acked — the pending
+  // stability will ack, and until then the sender must keep the message.
+  ch.reack_duplicate(m);
+  EXPECT_TRUE(fx.api.acks.empty());
+
+  log_delivery(m, 1);
+  fx.storage.log().flush_all();
+  ch.ack_stable_records();
+  ASSERT_EQ(fx.api.acks.size(), 1u);
+
+  // Stable now: the duplicate is re-acked in case the first ack was lost.
+  ch.reack_duplicate(m);
+  ASSERT_EQ(fx.api.acks.size(), 2u);
+  EXPECT_EQ(std::get<2>(fx.api.acks[1]), m.id);
+}
+
+TEST_F(ReliableChannelTest, RetransmitDropsOrphansAndResendsTheRest) {
+  AppMsg keep = fx.msg(0, 1);
+  AppMsg orphan = fx.msg(0, 2);
+  ch.track(keep);
+  ch.track(orphan);
+  ASSERT_EQ(ch.unacked_count(), 2u);
+
+  ch.retransmit([&](const AppMsg& m) { return m.id == orphan.id; });
+  ASSERT_EQ(fx.api.sent.size(), 1u);
+  EXPECT_EQ(fx.api.sent[0].id, keep.id);
+  EXPECT_EQ(ch.unacked_count(), 1u);
+
+  ch.on_ack(keep.id);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST_F(ReliableChannelTest, DisabledChannelStillUnparksButNeverAcks) {
+  ReliableChannel off(fx.rt, /*enabled=*/false, recv);
+  AppMsg m = fx.msg(1, 1);
+  fx.storage.park(m);
+  log_delivery(m, 1);
+  fx.storage.log().flush_all();
+
+  off.ack_stable_records();
+  EXPECT_TRUE(fx.storage.parked().empty());
+  EXPECT_TRUE(fx.api.acks.empty());
+
+  off.track(m);
+  EXPECT_EQ(off.unacked_count(), 0u);
+}
+
+}  // namespace
+}  // namespace koptlog

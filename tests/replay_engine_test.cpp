@@ -1,0 +1,143 @@
+// ReplayEngine unit tests: the epoch guard that voids async-flush
+// completions raced by a crash, durable incarnation bumps, announcement
+// journaling/dedup, the replay loop, and checkpoint-driven garbage
+// collection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/config.h"
+#include "runtime/replay_engine.h"
+#include "runtime_test_util.h"
+
+namespace koptlog {
+namespace {
+
+class ReplayEngineTest : public ::testing::Test {
+ protected:
+  void log_record(SeqNo seq, Sii sii) {
+    fx.storage.log().append(LogRecord{fx.msg(1, seq), IntervalId{0, 1, sii}});
+  }
+
+  RuntimeFixture fx;
+  ProtocolConfig cfg;
+  bool alive = true;
+  ReplayEngine re{fx.rt, cfg, [this] { return alive; }};
+};
+
+TEST_F(ReplayEngineTest, AsyncFlushCompletes) {
+  log_record(1, 1);
+  log_record(2, 2);
+
+  size_t finished_upto = 0;
+  Entry watermark{};
+  re.start_async_flush([&](size_t upto, Entry w) {
+    finished_upto = upto;
+    watermark = w;
+    re.complete_flush(upto);
+  });
+  EXPECT_EQ(fx.storage.async_flushes, 1);
+  fx.api.sim().run();
+
+  EXPECT_EQ(finished_upto, 2u);
+  EXPECT_EQ(watermark, (Entry{1, 2}));
+  EXPECT_EQ(fx.storage.log().stable_count(), 2u);
+  EXPECT_EQ(fx.storage.records_flushed, 2);
+}
+
+TEST_F(ReplayEngineTest, CrashEpochDiscardsStaleFlushCompletion) {
+  log_record(1, 1);
+  log_record(2, 2);
+
+  bool finished = false;
+  re.start_async_flush([&](size_t, Entry) { finished = true; });
+
+  // The crash bumps the epoch and loses the volatile suffix before the
+  // in-flight completion fires; the completion must become a no-op.
+  uint64_t before = re.epoch();
+  std::vector<LogRecord> lost = re.on_crash();
+  EXPECT_EQ(re.epoch(), before + 1);
+  EXPECT_EQ(lost.size(), 2u);
+  alive = true;  // even a fast restart must not resurrect the completion
+
+  fx.api.sim().run();
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(fx.storage.log().stable_count(), 0u);
+}
+
+TEST_F(ReplayEngineTest, DeadProcessDiscardsFlushCompletion) {
+  log_record(1, 1);
+  bool finished = false;
+  re.start_async_flush([&](size_t, Entry) { finished = true; });
+  alive = false;
+  fx.api.sim().run();
+  EXPECT_FALSE(finished);
+}
+
+TEST_F(ReplayEngineTest, FlushOfEmptyVolatileSuffixIsANoOp) {
+  re.start_async_flush([](size_t, Entry) { FAIL() << "nothing to flush"; });
+  EXPECT_EQ(fx.storage.async_flushes, 0);
+  fx.api.sim().run();
+}
+
+TEST_F(ReplayEngineTest, IncarnationBumpIsDurableAndMonotonic) {
+  EXPECT_EQ(re.bump_incarnation_durably(), 1);
+  EXPECT_EQ(re.bump_incarnation_durably(), 2);
+  EXPECT_EQ(fx.storage.durable_max_inc(), 2);
+  // Each bump is a synchronous journal write.
+  EXPECT_EQ(fx.storage.sync_writes, 2);
+}
+
+TEST_F(ReplayEngineTest, RemoteAnnouncementsAreJournaledAndDeduped) {
+  Announcement a{1, Entry{1, 5}, true};
+  EXPECT_TRUE(re.note_remote_announcement(a));
+  EXPECT_FALSE(re.note_remote_announcement(a));
+  EXPECT_EQ(fx.storage.announcement_journal().size(), 1u);
+
+  // A crash clears the volatile processed set; the journal survives and
+  // restart rebuilds the set from it.
+  re.on_crash();
+  std::vector<Announcement> replayed;
+  re.restore_announcements(
+      [&](const Announcement& x) { replayed.push_back(x); });
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0].from, 1);
+  EXPECT_FALSE(re.note_remote_announcement(a));
+}
+
+TEST_F(ReplayEngineTest, ReplayStopsAtPredicateAndChargesEachRecord) {
+  log_record(1, 1);
+  log_record(2, 2);
+  log_record(3, 3);
+
+  std::vector<SeqNo> applied;
+  size_t pos = re.replay(
+      0, 3, [](const LogRecord& r) { return r.started.sii == 3; },
+      [&](const LogRecord& r) { applied.push_back(r.msg.id.seq); });
+  EXPECT_EQ(pos, 2u);
+  EXPECT_EQ(applied, (std::vector<SeqNo>{1, 2}));
+  EXPECT_EQ(fx.api.stats().counter("restart.replayed_msgs"), 2);
+}
+
+TEST_F(ReplayEngineTest, GarbageCollectKeepsTheNewestSafeCheckpoint) {
+  log_record(1, 1);
+  log_record(2, 2);
+  fx.storage.log().flush_all();
+  re.take_checkpoint([&](Checkpoint& cp) {
+    cp.at = Entry{1, 2};
+    cp.log_pos = 2;
+  });
+  log_record(3, 3);
+  fx.storage.log().flush_all();
+
+  re.garbage_collect([](const Checkpoint&) { return true; });
+  // Records before the safe checkpoint's log position are reclaimed; the
+  // checkpoint itself and later records stay.
+  EXPECT_EQ(fx.storage.log().base(), 2u);
+  EXPECT_EQ(fx.storage.log().retained_count(), 1u);
+  EXPECT_EQ(fx.storage.checkpoints().size(), 1u);
+  EXPECT_EQ(fx.api.stats().counter("gc.records_reclaimed"), 2);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,96 @@
+// SendBuffer unit tests: the per-message K release rule of paper §4.2
+// (a message leaves once at most k_limit dependency entries are live),
+// duplicate suppression for replayed sends, and orphan discard.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+
+#include "runtime/receive_buffer.h"
+#include "runtime/reliable_channel.h"
+#include "runtime/send_buffer.h"
+#include "runtime_test_util.h"
+
+namespace koptlog {
+namespace {
+
+class SendBufferTest : public ::testing::Test {
+ protected:
+  AppMsg with_deps(SeqNo seq, std::initializer_list<ProcessId> deps) {
+    AppMsg m = fx.msg(0, seq);
+    for (ProcessId j : deps) m.tdv.set(j, Entry{1, static_cast<Sii>(seq)});
+    return m;
+  }
+
+  RuntimeFixture fx;
+  ReceiveBuffer recv;
+  ReliableChannel channel{fx.rt, /*enabled=*/true, recv};
+  SendBuffer sb{fx.rt, /*null_omission=*/true, channel};
+};
+
+TEST_F(SendBufferTest, MixedPerMessageKLimitsReleaseIndependently) {
+  // Three messages, each depending on non-stable intervals of P1 and P2,
+  // queued with per-message limits 0 (pessimistic), 1 and 2.
+  ASSERT_TRUE(sb.enqueue(with_deps(1, {1, 2}), 0, /*k_limit=*/0));
+  ASSERT_TRUE(sb.enqueue(with_deps(2, {1, 2}), 0, /*k_limit=*/1));
+  ASSERT_TRUE(sb.enqueue(with_deps(3, {1, 2}), 0, /*k_limit=*/2));
+
+  // No stability knowledge yet: only the K=2 message tolerates 2 live
+  // entries.
+  sb.release_eligible({});
+  ASSERT_EQ(fx.api.sent.size(), 1u);
+  EXPECT_EQ(fx.api.sent[0].id.seq, 3);
+  EXPECT_EQ(sb.size(), 2u);
+
+  // P1 becomes stable: the K=1 message drops to one live entry and goes.
+  sb.release_eligible([](DepVector& v) { v.clear(1); });
+  ASSERT_EQ(fx.api.sent.size(), 2u);
+  EXPECT_EQ(fx.api.sent[1].id.seq, 2);
+  EXPECT_EQ(fx.api.sent[1].tdv.non_null_count(), 1);
+  EXPECT_EQ(sb.size(), 1u);
+
+  // Everything stable: the pessimistic message finally leaves, all-NULL.
+  sb.release_eligible([](DepVector& v) {
+    v.clear(1);
+    v.clear(2);
+  });
+  ASSERT_EQ(fx.api.sent.size(), 3u);
+  EXPECT_EQ(fx.api.sent[2].id.seq, 1);
+  EXPECT_TRUE(fx.api.sent[2].tdv.all_null());
+  EXPECT_TRUE(sb.empty());
+  EXPECT_EQ(fx.api.stats().counter("msgs.released"), 3);
+
+  // Released messages were handed to the reliable channel for
+  // retransmission tracking.
+  EXPECT_EQ(channel.unacked_count(), 3u);
+}
+
+TEST_F(SendBufferTest, ReplayedDuplicateKeepsTheBufferedOriginal) {
+  AppMsg original = with_deps(7, {1, 2});
+  ASSERT_TRUE(sb.enqueue(original, 0, 1));
+
+  // Recovery replay re-executes the send; the buffered copy (which may
+  // already have entries NULLed) wins and the duplicate reports false.
+  EXPECT_FALSE(sb.enqueue(with_deps(7, {1, 2, 3}), 5, 1));
+  EXPECT_EQ(sb.size(), 1u);
+
+  sb.release_eligible([](DepVector& v) { v.clear(1); });
+  ASSERT_EQ(fx.api.sent.size(), 1u);
+  EXPECT_EQ(fx.api.sent[0].tdv.non_null_count(), 1);
+}
+
+TEST_F(SendBufferTest, DiscardIfDropsOnlyOrphans) {
+  ASSERT_TRUE(sb.enqueue(with_deps(1, {1}), 0, 0));
+  ASSERT_TRUE(sb.enqueue(with_deps(2, {2}), 0, 0));
+
+  std::vector<MsgId> discarded;
+  size_t n = sb.discard_if(
+      [](const AppMsg& m) { return m.tdv.at(1).has_value(); },
+      [&](const AppMsg& m) { discarded.push_back(m.id); });
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(discarded.size(), 1u);
+  EXPECT_EQ(discarded[0].seq, 1);
+  EXPECT_EQ(sb.size(), 1u);
+}
+
+}  // namespace
+}  // namespace koptlog
