@@ -24,7 +24,7 @@ using namespace koptlog::bench;
 
 namespace {
 
-void gc_table() {
+void gc_table(BenchJson& j) {
   Table t({"ckpt_ms", "gc", "max_log_retained", "records_reclaimed",
            "ckpts_retained_p99", "delivered"});
   for (SimTime ckpt_ms : {30, 100, 300}) {
@@ -57,9 +57,10 @@ void gc_table() {
     }
   }
   t.print(std::cout, "stable-storage footprint (GC, Theorem-2 pivot rule)");
+  j.table("stable-storage footprint (GC, Theorem-2 pivot rule)", t);
 }
 
-void reliability_table() {
+void reliability_table(BenchJson& j) {
   Table t({"restart_ms", "reliable", "items_done", "retransmits",
            "duplicates", "rollbacks"});
   constexpr int kItems = 120;
@@ -92,18 +93,22 @@ void reliability_table() {
   }
   t.print(std::cout,
           "in-transit loss vs sender-based retransmission (120 items)");
+  j.table("in-transit loss vs sender-based retransmission", t);
 }
 
 }  // namespace
 
 int main() {
   std::cout << "E10: extensions — garbage collection & reliable delivery\n\n";
-  gc_table();
-  reliability_table();
+  BenchJson j("e10_extensions");
+  gc_table(j);
+  reliability_table(j);
   std::cout << "Reading: GC keeps the retained log proportional to the "
                "checkpoint cadence (the Theorem-2 pivot can never be "
                "orphaned, so older state is dead); retransmission converts "
                "crash-window losses into duplicates that receivers dedup, "
                "completing every item.\n";
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   return 0;
 }

@@ -86,6 +86,11 @@ int main() {
     }
   }
   t.print(std::cout, "dependency-tracking styles, one table");
+  BenchJson j("e11_tracking_styles");
+  j.param("seeds", 7).param("workload", "clientserver");
+  j.table("dependency-tracking styles", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "Reading: direct tracking's piggyback is constant in N; the "
                "bill arrives at output commit (assembly queries, higher "
                "latency) and at recovery (every rollback announced). The "

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "core/manual.h"
+#include "core/metrics.h"
 
 using namespace koptlog;
 
@@ -128,6 +129,16 @@ int main() {
     std::cout << "  committed output tag=" << h.outputs[0].payload.b
               << " from " << h.outputs[0].born_of.str() << "\n";
   }
+  BenchJson j("e1_figure1");
+  j.param("n", 6);
+  j.metric("outputs_committed", static_cast<int64_t>(h.outputs.size()));
+  j.metric("announcements", static_cast<int64_t>(h.announcements.size()));
+  j.metric("p3_rollbacks", p[3]->rollbacks());
+  j.metric("p4_receive_buffered", static_cast<int64_t>(p[4]->receive_buffer_size()));
+  if (!h.outputs.empty())
+    j.metric("committed_tag", h.outputs[0].payload.b);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "\nE1 complete; see tests/figure1_test.cpp for the asserted "
                "version of every step.\n";
   return 0;

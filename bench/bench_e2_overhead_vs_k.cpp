@@ -95,6 +95,12 @@ int main() {
         .cell(a.makespan_ms, 1);
   }
   t.print(std::cout, "failure-free overhead vs K");
+  BenchJson j("e2_overhead_vs_k");
+  j.param("n", kN).param("seeds", kSeeds).param("injections", 150)
+      .param("load_end_us", static_cast<int64_t>(800'000));
+  j.table("failure-free overhead vs K", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "Reading: hold time and delayed-fraction fall as K rises "
                "(0-optimistic holds every message until fully stable; "
                "N-optimistic releases immediately); 'pess' avoids holds by "

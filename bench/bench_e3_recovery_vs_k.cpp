@@ -69,6 +69,12 @@ int main() {
         .cell(static_cast<int64_t>(lost));
   }
   t.print(std::cout, "recovery scope vs K (same failure plans everywhere)");
+  BenchJson j("e3_recovery_vs_k");
+  j.param("n", kN).param("seeds", kSeeds).param("failures", kFailures)
+      .param("injections", 120);
+  j.table("recovery scope vs K", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout
       << "Reading: at K=0 and 'pess' no released message is ever revoked, so "
          "non-failed processes never roll back; rollback scope grows with K "

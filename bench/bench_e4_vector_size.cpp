@@ -25,7 +25,7 @@ ProtocolConfig fast_logging(bool thm2) {
   return cfg;
 }
 
-void run_table_vs_n() {
+void run_table_vs_n(BenchJson& j) {
   Table t({"N", "tracking", "state_tdv_mean", "sent_vec_mean", "sent_vec_p99",
            "vec_bytes_mean", "full_vec_bytes"});
   for (int n : {4, 8, 16, 32}) {
@@ -53,9 +53,10 @@ void run_table_vs_n() {
   }
   t.print(std::cout,
           "vector size vs N, sparse traffic (Theorem 2 ablation)");
+  j.table("vector size vs N, sparse traffic (Theorem 2 ablation)", t);
 }
 
-void run_table_vs_density() {
+void run_table_vs_density(BenchJson& j) {
   Table t({"injections", "tracking", "state_tdv_mean", "sent_vec_mean",
            "sent_vec_p99"});
   for (int injections : {50, 200, 800}) {
@@ -77,9 +78,10 @@ void run_table_vs_density() {
     }
   }
   t.print(std::cout, "vector size vs traffic density (N=16)");
+  j.table("vector size vs traffic density (N=16)", t);
 }
 
-void run_table_vs_cadence() {
+void run_table_vs_cadence(BenchJson& j) {
   Table t({"notify_ms", "flush_ms", "state_tdv_mean", "sent_vec_mean",
            "sent_vec_p99"});
   for (SimTime notify_ms : {2, 10, 50}) {
@@ -105,6 +107,7 @@ void run_table_vs_cadence() {
   }
   t.print(std::cout,
           "vector size vs logging cadence (N=16, Theorem 2 on, sparse)");
+  j.table("vector size vs logging cadence (N=16, Theorem 2 on, sparse)", t);
 }
 
 }  // namespace
@@ -112,13 +115,16 @@ void run_table_vs_cadence() {
 int main() {
   std::cout << "E4: dependency-vector size under commit dependency "
                "tracking\n\n";
-  run_table_vs_n();
-  run_table_vs_density();
-  run_table_vs_cadence();
+  BenchJson j("e4_vector_size");
+  run_table_vs_n(j);
+  run_table_vs_density(j);
+  run_table_vs_cadence(j);
   std::cout << "Reading: with Theorem 2 the live entry count tracks the "
                "logging cadence and traffic density, staying nearly flat in "
                "N ('the vector size does not grow with the number of "
                "processes', §6); full transitive tracking accumulates towards "
                "N entries regardless.\n";
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   return 0;
 }

@@ -45,7 +45,7 @@ std::vector<std::pair<std::string, ProtocolConfig>> spectrum() {
           {"K=N", ProtocolConfig::traditional_optimistic()}};
 }
 
-void failure_free_table() {
+void failure_free_table(BenchJson& j) {
   Table t({"sync_us", "mode", "req_e2e_mean_us", "req_e2e_p99_us",
            "out_lat_mean_us", "sync_writes", "recv_wait_us"});
   for (SimTime sync_cost : {100, 500, 2000, 5000}) {
@@ -62,9 +62,10 @@ void failure_free_table() {
     }
   }
   t.print(std::cout, "failure-free service cost vs stable-storage write cost");
+  j.table("failure-free service cost vs stable-storage write cost", t);
 }
 
-void failure_table() {
+void failure_table(BenchJson& j) {
   Table t({"mode", "rollbacks", "undone", "orphan_msgs", "outputs",
            "out_lat_p99_us"});
   for (auto& [name, cfg] : spectrum()) {
@@ -89,6 +90,7 @@ void failure_table() {
         .cell(p99 / kSeeds, 0);
   }
   t.print(std::cout, "recovery behaviour under 3 failures (sync=500us)");
+  j.table("recovery behaviour under 3 failures (sync=500us)", t);
 }
 
 }  // namespace
@@ -96,11 +98,14 @@ void failure_table() {
 int main() {
   std::cout << "E5: the pessimistic / K-optimistic / optimistic spectrum\n"
             << "(client-server workload, N=" << kN << ")\n\n";
-  failure_free_table();
-  failure_table();
+  BenchJson j("e5_spectrum");
+  failure_free_table(j);
+  failure_table(j);
   std::cout << "Reading: pessimistic tracks the disk (sync writes per "
                "delivery); the optimistic family doesn't. Under failures the "
                "rollback scope grows with K — K is the knob that trades one "
                "against the other (§4.1).\n";
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   return 0;
 }

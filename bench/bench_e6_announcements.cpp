@@ -56,6 +56,12 @@ int main() {
         .cell(static_cast<int64_t>(outputs));
   }
   t.print(std::cout, "announcement traffic (Theorem 1 ablation)");
+  BenchJson j("e6_announcements");
+  j.param("n", kN).param("seeds", kSeeds).param("failures", 3)
+      .param("injections", 150);
+  j.table("announcement traffic (Theorem 1 ablation)", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "Reading: both modes undo the same orphans; failure-only "
                "announcements cut the broadcast traffic to the number of "
                "actual failures.\n";

@@ -70,6 +70,12 @@ int main() {
     }
   }
   t.print(std::cout, "receiver-side delivery wait (Corollary 1 ablation)");
+  BenchJson j("e7_delivery_delay");
+  j.param("n", kN).param("seeds", kSeeds).param("failures", 3)
+      .param("injections", 150);
+  j.table("receiver-side delivery wait (Corollary 1 ablation)", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "Reading: the Corollary-1 rule replaces the wait for prior-"
                "incarnation announcements with already-flowing stability "
                "information, so its delays stay near zero even when "

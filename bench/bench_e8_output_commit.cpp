@@ -47,6 +47,12 @@ int main() {
     }
   }
   t.print(std::cout, "output-commit latency");
+  BenchJson j("e8_output_commit");
+  j.param("n", kN).param("seed", 3).param("injections", 250)
+      .param("workload", "clientserver");
+  j.table("output-commit latency", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "Reading: outputs are 0-optimistic regardless of the system's "
                "K, so the logging cadence dominates commit latency at every "
                "K; smaller K helps a little on top (messages carry fewer "

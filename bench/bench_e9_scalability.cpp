@@ -47,6 +47,12 @@ int main() {
     }
   }
   t.print(std::cout, "piggyback bytes per message vs N");
+  BenchJson j("e9_scalability");
+  j.param("seed", 4).param("injections_per_process", 25)
+      .param("load_end_us", static_cast<int64_t>(700'000));
+  j.table("piggyback bytes per message vs N", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
   std::cout << "Reading: K bounds the released-message vector (risk_p99 <= "
                "K), so piggyback stays bounded while the full size-N vector "
                "grows linearly with the system.\n";

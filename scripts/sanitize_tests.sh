@@ -12,8 +12,10 @@ cmake -B "$BUILD_DIR" -S . -DKOPTLOG_SANITIZE=ON \
 cmake --build "$BUILD_DIR" --target koptlog_tests -j "$(nproc)"
 
 # Unit tests for the runtime components + the deterministic Figure 1
-# walkthrough: the highest-value surface for UB/ASan, and fast enough to
+# walkthrough + the observability layer (event recording, JSONL parsing,
+# exporters, trace audit): the highest-value surface for UB/ASan — the
+# JSONL reader in particular parses untrusted input — and fast enough to
 # gate on. Everything else still runs in the regular (unsanitized) job.
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism'
+  -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism|EventKind|EventRecorder|Recording|TraceIo|TraceGolden|Export|Audit'

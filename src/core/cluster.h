@@ -20,6 +20,7 @@
 #include "core/process.h"
 #include "core/recovery_process.h"
 #include "net/network.h"
+#include "obs/event_recorder.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -34,6 +35,7 @@ struct ClusterConfig {
                                .jitter_us = 100, .jitter = Jitter::kUniform};
   bool fifo = false;           ///< FIFO data channels (Strom–Yemini regime)
   bool enable_oracle = true;   ///< ground-truth checking (small runs)
+  bool record_events = false;  ///< typed protocol-event recording (src/obs/)
 };
 
 class Cluster final : public ClusterApi {
@@ -65,6 +67,9 @@ class Cluster final : public ClusterApi {
   void send_dep_reply(ProcessId to, const DepReply& r) override;
   void commit_output(const OutputRecord& rec) override;
   Oracle* oracle() override { return oracle_.get(); }
+  EventRecorder* recorder(ProcessId pid) override {
+    return recording_ ? &recording_->recorder(pid) : nullptr;
+  }
   bool draining() const override { return draining_; }
 
   // ---- environment (outside world) ----
@@ -117,6 +122,9 @@ class Cluster final : public ClusterApi {
     tracer_.set_sink(std::move(sink), level);
   }
 
+  /// Non-null iff cfg.record_events was set.
+  const Recording* recording() const { return recording_.get(); }
+
  private:
   void deliver_control_announcement(ProcessId to, const Announcement& a);
   void schedule_checkpoint_round();
@@ -129,6 +137,7 @@ class Cluster final : public ClusterApi {
   Network data_net_;
   Network control_net_;
   std::unique_ptr<Oracle> oracle_;
+  std::unique_ptr<Recording> recording_;
   std::vector<std::unique_ptr<RecoveryProcess>> processes_;
   std::vector<CommittedOutput> outputs_;
   std::set<MsgId> committed_ids_;

@@ -16,6 +16,8 @@
 
 namespace koptlog {
 
+class EventRecorder;
+
 class ClusterApi {
  public:
   virtual ~ClusterApi() = default;
@@ -49,6 +51,13 @@ class ClusterApi {
 
   /// Null when ground-truth checking is disabled.
   virtual Oracle* oracle() = 0;
+
+  /// Typed protocol-event sink for `pid`; null when recording is disabled.
+  /// Recording must stay passive — emitting events may not perturb the run.
+  virtual EventRecorder* recorder(ProcessId pid) {
+    (void)pid;
+    return nullptr;
+  }
 
   /// True once the harness enters its drain phase: periodic timers stop
   /// rescheduling so the event queue can run dry.

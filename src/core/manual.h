@@ -16,6 +16,7 @@
 #include "core/application.h"
 #include "core/cluster_api.h"
 #include "core/process.h"
+#include "obs/event_recorder.h"
 
 namespace koptlog {
 
@@ -125,7 +126,16 @@ class ManualHarness final : public ClusterApi {
     replies.emplace_back(to, r);
   }
   Oracle* oracle() override { return nullptr; }
+  EventRecorder* recorder(ProcessId pid) override {
+    return recording_ ? &recording_->recorder(pid) : nullptr;
+  }
   bool draining() const override { return true; }
+
+  /// Turn on typed protocol-event recording for every hosted process.
+  void enable_event_recording() {
+    if (!recording_) recording_ = std::make_unique<Recording>(n_);
+  }
+  const Recording* recording() const { return recording_.get(); }
 
   /// Create a process owned by the caller. Service/storage costs are
   /// zeroed: with costs, released messages and outputs leave the process at
@@ -211,6 +221,7 @@ class ManualHarness final : public ClusterApi {
   Simulator sim_;
   Stats stats_;
   Tracer tracer_;
+  std::unique_ptr<Recording> recording_;
   SeqNo env_seq_ = 0;
 };
 

@@ -1,6 +1,9 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -14,23 +17,23 @@ std::string format_double(double v, int precision) {
 }
 
 Table::Row& Table::Row::cell(const std::string& v) {
-  cells_.push_back(v);
+  cells_.push_back(Cell{v, false, 0.0});
   return *this;
 }
 
 Table::Row& Table::Row::cell(double v, int precision) {
-  cells_.push_back(format_double(v, precision));
+  cells_.push_back(Cell{format_double(v, precision), true, v});
   return *this;
 }
 
 Table::Row& Table::Row::cell(int64_t v) {
-  cells_.push_back(std::to_string(v));
+  cells_.push_back(Cell{std::to_string(v), true, static_cast<double>(v)});
   return *this;
 }
 
 Table::Row::~Row() { table_.add_row(std::move(cells_)); }
 
-void Table::add_row(std::vector<std::string> cells) {
+void Table::add_row(std::vector<Cell> cells) {
   cells.resize(columns_.size());
   rows_.push_back(std::move(cells));
 }
@@ -40,7 +43,7 @@ void Table::print(std::ostream& os, const std::string& title) const {
   for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
   for (const auto& row : rows_) {
     for (size_t c = 0; c < row.size(); ++c)
-      widths[c] = std::max(widths[c], row[c].size());
+      widths[c] = std::max(widths[c], row[c].text.size());
   }
   if (!title.empty()) os << "== " << title << " ==\n";
   auto print_row = [&](const std::vector<std::string>& cells) {
@@ -54,8 +57,128 @@ void Table::print(std::ostream& os, const std::string& title) const {
   size_t total = 0;
   for (size_t w : widths) total += w + 2;
   os << std::string(total, '-') << '\n';
-  for (const auto& row : rows_) print_row(row);
+  for (const auto& row : rows_) {
+    std::vector<std::string> texts;
+    texts.reserve(row.size());
+    for (const Cell& c : row) texts.push_back(c.text);
+    print_row(texts);
+  }
   os << '\n';
+}
+
+namespace {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  if (v == static_cast<int64_t>(v) && std::abs(v) < 9.0e15)
+    return std::to_string(static_cast<int64_t>(v));
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string json_cell(const Table::Cell& c) {
+  return c.numeric ? json_number(c.num) : json_quote(c.text);
+}
+
+}  // namespace
+
+BenchJson& BenchJson::param(const std::string& key, const std::string& v) {
+  params_.emplace_back(key, json_quote(v));
+  return *this;
+}
+
+BenchJson& BenchJson::param(const std::string& key, int64_t v) {
+  params_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+BenchJson& BenchJson::param(const std::string& key, double v) {
+  params_.emplace_back(key, json_number(v));
+  return *this;
+}
+
+BenchJson& BenchJson::metric(const std::string& key, double v) {
+  metrics_.emplace_back(key, json_number(v));
+  return *this;
+}
+
+BenchJson& BenchJson::metric(const std::string& key, int64_t v) {
+  metrics_.emplace_back(key, std::to_string(v));
+  return *this;
+}
+
+BenchJson& BenchJson::table(const std::string& title, const Table& t) {
+  tables_.push_back(NamedTable{title, t.columns(), t.rows()});
+  return *this;
+}
+
+void BenchJson::write(std::ostream& os) const {
+  os << "{\n  \"bench\": " << json_quote(name_);
+  auto write_map =
+      [&](const char* key,
+          const std::vector<std::pair<std::string, std::string>>& kv) {
+        os << ",\n  " << json_quote(key) << ": {";
+        for (size_t i = 0; i < kv.size(); ++i) {
+          if (i) os << ", ";
+          os << json_quote(kv[i].first) << ": " << kv[i].second;
+        }
+        os << "}";
+      };
+  write_map("params", params_);
+  write_map("metrics", metrics_);
+  os << ",\n  \"tables\": [";
+  for (size_t ti = 0; ti < tables_.size(); ++ti) {
+    const NamedTable& t = tables_[ti];
+    os << (ti ? ",\n    {" : "\n    {") << "\"title\": " << json_quote(t.title)
+       << ", \"columns\": [";
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      if (c) os << ", ";
+      os << json_quote(t.columns[c]);
+    }
+    os << "], \"rows\": [";
+    for (size_t r = 0; r < t.rows.size(); ++r) {
+      if (r) os << ", ";
+      os << "[";
+      for (size_t c = 0; c < t.rows[r].size(); ++c) {
+        if (c) os << ", ";
+        os << json_cell(t.rows[r][c]);
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string BenchJson::write_file() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  write(out);
+  return out ? path : "";
 }
 
 void print_stats(const Stats& stats, std::ostream& os) {

@@ -13,6 +13,15 @@ namespace koptlog {
 
 class Table {
  public:
+  /// One cell: the formatted text that print() emits, plus the numeric
+  /// value when the cell came from a number — so machine-readable exports
+  /// (BenchJson) emit real JSON numbers instead of re-parsing strings.
+  struct Cell {
+    std::string text;
+    bool numeric = false;
+    double num = 0.0;
+  };
+
   explicit Table(std::vector<std::string> columns)
       : columns_(std::move(columns)) {}
 
@@ -21,28 +30,68 @@ class Table {
    public:
     explicit Row(Table& t) : table_(t) {}
     Row& cell(const std::string& v);
+    Row& cell(const char* v) { return cell(std::string(v)); }
     Row& cell(double v, int precision = 2);
     Row& cell(int64_t v);
+    Row& cell(int v) { return cell(static_cast<int64_t>(v)); }
     ~Row();
 
    private:
     Table& table_;
-    std::vector<std::string> cells_;
+    std::vector<Cell> cells_;
   };
 
   Row row() { return Row(*this); }
-  void add_row(std::vector<std::string> cells);
+  void add_row(std::vector<Cell> cells);
 
   void print(std::ostream& os, const std::string& title = "") const;
 
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<Cell>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> columns_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::vector<Cell>> rows_;
 };
 
 std::string format_double(double v, int precision = 2);
 
 /// Dump every counter and histogram in a Stats bag (debugging aid).
 void print_stats(const Stats& stats, std::ostream& os);
+
+/// Machine-readable companion to the printed tables: every bench_e* binary
+/// records its parameter point, headline metrics and result tables here and
+/// writes BENCH_<name>.json next to its stdout report, so plots and
+/// regression tooling never scrape fixed-width text.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& param(const std::string& key, const std::string& v);
+  BenchJson& param(const std::string& key, int64_t v);
+  BenchJson& param(const std::string& key, int v) {
+    return param(key, static_cast<int64_t>(v));
+  }
+  BenchJson& param(const std::string& key, double v);
+  BenchJson& metric(const std::string& key, double v);
+  BenchJson& metric(const std::string& key, int64_t v);
+  BenchJson& table(const std::string& title, const Table& t);
+
+  void write(std::ostream& os) const;
+  /// Write BENCH_<name>.json in the working directory; returns the path
+  /// (empty on I/O failure).
+  std::string write_file() const;
+
+ private:
+  struct NamedTable {
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<Table::Cell>> rows;
+  };
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;  // pre-encoded
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<NamedTable> tables_;
+};
 
 }  // namespace koptlog

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "core/oracle.h"
+#include "obs/event_recorder.h"
 
 namespace koptlog {
 
@@ -96,8 +97,22 @@ void Process::send_impl(ProcessId to, const AppPayload& payload, int k_limit) {
   m.born_of = IntervalId{pid_, current_.inc, current_.sii};
   m.sent_at = api_.sim().now();
   api_.stats().inc(kSent);
-  if (send_buffer_.enqueue(std::move(m), api_.sim().now(), k_limit))
-    check_send_buffer();
+  const MsgId id = m.id;
+  const DepVector snapshot = m.tdv;
+  if (!send_buffer_.enqueue(std::move(m), api_.sim().now(), k_limit)) return;
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kSend;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.tdv = snapshot;
+    e.msg = id;
+    e.peer = to;
+    e.ref = IntervalId{pid_, current_.inc, current_.sii};
+    e.k_limit = k_limit;
+    rec->record(std::move(e));
+  }
+  check_send_buffer();
 }
 
 void Process::output(const AppPayload& payload) {
@@ -185,6 +200,18 @@ void Process::handle_app_msg(const AppMsg& m) {
   }
   recv_.push(m, api_.sim().now());
   try_deliver();
+  if (recv_.buffered(m.id)) {
+    if (EventRecorder* rec = recorder()) {
+      ProtocolEvent e;
+      e.kind = EventKind::kBufferHold;
+      e.t = api_.sim().now();
+      e.at = m.born_of.entry();
+      e.msg = m.id;
+      e.peer = m.from;
+      e.recv_side = true;
+      rec->record(std::move(e));
+    }
+  }
 }
 
 void Process::try_deliver() {
@@ -229,6 +256,18 @@ void Process::deliver(const AppMsg& m) {
     }
   }
   api_.stats().sample(kTdvNonNull, static_cast<double>(tdv_.non_null_count()));
+  if (EventRecorder* rec = recorder()) {
+    // Before the app handler, so the interval's own sends sequence after it.
+    ProtocolEvent e;
+    e.kind = EventKind::kDeliver;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.tdv = tdv_;
+    e.msg = m.id;
+    e.peer = m.from;
+    e.ref = m.born_of;
+    rec->record(std::move(e));
+  }
   run_app_handler(m.from, m.payload);
   if (Oracle* orc = oracle())
     orc->on_interval_finalized(iv, app_->state_hash());
@@ -358,6 +397,14 @@ void Process::do_checkpoint() {
     cp.app_hash = app_->state_hash();
     cp.self_watermarks = log_.of(pid_).entries();
   });
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kCheckpoint;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.tdv = tdv_;
+    rec->record(std::move(e));
+  }
   // Corollary 2: the checkpoint makes everything up to `current_` stable,
   // which in turn NULLs our own entry in apply_stability_info().
   note_own_stable(current_);
@@ -423,6 +470,15 @@ void Process::announce(Entry ended, bool from_failure) {
   iet_.insert(pid_, ended);
   log_.insert(pid_, ended);
   api_.stats().inc(kAnnSent);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kFailureAnnounce;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.ended = ended;
+    e.from_failure = from_failure;
+    rec->record(std::move(e));
+  }
   api_.broadcast_announcement(a);
 }
 
@@ -513,6 +569,15 @@ void Process::rollback() {
     }
   }
   channel_.ack_stable_records();
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kRollback;
+    e.t = api_.sim().now();
+    e.at = current_;  // the restored position
+    e.ended = Entry{ending_inc, current_.sii};
+    e.undone = static_cast<int64_t>(dropped.size());
+    rec->record(std::move(e));
+  }
 
   // The kept prefix is stable up to the restored interval; record and (in
   // the Strom–Yemini configuration) announce the incarnation's end.
@@ -523,6 +588,13 @@ void Process::rollback() {
   current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   tdv_.set(pid_, current_);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kIncarnationBump;
+    e.t = api_.sim().now();
+    e.at = current_;
+    rec->record(std::move(e));
+  }
   if (Oracle* orc = oracle())
     orc->on_recovery_interval(IntervalId{pid_, current_.inc, current_.sii},
                               app_->state_hash());
@@ -613,6 +685,13 @@ void Process::restart() {
   current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   tdv_.set(pid_, current_);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kIncarnationBump;
+    e.t = api_.sim().now();
+    e.at = current_;
+    rec->record(std::move(e));
+  }
   if (Oracle* orc = oracle())
     orc->on_recovery_interval(IntervalId{pid_, current_.inc, current_.sii},
                               app_->state_hash());

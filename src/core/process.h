@@ -184,6 +184,7 @@ class Process final : public RecoveryProcess, private AppContext {
 
   void schedule_timers();
   Oracle* oracle() { return api_.oracle(); }
+  EventRecorder* recorder() { return api_.recorder(pid_); }
   void trace(const std::function<void(std::ostream&)>& fn) const;
 
   // ---- identity & collaborators ----

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "core/oracle.h"
+#include "obs/event_recorder.h"
 
 namespace koptlog {
 
@@ -80,6 +81,17 @@ void DirectProcess::send(ProcessId to, const AppPayload& payload) {
   api_.stats().inc(kReleased);
   api_.stats().sample(kPiggyback,
                       static_cast<double>(m.wire_bytes(/*null_omission=*/true)));
+  if (EventRecorder* rec = recorder()) {
+    // Direct tracking releases immediately: the send IS the wire departure.
+    ProtocolEvent e;
+    e.kind = EventKind::kSend;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.msg = m.id;
+    e.peer = to;
+    e.ref = m.born_of;
+    rec->record(std::move(e));
+  }
   api_.route_app_msg(std::move(m));
 }
 
@@ -128,6 +140,16 @@ void DirectProcess::hold_for_delivery(const AppMsg& m) {
     return;
   }
   held_ids_.insert(m.id);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kBufferHold;
+    e.t = api_.sim().now();
+    e.at = m.born_of.entry();
+    e.msg = m.id;
+    e.peer = m.from;
+    e.recv_side = true;
+    rec->record(std::move(e));
+  }
   uint64_t epoch = replay_.epoch();
   api_.sim().schedule_after(cfg_.ddt_delivery_hold_us, [this, m, epoch] {
     if (epoch != replay_.epoch() || !alive_) return;
@@ -160,6 +182,16 @@ void DirectProcess::deliver(const AppMsg& m) {
   api_.stats().inc(kDelivered);
   if (Oracle* orc = oracle())
     orc->on_interval_start(iv, m.born_of, app_->state_hash());
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kDeliver;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.msg = m.id;
+    e.peer = m.from;
+    e.ref = m.born_of;
+    rec->record(std::move(e));
+  }
   app_->on_deliver(*this, m.from, m.payload);
   if (Oracle* orc = oracle())
     orc->on_interval_finalized(iv, app_->state_hash());
@@ -260,6 +292,16 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
     orc->on_stable_watermark(pid_, Entry{ending_inc, current_.sii},
                              api_.sim().now());
 
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kRollback;
+    e.t = api_.sim().now();
+    e.at = current_;  // the restored position
+    e.ended = Entry{ending_inc, current_.sii};
+    e.undone = static_cast<int64_t>(dropped.size());
+    rec->record(std::move(e));
+  }
+
   // Without transitive tracking every rollback MUST be announced — this is
   // the cascade that reaches transitive orphans (paper §5's tradeoff).
   announce(Entry{ending_inc, current_.sii}, /*from_failure=*/false);
@@ -267,6 +309,13 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   segments_.emplace_back(current_.sii, current_.inc);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kIncarnationBump;
+    e.t = api_.sim().now();
+    e.at = current_;
+    rec->record(std::move(e));
+  }
   if (Oracle* orc = oracle())
     orc->on_recovery_interval(IntervalId{pid_, current_.inc, current_.sii},
                               app_->state_hash());
@@ -359,6 +408,13 @@ void DirectProcess::restart() {
   current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
   segments_.emplace_back(current_.sii, current_.inc);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kIncarnationBump;
+    e.t = api_.sim().now();
+    e.at = current_;
+    rec->record(std::move(e));
+  }
   if (Oracle* orc = oracle())
     orc->on_recovery_interval(IntervalId{pid_, current_.inc, current_.sii},
                               app_->state_hash());
@@ -400,6 +456,13 @@ void DirectProcess::do_checkpoint() {
     cp.app_hash = app_->state_hash();
     cp.self_watermarks = log_.of(pid_).entries();
   });
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kCheckpoint;
+    e.t = api_.sim().now();
+    e.at = current_;
+    rec->record(std::move(e));
+  }
   note_stable_up_to(current_.sii);
   commit_tick();
 }
@@ -448,6 +511,15 @@ void DirectProcess::announce(Entry ended, bool from_failure) {
   iet_.insert(pid_, ended);
   log_.insert(pid_, ended);
   api_.stats().inc(kAnnSent);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kFailureAnnounce;
+    e.t = api_.sim().now();
+    e.at = current_;
+    e.ended = ended;
+    e.from_failure = from_failure;
+    rec->record(std::move(e));
+  }
   api_.broadcast_announcement(a);
 }
 
@@ -576,6 +648,15 @@ void DirectProcess::try_commit(PendingCommit& pc) {
   // be lost, so the output can never be revoked.
   for (const IntervalId& iv : pc.resolved)
     commit_stable_.insert(iv.pid, iv.entry());
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kOutputCommit;
+    e.t = api_.sim().now();
+    e.at = pc.rec.born_of.entry();
+    e.msg = pc.rec.id;
+    e.ref = pc.rec.born_of;
+    rec->record(std::move(e));
+  }
   api_.commit_output(pc.rec);
 }
 

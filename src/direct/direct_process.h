@@ -138,6 +138,7 @@ class DirectProcess final : public RecoveryProcess, private AppContext {
   void announce(Entry ended, bool from_failure);
   void schedule_timers();
   Oracle* oracle() { return api_.oracle(); }
+  EventRecorder* recorder() { return api_.recorder(pid_); }
 
   const ProcessId pid_;
   const int n_;

@@ -1,0 +1,30 @@
+#include "obs/event.h"
+
+namespace koptlog {
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSend:            return "send";
+    case EventKind::kDeliver:         return "deliver";
+    case EventKind::kBufferHold:      return "buffer_hold";
+    case EventKind::kBufferRelease:   return "buffer_release";
+    case EventKind::kCheckpoint:      return "checkpoint";
+    case EventKind::kFailureAnnounce: return "failure_announce";
+    case EventKind::kRollback:        return "rollback";
+    case EventKind::kOutputCommit:    return "output_commit";
+    case EventKind::kRetransmit:      return "retransmit";
+    case EventKind::kIncarnationBump: return "incarnation_bump";
+  }
+  return "unknown";
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) {
+  for (int32_t k = static_cast<int32_t>(EventKind::kSend);
+       k <= static_cast<int32_t>(EventKind::kIncarnationBump); ++k) {
+    if (event_kind_name(static_cast<EventKind>(k)) == name)
+      return static_cast<EventKind>(k);
+  }
+  return std::nullopt;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,75 @@
+// Typed protocol events — the structured observability surface of the
+// recovery layer. Every protocol-significant action (paper Figures 2/3)
+// emits one ProtocolEvent: a flat record stamped with sim time, process id,
+// the state interval it belongs to, and (where meaningful) the dependency
+// vector at that moment, post-NULLing. The stream is the ground truth the
+// exporters (trace_io/export) serialize and the orphan-audit tool
+// (audit.h, tools/koptlog_audit) re-verifies Theorems 1–4 against —
+// independently of the simulator-side Oracle, which a production
+// deployment cannot run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/entry.h"
+#include "common/types.h"
+#include "core/dep_vector.h"
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+enum class EventKind : int32_t {
+  kSend,             ///< application send entered the send buffer
+  kDeliver,          ///< delivery started a new state interval
+  kBufferHold,       ///< message parked (send-side K bound / receive-side)
+  kBufferRelease,    ///< send buffer released a message (≤ K live entries)
+  kCheckpoint,       ///< checkpoint taken at the current interval
+  kFailureAnnounce,  ///< rollback/failure announcement broadcast
+  kRollback,         ///< state restored; an incarnation ended
+  kOutputCommit,     ///< output's dependencies all stable; sent to the world
+  kRetransmit,       ///< reliable channel re-sent an unacknowledged message
+  kIncarnationBump,  ///< recovery interval started in a new incarnation
+};
+
+/// Stable wire name ("send", "deliver", ...) used in the JSONL schema.
+std::string_view event_kind_name(EventKind k);
+std::optional<EventKind> event_kind_from_name(std::string_view name);
+
+/// One flat record. Only the fields meaningful for `kind` are populated
+/// (and serialized — see trace_io for the per-kind schema); the rest keep
+/// their defaults so records stay trivially comparable and mergeable.
+struct ProtocolEvent {
+  EventKind kind = EventKind::kSend;
+  SimTime t = 0;
+  /// Stamped by EventRecorder::record.
+  ProcessId pid = 0;
+  /// Per-process emission counter, stamped by EventRecorder::record;
+  /// (t, pid, seq) orders a merged stream deterministically.
+  uint64_t seq = 0;
+  /// The (incarnation, sii) the event is attributed to: the process's
+  /// current interval, or the message's birth interval for buffer events.
+  Entry at;
+  /// Dependency vector snapshot (post-NULLing); empty when not meaningful.
+  DepVector tdv;
+  /// Message or output id for message-shaped events.
+  MsgId msg;
+  /// The other process: receiver for send-side events, sender for
+  /// deliver/hold; kEnvironment when none.
+  ProcessId peer = kEnvironment;
+  /// Cross-process interval reference — the sender's birth interval for
+  /// deliver, the emitting interval for output commits.
+  IntervalId ref{kEnvironment, 0, 0};
+  /// FailureAnnounce/Rollback: the (incarnation, sii) that ended.
+  Entry ended;
+  int k_limit = -1;    ///< Send/BufferHold/BufferRelease: the K bound
+  int k_reached = -1;  ///< BufferHold/BufferRelease: live entries observed
+  int64_t undone = 0;  ///< Rollback: log records undone
+  bool from_failure = false;  ///< FailureAnnounce: restart vs rollback
+  bool recv_side = false;     ///< BufferHold: receive buffer vs send buffer
+
+  friend bool operator==(const ProtocolEvent&, const ProtocolEvent&) = default;
+};
+
+}  // namespace koptlog

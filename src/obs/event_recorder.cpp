@@ -1,0 +1,22 @@
+#include "obs/event_recorder.h"
+
+#include <algorithm>
+
+namespace koptlog {
+
+std::vector<ProtocolEvent> Recording::merged() const {
+  std::vector<ProtocolEvent> out;
+  out.reserve(total_events());
+  for (const EventRecorder& r : recorders_) {
+    out.insert(out.end(), r.events().begin(), r.events().end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProtocolEvent& a, const ProtocolEvent& b) {
+                     if (a.t != b.t) return a.t < b.t;
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.seq < b.seq;
+                   });
+  return out;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,81 @@
+// EventRecorder / Recording — per-process append-only event logs and their
+// deterministic merge. One recorder per process, no sharing: a threaded
+// backend can hand each shard its own recorder with no synchronization and
+// merge after the fact, exactly like the deterministic simulator does here.
+// Recording is passive — it never schedules work or touches protocol state —
+// so enabling it cannot perturb a run (the determinism regression pins this).
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "obs/event.h"
+
+namespace koptlog {
+
+class EventRecorder {
+ public:
+  explicit EventRecorder(ProcessId pid) : pid_(pid) {}
+
+  /// Append one event, stamping the owning process id and the per-process
+  /// emission sequence number.
+  void record(ProtocolEvent e) {
+    e.pid = pid_;
+    e.seq = next_seq_++;
+    events_.push_back(std::move(e));
+  }
+
+  ProcessId pid() const { return pid_; }
+  const std::vector<ProtocolEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  void clear() {
+    events_.clear();
+    next_seq_ = 0;
+  }
+
+ private:
+  ProcessId pid_;
+  uint64_t next_seq_ = 0;
+  std::vector<ProtocolEvent> events_;
+};
+
+/// One recorder per process, mergeable into a single causally-ordered
+/// stream: merged() sorts by (t, pid, seq), which is a deterministic total
+/// order (per-process streams are already time- and seq-ordered).
+class Recording {
+ public:
+  explicit Recording(int n) {
+    KOPT_CHECK(n > 0);
+    recorders_.reserve(static_cast<size_t>(n));
+    for (ProcessId pid = 0; pid < n; ++pid) recorders_.emplace_back(pid);
+  }
+
+  int n() const { return static_cast<int>(recorders_.size()); }
+
+  EventRecorder& recorder(ProcessId pid) {
+    KOPT_CHECK(pid >= 0 && pid < n());
+    return recorders_[static_cast<size_t>(pid)];
+  }
+  const EventRecorder& recorder(ProcessId pid) const {
+    KOPT_CHECK(pid >= 0 && pid < n());
+    return recorders_[static_cast<size_t>(pid)];
+  }
+
+  size_t total_events() const {
+    size_t total = 0;
+    for (const EventRecorder& r : recorders_) total += r.size();
+    return total;
+  }
+
+  std::vector<ProtocolEvent> merged() const;
+
+  void clear() {
+    for (EventRecorder& r : recorders_) r.clear();
+  }
+
+ private:
+  std::vector<EventRecorder> recorders_;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,177 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace koptlog {
+
+namespace {
+
+std::string interval_str(const IntervalId& iv) {
+  std::ostringstream os;
+  os << '(' << iv.inc << ',' << iv.sii << ")_" << iv.pid;
+  return os.str();
+}
+
+std::string event_args(const ProtocolEvent& e) {
+  std::ostringstream os;
+  os << "{\"at\":\"(" << e.at.inc << ',' << e.at.sii << ")\"";
+  switch (e.kind) {
+    case EventKind::kSend:
+    case EventKind::kBufferRelease:
+    case EventKind::kRetransmit:
+      os << ",\"msg\":\"" << e.msg.src << ':' << e.msg.seq << "\",\"to\":\"P"
+         << e.peer << '"';
+      if (e.kind == EventKind::kBufferRelease)
+        os << ",\"k\":\"" << e.k_reached << '/' << e.k_limit << '"';
+      break;
+    case EventKind::kDeliver:
+      os << ",\"msg\":\"" << e.msg.src << ':' << e.msg.seq << "\",\"from\":\"P"
+         << e.peer << "\",\"born_of\":\"" << json_escape(interval_str(e.ref))
+         << '"';
+      break;
+    case EventKind::kBufferHold:
+      os << ",\"msg\":\"" << e.msg.src << ':' << e.msg.seq << "\",\"queue\":\""
+         << (e.recv_side ? "recv" : "send") << '"';
+      if (!e.recv_side) os << ",\"k\":\"" << e.k_reached << '/' << e.k_limit << '"';
+      break;
+    case EventKind::kCheckpoint:
+      os << ",\"live_entries\":" << e.tdv.non_null_count();
+      break;
+    case EventKind::kFailureAnnounce:
+      os << ",\"ended\":\"(" << e.ended.inc << ',' << e.ended.sii << ")\""
+         << ",\"from_failure\":" << (e.from_failure ? "true" : "false");
+      break;
+    case EventKind::kRollback:
+      os << ",\"ended\":\"(" << e.ended.inc << ',' << e.ended.sii << ")\""
+         << ",\"undone\":" << e.undone;
+      break;
+    case EventKind::kOutputCommit:
+      os << ",\"output\":\"" << e.msg.src << ':' << e.msg.seq
+         << "\",\"born_of\":\"" << json_escape(interval_str(e.ref)) << '"';
+      break;
+    case EventKind::kIncarnationBump:
+      break;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+void write_perfetto_json(const Trace& trace, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  os << "\n";
+  // One track ("thread") per process under a single "koptlog" process.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"koptlog\"}}";
+  first = false;
+  for (ProcessId pid = 0; pid < trace.n; ++pid) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << pid
+       << ",\"args\":{\"name\":\"P" << pid << "\"}}";
+    sep();
+    os << "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << pid << ",\"args\":{\"sort_index\":" << pid << "}}";
+  }
+  // The event the wire departure is drawn from, per message id: the send
+  // buffer's release when present (K-optimistic engines), otherwise the
+  // send itself (direct tracking releases immediately).
+  std::map<MsgId, const ProtocolEvent*> departures;
+  for (const ProtocolEvent& e : trace.events) {
+    if (e.kind == EventKind::kSend) {
+      departures.emplace(e.msg, &e);  // keep the first; release overrides
+    } else if (e.kind == EventKind::kBufferRelease) {
+      departures[e.msg] = &e;
+    }
+  }
+  for (const ProtocolEvent& e : trace.events) {
+    sep();
+    os << "{\"name\":\"" << event_kind_name(e.kind)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":" << e.pid
+       << ",\"ts\":" << e.t << ",\"args\":" << event_args(e) << "}";
+  }
+  // Flow arrows: departure -> each delivery of the same message id.
+  uint64_t flow_id = 0;
+  for (const ProtocolEvent& e : trace.events) {
+    if (e.kind != EventKind::kDeliver) continue;
+    auto it = departures.find(e.msg);
+    if (it == departures.end()) continue;  // environment injection
+    const ProtocolEvent& src = *it->second;
+    ++flow_id;
+    sep();
+    os << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":" << flow_id
+       << ",\"pid\":0,\"tid\":" << src.pid << ",\"ts\":" << src.t << "}";
+    sep();
+    os << "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\","
+          "\"id\":" << flow_id << ",\"pid\":0,\"tid\":" << e.pid
+       << ",\"ts\":" << e.t << "}";
+  }
+  os << "\n]}\n";
+}
+
+void write_perfetto_json(const Recording& rec, std::ostream& os) {
+  Trace trace;
+  trace.n = rec.n();
+  trace.events = rec.merged();
+  write_perfetto_json(trace, os);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string prom_name(const std::string& raw) {
+  std::string out = "koptlog_";
+  for (char c : raw) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void write_prometheus_text(const Stats& stats, std::ostream& os) {
+  for (const auto& [name, value] : stats.counters()) {
+    std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : stats.histograms()) {
+    std::string p = prom_name(name);
+    os << "# TYPE " << p << " summary\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+      os << p << "{quantile=\"" << prom_value(q) << "\"} "
+         << prom_value(h.quantile(q)) << '\n';
+    }
+    os << p << "_sum " << prom_value(h.sum()) << '\n';
+    os << p << "_count " << h.count() << '\n';
+    os << "# TYPE " << p << "_min gauge\n"
+       << p << "_min " << prom_value(h.min()) << '\n';
+    os << "# TYPE " << p << "_max gauge\n"
+       << p << "_max " << prom_value(h.max()) << '\n';
+  }
+}
+
+}  // namespace koptlog

@@ -1,0 +1,23 @@
+// Human-tooling exporters for recorded protocol events and metrics:
+//  * write_perfetto_json — Chrome trace-event / Perfetto JSON: one track
+//    per process, one instant per event, and flow arrows connecting each
+//    message's release to its delivery, so a Figure-1-style run opens
+//    directly in chrome://tracing or ui.perfetto.dev.
+//  * write_prometheus_text — every Stats counter and histogram in the
+//    Prometheus text exposition format (counters, and summaries with
+//    quantile/sum/count plus min/max gauges).
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/trace_io.h"
+#include "sim/stats.h"
+
+namespace koptlog {
+
+void write_perfetto_json(const Trace& trace, std::ostream& os);
+void write_perfetto_json(const Recording& rec, std::ostream& os);
+
+void write_prometheus_text(const Stats& stats, std::ostream& os);
+
+}  // namespace koptlog

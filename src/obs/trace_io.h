@@ -1,0 +1,69 @@
+// JSONL trace serialization and strict schema validation.
+//
+// A trace file is one JSON object per line. The first line is a meta
+// header; every other line is one ProtocolEvent:
+//
+//   {"kind":"meta","version":1,"n":4}
+//   {"kind":"send","t":0,"p":1,"seq":3,"at":[0,4],"msg":[1,2],"peer":3,
+//    "ref":[1,0,4],"tdv":[[0,1,3],[1,0,4]],"klim":4}
+//
+// Common fields (every event line): kind, t (sim µs), p (process id),
+// seq (per-process emission counter), at ([inc,sii] the event is
+// attributed to). Encodings: msg = [src,seq]; ref = [pid,inc,sii];
+// ended = [inc,sii]; tdv = the non-NULL entries as [pid,inc,sii] triples
+// (NULL omission, Theorem 2's wire format). Per-kind required fields:
+//
+//   send             msg, peer, ref, tdv, klim
+//   deliver          msg, peer, ref, tdv
+//   buffer_hold      msg, queue ("send"|"recv"), klim, krea
+//   buffer_release   msg, peer, ref, tdv, klim, krea
+//   checkpoint       tdv
+//   failure_announce ended, fail (bool)
+//   rollback         ended, undone
+//   output_commit    msg, ref, tdv
+//   retransmit       msg, peer
+//   incarnation_bump (none)
+//
+// The reader is strict: unknown kinds, missing required fields, malformed
+// encodings and out-of-range process ids are schema violations, reported
+// per line. Unknown *extra* fields are tolerated (schema evolution).
+// No external JSON dependency: the writer emits by hand, the reader is a
+// minimal recursive-descent parser sufficient for this schema.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/event_recorder.h"
+
+namespace koptlog {
+
+/// A parsed trace: the meta header's process count plus the event stream
+/// in file order (per-process substreams preserve emission order).
+struct Trace {
+  int n = 0;
+  std::vector<ProtocolEvent> events;
+};
+
+/// Serialize one event as a single JSON line (no trailing newline).
+std::string event_to_json(const ProtocolEvent& e);
+
+void write_trace_jsonl(int n, const std::vector<ProtocolEvent>& events,
+                       std::ostream& os);
+void write_trace_jsonl(const Recording& rec, std::ostream& os);
+/// Returns false (and writes nothing) if the file cannot be opened.
+bool write_trace_jsonl_file(const Recording& rec, const std::string& path);
+
+/// Parse and validate a JSONL trace. Schema violations are appended to
+/// `errors` as "line N: ..." strings; lines that fail validation are
+/// skipped, valid ones are kept, so a caller can both report every problem
+/// and still audit the salvageable stream. A clean parse leaves `errors`
+/// untouched.
+Trace read_trace_jsonl(std::istream& is, std::vector<std::string>& errors);
+
+/// JSON string escaping (shared by the exporters).
+std::string json_escape(std::string_view s);
+
+}  // namespace koptlog

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/oracle.h"
+#include "obs/event_recorder.h"
 
 namespace koptlog {
 
@@ -26,6 +27,16 @@ void OutputBuffer::check(
       }
     }
     if (ready) {
+      if (EventRecorder* erec = rt_.recorder()) {
+        ProtocolEvent e;
+        e.kind = EventKind::kOutputCommit;
+        e.t = rt_.sim().now();
+        e.at = rec.born_of.entry();
+        e.tdv = rec.tdv;  // fully NULL at commit time in the 0-opt sense
+        e.msg = rec.id;
+        e.ref = rec.born_of;
+        erec->record(std::move(e));
+      }
       rt_.dispatch_at_idle([rt = &rt_, r = std::move(rec)] {
         rt->api.commit_output(r);
       });

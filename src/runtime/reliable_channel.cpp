@@ -1,5 +1,7 @@
 #include "runtime/reliable_channel.h"
 
+#include "obs/event_recorder.h"
+
 namespace koptlog {
 
 void ReliableChannel::retransmit(
@@ -10,6 +12,15 @@ void ReliableChannel::retransmit(
       continue;
     }
     rt_.stats().inc("msgs.retransmitted");
+    if (EventRecorder* rec = rt_.recorder()) {
+      ProtocolEvent e;
+      e.kind = EventKind::kRetransmit;
+      e.t = rt_.sim().now();
+      e.at = it->second.born_of.entry();
+      e.msg = it->second.id;
+      e.peer = it->second.to;
+      rec->record(std::move(e));
+    }
     rt_.api.route_app_msg(it->second);
     ++it;
   }

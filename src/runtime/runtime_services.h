@@ -21,6 +21,7 @@ struct RuntimeServices {
   Simulator& sim() const { return api.sim(); }
   Stats& stats() const { return api.stats(); }
   Oracle* oracle() const { return api.oracle(); }
+  EventRecorder* recorder() const { return api.recorder(pid); }
 
   /// Run `fn` once the process's current busy window (application work plus
   /// any blocking stable-storage writes) has drained: released messages and

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/oracle.h"
+#include "obs/event_recorder.h"
 
 namespace koptlog {
 
@@ -36,11 +37,39 @@ void SendBuffer::release_eligible(
                                                  : b.msg.tdv.wire_bytes_full()));
       if (Oracle* orc = rt_.oracle())
         orc->on_msg_released(b.msg, live, b.k_limit, rt_.sim().now());
+      if (EventRecorder* rec = rt_.recorder()) {
+        ProtocolEvent e;
+        e.kind = EventKind::kBufferRelease;
+        e.t = rt_.sim().now();
+        e.at = b.msg.born_of.entry();
+        e.tdv = b.msg.tdv;  // post-NULLing: this is what goes on the wire
+        e.msg = b.msg.id;
+        e.peer = b.msg.to;
+        e.ref = b.msg.born_of;
+        e.k_limit = b.k_limit;
+        e.k_reached = live;
+        rec->record(std::move(e));
+      }
       channel_.track(b.msg);
       rt_.dispatch_at_idle([rt = &rt_, msg = std::move(b.msg)]() mutable {
         rt->api.route_app_msg(std::move(msg));
       });
     } else {
+      if (!b.hold_reported) {
+        b.hold_reported = true;
+        if (EventRecorder* rec = rt_.recorder()) {
+          ProtocolEvent e;
+          e.kind = EventKind::kBufferHold;
+          e.t = rt_.sim().now();
+          e.at = b.msg.born_of.entry();
+          e.msg = b.msg.id;
+          e.peer = b.msg.to;
+          e.k_limit = b.k_limit;
+          e.k_reached = live;
+          e.recv_side = false;
+          rec->record(std::move(e));
+        }
+      }
       kept.push_back(std::move(b));
     }
   }

@@ -24,6 +24,8 @@ class SendBuffer {
     /// Release threshold for this message: the system K, or a per-message
     /// override (§4.2).
     int k_limit = 0;
+    /// One buffer_hold event per parked message, not one per re-check.
+    bool hold_reported = false;
   };
 
   /// `null_omission` is the engine's wire format (Theorem 2 vectors omit

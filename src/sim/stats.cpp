@@ -5,6 +5,10 @@
 namespace koptlog {
 
 void Histogram::add(double v) {
+  // Canonicalize -0.0 to +0.0: tied samples must be bit-identical so the
+  // on-demand sort (unstable) cannot reorder distinguishable zeros and
+  // nearest-rank quantiles stay deterministic across runs.
+  if (v == 0.0) v = 0.0;
   if (count_ == 0) {
     min_ = max_ = v;
   } else {

@@ -1,0 +1,202 @@
+// The orphan-audit path end to end: a multi-failure randomized cluster run
+// recorded with the oracle OFF must serialize to JSONL, parse back, and
+// pass audit_trace with every invariant exercised (nonzero coverage
+// counters). Corruptions must be caught: a dropped FailureAnnounce (the
+// Theorem-1 bookkeeping hole), a commit depending on a dead interval, and
+// a BufferRelease over the K bound.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "obs/audit.h"
+#include "obs/trace_io.h"
+
+namespace koptlog {
+namespace {
+
+/// Seeded uniform-workload run with two failures, oracle off, recording on.
+/// Returns the serialized JSONL text.
+std::string record_multi_failure_run() {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.seed = 4242;
+  cfg.protocol.k = 2;
+  cfg.enable_oracle = false;
+  cfg.record_events = true;
+  Cluster cluster(cfg, make_uniform_app({.output_every = 4}));
+  cluster.start();
+  inject_uniform_load(cluster, 150, 1'000, 600'000, 5, 17);
+  cluster.fail_at(200'000, 1);
+  cluster.fail_at(380'000, 3);
+  cluster.run_for(2'000'000);
+  cluster.drain();
+  const Recording* rec = cluster.recording();
+  EXPECT_NE(rec, nullptr);
+  std::ostringstream os;
+  write_trace_jsonl(*rec, os);
+  return os.str();
+}
+
+Trace parse(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> errors;
+  Trace trace = read_trace_jsonl(is, errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  return trace;
+}
+
+TEST(AuditTest, MultiFailureRunPassesWithFullCoverage) {
+  std::string text = record_multi_failure_run();
+  Trace trace = parse(text);
+  AuditReport report = audit_trace(trace);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // The audit must have had real work on every invariant, not a vacuous
+  // pass: intervals reconstructed, announcements seen (two failures),
+  // orphans created and detected, K checked on released messages, commits
+  // closed over.
+  EXPECT_GT(report.events, 100u);
+  EXPECT_GT(report.intervals, 50u);
+  EXPECT_GE(report.announcements, 2u);
+  EXPECT_GT(report.dead_intervals, 0u);
+  EXPECT_GT(report.releases_checked, 0u);
+  EXPECT_GT(report.commits_checked, 0u);
+  EXPECT_GT(report.distinct_outputs, 0u);
+}
+
+TEST(AuditTest, DroppedFailureAnnounceIsDetected) {
+  std::string text = record_multi_failure_run();
+  // Hand-corrupt the trace: remove every failure_announce line, as if the
+  // failed processes never told anyone. Theorem 1 says announcements are
+  // the only orphan-detection signal, so the audit must refuse the trace:
+  // the new incarnations have no announced cause.
+  std::istringstream in(text);
+  std::ostringstream kept;
+  std::string line;
+  int dropped = 0;
+  while (std::getline(in, line)) {
+    if (line.find("\"kind\":\"failure_announce\"") != std::string::npos) {
+      ++dropped;
+      continue;
+    }
+    kept << line << '\n';
+  }
+  ASSERT_GT(dropped, 0);
+  Trace trace = parse(kept.str());
+  AuditReport report = audit_trace(trace);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  bool mentions_bump = false;
+  for (const std::string& v : report.violations) {
+    if (v.find("bump") != std::string::npos) mentions_bump = true;
+  }
+  EXPECT_TRUE(mentions_bump) << report.violations[0];
+}
+
+TEST(AuditTest, CommitDependingOnDeadIntervalIsDetected) {
+  // Hand-built four-event trace: P0's interval (0,1) is killed by P0's own
+  // announcement (incarnation 0 ended at sii 0), yet P1 commits an output
+  // whose vector still carries (0,1)_0 — the orphan commit Theorems 1-3
+  // exist to prevent.
+  Trace trace;
+  trace.n = 2;
+  ProtocolEvent e;
+  e.kind = EventKind::kDeliver;
+  e.t = 1;
+  e.pid = 0;
+  e.at = Entry{0, 1};
+  e.msg = MsgId{kEnvironment, 1};
+  e.peer = kEnvironment;
+  e.ref = IntervalId{kEnvironment, 0, 0};
+  e.tdv = DepVector(2);
+  trace.events.push_back(e);
+  e = ProtocolEvent{};
+  e.kind = EventKind::kDeliver;  // P1's interval inherits the dependency
+  e.t = 1;
+  e.pid = 1;
+  e.at = Entry{0, 1};
+  e.msg = MsgId{0, 1};
+  e.peer = 0;
+  e.ref = IntervalId{0, 0, 1};
+  e.tdv = DepVector(2);
+  trace.events.push_back(e);
+  e = ProtocolEvent{};
+  e.kind = EventKind::kFailureAnnounce;
+  e.t = 2;
+  e.pid = 0;
+  e.at = Entry{1, 1};
+  e.ended = Entry{0, 0};
+  e.from_failure = true;
+  trace.events.push_back(e);
+  e = ProtocolEvent{};
+  e.kind = EventKind::kIncarnationBump;
+  e.t = 2;
+  e.pid = 0;
+  e.at = Entry{1, 1};
+  trace.events.push_back(e);
+  e = ProtocolEvent{};
+  e.kind = EventKind::kOutputCommit;
+  e.t = 3;
+  e.pid = 1;
+  e.at = Entry{0, 1};
+  e.msg = MsgId{1, 1};
+  e.ref = IntervalId{1, 0, 1};
+  DepVector tdv(2);
+  tdv.set(0, Entry{0, 1});  // the dead interval
+  tdv.set(1, Entry{0, 1});
+  e.tdv = tdv;
+  trace.events.push_back(e);
+
+  AuditReport report = audit_trace(trace);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.dead_intervals, 1u);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations[0].find("commit"), std::string::npos)
+      << report.violations[0];
+}
+
+TEST(AuditTest, ReleaseOverKBoundIsDetected) {
+  // A buffer_release claiming K=1 but shipping two live entries.
+  Trace trace;
+  trace.n = 3;
+  ProtocolEvent e;
+  e.kind = EventKind::kBufferRelease;
+  e.t = 1;
+  e.pid = 0;
+  e.at = Entry{0, 1};
+  e.msg = MsgId{0, 1};
+  e.peer = 1;
+  e.ref = IntervalId{0, 0, 1};
+  DepVector tdv(3);
+  tdv.set(0, Entry{0, 1});
+  tdv.set(2, Entry{0, 4});
+  e.tdv = tdv;
+  e.k_limit = 1;
+  e.k_reached = 2;
+  trace.events.push_back(e);
+  AuditReport report = audit_trace(trace);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.releases_checked, 1u);
+
+  // The same release is legal under K=2.
+  trace.events[0].k_limit = 2;
+  EXPECT_TRUE(audit_trace(trace).ok());
+
+  // A release whose k_reached does not match its own vector is lying.
+  trace.events[0].k_reached = 1;
+  EXPECT_FALSE(audit_trace(trace).ok());
+}
+
+TEST(AuditTest, EmptyTraceIsVacuouslyOkWithZeroCoverage) {
+  Trace trace;
+  trace.n = 2;
+  AuditReport report = audit_trace(trace);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.events, 0u);
+  EXPECT_EQ(report.commits_checked, 0u);
+  EXPECT_NE(report.summary().find("audit OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koptlog

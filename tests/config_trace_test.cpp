@@ -78,5 +78,15 @@ TEST(TracerTest, StringSinkFormat) {
   EXPECT_EQ(out, "42 P3 hello\n");
 }
 
+TEST(TracerTest, StringSinkAppendsOneRowPerEmit) {
+  std::string out;
+  Tracer::Sink sink = Tracer::string_sink(out);
+  sink(0, 0, "first");
+  sink(1'000'000, 12, "second row, with punctuation: (0,4)_1");
+  EXPECT_EQ(out,
+            "0 P0 first\n"
+            "1000000 P12 second row, with punctuation: (0,4)_1\n");
+}
+
 }  // namespace
 }  // namespace koptlog

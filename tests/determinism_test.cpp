@@ -13,6 +13,7 @@
 #include "core/cluster.h"
 #include "core/process.h"
 #include "direct/direct_process.h"
+#include "obs/event_recorder.h"
 
 namespace koptlog {
 namespace {
@@ -20,17 +21,23 @@ namespace {
 struct RunResult {
   std::vector<Cluster::CommittedOutput> outputs;
   std::map<std::string, int64_t> counters;
+  std::vector<ProtocolEvent> events;
 };
 
-RunResult run_once(const ClusterConfig& cfg,
-                   const Cluster::EngineFactory& factory) {
+RunResult run_once(const ClusterConfig& base,
+                   const Cluster::EngineFactory& factory,
+                   bool record = true) {
+  ClusterConfig cfg = base;
+  cfg.record_events = record;
   Cluster cluster(cfg, make_uniform_app({.output_every = 4}), factory);
   cluster.start();
   inject_uniform_load(cluster, 120, 1'000, 600'000, 5, 11);
   cluster.fail_at(250'000, 1);
   cluster.run_for(2'000'000);
   cluster.drain();
-  return RunResult{cluster.outputs(), cluster.stats().counters()};
+  RunResult r{cluster.outputs(), cluster.stats().counters(), {}};
+  if (const Recording* rec = cluster.recording()) r.events = rec->merged();
+  return r;
 }
 
 void expect_identical(const RunResult& a, const RunResult& b) {
@@ -45,6 +52,12 @@ void expect_identical(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(x.committed_at, y.committed_at) << "output " << i;
   }
   EXPECT_EQ(a.counters, b.counters);
+  // The recorded event streams must match event for event, too: the
+  // observability layer is part of the deterministic surface.
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    ASSERT_EQ(a.events[i], b.events[i]) << "event " << i;
+  }
 }
 
 Cluster::EngineFactory k_optimistic_factory() {
@@ -64,8 +77,24 @@ TEST(Determinism, KOptimisticEngineIsSeedDeterministic) {
   RunResult first = run_once(cfg, k_optimistic_factory());
   RunResult second = run_once(cfg, k_optimistic_factory());
   ASSERT_GT(first.outputs.size(), 0u);
+  ASSERT_GT(first.events.size(), 0u);
   EXPECT_GT(first.counters.at("crash.count"), 0);
   expect_identical(first, second);
+}
+
+TEST(Determinism, EventRecordingIsPassive) {
+  // Enabling the recorder must not perturb the run: outputs and counters
+  // with recording on are identical to the same seed with recording off.
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 8881;
+  cfg.protocol.k = 2;
+  RunResult on = run_once(cfg, k_optimistic_factory(), /*record=*/true);
+  RunResult off = run_once(cfg, k_optimistic_factory(), /*record=*/false);
+  ASSERT_GT(on.events.size(), 0u);
+  ASSERT_EQ(off.events.size(), 0u);
+  off.events = on.events;  // compare everything except the streams
+  expect_identical(on, off);
 }
 
 TEST(Determinism, DirectEngineIsSeedDeterministic) {
@@ -75,6 +104,7 @@ TEST(Determinism, DirectEngineIsSeedDeterministic) {
   RunResult first = run_once(cfg, DirectProcess::factory());
   RunResult second = run_once(cfg, DirectProcess::factory());
   ASSERT_GT(first.outputs.size(), 0u);
+  ASSERT_GT(first.events.size(), 0u);
   EXPECT_GT(first.counters.at("crash.count"), 0);
   expect_identical(first, second);
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "core/metrics.h"
@@ -42,6 +43,34 @@ TEST(HistogramTest, QuantileAfterInterleavedAdds) {
   h.add(9);
   EXPECT_DOUBLE_EQ(h.p50(), 5.0);
   EXPECT_DOUBLE_EQ(h.max(), 9.0);
+}
+
+TEST(HistogramTest, TiedSamplesGiveDeterministicQuantiles) {
+  // Heavy ties must not make quantiles order-sensitive: nearest-rank over
+  // the sorted retained samples is a pure function of the multiset.
+  Histogram fwd, rev;
+  for (int i = 0; i < 300; ++i) fwd.add(i % 3);       // 0,1,2,0,1,2,...
+  for (int i = 299; i >= 0; --i) rev.add(i % 3);      // reversed order
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(fwd.quantile(q), rev.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(fwd.p50(), 1.0);
+  EXPECT_DOUBLE_EQ(fwd.quantile(1.0), 2.0);
+}
+
+TEST(HistogramTest, NegativeZeroCanonicalizedOnAdd) {
+  // -0.0 and +0.0 compare equal but differ bitwise; an unstable sort could
+  // order them differently run to run. add() canonicalizes, so quantiles
+  // over zero-heavy samples (idle-latency histograms) are bit-stable.
+  Histogram h;
+  h.add(-0.0);
+  h.add(0.0);
+  h.add(-0.0);
+  EXPECT_FALSE(std::signbit(h.quantile(0.0)));
+  EXPECT_FALSE(std::signbit(h.quantile(1.0)));
+  EXPECT_FALSE(std::signbit(h.min()));
+  EXPECT_FALSE(std::signbit(h.max()));
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
 TEST(HistogramTest, ClearResets) {
@@ -93,6 +122,47 @@ TEST(StatsTest, PrintStatsDumpsEverything) {
   print_stats(s, os);
   EXPECT_NE(os.str().find("a.count = 2"), std::string::npos);
   EXPECT_NE(os.str().find("b.lat"), std::string::npos);
+}
+
+TEST(StatsTest, PrintStatsHistogramLineHasMomentsAndQuantiles) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.sample("lat", i);
+  std::ostringstream os;
+  print_stats(s, os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("counters:"), std::string::npos);
+  EXPECT_NE(out.find("histograms:"), std::string::npos);
+  EXPECT_NE(out.find("lat: n=100 mean=50.5 p50=50 p99=99 max=100"),
+            std::string::npos)
+      << out;
+}
+
+TEST(StatsTest, PrintStatsEmptyIsStillWellFormed) {
+  Stats s;
+  std::ostringstream os;
+  print_stats(s, os);
+  EXPECT_EQ(os.str(), "counters:\nhistograms:\n");
+}
+
+TEST(BenchJsonTest, WritesParamsMetricsAndTypedTableCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(int64_t{3});
+  t.row().cell("beta").cell(2.5, 1);
+  BenchJson j("demo");
+  j.param("n", 6).param("mode", "fast").metric("outputs", int64_t{42});
+  j.table("results", t);
+  std::ostringstream os;
+  j.write(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"bench\": \"demo\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"n\": 6"), std::string::npos);
+  EXPECT_NE(out.find("\"mode\": \"fast\""), std::string::npos);
+  EXPECT_NE(out.find("\"outputs\": 42"), std::string::npos);
+  EXPECT_NE(out.find("\"columns\": [\"name\", \"value\"]"),
+            std::string::npos);
+  // Numeric cells serialize as JSON numbers, strings as JSON strings.
+  EXPECT_NE(out.find("[\"alpha\", 3]"), std::string::npos) << out;
+  EXPECT_NE(out.find("[\"beta\", 2.5]"), std::string::npos) << out;
 }
 
 }  // namespace

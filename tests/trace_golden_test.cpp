@@ -1,0 +1,148 @@
+// Golden-file regression for the JSONL trace schema: the seeded Figure-1
+// script (same steps as tests/figure1_test.cpp / bench_e1) must produce a
+// byte-identical event trace across runs and across refactors. The golden
+// file doubles as the schema's human-readable exemplar, referenced from
+// DESIGN.md. Regenerate deliberately with:
+//
+//   KOPTLOG_REGEN_GOLDEN=1 ./koptlog_tests --gtest_filter='TraceGolden.*'
+//
+// and review the diff like any other behavior change. The same trace is
+// also audited here: Theorems 1-4 must hold on Figure 1 with no oracle.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/manual.h"
+#include "obs/audit.h"
+#include "obs/trace_io.h"
+
+#ifndef KOPTLOG_TEST_DIR
+#define KOPTLOG_TEST_DIR "."
+#endif
+
+namespace koptlog {
+namespace {
+
+/// The Figure-1 walkthrough (paper §2-§3), recorded. Mirrors bench_e1.
+std::string figure1_trace_jsonl() {
+  ManualHarness h(6);
+  h.enable_event_recording();
+  std::vector<std::unique_ptr<Process>> p;
+  for (ProcessId pid = 0; pid < 6; ++pid)
+    p.push_back(h.make_process(pid, ProtocolConfig{}));
+  p[0]->start(Entry{1, 2});
+  p[1]->start(Entry{0, 1});
+  p[2]->start(Entry{0, 1});
+  p[3]->start(Entry{2, 5});
+  p[4]->start(Entry{0, 1});
+  p[5]->start(Entry{3, 8});
+  h.tick(*p[1]);
+  h.tick(*p[1]);
+  h.tick(*p[2]);
+
+  // m0 -> m1 -> m2 causal chain; P4's interval (0,2)_4 emits an output.
+  AppPayload chain;
+  chain.kind = ScriptedApp::kChain;
+  chain.a = ScriptedApp::route({1, 3, 4});
+  chain.b = 1;
+  chain.c = 77;
+  p[0]->handle_app_msg(h.env_msg(0, chain));
+  p[1]->handle_app_msg(h.take_sent());
+  p[3]->handle_app_msg(h.take_sent());
+  AppMsg m2 = h.take_sent();
+  p[4]->handle_app_msg(m2);
+
+  // P1 makes (0,4)_1 stable, executes (0,5)_1, fails at "X", recovers.
+  p[1]->force_flush();
+  AppPayload c2;
+  c2.kind = ScriptedApp::kChain;
+  c2.a = ScriptedApp::route({3});
+  p[1]->handle_app_msg(h.env_msg(1, c2));
+  p[3]->handle_app_msg(h.take_sent());
+  h.tick(*p[3]);
+  p[1]->crash();
+  p[1]->restart();
+  Announcement r1 = h.announcements.back();
+
+  // r1 reaches P3 (rollback) and P4 (survives; m6 released from hold).
+  p[3]->handle_announcement(r1);
+  AppPayload c5;
+  c5.kind = ScriptedApp::kChain;
+  c5.a = ScriptedApp::route({1, 4});
+  p[2]->handle_app_msg(h.env_msg(2, c5));
+  p[1]->handle_app_msg(h.take_sent());
+  p[4]->handle_app_msg(h.take_sent());  // m6: held behind P1's old entry
+  p[4]->handle_announcement(r1);
+
+  // m7 delivered at P5 with no delay (Corollary 1).
+  AppPayload c3;
+  c3.kind = ScriptedApp::kChain;
+  c3.a = ScriptedApp::route({5});
+  p[1]->handle_app_msg(h.env_msg(1, c3));
+  p[5]->handle_app_msg(h.take_sent());
+
+  // P4's output commit after the three logging-progress notifications.
+  p[4]->force_flush();
+  p[0]->force_flush();
+  p[0]->broadcast_progress();
+  p[4]->handle_log_progress(h.progresses.back());
+  p[3]->force_flush();
+  p[3]->broadcast_progress();
+  p[4]->handle_log_progress(h.progresses.back());
+  EXPECT_EQ(h.outputs.size(), 1u);
+
+  std::ostringstream os;
+  write_trace_jsonl(*h.recording(), os);
+  return os.str();
+}
+
+std::string golden_path() {
+  return std::string(KOPTLOG_TEST_DIR) + "/golden/figure1_trace.jsonl";
+}
+
+TEST(TraceGolden, Figure1TraceIsStable) {
+  std::string actual = figure1_trace_jsonl();
+  if (std::getenv("KOPTLOG_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path()
+      << " — run with KOPTLOG_REGEN_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string expected = buf.str();
+  ASSERT_EQ(actual.size(), expected.size())
+      << "trace length changed; regenerate deliberately with "
+         "KOPTLOG_REGEN_GOLDEN=1 and review the diff";
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(TraceGolden, Figure1TraceIsDeterministicAcrossRuns) {
+  EXPECT_EQ(figure1_trace_jsonl(), figure1_trace_jsonl());
+}
+
+TEST(TraceGolden, Figure1TracePassesAuditWithoutOracle) {
+  std::istringstream is(figure1_trace_jsonl());
+  std::vector<std::string> errors;
+  Trace trace = read_trace_jsonl(is, errors);
+  ASSERT_TRUE(errors.empty()) << errors[0];
+  EXPECT_EQ(trace.n, 6);
+  AuditReport report = audit_trace(trace);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Figure 1's story is all here: P1's failure announcement, the orphan
+  // interval (0,5)_1 it kills, P3's rollback, and P4's committed output.
+  EXPECT_EQ(report.announcements, 1u);
+  EXPECT_GT(report.dead_intervals, 0u);
+  EXPECT_GE(report.rollbacks, 1u);
+  EXPECT_EQ(report.distinct_outputs, 1u);
+  EXPECT_GE(report.commits_checked, 1u);
+}
+
+}  // namespace
+}  // namespace koptlog

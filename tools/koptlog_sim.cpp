@@ -17,6 +17,8 @@
 #include "core/metrics.h"
 #include "core/timeline.h"
 #include "direct/direct_process.h"
+#include "obs/export.h"
+#include "obs/trace_io.h"
 
 using namespace koptlog;
 
@@ -43,6 +45,9 @@ struct Args {
   bool ascii = false;
   bool stats = false;
   std::string dot_file;
+  std::string trace_out;
+  std::string perfetto_out;
+  std::string metrics_out;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -62,7 +67,14 @@ struct Args {
       << "  --fifo --reliable --no-gc --no-oracle   toggles\n"
       << "  --ascii           print a space-time diagram\n"
       << "  --dot FILE        write a Graphviz space-time diagram\n"
-      << "  --stats           dump every counter/histogram\n";
+      << "  --stats           dump every counter/histogram\n"
+      << "  --trace-out FILE.jsonl    record typed protocol events and write\n"
+      << "                            the JSONL trace (koptlog_audit input)\n"
+      << "  --perfetto-out FILE.json  record events and write a Chrome\n"
+      << "                            trace-event file (open in\n"
+      << "                            ui.perfetto.dev or chrome://tracing)\n"
+      << "  --metrics-out FILE.txt    write every counter/histogram in\n"
+      << "                            Prometheus text format\n";
   std::exit(2);
 }
 
@@ -94,6 +106,9 @@ Args parse(int argc, char** argv) {
     else if (f == "--ascii") a.ascii = true;
     else if (f == "--dot") a.dot_file = need(i);
     else if (f == "--stats") a.stats = true;
+    else if (f == "--trace-out") a.trace_out = need(i);
+    else if (f == "--perfetto-out") a.perfetto_out = need(i);
+    else if (f == "--metrics-out") a.metrics_out = need(i);
     else usage(argv[0]);
   }
   return a;
@@ -123,6 +138,7 @@ int main(int argc, char** argv) {
   cfg.protocol.storage.sync_write_us = a.sync_us;
   cfg.protocol.reliable_delivery = a.reliable;
   cfg.protocol.garbage_collect = !a.no_gc;
+  cfg.record_events = !a.trace_out.empty() || !a.perfetto_out.empty();
 
   Cluster::AppFactory app =
       a.workload == "pipeline"       ? make_pipeline_app({})
@@ -171,6 +187,36 @@ int main(int argc, char** argv) {
             << "\n  sim makespan ms    " << cluster.sim().now() / 1000 << "\n";
 
   if (a.stats) print_stats(cluster.stats(), std::cout);
+
+  if (!a.trace_out.empty()) {
+    if (write_trace_jsonl_file(*cluster.recording(), a.trace_out)) {
+      std::cout << "wrote " << a.trace_out << " ("
+                << cluster.recording()->total_events()
+                << " events; verify: koptlog_audit " << a.trace_out << ")\n";
+    } else {
+      std::cerr << "error: cannot write " << a.trace_out << "\n";
+      return 2;
+    }
+  }
+  if (!a.perfetto_out.empty()) {
+    std::ofstream out(a.perfetto_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << a.perfetto_out << "\n";
+      return 2;
+    }
+    write_perfetto_json(*cluster.recording(), out);
+    std::cout << "wrote " << a.perfetto_out
+              << " (open in ui.perfetto.dev or chrome://tracing)\n";
+  }
+  if (!a.metrics_out.empty()) {
+    std::ofstream out(a.metrics_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << a.metrics_out << "\n";
+      return 2;
+    }
+    write_prometheus_text(cluster.stats(), out);
+    std::cout << "wrote " << a.metrics_out << "\n";
+  }
 
   int rc = 0;
   if (cluster.oracle() != nullptr) {
