@@ -13,9 +13,9 @@
 
 #include "app/workloads.h"
 #include "core/cluster.h"
+#include "core/engine_registry.h"
 #include "core/failure_injector.h"
 #include "core/metrics.h"
-#include "direct/direct_process.h"
 
 using namespace koptlog;
 
@@ -34,9 +34,9 @@ Row run_engine(bool direct, int n, int failures, uint64_t seed) {
   cfg.n = n;
   cfg.seed = seed;
   cfg.enable_oracle = false;
-  Cluster cluster =
-      direct ? Cluster(cfg, make_client_server_app({}), DirectProcess::factory())
-             : Cluster(cfg, make_client_server_app({}));
+  std::unique_ptr<Cluster> cluster_ptr = make_cluster_with_engine(
+      direct ? "direct" : "kopt", cfg, make_client_server_app({}));
+  Cluster& cluster = *cluster_ptr;
   cluster.start();
   inject_client_requests(cluster, 40 * n, 1'000, 900'000, seed * 13 + 1);
   if (failures > 0) {

@@ -5,9 +5,12 @@
 // discarded) shrinks monotonically as K falls, reaching zero at K=0 and for
 // the pessimistic baseline; traditional optimistic (K=N) pays the largest
 // rollback scope in exchange for its lower failure-free overhead (E2).
+#include <algorithm>
 #include <iostream>
 #include <vector>
 
+#include "analysis/causal_graph.h"
+#include "analysis/critical_path.h"
 #include "baseline/pessimistic.h"
 #include "core/metrics.h"
 #include "scenario.h"
@@ -24,7 +27,8 @@ int main() {
             << " failures per run, " << kSeeds << " seeds summed)\n\n";
 
   Table t({"K", "rollbacks", "undone_ivals", "orphan_msgs", "replayed",
-           "outputs", "true_orphans", "lost_ivals"});
+           "outputs", "true_orphans", "lost_ivals", "cp_hops_max",
+           "cp_settle_max_ms"});
 
   std::vector<ProtocolConfig> configs;
   configs.push_back(pessimistic_baseline());
@@ -33,6 +37,8 @@ int main() {
   for (const ProtocolConfig& cfg : configs) {
     int64_t rollbacks = 0, undone = 0, orphans = 0, replayed = 0;
     size_t outputs = 0, doomed = 0, lost = 0;
+    int cp_hops_max = 0;
+    SimTime cp_settle_max = 0;
     for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
       ScenarioParams p;
       p.n = kN;
@@ -44,6 +50,7 @@ int main() {
       p.failures = kFailures;
       p.fail_from_us = 100'000;
       p.fail_to_us = 800'000;
+      p.record_events = true;
       ScenarioResult r = run_scenario(p);
       if (!r.oracle_ok) {
         std::cerr << "ORACLE VIOLATION: " << r.oracle_summary << "\n";
@@ -57,6 +64,14 @@ int main() {
       outputs += r.outputs;
       doomed += r.true_orphans;
       lost += r.lost;
+      // Recovery critical path over the recorded trace: how long a
+      // dependency chain a failure dragged down, and how long until its
+      // damage settled (last forced rollback/retransmit).
+      analysis::CausalGraph graph(r.trace);
+      analysis::CriticalPathSummary cp = analysis::summarize_critical_paths(
+          analysis::compute_critical_paths(graph));
+      cp_hops_max = std::max(cp_hops_max, cp.max_hops);
+      cp_settle_max = std::max(cp_settle_max, cp.max_settle_us);
     }
     t.row()
         .cell(k_label(cfg, kN))
@@ -66,7 +81,9 @@ int main() {
         .cell(replayed)
         .cell(static_cast<int64_t>(outputs))
         .cell(static_cast<int64_t>(doomed))
-        .cell(static_cast<int64_t>(lost));
+        .cell(static_cast<int64_t>(lost))
+        .cell(static_cast<int64_t>(cp_hops_max))
+        .cell(static_cast<double>(cp_settle_max) / 1000.0, 1);
   }
   t.print(std::cout, "recovery scope vs K (same failure plans everywhere)");
   BenchJson j("e3_recovery_vs_k");

@@ -1,7 +1,9 @@
 #include "scenario.h"
 
 #include "app/workloads.h"
+#include "common/check.h"
 #include "core/cluster.h"
+#include "core/engine_registry.h"
 #include "core/failure_injector.h"
 
 namespace koptlog::bench {
@@ -15,6 +17,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
   cfg.enable_oracle = params.oracle;
   cfg.control_latency.base_us = params.control_base_us;
   cfg.control_latency.jitter_us = params.control_jitter_us;
+  cfg.record_events = params.record_events;
 
   Cluster::AppFactory factory;
   switch (params.workload) {
@@ -29,7 +32,11 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
       break;
   }
 
-  Cluster cluster(cfg, factory);
+  std::unique_ptr<Cluster> cluster_ptr =
+      make_cluster_with_engine(params.engine, cfg, factory);
+  KOPT_CHECK_MSG(cluster_ptr != nullptr,
+                 "unknown engine '" << params.engine << "'");
+  Cluster& cluster = *cluster_ptr;
   cluster.start();
 
   switch (params.workload) {
@@ -68,6 +75,10 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
       res.stats.sample("request.e2e_us",
                        static_cast<double>(out.committed_at - out.payload.c));
     }
+  }
+  if (params.record_events && cluster.recording() != nullptr) {
+    res.trace.n = params.n;
+    res.trace.events = cluster.recording()->merged();
   }
   if (params.oracle) {
     Oracle::Report rep = cluster.oracle()->verify(false);

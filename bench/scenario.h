@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/config.h"
+#include "obs/trace_io.h"
 #include "sim/stats.h"
 
 namespace koptlog::bench {
@@ -31,6 +32,12 @@ struct ScenarioParams {
   /// Corollary-1 vs Strom-Yemini delivery race visible (E7).
   SimTime control_base_us = 150;
   SimTime control_jitter_us = 100;
+  /// Recovery engine, resolved through EngineRegistry. Entries with a
+  /// preset (pessimistic, strom-yemini) override `protocol`.
+  std::string engine = "kopt";
+  /// Record typed protocol events and return them in ScenarioResult::trace
+  /// (feeds the analysis columns: critical path, hold times).
+  bool record_events = false;
 };
 
 struct ScenarioResult {
@@ -42,6 +49,8 @@ struct ScenarioResult {
   size_t lost = 0;            ///< oracle: intervals lost in crashes
   bool oracle_ok = true;
   std::string oracle_summary;
+  /// The run's merged event stream (empty unless params.record_events).
+  Trace trace;
 
   // Convenience accessors over `stats`.
   int64_t counter(const std::string& name) const { return stats.counter(name); }

@@ -4,13 +4,19 @@
 # it (koptlog_audit --parse-only), require the full audit to pass, and
 # require the parser to *reject* a corrupted copy. Run after any change to
 # src/obs/ or to the schema documented in DESIGN.md §"Observability".
+#
+# Also runs under ctest (test "trace_schema_check"): the harness sets
+# KOPTLOG_SCHEMA_NO_BUILD=1 and BUILD_DIR to reuse the binaries it already
+# built, so schema drift fails tier-1 instead of only failing by hand.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 
-cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" --target koptlog_sim koptlog_audit -j "$(nproc)"
+if [[ -z "${KOPTLOG_SCHEMA_NO_BUILD:-}" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target koptlog_sim koptlog_audit -j "$(nproc)"
+fi
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT

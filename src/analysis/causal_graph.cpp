@@ -1,0 +1,337 @@
+#include "analysis/causal_graph.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace koptlog::analysis {
+
+namespace {
+
+/// Does announcement `a` (by the interval's process) kill interval (inc,sii)?
+bool kills(const Entry& a, const IntervalId& iv) {
+  return a.inc >= iv.inc && iv.sii > a.sii;
+}
+
+}  // namespace
+
+CausalGraph::CausalGraph(const Trace& trace) : trace_(&trace) {
+  const int n = trace.n;
+  announced_.resize(static_cast<size_t>(n));
+  facts_.resize(static_cast<size_t>(n));
+
+  // Pass 1: announcements (the dead predicate needs them before any closure
+  // question can be answered) and per-kind indices.
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const ProtocolEvent& e = trace.events[i];
+    switch (e.kind) {
+      case EventKind::kFailureAnnounce:
+        announces_.push_back(static_cast<int>(i));
+        if (e.pid >= 0 && e.pid < n)
+          announced_[static_cast<size_t>(e.pid)].push_back(e.ended);
+        break;
+      case EventKind::kRollback:
+        rollbacks_.push_back(static_cast<int>(i));
+        break;
+      case EventKind::kOutputCommit:
+        commits_.push_back(static_cast<int>(i));
+        commits_by_id_.try_emplace(e.msg, static_cast<int>(i));
+        break;
+      case EventKind::kCheckpoint:
+        checkpoints_.push_back(static_cast<int>(i));
+        break;
+      case EventKind::kRetransmit:
+        retransmits_.push_back(static_cast<int>(i));
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Pass 2: interval graph, message episodes, deliveries, stability facts.
+  std::vector<OptEntry> cur(static_cast<size_t>(n));
+  // Open episode per (sender, msg id): index into episodes_.
+  std::map<MsgId, int> open;
+  auto close_open_as = [&](ProcessId sender, MsgEpisode::End end,
+                           SimTime at) {
+    for (auto& [id, idx] : open) {
+      MsgEpisode& ep = episodes_[static_cast<size_t>(idx)];
+      if (ep.sender != sender || ep.end != MsgEpisode::End::kUnreleased)
+        continue;
+      ep.end = end;
+      ep.doomed_at = at;
+    }
+  };
+
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const ProtocolEvent& e = trace.events[i];
+    size_t p = static_cast<size_t>(e.pid);
+    switch (e.kind) {
+      case EventKind::kDeliver: {
+        IntervalId iv{e.pid, e.at.inc, e.at.sii};
+        if (intervals_.count(iv) == 0) {
+          IntervalNode node;
+          node.id = iv;
+          node.created_by = static_cast<int>(i);
+          node.t = e.t;
+          if (cur[p]) node.parents.push_back({e.pid, cur[p]->inc, cur[p]->sii});
+          if (e.ref.pid != kEnvironment) {
+            node.msg_parent = static_cast<int>(node.parents.size());
+            node.parents.push_back(e.ref);
+          }
+          node.via_msg = e.msg;
+          intervals_.emplace(iv, std::move(node));
+        }
+        deliveries_by_id_[e.msg].push_back(static_cast<int>(i));
+        cur[p] = e.at;
+        break;
+      }
+      case EventKind::kIncarnationBump: {
+        IntervalId iv{e.pid, e.at.inc, e.at.sii};
+        if (intervals_.count(iv) == 0) {
+          IntervalNode node;
+          node.id = iv;
+          node.created_by = static_cast<int>(i);
+          node.t = e.t;
+          if (cur[p]) node.parents.push_back({e.pid, cur[p]->inc, cur[p]->sii});
+          intervals_.emplace(iv, std::move(node));
+        }
+        cur[p] = e.at;
+        break;
+      }
+      case EventKind::kRollback:
+        cur[p] = e.at;
+        break;
+      case EventKind::kFailureAnnounce:
+        cur[p] = e.at;
+        // A genuine failure wipes the sender's volatile send buffer: every
+        // still-open episode of this sender dies here.
+        if (e.from_failure)
+          close_open_as(e.pid, MsgEpisode::End::kCrashWiped, e.t);
+        break;
+      case EventKind::kSend: {
+        auto it = open.find(e.msg);
+        if (it != open.end() &&
+            episodes_[static_cast<size_t>(it->second)].end ==
+                MsgEpisode::End::kUnreleased) {
+          // Re-send of a message whose previous copy silently vanished
+          // (e.g. discarded as an orphan): close the stale episode.
+          episodes_[static_cast<size_t>(it->second)].end =
+              MsgEpisode::End::kDiscarded;
+          episodes_[static_cast<size_t>(it->second)].doomed_at = e.t;
+        }
+        MsgEpisode ep;
+        ep.id = e.msg;
+        ep.sender = e.pid;
+        ep.send_ev = static_cast<int>(i);
+        episodes_.push_back(ep);
+        open[e.msg] = static_cast<int>(episodes_.size()) - 1;
+        episodes_by_id_[e.msg].push_back(static_cast<int>(episodes_.size()) -
+                                         1);
+        break;
+      }
+      case EventKind::kBufferHold:
+        if (e.recv_side) {
+          recv_holds_by_id_[e.msg].push_back(static_cast<int>(i));
+        } else if (auto it = open.find(e.msg); it != open.end()) {
+          MsgEpisode& ep = episodes_[static_cast<size_t>(it->second)];
+          if (ep.sender == e.pid && ep.hold_ev < 0)
+            ep.hold_ev = static_cast<int>(i);
+        }
+        break;
+      case EventKind::kBufferRelease: {
+        auto it = open.find(e.msg);
+        int idx = -1;
+        if (it != open.end() &&
+            episodes_[static_cast<size_t>(it->second)].sender == e.pid &&
+            episodes_[static_cast<size_t>(it->second)].end ==
+                MsgEpisode::End::kUnreleased) {
+          idx = it->second;
+        } else {
+          // Release without a recorded send (truncated trace): synthesize.
+          MsgEpisode ep;
+          ep.id = e.msg;
+          ep.sender = e.pid;
+          episodes_.push_back(ep);
+          idx = static_cast<int>(episodes_.size()) - 1;
+          episodes_by_id_[e.msg].push_back(idx);
+        }
+        MsgEpisode& ep = episodes_[static_cast<size_t>(idx)];
+        ep.end = MsgEpisode::End::kReleased;
+        ep.release_ev = static_cast<int>(i);
+        open.erase(e.msg);
+        // Stability facts (Theorem 2 observed): entries live at send and
+        // NULL at release were nulled by the sender's log knowledge, so by
+        // e.t the sender covered them.
+        if (ep.send_ev >= 0) {
+          const DepVector& at_send =
+              trace.events[static_cast<size_t>(ep.send_ev)].tdv;
+          for (ProcessId j = 0; j < at_send.size() && j < e.tdv.size(); ++j) {
+            const OptEntry& before = at_send.at(j);
+            if (!before || e.tdv.at(j)) continue;
+            facts_[p].push_back(StabilityFact{e.pid, j, *before, e.t,
+                                              static_cast<int>(i)});
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Episodes still open at trace end: classify. If a send-vector entry is
+  // dead per the recorded announcements, the sender discarded the message
+  // as an orphan; the earliest killing announcement's time lower-bounds
+  // when.
+  for (MsgEpisode& ep : episodes_) {
+    if (ep.end != MsgEpisode::End::kUnreleased || ep.send_ev < 0) continue;
+    const DepVector& v = trace.events[static_cast<size_t>(ep.send_ev)].tdv;
+    SimTime doom = std::numeric_limits<SimTime>::max();
+    for (ProcessId j = 0; j < v.size(); ++j) {
+      const OptEntry& d = v.at(j);
+      if (!d) continue;
+      if (auto k = killer_of(IntervalId{j, d->inc, d->sii})) {
+        doom = std::min(doom, trace.events[static_cast<size_t>(*k)].t);
+      }
+    }
+    if (doom != std::numeric_limits<SimTime>::max()) {
+      ep.end = MsgEpisode::End::kDiscarded;
+      ep.doomed_at = doom;
+    }
+  }
+
+  // Crash-wiped classification may also apply to episodes whose sender
+  // failed *after* an orphan announcement; keep whichever fate struck
+  // first — close_open_as already handled the crash case in stream order.
+
+  for (auto& f : facts_) {
+    std::stable_sort(f.begin(), f.end(),
+                     [](const StabilityFact& a, const StabilityFact& b) {
+                       return a.t < b.t;
+                     });
+  }
+}
+
+const IntervalNode* CausalGraph::interval(const IntervalId& id) const {
+  auto it = intervals_.find(id);
+  return it == intervals_.end() ? nullptr : &it->second;
+}
+
+bool CausalGraph::is_dead(const IntervalId& iv) const {
+  if (iv.pid < 0 || iv.pid >= n()) return false;  // environment
+  for (const Entry& a : announced_[static_cast<size_t>(iv.pid)]) {
+    if (kills(a, iv)) return true;
+  }
+  return false;
+}
+
+std::optional<int> CausalGraph::killer_of(const IntervalId& iv) const {
+  if (iv.pid < 0 || iv.pid >= n()) return std::nullopt;
+  for (int idx : announces_) {
+    const ProtocolEvent& e = trace_->events[static_cast<size_t>(idx)];
+    if (e.pid == iv.pid && kills(e.ended, iv)) return idx;
+  }
+  return std::nullopt;
+}
+
+std::vector<IntervalId> CausalGraph::path_to_dead(
+    const IntervalId& root) const {
+  // Depth-first with an explicit parent map; stop at the first dead node.
+  std::unordered_map<IntervalId, IntervalId, IntervalIdHash> came_from;
+  std::vector<IntervalId> stack{root};
+  std::unordered_map<IntervalId, bool, IntervalIdHash> seen;
+  seen[root] = true;
+  while (!stack.empty()) {
+    IntervalId iv = stack.back();
+    stack.pop_back();
+    if (is_dead(iv)) {
+      std::vector<IntervalId> path{iv};
+      while (path.back() != root) path.push_back(came_from.at(path.back()));
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    auto it = intervals_.find(iv);
+    if (it == intervals_.end()) continue;  // pre-trace leaf
+    for (const IntervalId& parent : it->second.parents) {
+      if (seen.emplace(parent, true).second) {
+        came_from.emplace(parent, iv);
+        stack.push_back(parent);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<IntervalId> CausalGraph::closure(const IntervalId& root) const {
+  std::vector<IntervalId> out;
+  std::vector<IntervalId> stack{root};
+  std::unordered_map<IntervalId, bool, IntervalIdHash> seen;
+  seen[root] = true;
+  while (!stack.empty()) {
+    IntervalId iv = stack.back();
+    stack.pop_back();
+    out.push_back(iv);
+    auto it = intervals_.find(iv);
+    if (it == intervals_.end()) continue;
+    for (const IntervalId& parent : it->second.parents) {
+      if (seen.emplace(parent, true).second) stack.push_back(parent);
+    }
+  }
+  return out;
+}
+
+std::vector<int> CausalGraph::episodes_of(const MsgId& id) const {
+  auto it = episodes_by_id_.find(id);
+  return it == episodes_by_id_.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<int> CausalGraph::deliveries_of(const MsgId& id) const {
+  auto it = deliveries_by_id_.find(id);
+  return it == deliveries_by_id_.end() ? std::vector<int>{} : it->second;
+}
+
+std::vector<int> CausalGraph::recv_holds_of(const MsgId& id) const {
+  auto it = recv_holds_by_id_.find(id);
+  return it == recv_holds_by_id_.end() ? std::vector<int>{} : it->second;
+}
+
+std::optional<int> CausalGraph::departure_of(const MsgId& id) const {
+  auto it = episodes_by_id_.find(id);
+  if (it == episodes_by_id_.end()) return std::nullopt;
+  int first_send = -1;
+  int last_release = -1;
+  for (int idx : it->second) {
+    const MsgEpisode& ep = episodes_[static_cast<size_t>(idx)];
+    if (ep.send_ev >= 0 && first_send < 0) first_send = ep.send_ev;
+    if (ep.release_ev >= 0) last_release = ep.release_ev;
+  }
+  if (last_release >= 0) return last_release;
+  if (first_send >= 0) return first_send;
+  return std::nullopt;
+}
+
+const std::vector<StabilityFact>& CausalGraph::facts_of(
+    ProcessId owner) const {
+  static const std::vector<StabilityFact> kEmpty;
+  if (owner < 0 || owner >= n()) return kEmpty;
+  return facts_[static_cast<size_t>(owner)];
+}
+
+std::optional<SimTime> CausalGraph::covered_at(ProcessId owner, ProcessId j,
+                                               const Entry& e,
+                                               SimTime from) const {
+  for (const StabilityFact& f : facts_of(owner)) {
+    if (f.t < from) continue;
+    if (f.j == j && f.stable.inc == e.inc && e.sii <= f.stable.sii)
+      return f.t;
+  }
+  return std::nullopt;
+}
+
+std::optional<int> CausalGraph::commit_of(const MsgId& output) const {
+  auto it = commits_by_id_.find(output);
+  if (it == commits_by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace koptlog::analysis

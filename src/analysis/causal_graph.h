@@ -1,0 +1,157 @@
+// CausalGraph — the in-memory index the trace-analytics layer (explain /
+// critical-path / what-if / space-time SVG) queries. Built once from a
+// parsed JSONL trace (obs/trace_io.h), it reconstructs:
+//
+//  * the interval graph: one node per state interval that a deliver or
+//    incarnation_bump created, with its parents (the process's previous
+//    interval, plus the sender's birth interval for deliveries) — the same
+//    reconstruction the orphan audit uses, kept here with creation times
+//    and creating-event indices so queries can attribute *when* and *why*;
+//  * message episodes: each send→(hold)→release lifetime of a message in
+//    its sender's send buffer. Replay after a crash re-sends with the same
+//    MsgId, so one id can have several episodes; each is paired by stream
+//    order at the sender. Episodes that never release are classified
+//    (crash-wiped / discarded-as-orphan / unreleased);
+//  * stability facts (Theorem 2 observed from outside): when an episode's
+//    vector has entry (j, e) live at send and NULL at release, the sender
+//    provably knew "incarnation e.inc of P_j is stable up to ≥ e.sii" by
+//    the release time. These facts are the sound nulling timeline the
+//    what-if K replay runs the send-buffer rule against;
+//  * the dead-interval predicate from announcements alone (Theorem 1), and
+//    closure walks that return the *path* to a dead ancestor, not just the
+//    verdict (explain-orphan, critical-path need the hops).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace_io.h"
+
+namespace koptlog::analysis {
+
+struct IntervalNode {
+  IntervalId id;
+  /// Index into Trace::events of the creating deliver/incarnation_bump;
+  /// -1 for pre-trace intervals (process start, truncated history).
+  int created_by = -1;
+  SimTime t = 0;
+  /// [previous own interval, sender's birth interval (deliveries only)].
+  std::vector<IntervalId> parents;
+  /// Deliveries only: the message whose delivery started this interval.
+  std::optional<MsgId> via_msg;
+  /// Index in `parents` of the delivering message's birth interval;
+  /// -1 when the delivery came from the environment (or not a delivery).
+  int msg_parent = -1;
+};
+
+/// One send-buffer lifetime of a message at its sender.
+struct MsgEpisode {
+  enum class End {
+    kReleased,    ///< buffer_release recorded
+    kCrashWiped,  ///< sender failed (volatile buffer) before any release
+    kDiscarded,   ///< some send-vector entry is dead: orphan discard
+    kUnreleased,  ///< trace ends with the message still parked
+  };
+  MsgId id;
+  ProcessId sender = 0;
+  int send_ev = -1;     ///< kSend event index (-1: release without a send)
+  int hold_ev = -1;     ///< send-side kBufferHold, if any
+  int release_ev = -1;  ///< kBufferRelease, -1 unless kReleased
+  End end = End::kUnreleased;
+  /// kCrashWiped / kDiscarded: when the episode's fate was sealed — the
+  /// sender's failure announcement, or the earliest announcement that made
+  /// a send-vector entry dead (a lower bound on the discard time).
+  SimTime doomed_at = 0;
+};
+
+/// One observed nulling: by `t`, process `owner` knew incarnation
+/// `stable.inc` of P_j stable up to index ≥ `stable.sii` (so it NULLs any
+/// entry (stable.inc, x ≤ stable.sii) per EntrySet::covers).
+struct StabilityFact {
+  ProcessId owner = 0;
+  ProcessId j = 0;
+  Entry stable;
+  SimTime t = 0;
+  int source_ev = -1;  ///< the buffer_release that demonstrated it
+};
+
+class CausalGraph {
+ public:
+  explicit CausalGraph(const Trace& trace);
+
+  const Trace& trace() const { return *trace_; }
+  int n() const { return trace_->n; }
+
+  // ---- intervals ----
+  const IntervalNode* interval(const IntervalId& id) const;
+  const std::unordered_map<IntervalId, IntervalNode, IntervalIdHash>&
+  intervals() const {
+    return intervals_;
+  }
+
+  /// Theorem 1's orphan predicate over recorded announcements: (t,x) of
+  /// P_j is dead iff some announcement (s,x') of P_j has s >= t and x' < x.
+  bool is_dead(const IntervalId& iv) const;
+  /// Event index of the earliest announcement whose predicate kills `iv`
+  /// (nullopt when alive).
+  std::optional<int> killer_of(const IntervalId& iv) const;
+
+  /// Walk the closure of `root` (memoized); if it contains a dead interval,
+  /// return the parent-edge path root -> ... -> dead ancestor (front() is
+  /// root, back() is the dead interval). Empty when the closure is clean.
+  std::vector<IntervalId> path_to_dead(const IntervalId& root) const;
+
+  /// Every interval in the closure of `root` (including root), depth-first,
+  /// each visited once. Pre-trace intervals appear as leaves.
+  std::vector<IntervalId> closure(const IntervalId& root) const;
+
+  // ---- messages ----
+  const std::vector<MsgEpisode>& episodes() const { return episodes_; }
+  /// Episode indices for one message id, in stream order at the sender.
+  std::vector<int> episodes_of(const MsgId& id) const;
+  /// Deliver event indices for one message id (one per receiver that
+  /// accepted it; duplicates are discarded before delivery).
+  std::vector<int> deliveries_of(const MsgId& id) const;
+  /// Receive-side kBufferHold event indices for one message id.
+  std::vector<int> recv_holds_of(const MsgId& id) const;
+  /// The event a wire departure is drawn from: the last buffer_release of
+  /// the id, else its first send (mirrors the Perfetto exporter's rule).
+  std::optional<int> departure_of(const MsgId& id) const;
+
+  // ---- stability facts ----
+  /// All facts owned by `owner`, in nondecreasing time order.
+  const std::vector<StabilityFact>& facts_of(ProcessId owner) const;
+  /// Earliest time ≥ `from` at which `owner` provably covered (j, e);
+  /// nullopt when never observed.
+  std::optional<SimTime> covered_at(ProcessId owner, ProcessId j,
+                                    const Entry& e, SimTime from) const;
+
+  // ---- event indices by kind ----
+  const std::vector<int>& announce_events() const { return announces_; }
+  const std::vector<int>& rollback_events() const { return rollbacks_; }
+  const std::vector<int>& commit_events() const { return commits_; }
+  const std::vector<int>& checkpoint_events() const { return checkpoints_; }
+  const std::vector<int>& retransmit_events() const { return retransmits_; }
+
+  /// Commit event index for an output id, if recorded (first commit wins;
+  /// replay duplicates are suppressed upstream of the recorder anyway).
+  std::optional<int> commit_of(const MsgId& output) const;
+
+ private:
+  const Trace* trace_;
+  std::unordered_map<IntervalId, IntervalNode, IntervalIdHash> intervals_;
+  std::vector<MsgEpisode> episodes_;
+  std::map<MsgId, std::vector<int>> episodes_by_id_;
+  std::map<MsgId, std::vector<int>> deliveries_by_id_;
+  std::map<MsgId, std::vector<int>> recv_holds_by_id_;
+  std::map<MsgId, int> commits_by_id_;
+  std::vector<std::vector<Entry>> announced_;  ///< per announcing process
+  std::vector<std::vector<StabilityFact>> facts_;  ///< per owner
+  std::vector<int> announces_, rollbacks_, commits_, checkpoints_,
+      retransmits_;
+  mutable std::unordered_map<IntervalId, int, IntervalIdHash> dead_memo_;
+};
+
+}  // namespace koptlog::analysis

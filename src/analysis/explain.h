@@ -1,0 +1,31 @@
+// Explain queries: human-readable causal answers over a CausalGraph.
+//
+//  * explain_commit: why was this output released to the environment? Shows
+//    the emitting interval's commit closure and, for every dependency-vector
+//    entry that was live when the output entered the buffer, which stability
+//    source nulled it — a failure announcement (Corollary 1), a checkpoint
+//    (Corollary 2), or ordinary log flush + logging-progress notification
+//    (Theorem 2).
+//  * explain_hold: what kept this message parked in the send buffer, and
+//    which event finally dropped its non-NULL count to <= K?
+//  * explain_orphan: the transitive dependency path (Theorem 1) from a
+//    failure announcement to an interval it doomed.
+//
+// Each query writes a report to the stream and returns false when the
+// addressed entity is not present in the trace (callers map that to a
+// distinct exit code).
+#pragma once
+
+#include <iosfwd>
+
+#include "analysis/causal_graph.h"
+
+namespace koptlog::analysis {
+
+bool explain_commit(const CausalGraph& g, const MsgId& output,
+                    std::ostream& os);
+bool explain_hold(const CausalGraph& g, const MsgId& msg, std::ostream& os);
+bool explain_orphan(const CausalGraph& g, const IntervalId& iv,
+                    std::ostream& os);
+
+}  // namespace koptlog::analysis

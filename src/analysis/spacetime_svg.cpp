@@ -1,0 +1,239 @@
+#include "analysis/spacetime_svg.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "obs/ids.h"
+
+namespace koptlog::analysis {
+
+namespace {
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// The earliest wire departure of `m`: the first release across its
+/// episodes, else the first send. departure_of() (= the *last* release)
+/// would deadlock the layer fixed point on crash-replay traces, where a
+/// re-send's release lands causally after the delivery the first copy
+/// already fed.
+std::optional<int> first_departure(const CausalGraph& g, const MsgId& m) {
+  int best_release = -1;
+  int best_send = -1;
+  for (int idx : g.episodes_of(m)) {
+    const MsgEpisode& ep = g.episodes()[static_cast<size_t>(idx)];
+    if (ep.release_ev >= 0 &&
+        (best_release < 0 || ep.release_ev < best_release))
+      best_release = ep.release_ev;
+    if (ep.send_ev >= 0 && (best_send < 0 || ep.send_ev < best_send))
+      best_send = ep.send_ev;
+  }
+  if (best_release >= 0) return best_release;
+  if (best_send >= 0) return best_send;
+  return std::nullopt;
+}
+
+/// Causal layers: per-process order plus "deliver strictly after the
+/// departure of its message". Fixed-point because departures can appear
+/// later in file order than the deliveries they feed (the file is merged
+/// by (t, pid, seq), not causally sorted).
+std::vector<int> causal_layers(const CausalGraph& g) {
+  const Trace& tr = g.trace();
+  std::vector<int> layer(tr.events.size(), 0);
+  // Event indices per process, in stream order.
+  std::vector<std::vector<int>> per_proc(static_cast<size_t>(tr.n));
+  for (size_t i = 0; i < tr.events.size(); ++i) {
+    const ProtocolEvent& e = tr.events[i];
+    if (e.pid >= 0 && e.pid < tr.n)
+      per_proc[static_cast<size_t>(e.pid)].push_back(static_cast<int>(i));
+  }
+  bool changed = true;
+  for (int pass = 0; changed && pass < 1000; ++pass) {
+    changed = false;
+    for (const auto& evs : per_proc) {
+      int prev = -1;
+      for (int idx : evs) {
+        const ProtocolEvent& e = tr.events[static_cast<size_t>(idx)];
+        int want = prev + 1;
+        if (e.kind == EventKind::kDeliver && e.peer != kEnvironment) {
+          if (auto dep = first_departure(g, e.msg)) {
+            want = std::max(want, layer[static_cast<size_t>(*dep)] + 1);
+          }
+        }
+        if (want > layer[static_cast<size_t>(idx)]) {
+          layer[static_cast<size_t>(idx)] = want;
+          changed = true;
+        }
+        prev = layer[static_cast<size_t>(idx)];
+      }
+    }
+  }
+  return layer;
+}
+
+}  // namespace
+
+std::string render_spacetime_svg(const CausalGraph& g,
+                                 const SvgOptions& opts) {
+  const Trace& tr = g.trace();
+  std::vector<int> layer = causal_layers(g);
+  int max_layer = 0;
+  for (int l : layer) max_layer = std::max(max_layer, l);
+
+  const int x0 = 70;   // left margin (process labels)
+  const int y0 = 40;   // top margin
+  const int width = x0 + (max_layer + 2) * opts.dx;
+  const int body = y0 + tr.n * opts.dy;
+  const int height = body + (opts.legend ? 46 : 10);
+  auto ex = [&](int idx) { return x0 + layer[static_cast<size_t>(idx)] * opts.dx; };
+  auto py = [&](ProcessId p) { return y0 + static_cast<int>(p) * opts.dy; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+     << height << "\" font-family=\"monospace\" font-size=\"11\">\n";
+  os << "<defs>\n"
+        "<marker id=\"arrow\" viewBox=\"0 0 10 10\" refX=\"9\" refY=\"5\" "
+        "markerWidth=\"7\" markerHeight=\"7\" orient=\"auto-start-reverse\">"
+        "<path d=\"M 0 0 L 10 5 L 0 10 z\" fill=\"context-stroke\"/>"
+        "</marker>\n</defs>\n";
+
+  // Process lines + labels.
+  for (ProcessId p = 0; p < tr.n; ++p) {
+    int y = py(p);
+    os << "<line x1=\"" << (x0 - 14) << "\" y1=\"" << y << "\" x2=\""
+       << (width - 10) << "\" y2=\"" << y
+       << "\" stroke=\"#888\" stroke-width=\"1\"/>\n";
+    os << "<text x=\"12\" y=\"" << (y + 4) << "\" fill=\"#000\">P" << p
+       << "</text>\n";
+  }
+
+  // Message arrows first, so glyphs draw on top of them.
+  for (size_t i = 0; i < tr.events.size(); ++i) {
+    const ProtocolEvent& e = tr.events[i];
+    if (e.kind != EventKind::kDeliver) continue;
+    int x2 = ex(static_cast<int>(i));
+    int y2 = py(e.pid);
+    std::string label = xml_escape(format_msg_id(e.msg));
+    if (e.peer == kEnvironment) {
+      // Environment injection: a short stub from above the line.
+      os << "<line x1=\"" << (x2 - 14) << "\" y1=\"" << (y2 - 22)
+         << "\" x2=\"" << x2 << "\" y2=\"" << y2
+         << "\" stroke=\"#aaa\" stroke-dasharray=\"3,2\" "
+            "marker-end=\"url(#arrow)\"/>\n";
+      os << "<text x=\"" << (x2 - 24) << "\" y=\"" << (y2 - 26)
+         << "\" fill=\"#aaa\">" << label << "</text>\n";
+      continue;
+    }
+    auto dep = first_departure(g, e.msg);
+    if (!dep) continue;
+    int x1 = ex(*dep);
+    int y1 = py(tr.events[static_cast<size_t>(*dep)].pid);
+    os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+       << "\" y2=\"" << y2
+       << "\" stroke=\"#1661be\" stroke-width=\"1\" "
+          "marker-end=\"url(#arrow)\"/>\n";
+    os << "<text x=\"" << ((x1 + x2) / 2 + 3) << "\" y=\""
+       << ((y1 + y2) / 2 - 3) << "\" fill=\"#1661be\">" << label
+       << "</text>\n";
+  }
+
+  // Event glyphs.
+  for (size_t i = 0; i < tr.events.size(); ++i) {
+    const ProtocolEvent& e = tr.events[i];
+    int x = ex(static_cast<int>(i));
+    int y = py(e.pid);
+    switch (e.kind) {
+      case EventKind::kCheckpoint:
+        os << "<rect x=\"" << (x - 5) << "\" y=\"" << (y - 5)
+           << "\" width=\"10\" height=\"10\" fill=\"#000\"><title>checkpoint "
+           << xml_escape(e.at.str()) << "</title></rect>\n";
+        break;
+      case EventKind::kFailureAnnounce: {
+        const char* color = e.from_failure ? "#c00020" : "#d07000";
+        os << "<g stroke=\"" << color << "\" stroke-width=\"2\">"
+           << "<line x1=\"" << (x - 6) << "\" y1=\"" << (y - 6) << "\" x2=\""
+           << (x + 6) << "\" y2=\"" << (y + 6) << "\"/>"
+           << "<line x1=\"" << (x - 6) << "\" y1=\"" << (y + 6) << "\" x2=\""
+           << (x + 6) << "\" y2=\"" << (y - 6) << "\"/>"
+           << "<title>" << (e.from_failure ? "failure" : "rollback")
+           << " announce: ended " << xml_escape(e.ended.str())
+           << "</title></g>\n";
+        break;
+      }
+      case EventKind::kRollback:
+        os << "<path d=\"M " << x << ' ' << (y - 7) << " L " << (x + 7) << ' '
+           << (y + 6) << " L " << (x - 7) << ' ' << (y + 6)
+           << " Z\" fill=\"none\" stroke=\"#d07000\" stroke-width=\"2\">"
+           << "<title>rollback to " << xml_escape(e.ended.str())
+           << ", undone " << e.undone << "</title></path>\n";
+        break;
+      case EventKind::kIncarnationBump:
+        os << "<path d=\"M " << x << ' ' << (y - 7) << " L " << (x + 7) << ' '
+           << y << " L " << x << ' ' << (y + 7) << " L " << (x - 7) << ' '
+           << y << " Z\" fill=\"#fff\" stroke=\"#000\">"
+           << "<title>incarnation bump to " << xml_escape(e.at.str())
+           << "</title></path>\n";
+        break;
+      case EventKind::kOutputCommit:
+        os << "<circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"7\" fill=\"none\" stroke=\"#0a7a28\" "
+              "stroke-width=\"2\"/>\n";
+        os << "<circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"3\" fill=\"#0a7a28\"><title>output commit "
+           << xml_escape(format_msg_id(e.msg)) << "</title></circle>\n";
+        os << "<text x=\"" << (x - 18) << "\" y=\"" << (y + 20)
+           << "\" fill=\"#0a7a28\">" << xml_escape(format_msg_id(e.msg))
+           << "</text>\n";
+        break;
+      case EventKind::kBufferHold:
+        os << "<circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"4\" fill=\"#fff\" stroke=\"#777\"><title>"
+           << (e.recv_side ? "recv" : "send") << "-side hold "
+           << xml_escape(format_msg_id(e.msg)) << "</title></circle>\n";
+        break;
+      case EventKind::kSend:
+      case EventKind::kDeliver:
+      case EventKind::kBufferRelease:
+        os << "<circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"2\" fill=\"#444\"><title>"
+           << event_kind_name(e.kind) << ' '
+           << xml_escape(format_msg_id(e.msg)) << "</title></circle>\n";
+        break;
+      case EventKind::kRetransmit:
+        os << "<circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"4\" fill=\"none\" stroke=\"#1661be\" "
+              "stroke-dasharray=\"2,2\"><title>retransmit "
+           << xml_escape(format_msg_id(e.msg)) << "</title></circle>\n";
+        break;
+    }
+  }
+
+  if (opts.legend) {
+    int y = body + 16;
+    os << "<text x=\"12\" y=\"" << y
+       << "\" fill=\"#333\">\xE2\x96\xA0 checkpoint   \xC3\x97 failure/rollback "
+          "announce   \xE2\x96\xB3 rollback   \xE2\x97\x87 incarnation bump   "
+          "\xE2\x97\x8E output commit</text>\n";
+    os << "<text x=\"12\" y=\"" << (y + 18)
+       << "\" fill=\"#333\">arrows: message departure \xE2\x86\x92 delivery "
+          "(x = causal layer, not wall time)</text>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace koptlog::analysis

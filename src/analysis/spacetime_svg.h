@@ -1,0 +1,31 @@
+// Figure-1-style space-time diagram of a recorded trace: one horizontal
+// line per process, message arrows from the wire departure (last
+// buffer_release, else first send) to each delivery, and glyphs for
+// checkpoints (filled square), failure/rollback announcements (X),
+// rollbacks (triangle), incarnation bumps (diamond) and output commits
+// (double circle).
+//
+// The x axis is a causal layer, not wall time: each event sits one slot
+// after its per-process predecessor and strictly after the departure of
+// the message it delivers (the seeded Figure-1 trace stamps every event
+// t=0, so timestamps cannot spread the picture). All coordinates are
+// integers and the layout is a deterministic fixed point, so the output
+// is byte-stable — tests pin a golden SVG of the Figure-1 trace.
+#pragma once
+
+#include <string>
+
+#include "analysis/causal_graph.h"
+
+namespace koptlog::analysis {
+
+struct SvgOptions {
+  int dx = 56;        ///< horizontal pixels per causal layer
+  int dy = 64;        ///< vertical pixels per process line
+  bool legend = true;
+};
+
+std::string render_spacetime_svg(const CausalGraph& g,
+                                 const SvgOptions& opts = {});
+
+}  // namespace koptlog::analysis

@@ -1,0 +1,68 @@
+// What-if K replay: re-run ONLY the send-buffer release rule (Theorem 4's
+// "<= K non-NULL entries") over a recorded trace for alternative K values,
+// without re-simulating the cluster.
+//
+// The replay's nulling timeline is the graph's stability facts: every
+// recorded release proves, entry by entry, when its sender knew a remote
+// interval stable (see StabilityFact). For an episode sent at t0 with L
+// live entries, the replay nulls the m-th entry at its fact time and
+// releases at the first instant the live count is <= K'. Because the real
+// engine re-checks the buffer at exactly those instants, replay at the
+// *recorded* K reproduces the recorded release times bit for bit — the
+// property whatif_self_check verifies and tests pin.
+//
+// Commit latency is propagated to first order: each delivery inherits
+// max(receiver chain shift, sender chain shift + release delay of the
+// delivering message), and an output commit shifts by its emitting
+// interval's chain shift. Episodes the recorded run never released
+// (crash-wiped / orphan-discarded) never release in replay either; a
+// replay release on or after the episode's doom time is suppressed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/causal_graph.h"
+#include "sim/stats.h"
+
+namespace koptlog::analysis {
+
+struct WhatIfEpisode {
+  int episode = -1;  ///< index into CausalGraph::episodes()
+  SimTime send_t = 0;
+  int live_at_send = 0;
+  std::optional<SimTime> recorded_release;
+  std::optional<SimTime> replay_release;
+};
+
+struct WhatIfResult {
+  int k = 0;  ///< the K' this result replays (-1: each episode's recorded K)
+  int sends = 0;           ///< episodes with a recorded send
+  int released = 0;        ///< episodes the replay releases
+  int never_released = 0;  ///< parked past trace end / doomed first
+  int commits_blocked = 0; ///< commits depending on a never-released message
+  Histogram hold_us;          ///< replay release - send, released episodes
+  Histogram commit_shift_us;  ///< commit-time shift vs the recorded run
+  Histogram commit_latency_us;  ///< estimated send->commit latency
+  std::vector<WhatIfEpisode> episodes;
+};
+
+/// Replay every sent episode at K' = `k`, or at each episode's own recorded
+/// k_limit when `k` < 0 (the self-check configuration).
+WhatIfResult whatif_replay(const CausalGraph& g, int k);
+
+std::vector<WhatIfResult> whatif_sweep(const CausalGraph& g,
+                                       const std::vector<int>& ks);
+
+/// The exactness property: replay at the recorded K must reproduce the
+/// recorded buffer_release events exactly — same set of released episodes,
+/// same release times. `detail` names the first mismatch.
+struct WhatIfCheck {
+  bool ok = true;
+  std::string detail;
+};
+WhatIfCheck whatif_self_check(const CausalGraph& g);
+
+void print_whatif(const std::vector<WhatIfResult>& results, std::ostream& os);
+
+}  // namespace koptlog::analysis

@@ -1,0 +1,91 @@
+#include "core/engine_registry.h"
+
+#include <sstream>
+
+#include "baseline/pessimistic.h"
+#include "direct/direct_process.h"
+
+namespace koptlog {
+
+namespace {
+
+Cluster::EngineFactory kopt_factory() {
+  return [](ProcessId pid, const ClusterConfig& cfg, ClusterApi& api,
+            std::unique_ptr<Application> app)
+             -> std::unique_ptr<RecoveryProcess> {
+    return std::make_unique<Process>(pid, cfg.n, cfg.protocol, api,
+                                     std::move(app));
+  };
+}
+
+}  // namespace
+
+EngineRegistry::EngineRegistry() {
+  entries_["kopt"] = Entry{
+      kopt_factory(),
+      "K-optimistic logging (the paper's protocol)",
+      nullptr,
+  };
+  entries_["direct"] = Entry{
+      DirectProcess::factory(),
+      "direct dependency tracking with on-demand assembly (paper section 5)",
+      nullptr,
+  };
+  entries_["pessimistic"] = Entry{
+      kopt_factory(),
+      "pessimistic baseline: synchronous log-before-send, K=0",
+      [](ClusterConfig& cfg) { cfg.protocol = pessimistic_baseline(); },
+  };
+  entries_["strom-yemini"] = Entry{
+      kopt_factory(),
+      "traditional optimistic baseline (Strom-Yemini 1985, FIFO channels)",
+      [](ClusterConfig& cfg) {
+        cfg.protocol = strom_yemini_baseline();
+        cfg.fifo = true;
+      },
+  };
+}
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry reg;
+  return reg;
+}
+
+bool EngineRegistry::add(const std::string& name, Entry entry) {
+  return entries_.emplace(name, std::move(entry)).second;
+}
+
+const EngineRegistry::Entry* EngineRegistry::find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::string EngineRegistry::names_joined(char sep) const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) os << sep;
+    first = false;
+    os << name;
+  }
+  return os.str();
+}
+
+std::unique_ptr<Cluster> make_cluster_with_engine(
+    const std::string& engine, ClusterConfig cfg,
+    const Cluster::AppFactory& app) {
+  const EngineRegistry::Entry* entry = EngineRegistry::instance().find(engine);
+  if (entry == nullptr) return nullptr;
+  if (entry->configure) entry->configure(cfg);
+  return std::make_unique<Cluster>(cfg, app, entry->factory);
+}
+
+}  // namespace koptlog

@@ -1,0 +1,54 @@
+// EngineRegistry — the named string -> engine-factory table every CLI and
+// bench resolves recovery engines through, replacing the ad-hoc
+// `a.engine == "direct" ? ... : ...` lambda plumbing around
+// Cluster::EngineFactory. Built-in engines (kopt, direct) and the preset
+// configurations that run on the kopt engine (pessimistic, strom-yemini)
+// register in the constructor; out-of-core engines (experiments, tests)
+// call add() at startup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace koptlog {
+
+class EngineRegistry {
+ public:
+  struct Entry {
+    Cluster::EngineFactory factory;
+    std::string description;
+    /// Optional protocol preset the engine name implies (the pessimistic
+    /// and Strom–Yemini baselines run on the kopt engine with a pinned
+    /// ProtocolConfig). Callers apply it before constructing the cluster;
+    /// entries without one leave the caller's config — notably K — alone.
+    std::function<void(ClusterConfig&)> configure;
+  };
+
+  static EngineRegistry& instance();
+
+  /// Registers a new engine; returns false (no change) if `name` is taken.
+  bool add(const std::string& name, Entry entry);
+  /// Nullptr when unknown. The pointer stays valid for the program's life.
+  const Entry* find(const std::string& name) const;
+  /// Registered names, sorted (usage strings, error messages).
+  std::vector<std::string> names() const;
+  /// "kopt|direct|..." for one-line usage text.
+  std::string names_joined(char sep = '|') const;
+
+ private:
+  EngineRegistry();
+  std::map<std::string, Entry> entries_;
+};
+
+/// Resolve `engine` and build a cluster with it, applying the entry's
+/// preset to `cfg` first. Returns nullptr when the name is unknown.
+std::unique_ptr<Cluster> make_cluster_with_engine(
+    const std::string& engine, ClusterConfig cfg,
+    const Cluster::AppFactory& app);
+
+}  // namespace koptlog

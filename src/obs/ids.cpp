@@ -1,0 +1,93 @@
+#include "obs/ids.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace koptlog {
+
+namespace {
+
+/// Parse a decimal integer spanning [s.begin(), s.end()) exactly.
+bool whole_int(std::string_view s, int64_t& out) {
+  if (s.empty()) return false;
+  auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string_view strip_p(std::string_view s) {
+  if (!s.empty() && (s.front() == 'P' || s.front() == 'p')) s.remove_prefix(1);
+  return s;
+}
+
+}  // namespace
+
+std::string format_msg_id(const MsgId& id) {
+  std::ostringstream os;
+  if (id.src == kEnvironment) {
+    os << "env:" << id.seq;
+  } else {
+    os << 'P' << id.src << ':' << id.seq;
+  }
+  return os.str();
+}
+
+std::string format_interval_id(const IntervalId& iv) { return iv.str(); }
+
+std::string format_event_ref(const Trace& trace, size_t event_index) {
+  std::ostringstream os;
+  os << '#' << event_index;
+  if (event_index < trace.events.size()) {
+    const ProtocolEvent& e = trace.events[event_index];
+    os << " t=" << e.t << " P" << e.pid << ' ' << event_kind_name(e.kind);
+  }
+  return os.str();
+}
+
+std::optional<MsgId> parse_msg_id(std::string_view s) {
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  std::string_view src_s = s.substr(0, colon);
+  std::string_view seq_s = s.substr(colon + 1);
+  int64_t src = 0, seq = 0;
+  if (src_s == "env") {
+    src = kEnvironment;
+  } else if (!whole_int(strip_p(src_s), src)) {
+    return std::nullopt;
+  }
+  if (!whole_int(seq_s, seq) || seq < 0) return std::nullopt;
+  return MsgId{static_cast<ProcessId>(src), static_cast<SeqNo>(seq)};
+}
+
+std::optional<IntervalId> parse_interval_id(std::string_view s) {
+  // "(inc,sii)_pid"
+  if (!s.empty() && s.front() == '(') {
+    size_t comma = s.find(',');
+    size_t close = s.find(")_");
+    if (comma == std::string_view::npos || close == std::string_view::npos ||
+        comma > close)
+      return std::nullopt;
+    int64_t inc = 0, sii = 0, pid = 0;
+    if (!whole_int(s.substr(1, comma - 1), inc)) return std::nullopt;
+    if (!whole_int(s.substr(comma + 1, close - comma - 1), sii))
+      return std::nullopt;
+    if (!whole_int(strip_p(s.substr(close + 2)), pid)) return std::nullopt;
+    return IntervalId{static_cast<ProcessId>(pid),
+                      static_cast<Incarnation>(inc), sii};
+  }
+  // "pid:inc:sii"
+  size_t c1 = s.find(':');
+  if (c1 == std::string_view::npos) return std::nullopt;
+  size_t c2 = s.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return std::nullopt;
+  int64_t pid = 0, inc = 0, sii = 0;
+  if (!whole_int(strip_p(s.substr(0, c1)), pid) ||
+      !whole_int(s.substr(c1 + 1, c2 - c1 - 1), inc) ||
+      !whole_int(s.substr(c2 + 1), sii))
+    return std::nullopt;
+  return IntervalId{static_cast<ProcessId>(pid),
+                    static_cast<Incarnation>(inc), sii};
+}
+
+}  // namespace koptlog

@@ -1,0 +1,41 @@
+// Stable textual ids for addressing trace entities from tools and queries.
+//
+// A recorded trace already carries every identity the analysis layer needs;
+// this header fixes the *spelling* so CLIs, reports and tests agree:
+//
+//   message / output   "P1:2"   (sender pid : per-sender seq; "env:4" for
+//                               environment injections)
+//   state interval     "(2,6)_3"  — the paper's (t,x)_i — also accepted as
+//                               the colon form "3:2:6" (pid:inc:sii)
+//   event              "#12"    — the 0-based position in the merged JSONL
+//                               stream (line 14 of the file: meta header
+//                               first, then events in file order). File
+//                               order is the deterministic (t, pid, seq)
+//                               merge, so the index is stable across
+//                               re-reads and re-exports of the same trace.
+//
+// Parsers are strict but forgiving about the redundant "P" prefix; they
+// return nullopt instead of guessing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/entry.h"
+#include "core/protocol_msg.h"
+#include "obs/trace_io.h"
+
+namespace koptlog {
+
+std::string format_msg_id(const MsgId& id);
+std::string format_interval_id(const IntervalId& iv);
+/// "#12 t=0 P1 buffer_release" — index plus enough context to find it.
+std::string format_event_ref(const Trace& trace, size_t event_index);
+
+/// Accepts "P1:2", "1:2" and "env:4" (src may be -1 / "env").
+std::optional<MsgId> parse_msg_id(std::string_view s);
+/// Accepts "(2,6)_3" and "3:2:6".
+std::optional<IntervalId> parse_interval_id(std::string_view s);
+
+}  // namespace koptlog

@@ -1,0 +1,271 @@
+// The trace-analytics layer (src/analysis/) against the checked-in golden
+// Figure-1 trace and against real recorded cluster runs.
+//
+// Goldens: explain-commit, critical-path and the space-time SVG outputs on
+// tests/golden/figure1_trace.jsonl are pinned byte-for-byte; regenerate
+// deliberately with
+//
+//   KOPTLOG_REGEN_GOLDEN=1 ./koptlog_tests --gtest_filter='AnalysisGolden.*'
+//
+// Property: what-if K replay at the *recorded* K must reproduce the
+// recorded send-buffer release events exactly (same released set, same
+// times) — on Figure 1 and on randomized multi-failure cluster runs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/causal_graph.h"
+#include "analysis/critical_path.h"
+#include "analysis/explain.h"
+#include "analysis/spacetime_svg.h"
+#include "analysis/whatif.h"
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "obs/ids.h"
+#include "obs/trace_io.h"
+
+#ifndef KOPTLOG_TEST_DIR
+#define KOPTLOG_TEST_DIR "."
+#endif
+
+namespace koptlog {
+namespace {
+
+using analysis::CausalGraph;
+
+Trace load_figure1() {
+  std::ifstream is(std::string(KOPTLOG_TEST_DIR) +
+                   "/golden/figure1_trace.jsonl");
+  EXPECT_TRUE(is.good());
+  std::vector<std::string> errors;
+  Trace trace = read_trace_jsonl(is, errors);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors[0]);
+  EXPECT_EQ(trace.n, 6);
+  return trace;
+}
+
+void check_golden(const std::string& file, const std::string& actual) {
+  std::string path = std::string(KOPTLOG_TEST_DIR) + "/golden/" + file;
+  if (std::getenv("KOPTLOG_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with KOPTLOG_REGEN_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(actual, buf.str())
+      << "analysis output drifted; regenerate deliberately with "
+         "KOPTLOG_REGEN_GOLDEN=1 and review the diff";
+}
+
+Trace record_cluster_run(uint64_t seed, int k, int failures) {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.seed = seed;
+  cfg.protocol.k = k;
+  cfg.enable_oracle = false;
+  cfg.record_events = true;
+  Cluster cluster(cfg, make_uniform_app({.output_every = 4}));
+  cluster.start();
+  inject_uniform_load(cluster, 120, 1'000, 600'000, 5, seed + 17);
+  if (failures > 0) cluster.fail_at(200'000, 1);
+  if (failures > 1) cluster.fail_at(380'000, 3);
+  cluster.run_for(2'000'000);
+  cluster.drain();
+  Trace trace;
+  trace.n = cfg.n;
+  trace.events = cluster.recording()->merged();
+  return trace;
+}
+
+// ---- stable ids ----
+
+TEST(IdsTest, MsgIdRoundTrip) {
+  EXPECT_EQ(format_msg_id(MsgId{1, 2}), "P1:2");
+  EXPECT_EQ(format_msg_id(MsgId{kEnvironment, 4}), "env:4");
+  EXPECT_EQ(parse_msg_id("P1:2"), (MsgId{1, 2}));
+  EXPECT_EQ(parse_msg_id("1:2"), (MsgId{1, 2}));
+  EXPECT_EQ(parse_msg_id("env:4"), (MsgId{kEnvironment, 4}));
+  EXPECT_FALSE(parse_msg_id("P1").has_value());
+  EXPECT_FALSE(parse_msg_id("P1:x").has_value());
+  EXPECT_FALSE(parse_msg_id("").has_value());
+}
+
+TEST(IdsTest, IntervalIdRoundTrip) {
+  IntervalId iv{3, 2, 6};
+  EXPECT_EQ(parse_interval_id(format_interval_id(iv)), iv);
+  EXPECT_EQ(parse_interval_id("(2,6)_3"), iv);
+  EXPECT_EQ(parse_interval_id("3:2:6"), iv);
+  EXPECT_EQ(parse_interval_id("P3:2:6"), iv);
+  EXPECT_FALSE(parse_interval_id("(2,6)").has_value());
+  EXPECT_FALSE(parse_interval_id("3:2").has_value());
+}
+
+// ---- causal graph over Figure 1 ----
+
+TEST(CausalGraphTest, Figure1Reconstruction) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+
+  // P3 delivered m1 into (2,6)_3 and m2 into (2,7)_3.
+  const analysis::IntervalNode* iv26 = g.interval({3, 2, 6});
+  ASSERT_NE(iv26, nullptr);
+  ASSERT_TRUE(iv26->via_msg.has_value());
+  EXPECT_EQ(*iv26->via_msg, (MsgId{1, 1}));
+  ASSERT_GE(iv26->msg_parent, 0);
+  EXPECT_EQ(iv26->parents[static_cast<size_t>(iv26->msg_parent)],
+            (IntervalId{1, 0, 4}));
+
+  // Theorem 1 over the single announcement (P1, ended (0,4)).
+  EXPECT_FALSE(g.is_dead({1, 0, 4}));
+  EXPECT_TRUE(g.is_dead({1, 0, 5}));
+  EXPECT_FALSE(g.is_dead({1, 1, 6}));
+
+  // (2,7)_3 is an orphan via its delivery of P1:2 from dead (0,5)_1.
+  std::vector<IntervalId> path = g.path_to_dead({3, 2, 7});
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path.front(), (IntervalId{3, 2, 7}));
+  EXPECT_EQ(path.back(), (IntervalId{1, 0, 5}));
+  // The committed output's closure is clean.
+  EXPECT_TRUE(g.path_to_dead({4, 0, 2}).empty());
+
+  // Crash replay re-sends P1:1 and P3:1: two episodes each, all released.
+  EXPECT_EQ(g.episodes_of(MsgId{1, 1}).size(), 2u);
+  EXPECT_EQ(g.episodes_of(MsgId{3, 1}).size(), 2u);
+  for (int idx : g.episodes_of(MsgId{1, 1})) {
+    EXPECT_EQ(g.episodes()[static_cast<size_t>(idx)].end,
+              analysis::MsgEpisode::End::kReleased);
+  }
+  EXPECT_TRUE(g.commit_of(MsgId{4, 1}).has_value());
+  EXPECT_EQ(g.recv_holds_of(MsgId{1, 2}).size(), 1u);
+  EXPECT_EQ(g.announce_events().size(), 1u);
+  EXPECT_EQ(g.rollback_events().size(), 1u);
+}
+
+// ---- explain queries ----
+
+TEST(AnalysisGolden, ExplainCommitFigure1) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  std::ostringstream os;
+  ASSERT_TRUE(analysis::explain_commit(g, MsgId{4, 1}, os));
+  check_golden("figure1_explain_commit.txt", os.str());
+}
+
+TEST(AnalysisGolden, CriticalPathFigure1) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  std::ostringstream os;
+  analysis::print_critical_paths(g, analysis::compute_critical_paths(g), os);
+  check_golden("figure1_critical_path.txt", os.str());
+}
+
+TEST(AnalysisGolden, SpacetimeSvgFigure1) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  check_golden("figure1_spacetime.svg", analysis::render_spacetime_svg(g));
+}
+
+TEST(ExplainTest, HoldAndOrphanQueries) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  std::ostringstream os;
+  EXPECT_TRUE(analysis::explain_hold(g, MsgId{1, 1}, os));
+  EXPECT_NE(os.str().find("2 send-buffer episodes"), std::string::npos);
+  EXPECT_FALSE(analysis::explain_hold(g, MsgId{2, 9}, os));
+
+  std::ostringstream orphan;
+  EXPECT_TRUE(analysis::explain_orphan(g, {3, 2, 7}, orphan));
+  EXPECT_NE(orphan.str().find("is an orphan"), std::string::npos);
+  EXPECT_NE(orphan.str().find("(0,5)_1"), std::string::npos);
+  std::ostringstream clean;
+  EXPECT_TRUE(analysis::explain_orphan(g, {4, 0, 2}, clean));
+  EXPECT_NE(clean.str().find("not an orphan"), std::string::npos);
+  EXPECT_FALSE(analysis::explain_orphan(g, {5, 9, 9}, clean));
+}
+
+TEST(CriticalPathTest, Figure1Attribution) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  std::vector<analysis::FailureImpact> impacts =
+      analysis::compute_critical_paths(g);
+  ASSERT_EQ(impacts.size(), 1u);
+  EXPECT_EQ(impacts[0].pid, 1);
+  EXPECT_TRUE(impacts[0].from_failure);
+  // P1's failure forced P3's rollback, through (0,5)_1 -> (2,7)_3.
+  EXPECT_EQ(impacts[0].forced_rollbacks.size(), 1u);
+  ASSERT_GE(impacts[0].critical.size(), 2u);
+  EXPECT_EQ(impacts[0].critical.front().iv, (IntervalId{1, 0, 5}));
+  EXPECT_EQ(impacts[0].critical.back().iv.pid, 3);
+  analysis::CriticalPathSummary s =
+      analysis::summarize_critical_paths(impacts);
+  EXPECT_EQ(s.announcements, 1);
+  EXPECT_EQ(s.forced_rollbacks, 1);
+  EXPECT_GE(s.max_hops, 2);
+}
+
+// ---- what-if K replay ----
+
+TEST(WhatIfTest, SelfCheckFigure1) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  analysis::WhatIfCheck check = analysis::whatif_self_check(g);
+  EXPECT_TRUE(check.ok) << check.detail;
+}
+
+TEST(WhatIfTest, SweepExtremesFigure1) {
+  Trace trace = load_figure1();
+  CausalGraph g(trace);
+  // K' = N: every vector satisfies <= N live entries at send, so every
+  // episode releases immediately (unless already doomed at send time).
+  analysis::WhatIfResult at_n = analysis::whatif_replay(g, trace.n);
+  EXPECT_EQ(at_n.released + at_n.never_released, at_n.sends);
+  EXPECT_EQ(at_n.hold_us.max(), 0.0);
+  // K' = 0: messages whose live entries never gain a stability fact can
+  // never release.
+  analysis::WhatIfResult at_0 = analysis::whatif_replay(g, 0);
+  EXPECT_GT(at_0.never_released, 0);
+  EXPECT_LE(at_0.released, at_n.released);
+}
+
+/// The acceptance property on real recorded runs: replay at the recorded K
+/// reproduces the recorded send-buffer release events bit for bit.
+TEST(WhatIfTest, RecordedKMatchesRecordedReleasesOnClusterRuns) {
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    Trace trace = record_cluster_run(seed, /*k=*/2, /*failures=*/2);
+    ASSERT_GT(trace.events.size(), 100u);
+    CausalGraph g(trace);
+    analysis::WhatIfCheck check = analysis::whatif_self_check(g);
+    EXPECT_TRUE(check.ok) << "seed " << seed << ": " << check.detail;
+
+    // And the full-N replay frees everything that was not doomed.
+    analysis::WhatIfResult at_n = analysis::whatif_replay(g, trace.n);
+    EXPECT_EQ(at_n.released + at_n.never_released, at_n.sends);
+    EXPECT_EQ(at_n.hold_us.max(), 0.0);
+  }
+}
+
+TEST(WhatIfTest, SweepRunsOnRecordedRun) {
+  Trace trace = record_cluster_run(7, /*k=*/1, /*failures=*/1);
+  CausalGraph g(trace);
+  std::vector<analysis::WhatIfResult> sweep =
+      analysis::whatif_sweep(g, {0, 1, 2, 5});
+  ASSERT_EQ(sweep.size(), 4u);
+  for (const analysis::WhatIfResult& r : sweep) {
+    EXPECT_EQ(r.released + r.never_released, r.sends);
+  }
+  // More optimism never shrinks the released set.
+  EXPECT_LE(sweep[0].released, sweep[3].released);
+  std::ostringstream os;
+  analysis::print_whatif(sweep, os);
+  EXPECT_NE(os.str().find("hold_p50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -11,12 +11,11 @@
 #include <string>
 
 #include "app/workloads.h"
-#include "baseline/pessimistic.h"
 #include "core/cluster.h"
+#include "core/engine_registry.h"
 #include "core/failure_injector.h"
 #include "core/metrics.h"
 #include "core/timeline.h"
-#include "direct/direct_process.h"
 #include "obs/export.h"
 #include "obs/trace_io.h"
 
@@ -53,7 +52,8 @@ struct Args {
 [[noreturn]] void usage(const char* argv0) {
   std::cout
       << "usage: " << argv0 << " [options]\n"
-      << "  --engine kopt|direct|pessimistic|strom-yemini   (default kopt)\n"
+      << "  --engine " << EngineRegistry::instance().names_joined()
+      << "   (default kopt)\n"
       << "  --workload uniform|pipeline|clientserver        (default uniform)\n"
       << "  --n INT           processes (default 4)\n"
       << "  --k INT           degree of optimism; -1 = N (default -1)\n"
@@ -114,21 +114,46 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+/// Fail fast on unwritable output paths: a long run must not end in a
+/// silently truncated (or never-created) file. Probing creates/truncates
+/// the file, which is what the real write would do anyway.
+bool probe_writable(const std::string& path, const char* flag) {
+  if (path.empty()) return true;
+  std::ofstream probe(path);
+  if (!probe) {
+    std::cerr << "error: " << flag << " path '" << path
+              << "' is not writable\n";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args a = parse(argc, argv);
+  if (!probe_writable(a.trace_out, "--trace-out") ||
+      !probe_writable(a.perfetto_out, "--perfetto-out") ||
+      !probe_writable(a.metrics_out, "--metrics-out") ||
+      !probe_writable(a.dot_file, "--dot")) {
+    return 2;
+  }
+
+  const EngineRegistry::Entry* engine =
+      EngineRegistry::instance().find(a.engine);
+  if (engine == nullptr) {
+    std::cerr << "error: unknown engine '" << a.engine << "' (have: "
+              << EngineRegistry::instance().names_joined(' ') << ")\n";
+    return 2;
+  }
 
   ClusterConfig cfg;
   cfg.n = a.n;
   cfg.seed = a.seed;
   cfg.fifo = a.fifo;
   cfg.enable_oracle = !a.no_oracle;
-  if (a.engine == "pessimistic") {
-    cfg.protocol = pessimistic_baseline();
-  } else if (a.engine == "strom-yemini") {
-    cfg.protocol = strom_yemini_baseline();
-    cfg.fifo = true;
+  if (engine->configure) {
+    engine->configure(cfg);
   } else {
     cfg.protocol.k = a.k < 0 ? ProtocolConfig::kUnboundedK : a.k;
   }
@@ -145,9 +170,7 @@ int main(int argc, char** argv) {
       : a.workload == "clientserver" ? make_client_server_app({})
                                      : make_uniform_app({});
 
-  Cluster cluster = a.engine == "direct"
-                        ? Cluster(cfg, app, DirectProcess::factory())
-                        : Cluster(cfg, app);
+  Cluster cluster(cfg, app, engine->factory);
   cluster.start();
 
   SimTime load_end = a.horizon_ms * 1000;
@@ -230,7 +253,10 @@ int main(int argc, char** argv) {
   }
   if (!a.dot_file.empty() && cluster.oracle() != nullptr) {
     std::ofstream out(a.dot_file);
-    out << to_dot(*cluster.oracle());
+    if (!out || !(out << to_dot(*cluster.oracle())) || !out.flush()) {
+      std::cerr << "error: cannot write " << a.dot_file << "\n";
+      return 2;
+    }
     std::cout << "wrote " << a.dot_file << " (render: dot -Tsvg " << a.dot_file
               << " -o run.svg)\n";
   }
