@@ -1,0 +1,149 @@
+// E12 — execution-backend throughput: the same uniform workload on the
+// deterministic single-thread Simulator backend and on the real-thread
+// ThreadedScheduler backend at 1/2/4 shards, across the K dial. The
+// numerator is scheduler events actually executed, the denominator
+// wall-clock time; both backends record protocol events and the merged
+// trace is audited (Theorems 1-4), so every row's throughput is for a run
+// whose correctness was re-verified, not assumed.
+//
+// Reading the numbers: the threaded backend paces its timers against the
+// scaled virtual clock (time_scale real us per virtual us), so its wall
+// time is max(pacing, work). At the compressed scale used here the load
+// window shrinks to a few real milliseconds and the workers are
+// work-bound — shard count and K, not pacing, set the rate. The sim
+// backend has no pacing at all: it is pure event-loop work.
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "core/metrics.h"
+#include "exec/threaded_cluster.h"
+#include "obs/audit.h"
+#include "obs/trace_io.h"
+
+using namespace koptlog;
+
+namespace {
+
+constexpr int kN = 8;
+constexpr int kInjections = 400;
+constexpr int kTtl = 6;
+constexpr SimTime kLoadEnd = 400'000;
+constexpr double kTimeScale = 0.01;  // 100x faster than nominal
+
+struct Row {
+  uint64_t events = 0;
+  double wall_ms = 0.0;
+  size_t outputs = 0;
+  std::string verdict;
+
+  double kevents_per_s() const {
+    return wall_ms > 0.0 ? static_cast<double>(events) / wall_ms : 0.0;
+  }
+};
+
+ClusterConfig base_config(int k) {
+  ClusterConfig cfg;
+  cfg.n = kN;
+  cfg.seed = 12;
+  cfg.protocol.k = k;
+  cfg.record_events = true;  // both backends pay for recording: fair rows
+  cfg.enable_oracle = false;
+  return cfg;
+}
+
+std::string audit_verdict(const Recording& rec, int n) {
+  Trace trace;
+  trace.n = n;
+  trace.events = rec.merged();
+  AuditReport rep = audit_trace(trace);
+  return rep.ok() ? "audit ok" : "AUDIT FAIL";
+}
+
+template <typename HostT, typename EventsFn>
+Row timed_run(HostT& cluster, EventsFn events_executed) {
+  auto t0 = std::chrono::steady_clock::now();
+  cluster.start();
+  inject_uniform_load(cluster, kInjections, 1'000, kLoadEnd, kTtl,
+                      cluster.config().seed + 1);
+  cluster.run_for(kLoadEnd);
+  cluster.drain();
+  cluster.shutdown();
+  auto t1 = std::chrono::steady_clock::now();
+  Row row;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.events = events_executed();
+  row.outputs = cluster.outputs().size();
+  row.verdict = audit_verdict(*cluster.recording(), cluster.size());
+  return row;
+}
+
+Row run_sim(int k) {
+  Cluster cluster(base_config(k), make_uniform_app({}));
+  return timed_run(cluster,
+                   [&] { return static_cast<uint64_t>(cluster.sim().events_executed()); });
+}
+
+Row run_threaded(int k, int shards) {
+  ThreadedOptions opt;
+  opt.shards = shards;
+  opt.time_scale = kTimeScale;
+  ThreadedCluster cluster(base_config(k), opt, make_uniform_app({}));
+  return timed_run(cluster, [&] { return cluster.events_executed(); });
+}
+
+std::string k_name(int k) { return k >= kN ? "N" : std::to_string(k); }
+
+}  // namespace
+
+int main() {
+  std::cout << "E12: backend throughput (n=" << kN << ", " << kInjections
+            << " injections, ttl=" << kTtl << ", threaded time_scale="
+            << kTimeScale << ")\n\n";
+
+  Table t({"backend", "shards", "K", "events", "wall_ms", "kev_per_s",
+           "outputs", "verdict"});
+  for (int k : {0, 2, kN}) {
+    Row sim = run_sim(k);
+    t.row()
+        .cell("sim")
+        .cell("-")
+        .cell(k_name(k))
+        .cell(static_cast<int64_t>(sim.events))
+        .cell(sim.wall_ms, 1)
+        .cell(sim.kevents_per_s(), 1)
+        .cell(static_cast<int64_t>(sim.outputs))
+        .cell(sim.verdict);
+    for (int shards : {1, 2, 4}) {
+      Row thr = run_threaded(k, shards);
+      t.row()
+          .cell("threaded")
+          .cell(shards)
+          .cell(k_name(k))
+          .cell(static_cast<int64_t>(thr.events))
+          .cell(thr.wall_ms, 1)
+          .cell(thr.kevents_per_s(), 1)
+          .cell(static_cast<int64_t>(thr.outputs))
+          .cell(thr.verdict);
+    }
+  }
+  t.print(std::cout, "events/sec by backend, shard count and K");
+  BenchJson j("e12_backend_throughput");
+  j.param("n", static_cast<int64_t>(kN))
+      .param("injections", static_cast<int64_t>(kInjections))
+      .param("ttl", static_cast<int64_t>(kTtl))
+      .param("load_end_us", static_cast<int64_t>(kLoadEnd))
+      .param("time_scale", kTimeScale);
+  j.table("events/sec by backend, shard count and K", t);
+  if (std::string path = j.write_file(); !path.empty())
+    std::cout << "wrote " << path << "\n";
+  std::cout << "Reading: the sim backend is a zero-pacing upper bound for "
+               "one core; the threaded rows show how shard count spreads "
+               "the same protocol work across workers (cross-shard sends "
+               "cost a mailbox hop, so speedup is sublinear), with every "
+               "row's merged trace re-audited against Theorems 1-4.\n";
+  return 0;
+}

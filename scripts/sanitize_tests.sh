@@ -1,21 +1,50 @@
 #!/usr/bin/env bash
-# Sanitizer test variant: build with -fsanitize=address,undefined
-# (KOPTLOG_SANITIZE=ON) in a dedicated build directory and run the unit
-# tests plus the Figure 1 trace tests under it.
+# Sanitizer test variants, each in its own build directory:
+#
+#   scripts/sanitize_tests.sh            # asan: address,undefined
+#   scripts/sanitize_tests.sh asan
+#   scripts/sanitize_tests.sh tsan      # thread: the threaded backend suite
+#   KOPTLOG_SANITIZE=thread scripts/sanitize_tests.sh
+#
+# asan runs the runtime-component + observability unit tests (the JSONL
+# reader parses untrusted input). tsan rebuilds with -fsanitize=thread and
+# runs the threaded execution backend's suite (ctest label "threaded"):
+# ThreadedScheduler units plus whole-cluster multi-failure runs whose
+# traces must audit clean — the acceptance gate for the real-thread
+# backend.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-asan}
 
-cmake -B "$BUILD_DIR" -S . -DKOPTLOG_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" --target koptlog_tests -j "$(nproc)"
+MODE=${1:-${KOPTLOG_SANITIZE:-address}}
+case "$MODE" in
+  asan|address|ON) MODE=address ;;
+  tsan|thread) MODE=thread ;;
+  *)
+    echo "usage: $0 [asan|tsan]  (or KOPTLOG_SANITIZE=address|thread)" >&2
+    exit 2
+    ;;
+esac
 
-# Unit tests for the runtime components + the deterministic Figure 1
-# walkthrough + the observability layer (event recording, JSONL parsing,
-# exporters, trace audit): the highest-value surface for UB/ASan — the
-# JSONL reader in particular parses untrusted input — and fast enough to
-# gate on. Everything else still runs in the regular (unsanitized) job.
-export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-  -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism|EventKind|EventRecorder|Recording|TraceIo|TraceGolden|Export|Audit'
+if [[ "$MODE" == thread ]]; then
+  BUILD_DIR=${BUILD_DIR:-build-tsan}
+  cmake -B "$BUILD_DIR" -S . -DKOPTLOG_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" --target koptlog_threaded_tests -j "$(nproc)"
+  export TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" -L threaded
+else
+  BUILD_DIR=${BUILD_DIR:-build-asan}
+  cmake -B "$BUILD_DIR" -S . -DKOPTLOG_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" --target koptlog_tests -j "$(nproc)"
+
+  # Unit tests for the runtime components + the deterministic Figure 1
+  # walkthrough + the observability layer (event recording, JSONL parsing,
+  # exporters, trace audit): the highest-value surface for UB/ASan — the
+  # JSONL reader in particular parses untrusted input — and fast enough to
+  # gate on. Everything else still runs in the regular (unsanitized) job.
+  export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism|EventKind|EventRecorder|Recording|TraceIo|TraceGolden|Export|Audit|CodecFuzz'
+fi

@@ -1,0 +1,81 @@
+// Trace diff: compare two recorded runs hop by hop — which messages were
+// parked longer or shorter in the send buffer, which episodes changed fate
+// (released vs crash-wiped vs orphan-discarded), and how output commits
+// shifted. The intended use is two same-seed runs at different K (the
+// commit-latency vs logging-overhead dial, Theorem 4): the workload and
+// failure schedule match event for event, so every delta is attributable
+// to the K bound alone. The diff is purely positional, though — any two
+// traces can be compared, and non-matching message sets are reported
+// rather than rejected.
+//
+// Matching: a message episode is keyed by (MsgId, occurrence index) —
+// replay after a crash re-sends with the same MsgId, so the i-th episode
+// of an id in A pairs with the i-th in B (stream order at the sender,
+// CausalGraph::episodes_of). Commits are keyed by output id (first commit
+// wins, as in CausalGraph::commit_of).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "analysis/causal_graph.h"
+#include "sim/stats.h"
+
+namespace koptlog::analysis {
+
+/// One matched episode whose fate or timing differs between the traces.
+struct EpisodeDelta {
+  MsgId id;
+  int occurrence = 0;  ///< which episode of this id (0 = first send)
+  ProcessId sender = 0;
+  std::optional<SimTime> send_a, send_b;        ///< kSend times
+  std::optional<SimTime> release_a, release_b;  ///< kBufferRelease times
+  MsgEpisode::End end_a = MsgEpisode::End::kUnreleased;
+  MsgEpisode::End end_b = MsgEpisode::End::kUnreleased;
+
+  bool end_changed() const { return end_a != end_b; }
+  /// Both released: release-time shift B - A (hold-duration delta when the
+  /// sends line up, which same-seed runs guarantee).
+  std::optional<SimTime> release_shift() const {
+    if (!release_a || !release_b) return std::nullopt;
+    return *release_b - *release_a;
+  }
+};
+
+/// One output committed in both traces at different times, or in only one.
+struct CommitDelta {
+  MsgId output;
+  std::optional<SimTime> t_a, t_b;
+};
+
+struct TraceDiff {
+  int n_a = 0, n_b = 0;
+  /// Modal k_limit over kSend events (-1: no sends recorded). Two
+  /// same-seed different-K traces show their K here.
+  int k_a = -1, k_b = -1;
+  int episodes_a = 0, episodes_b = 0;
+
+  int matched = 0;    ///< episode pairs matched by (id, occurrence)
+  int identical = 0;  ///< matched, same end, same release time
+  int only_a = 0, only_b = 0;
+  std::vector<EpisodeDelta> changed;  ///< end or release-time differs,
+                                      ///< largest |shift| first
+  Histogram release_shift_us;  ///< B - A over both-released pairs
+
+  int commits_a = 0, commits_b = 0;
+  int commits_matched = 0;
+  std::vector<CommitDelta> commit_changed;  ///< moved or one-sided
+  Histogram commit_shift_us;  ///< B - A over both-committed outputs
+
+  /// Same processes, same episode keys, same committed outputs — the
+  /// precondition for reading the deltas as pure K effects.
+  bool comparable = true;
+};
+
+TraceDiff diff_traces(const CausalGraph& a, const CausalGraph& b);
+
+/// Human-readable report; at most `top` per-episode and per-commit rows.
+void print_trace_diff(const TraceDiff& d, std::ostream& os, int top = 12);
+
+}  // namespace koptlog::analysis

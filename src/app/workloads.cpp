@@ -204,15 +204,15 @@ class ClientServerApp final : public HashChainApp {
 
 }  // namespace
 
-Cluster::AppFactory make_uniform_app(UniformParams params) {
+ClusterHost::AppFactory make_uniform_app(UniformParams params) {
   return [params](ProcessId) { return std::make_unique<UniformApp>(params); };
 }
 
-Cluster::AppFactory make_pipeline_app(PipelineParams params) {
+ClusterHost::AppFactory make_pipeline_app(PipelineParams params) {
   return [params](ProcessId) { return std::make_unique<PipelineApp>(params); };
 }
 
-Cluster::AppFactory make_client_server_app(ClientServerParams params) {
+ClusterHost::AppFactory make_client_server_app(ClientServerParams params) {
   return
       [params](ProcessId) { return std::make_unique<ClientServerApp>(params); };
 }
@@ -221,7 +221,7 @@ Cluster::AppFactory make_client_server_app(ClientServerParams params) {
 // Load generators
 // ---------------------------------------------------------------------------
 
-void inject_uniform_load(Cluster& cluster, int count, SimTime from, SimTime to,
+void inject_uniform_load(ClusterHost& cluster, int count, SimTime from, SimTime to,
                          int ttl, uint64_t seed) {
   KOPT_CHECK(from < to);
   Rng rng = Rng(seed).fork("uniform-load");
@@ -239,7 +239,7 @@ void inject_uniform_load(Cluster& cluster, int count, SimTime from, SimTime to,
   }
 }
 
-void inject_pipeline_load(Cluster& cluster, int count, SimTime from,
+void inject_pipeline_load(ClusterHost& cluster, int count, SimTime from,
                           SimTime to) {
   KOPT_CHECK(from < to && count > 0);
   SimTime span = to - from;
@@ -254,7 +254,7 @@ void inject_pipeline_load(Cluster& cluster, int count, SimTime from,
   }
 }
 
-void inject_client_requests(Cluster& cluster, int count, SimTime from,
+void inject_client_requests(ClusterHost& cluster, int count, SimTime from,
                             SimTime to, uint64_t seed) {
   KOPT_CHECK(from < to);
   Rng rng = Rng(seed).fork("client-load");

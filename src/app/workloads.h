@@ -13,7 +13,7 @@
 
 #include "common/rng.h"
 #include "core/application.h"
-#include "core/cluster.h"
+#include "core/cluster_host.h"
 
 namespace koptlog {
 
@@ -57,7 +57,7 @@ struct UniformParams {
 /// Each token hop lands on a pseudo-random peer and decrements a TTL;
 /// occasionally a hop fans out to a second peer. The communication graph is
 /// dense and irregular — the general case for dependency tracking.
-Cluster::AppFactory make_uniform_app(UniformParams params = {});
+ClusterHost::AppFactory make_uniform_app(UniformParams params = {});
 
 // --- Pipeline -------------------------------------------------------------
 
@@ -68,7 +68,7 @@ struct PipelineParams {
 /// Items enter at stage 0 and flow through every process in order; the last
 /// stage emits an output. Long dependency chains across all processes —
 /// the worst case for rollback propagation.
-Cluster::AppFactory make_pipeline_app(PipelineParams params = {});
+ClusterHost::AppFactory make_pipeline_app(PipelineParams params = {});
 
 // --- Client-server --------------------------------------------------------
 
@@ -79,21 +79,21 @@ struct ClientServerParams {
 /// Outside-world requests hit a front-end process, which consults the
 /// hash-owner of the key and answers the outside world — the
 /// service-providing shape the paper's telecom motivation describes (§4.1).
-Cluster::AppFactory make_client_server_app(ClientServerParams params = {});
+ClusterHost::AppFactory make_client_server_app(ClientServerParams params = {});
 
 // --- Load generators -------------------------------------------------------
 
 /// Inject `count` token messages at seeded-random times in [from, to) to
 /// seeded-random processes, each with the given TTL.
-void inject_uniform_load(Cluster& cluster, int count, SimTime from, SimTime to,
+void inject_uniform_load(ClusterHost& cluster, int count, SimTime from, SimTime to,
                          int ttl, uint64_t seed);
 
 /// Inject `count` pipeline items at stage 0, evenly spaced over [from, to).
-void inject_pipeline_load(Cluster& cluster, int count, SimTime from,
+void inject_pipeline_load(ClusterHost& cluster, int count, SimTime from,
                           SimTime to);
 
 /// Inject `count` client requests at seeded-random front-ends and times.
-void inject_client_requests(Cluster& cluster, int count, SimTime from,
+void inject_client_requests(ClusterHost& cluster, int count, SimTime from,
                             SimTime to, uint64_t seed);
 
 }  // namespace koptlog

@@ -1,9 +1,10 @@
-// Cluster — hosts N recovery-layer processes on one simulator: routes
-// application messages through the data network, provides the reliable
-// control plane for announcements and logging-progress notifications,
-// injects environment messages (the outside world's requests), records
-// committed outputs, drives failures/restarts, and owns the ground-truth
-// oracle and metrics.
+// Cluster — hosts N recovery-layer processes on one deterministic
+// simulator: routes application messages through the data network, provides
+// the reliable control plane for announcements and logging-progress
+// notifications, injects environment messages (the outside world's
+// requests), records committed outputs, drives failures/restarts, and owns
+// the ground-truth oracle and metrics. One of two ClusterHost backends —
+// the bit-for-bit reproducible one (exec/threaded_cluster.h is the other).
 #pragma once
 
 #include <functional>
@@ -16,6 +17,7 @@
 #include "common/types.h"
 #include "core/application.h"
 #include "core/cluster_api.h"
+#include "core/cluster_host.h"
 #include "core/config.h"
 #include "core/process.h"
 #include "core/recovery_process.h"
@@ -26,26 +28,11 @@
 
 namespace koptlog {
 
-struct ClusterConfig {
-  int n = 4;
-  uint64_t seed = 1;
-  ProtocolConfig protocol;
-  LatencyModel data_latency{};
-  LatencyModel control_latency{.base_us = 150, .per_byte_us = 0.0,
-                               .jitter_us = 100, .jitter = Jitter::kUniform};
-  bool fifo = false;           ///< FIFO data channels (Strom–Yemini regime)
-  bool enable_oracle = true;   ///< ground-truth checking (small runs)
-  bool record_events = false;  ///< typed protocol-event recording (src/obs/)
-};
-
-class Cluster final : public ClusterApi {
+class Cluster final : public ClusterApi, public ClusterHost {
  public:
-  using AppFactory = std::function<std::unique_ptr<Application>(ProcessId)>;
-  /// Builds one recovery engine per process; defaults to the paper's
-  /// Process. The direct-tracking engine (src/direct/) plugs in here.
-  using EngineFactory = std::function<std::unique_ptr<RecoveryProcess>(
-      ProcessId, const ClusterConfig&, ClusterApi&,
-      std::unique_ptr<Application>)>;
+  using AppFactory = ClusterHost::AppFactory;
+  using EngineFactory = ClusterHost::EngineFactory;
+  using CommittedOutput = koptlog::CommittedOutput;
 
   Cluster(ClusterConfig cfg, const AppFactory& factory);
   Cluster(ClusterConfig cfg, const AppFactory& factory,
@@ -53,10 +40,10 @@ class Cluster final : public ClusterApi {
   ~Cluster() override;
 
   /// Start every process (Initialize + initial checkpoint + timers).
-  void start();
+  void start() override;
 
   // ---- ClusterApi ----
-  Simulator& sim() override { return sim_; }
+  Scheduler& scheduler() override { return sim_; }
   Stats& stats() override { return stats_; }
   const Tracer& tracer() const override { return tracer_; }
   void route_app_msg(AppMsg msg) override;
@@ -73,28 +60,26 @@ class Cluster final : public ClusterApi {
   bool draining() const override { return draining_; }
 
   // ---- environment (outside world) ----
-  /// Send a request from the outside world to process `to`, now. Injected
-  /// messages carry an empty dependency vector: the outside world is
-  /// always stable (it never rolls back).
   void inject(ProcessId to, const AppPayload& payload);
-  void inject_at(SimTime t, ProcessId to, const AppPayload& payload);
+  void inject_at(SimTime t, ProcessId to, const AppPayload& payload) override;
 
   // ---- failure injection ----
-  /// Crash `pid` at absolute time `t`; it restarts automatically after
-  /// protocol.restart_delay_us (plus replay work). A no-op if the process
-  /// is already down at `t`.
-  void fail_at(SimTime t, ProcessId pid);
+  void fail_at(SimTime t, ProcessId pid) override;
 
   // ---- running ----
   /// Advance simulated time by `dt`.
-  void run_for(SimTime dt);
+  void run_for(SimTime dt) override;
   /// Finish the run: stop periodic timers, repeatedly force flushes and
   /// progress notifications until every buffer in the system is empty and
   /// the event queue is dry. All sent non-orphan messages are then
   /// delivered and all pending outputs committed.
-  void drain();
+  void drain() override;
 
   // ---- inspection ----
+  /// The concrete simulator (tests single-step it; the abstract seam is
+  /// scheduler()).
+  Simulator& sim() { return sim_; }
+  SimTime now_us() const override { return sim_.now(); }
   /// The hosted engine, protocol-agnostic.
   RecoveryProcess& engine(ProcessId pid) {
     return *processes_[static_cast<size_t>(pid)];
@@ -102,18 +87,13 @@ class Cluster final : public ClusterApi {
   /// Typed accessor for the default K-optimistic engine (checked downcast).
   Process& process(ProcessId pid);
   const Process& process(ProcessId pid) const;
-  int size() const { return cfg_.n; }
-  const ClusterConfig& config() const { return cfg_; }
+  int size() const override { return cfg_.n; }
+  const ClusterConfig& config() const override { return cfg_; }
   Network& data_network() { return data_net_; }
 
-  struct CommittedOutput {
-    MsgId id;
-    ProcessId pid = 0;
-    AppPayload payload;
-    IntervalId born_of;
-    SimTime committed_at = 0;
-  };
-  const std::vector<CommittedOutput>& outputs() const { return outputs_; }
+  const std::vector<CommittedOutput>& outputs() const override {
+    return outputs_;
+  }
   const std::vector<Announcement>& announcements() const {
     return all_announcements_;
   }
@@ -122,8 +102,7 @@ class Cluster final : public ClusterApi {
     tracer_.set_sink(std::move(sink), level);
   }
 
-  /// Non-null iff cfg.record_events was set.
-  const Recording* recording() const { return recording_.get(); }
+  const Recording* recording() const override { return recording_.get(); }
 
  private:
   void deliver_control_announcement(ProcessId to, const Announcement& a);

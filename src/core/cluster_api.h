@@ -1,9 +1,15 @@
 // ClusterApi — the services a recovery-layer process needs from its host
-// cluster: the simulator clock/scheduler, message routing, reliable control
+// cluster: the clock/scheduler seam, message routing, reliable control
 // broadcast, the outside-world output sink, metrics, and (optionally) the
 // ground-truth oracle. Splitting this interface from Cluster breaks the
 // Process <-> Cluster include cycle and lets tests host a Process on a
 // minimal harness.
+//
+// Everything here is expressed against the abstract Scheduler, never the
+// concrete Simulator: the same engine code runs on the deterministic
+// simulator backend (core/cluster.h) and on the threaded backend
+// (exec/threaded_cluster.h), where scheduler() returns the calling
+// process's shard event loop and stats() its unshared per-process bag.
 #pragma once
 
 #include "common/trace.h"
@@ -11,7 +17,7 @@
 #include "core/oracle.h"
 #include "core/output.h"
 #include "core/protocol_msg.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 
 namespace koptlog {
@@ -22,7 +28,7 @@ class ClusterApi {
  public:
   virtual ~ClusterApi() = default;
 
-  virtual Simulator& sim() = 0;
+  virtual Scheduler& scheduler() = 0;
   virtual Stats& stats() = 0;
   virtual const Tracer& tracer() const = 0;
 

@@ -1,0 +1,95 @@
+// ClusterHost — the backend-agnostic driver surface of a hosted cluster:
+// what workload generators, failure plans, tests and the koptlog_sim CLI
+// need, independent of *how* the N processes execute. Two hosts implement
+// it: Cluster (core/cluster.h) runs everything on the deterministic
+// single-threaded Simulator; ThreadedCluster (exec/threaded_cluster.h)
+// runs one real event-loop thread per shard of processes. Drivers written
+// against this interface run unchanged on both.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/application.h"
+#include "core/config.h"
+#include "core/protocol_msg.h"
+#include "net/latency_model.h"
+#include "sim/stats.h"
+
+namespace koptlog {
+
+class ClusterApi;
+class RecoveryProcess;
+class Recording;
+
+struct ClusterConfig {
+  int n = 4;
+  uint64_t seed = 1;
+  ProtocolConfig protocol;
+  LatencyModel data_latency{};
+  LatencyModel control_latency{.base_us = 150, .per_byte_us = 0.0,
+                               .jitter_us = 100, .jitter = Jitter::kUniform};
+  bool fifo = false;           ///< FIFO data channels (Strom–Yemini regime)
+  bool enable_oracle = true;   ///< ground-truth checking (small runs)
+  bool record_events = false;  ///< typed protocol-event recording (src/obs/)
+};
+
+struct CommittedOutput {
+  MsgId id;
+  ProcessId pid = 0;
+  AppPayload payload;
+  IntervalId born_of;
+  SimTime committed_at = 0;
+};
+
+class ClusterHost {
+ public:
+  /// Builds one application instance per process.
+  using AppFactory = std::function<std::unique_ptr<Application>(ProcessId)>;
+  /// Builds one recovery engine per process; defaults to the paper's
+  /// Process. The direct-tracking engine (src/direct/) plugs in here.
+  using EngineFactory = std::function<std::unique_ptr<RecoveryProcess>(
+      ProcessId, const ClusterConfig&, ClusterApi&,
+      std::unique_ptr<Application>)>;
+
+  virtual ~ClusterHost() = default;
+
+  /// Start every process (Initialize + initial checkpoint + timers).
+  virtual void start() = 0;
+  virtual int size() const = 0;
+  virtual const ClusterConfig& config() const = 0;
+
+  // ---- environment (outside world) ----
+  /// Send a request from the outside world to process `to` at time `t`.
+  /// Injected messages carry an empty dependency vector: the outside world
+  /// is always stable (it never rolls back).
+  virtual void inject_at(SimTime t, ProcessId to, const AppPayload& payload) = 0;
+
+  // ---- failure injection ----
+  /// Crash `pid` at time `t`; it restarts automatically after
+  /// protocol.restart_delay_us (plus replay work). A no-op if the process
+  /// is already down at `t`.
+  virtual void fail_at(SimTime t, ProcessId pid) = 0;
+
+  // ---- running ----
+  /// Advance (simulated or scaled-real) time by `dt` microseconds.
+  virtual void run_for(SimTime dt) = 0;
+  /// Finish the run: stop periodic timers, repeatedly force flushes and
+  /// progress notifications until every buffer in the system is empty.
+  virtual void drain() = 0;
+  /// Stop the backend's machinery. On the threaded backend this joins the
+  /// shard worker threads and must precede stats()/recording() reads; on
+  /// the simulator it is a no-op.
+  virtual void shutdown() {}
+
+  // ---- inspection ----
+  virtual SimTime now_us() const = 0;
+  virtual Stats& stats() = 0;
+  virtual const std::vector<CommittedOutput>& outputs() const = 0;
+  /// Non-null iff config().record_events was set.
+  virtual const Recording* recording() const = 0;
+};
+
+}  // namespace koptlog

@@ -1,6 +1,8 @@
 #include "core/engine_registry.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "baseline/pessimistic.h"
 #include "direct/direct_process.h"
@@ -65,6 +67,40 @@ std::vector<std::string> EngineRegistry::names() const {
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// Classic two-row Levenshtein distance; inputs are short engine names.
+size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+std::vector<std::string> EngineRegistry::suggestions(
+    const std::string& name) const {
+  constexpr size_t kMaxDistance = 2;
+  std::vector<std::pair<size_t, std::string>> scored;
+  for (const auto& [candidate, entry] : entries_) {
+    size_t d = edit_distance(name, candidate);
+    if (d <= kMaxDistance) scored.emplace_back(d, candidate);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> out;
+  out.reserve(scored.size());
+  for (auto& [d, candidate] : scored) out.push_back(std::move(candidate));
   return out;
 }
 

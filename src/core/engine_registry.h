@@ -39,6 +39,11 @@ class EngineRegistry {
   std::vector<std::string> names() const;
   /// "kopt|direct|..." for one-line usage text.
   std::string names_joined(char sep = '|') const;
+  /// All entries, name-sorted (--list-engines descriptions).
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  /// Registered names within edit distance 2 of `name` (closest first),
+  /// for "unknown engine 'kotp' — did you mean kopt?" diagnostics.
+  std::vector<std::string> suggestions(const std::string& name) const;
 
  private:
   EngineRegistry();

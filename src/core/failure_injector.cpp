@@ -1,7 +1,7 @@
 #include "core/failure_injector.h"
 
 #include "common/check.h"
-#include "core/cluster.h"
+#include "core/cluster_host.h"
 
 namespace koptlog {
 
@@ -33,7 +33,7 @@ FailurePlan FailurePlan::spaced(const std::vector<ProcessId>& pids,
   return plan;
 }
 
-void apply_failure_plan(Cluster& cluster, const FailurePlan& plan) {
+void apply_failure_plan(ClusterHost& cluster, const FailurePlan& plan) {
   for (const FailureEvent& ev : plan.crashes) cluster.fail_at(ev.at, ev.pid);
 }
 

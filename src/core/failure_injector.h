@@ -11,7 +11,7 @@
 
 namespace koptlog {
 
-class Cluster;
+class ClusterHost;
 
 struct FailureEvent {
   SimTime at = 0;
@@ -32,6 +32,6 @@ struct FailurePlan {
 };
 
 /// Schedule every crash in the plan on the cluster.
-void apply_failure_plan(Cluster& cluster, const FailurePlan& plan);
+void apply_failure_plan(ClusterHost& cluster, const FailurePlan& plan);
 
 }  // namespace koptlog

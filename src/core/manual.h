@@ -17,6 +17,7 @@
 #include "core/cluster_api.h"
 #include "core/process.h"
 #include "obs/event_recorder.h"
+#include "sim/simulator.h"
 
 namespace koptlog {
 
@@ -105,7 +106,9 @@ class ManualHarness final : public ClusterApi {
  public:
   explicit ManualHarness(int n) : n_(n) {}
 
-  Simulator& sim() override { return sim_; }
+  Scheduler& scheduler() override { return sim_; }
+  /// The concrete simulator, for tests that single-step time.
+  Simulator& sim() { return sim_; }
   Stats& stats() override { return stats_; }
   const Tracer& tracer() const override { return tracer_; }
   void route_app_msg(AppMsg msg) override { sent.push_back(std::move(msg)); }

@@ -35,7 +35,7 @@ Process::Process(ProcessId pid, int n, const ProtocolConfig& cfg,
       cfg_(cfg),
       effective_k_(std::min<int>(cfg.k, n)),
       api_(api),
-      exec_(api.sim()),
+      exec_(api.scheduler()),
       app_(std::move(app)),
       storage_(cfg.storage),
       rt_{pid_, n_, api_, exec_, storage_},
@@ -95,15 +95,15 @@ void Process::send_impl(ProcessId to, const AppPayload& payload, int k_limit) {
   m.payload = payload;
   m.tdv = tdv_;
   m.born_of = IntervalId{pid_, current_.inc, current_.sii};
-  m.sent_at = api_.sim().now();
+  m.sent_at = api_.scheduler().now();
   api_.stats().inc(kSent);
   const MsgId id = m.id;
   const DepVector snapshot = m.tdv;
-  if (!send_buffer_.enqueue(std::move(m), api_.sim().now(), k_limit)) return;
+  if (!send_buffer_.enqueue(std::move(m), api_.scheduler().now(), k_limit)) return;
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kSend;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.tdv = snapshot;
     e.msg = id;
@@ -121,7 +121,7 @@ void Process::output(const AppPayload& payload) {
   rec.payload = payload;
   rec.tdv = tdv_;
   rec.born_of = IntervalId{pid_, current_.inc, current_.sii};
-  rec.created_at = api_.sim().now();
+  rec.created_at = api_.scheduler().now();
   output_buffer_.push(std::move(rec));
   check_output_buffer();
 }
@@ -198,13 +198,13 @@ void Process::handle_app_msg(const AppMsg& m) {
     });
     return;
   }
-  recv_.push(m, api_.sim().now());
+  recv_.push(m, api_.scheduler().now());
   try_deliver();
   if (recv_.buffered(m.id)) {
     if (EventRecorder* rec = recorder()) {
       ProtocolEvent e;
       e.kind = EventKind::kBufferHold;
-      e.t = api_.sim().now();
+      e.t = api_.scheduler().now();
       e.at = m.born_of.entry();
       e.msg = m.id;
       e.peer = m.from;
@@ -222,8 +222,8 @@ void Process::try_deliver() {
       [&](const AppMsg& m) { return deliverable(m); },
       [&](ReceiveBuffer::Buffered&& b) {
         api_.stats().sample(
-            kRecvWaitUs, static_cast<double>(api_.sim().now() - b.arrived_at));
-        if (api_.sim().now() > b.arrived_at) api_.stats().inc("recv.delayed");
+            kRecvWaitUs, static_cast<double>(api_.scheduler().now() - b.arrived_at));
+        if (api_.scheduler().now() > b.arrived_at) api_.stats().inc("recv.delayed");
         deliver(b.msg);
       });
 }
@@ -251,7 +251,7 @@ void Process::deliver(const AppMsg& m) {
     note_own_stable(current_);
     if (cfg_.null_stable_entries) {
       if (Oracle* orc = oracle())
-        orc->on_entry_nulled(pid_, pid_, current_, api_.sim().now());
+        orc->on_entry_nulled(pid_, pid_, current_, api_.scheduler().now());
       tdv_.clear(pid_);
     }
   }
@@ -260,7 +260,7 @@ void Process::deliver(const AppMsg& m) {
     // Before the app handler, so the interval's own sends sequence after it.
     ProtocolEvent e;
     e.kind = EventKind::kDeliver;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.tdv = tdv_;
     e.msg = m.id;
@@ -290,7 +290,7 @@ void Process::null_stable_entries(DepVector& v) {
     const OptEntry& e = v.at(j);
     if (e && log_.of(j).covers(*e)) {
       if (Oracle* orc = oracle())
-        orc->on_entry_nulled(pid_, j, *e, api_.sim().now());
+        orc->on_entry_nulled(pid_, j, *e, api_.scheduler().now());
       v.clear(j);
     }
   }
@@ -400,7 +400,7 @@ void Process::do_checkpoint() {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kCheckpoint;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.tdv = tdv_;
     rec->record(std::move(e));
@@ -430,7 +430,7 @@ void Process::garbage_collect() {
 void Process::note_own_stable(Entry watermark) {
   log_.insert(pid_, watermark);
   if (Oracle* orc = oracle())
-    orc->on_stable_watermark(pid_, watermark, api_.sim().now());
+    orc->on_stable_watermark(pid_, watermark, api_.scheduler().now());
 }
 
 void Process::start_async_flush() {
@@ -473,7 +473,7 @@ void Process::announce(Entry ended, bool from_failure) {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kFailureAnnounce;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.ended = ended;
     e.from_failure = from_failure;
@@ -565,14 +565,14 @@ void Process::rollback() {
       // The message stays on stable storage (it was flushed above) until
       // its redelivery is stable: a crash in between must not lose it.
       storage_.park(rec.msg);
-      recv_.push(std::move(rec.msg), api_.sim().now());
+      recv_.push(std::move(rec.msg), api_.scheduler().now());
     }
   }
   channel_.ack_stable_records();
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kRollback;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;  // the restored position
     e.ended = Entry{ending_inc, current_.sii};
     e.undone = static_cast<int64_t>(dropped.size());
@@ -591,7 +591,7 @@ void Process::rollback() {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kIncarnationBump;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     rec->record(std::move(e));
   }
@@ -669,7 +669,7 @@ void Process::restart() {
         if (cfg_.reliable_delivery && msg.from != kEnvironment)
           api_.send_ack(pid_, msg.from, id);
       } else {
-        recv_.push(msg, api_.sim().now());
+        recv_.push(msg, api_.scheduler().now());
       }
     }
     for (const MsgId& id : to_unpark) storage_.unpark(id);
@@ -688,7 +688,7 @@ void Process::restart() {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kIncarnationBump;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     rec->record(std::move(e));
   }
@@ -724,7 +724,7 @@ void Process::schedule_timers() {
 }
 
 void Process::trace(const std::function<void(std::ostream&)>& fn) const {
-  api_.tracer().log(TraceLevel::kDebug, api_.sim().now(), pid_, fn);
+  api_.tracer().log(TraceLevel::kDebug, api_.scheduler().now(), pid_, fn);
 }
 
 }  // namespace koptlog

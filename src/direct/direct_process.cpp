@@ -30,7 +30,7 @@ DirectProcess::DirectProcess(ProcessId pid, int n, const ProtocolConfig& cfg,
       n_(n),
       cfg_(cfg),
       api_(api),
-      exec_(api.sim()),
+      exec_(api.scheduler()),
       app_(std::move(app)),
       storage_(cfg.storage),
       rt_{pid_, n_, api_, exec_, storage_},
@@ -76,7 +76,7 @@ void DirectProcess::send(ProcessId to, const AppPayload& payload) {
   m.payload = payload;
   m.tdv = DepVector(0);  // nothing but the sender's interval id travels
   m.born_of = IntervalId{pid_, current_.inc, current_.sii};
-  m.sent_at = api_.sim().now();
+  m.sent_at = api_.scheduler().now();
   api_.stats().inc(kSent);
   api_.stats().inc(kReleased);
   api_.stats().sample(kPiggyback,
@@ -85,7 +85,7 @@ void DirectProcess::send(ProcessId to, const AppPayload& payload) {
     // Direct tracking releases immediately: the send IS the wire departure.
     ProtocolEvent e;
     e.kind = EventKind::kSend;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.msg = m.id;
     e.peer = to;
@@ -101,7 +101,7 @@ void DirectProcess::output(const AppPayload& payload) {
   pc.rec.payload = payload;
   pc.rec.tdv = DepVector(0);
   pc.rec.born_of = IntervalId{pid_, current_.inc, current_.sii};
-  pc.rec.created_at = api_.sim().now();
+  pc.rec.created_at = api_.scheduler().now();
   // A recovery replay may re-emit an output whose pending entry survived.
   for (const PendingCommit& existing : pending_) {
     if (existing.rec.id == pc.rec.id) return;
@@ -143,7 +143,7 @@ void DirectProcess::hold_for_delivery(const AppMsg& m) {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kBufferHold;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = m.born_of.entry();
     e.msg = m.id;
     e.peer = m.from;
@@ -151,7 +151,7 @@ void DirectProcess::hold_for_delivery(const AppMsg& m) {
     rec->record(std::move(e));
   }
   uint64_t epoch = replay_.epoch();
-  api_.sim().schedule_after(cfg_.ddt_delivery_hold_us, [this, m, epoch] {
+  api_.scheduler().schedule_after(cfg_.ddt_delivery_hold_us, [this, m, epoch] {
     if (epoch != replay_.epoch() || !alive_) return;
     held_ids_.erase(m.id);
     if (recv_.delivered(m.id)) return;
@@ -185,7 +185,7 @@ void DirectProcess::deliver(const AppMsg& m) {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kDeliver;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.msg = m.id;
     e.peer = m.from;
@@ -219,7 +219,7 @@ void DirectProcess::maybe_rollback() {
         fprintf(stderr,
                 "P%d t=%lld rollback: record %s (msg id %d:%llu sent_at=%lld) "
                 "born_of %s flagged\n",
-                pid_, (long long)api_.sim().now(), log.at(p).started.str().c_str(),
+                pid_, (long long)api_.scheduler().now(), log.at(p).started.str().c_str(),
                 m.id.src, (unsigned long long)m.id.seq, (long long)m.sent_at,
                 m.born_of.str().c_str());
       }
@@ -290,12 +290,12 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   log_.insert(pid_, Entry{ending_inc, current_.sii});
   if (Oracle* orc = oracle())
     orc->on_stable_watermark(pid_, Entry{ending_inc, current_.sii},
-                             api_.sim().now());
+                             api_.scheduler().now());
 
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kRollback;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;  // the restored position
     e.ended = Entry{ending_inc, current_.sii};
     e.undone = static_cast<int64_t>(dropped.size());
@@ -312,7 +312,7 @@ void DirectProcess::rollback_to_before(size_t first_orphan_pos) {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kIncarnationBump;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     rec->record(std::move(e));
   }
@@ -403,7 +403,7 @@ void DirectProcess::restart() {
   announce(fa, /*from_failure=*/true);
   log_.insert(pid_, fa);
   if (Oracle* orc = oracle())
-    orc->on_stable_watermark(pid_, fa, api_.sim().now());
+    orc->on_stable_watermark(pid_, fa, api_.scheduler().now());
 
   current_.inc = replay_.bump_incarnation_durably();
   ++current_.sii;
@@ -411,7 +411,7 @@ void DirectProcess::restart() {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kIncarnationBump;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     rec->record(std::move(e));
   }
@@ -442,7 +442,7 @@ void DirectProcess::note_stable_up_to(Sii x) {
   KOPT_CHECK(inc.has_value());
   log_.insert(pid_, Entry{*inc, x});
   if (Oracle* orc = oracle())
-    orc->on_stable_watermark(pid_, Entry{*inc, x}, api_.sim().now());
+    orc->on_stable_watermark(pid_, Entry{*inc, x}, api_.scheduler().now());
 }
 
 void DirectProcess::do_checkpoint() {
@@ -459,7 +459,7 @@ void DirectProcess::do_checkpoint() {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kCheckpoint;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     rec->record(std::move(e));
   }
@@ -514,7 +514,7 @@ void DirectProcess::announce(Entry ended, bool from_failure) {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kFailureAnnounce;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = current_;
     e.ended = ended;
     e.from_failure = from_failure;
@@ -651,7 +651,7 @@ void DirectProcess::try_commit(PendingCommit& pc) {
   if (EventRecorder* rec = recorder()) {
     ProtocolEvent e;
     e.kind = EventKind::kOutputCommit;
-    e.t = api_.sim().now();
+    e.t = api_.scheduler().now();
     e.at = pc.rec.born_of.entry();
     e.msg = pc.rec.id;
     e.ref = pc.rec.born_of;

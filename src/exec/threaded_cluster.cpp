@@ -1,0 +1,443 @@
+#include "exec/threaded_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "core/process.h"
+
+namespace koptlog {
+
+namespace {
+ThreadedCluster::EngineFactory default_engine() {
+  return [](ProcessId pid, const ClusterConfig& cfg, ClusterApi& api,
+            std::unique_ptr<Application> app) -> std::unique_ptr<RecoveryProcess> {
+    return std::make_unique<Process>(pid, cfg.n, cfg.protocol, api,
+                                     std::move(app));
+  };
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardApi
+// ---------------------------------------------------------------------------
+
+ThreadedCluster::ShardApi::ShardApi(ThreadedCluster& host, ProcessId pid)
+    : host_(host),
+      pid_(pid),
+      data_rng_(Rng(host.cfg_.seed)
+                    .fork("data-net")
+                    .fork("p" + std::to_string(pid))),
+      control_rng_(Rng(host.cfg_.seed)
+                       .fork("control-net")
+                       .fork("p" + std::to_string(pid))) {}
+
+Scheduler& ThreadedCluster::ShardApi::scheduler() {
+  return host_.shard_of(pid_);
+}
+
+const Tracer& ThreadedCluster::ShardApi::tracer() const {
+  return host_.tracer_;
+}
+
+bool ThreadedCluster::ShardApi::draining() const {
+  return host_.draining_.load(std::memory_order_acquire);
+}
+
+EventRecorder* ThreadedCluster::ShardApi::recorder(ProcessId pid) {
+  return host_.recording_ ? &host_.recording_->recorder(pid) : nullptr;
+}
+
+SimTime ThreadedCluster::ShardApi::data_arrival(ProcessId to, size_t bytes) {
+  SimTime t =
+      host_.clock_.now() + host_.cfg_.data_latency.sample(data_rng_, bytes);
+  if (host_.cfg_.fifo) {
+    SimTime& last = last_data_arrival_[to];
+    if (t <= last) t = last + 1;
+    last = t;
+  }
+  return t;
+}
+
+void ThreadedCluster::ShardApi::route_app_msg(AppMsg msg) {
+  KOPT_CHECK(msg.to >= 0 && msg.to < host_.cfg_.n);
+  size_t bytes = msg.wire_bytes(host_.cfg_.protocol.null_stable_entries);
+  host_.deliver_app_at(data_arrival(msg.to, bytes), std::move(msg));
+}
+
+void ThreadedCluster::ShardApi::broadcast_announcement(const Announcement& a) {
+  // Append to the reliable history BEFORE any delivery is scheduled: a
+  // process that restarts later replays the whole history, so no delivery
+  // dropped on a down process can ever be lost (duplicates are absorbed by
+  // the receiver's announcement journal).
+  {
+    std::lock_guard<std::mutex> lk(host_.announce_mu_);
+    host_.all_announcements_.push_back(a);
+  }
+  ThreadedCluster& host = host_;
+  for (ProcessId to = 0; to < host.cfg_.n; ++to) {
+    if (to == a.from) continue;
+    SimTime lat =
+        host.cfg_.control_latency.sample(control_rng_, Announcement::kWireBytes);
+    host.shard_of(to).schedule_at(host.clock_.now() + lat, [&host, to, a] {
+      RecoveryProcess& p = *host.slot(to).engine;
+      if (!p.alive()) return;  // restart catch-up replays the history
+      p.executor().submit([&p, a] { p.handle_announcement(a); });
+    });
+  }
+}
+
+void ThreadedCluster::ShardApi::broadcast_log_progress(
+    const LogProgressMsg& lp) {
+  ThreadedCluster& host = host_;
+  for (ProcessId to = 0; to < host.cfg_.n; ++to) {
+    if (to == lp.from) continue;
+    SimTime lat =
+        host.cfg_.control_latency.sample(control_rng_, lp.wire_bytes());
+    host.shard_of(to).schedule_at(host.clock_.now() + lat, [&host, to, lp] {
+      RecoveryProcess& p = *host.slot(to).engine;
+      if (!p.alive()) return;  // periodic re-broadcasts make this harmless
+      p.executor().submit([&p, lp] { p.handle_log_progress(lp); });
+    });
+  }
+}
+
+void ThreadedCluster::ShardApi::send_ack(ProcessId acker, ProcessId sender,
+                                         MsgId id) {
+  KOPT_CHECK(sender >= 0 && sender < host_.cfg_.n);
+  (void)acker;  // this api IS the acker; its rng samples the channel
+  constexpr size_t kAckBytes = 4 + 4 + 8;
+  ThreadedCluster& host = host_;
+  host.shard_of(sender).schedule_at(
+      data_arrival(sender, kAckBytes), [&host, sender, id] {
+        RecoveryProcess& p = *host.slot(sender).engine;
+        if (!p.alive()) return;
+        p.executor().submit([&p, id] { p.handle_ack(id); });
+      });
+}
+
+void ThreadedCluster::ShardApi::send_dep_query(const DepQuery& q) {
+  KOPT_CHECK(q.target.pid >= 0 && q.target.pid < host_.cfg_.n);
+  stats_.inc("ddt.queries");
+  SimTime lat =
+      host_.cfg_.control_latency.sample(control_rng_, DepQuery::kWireBytes);
+  ThreadedCluster& host = host_;
+  host.shard_of(q.target.pid).schedule_at(host.clock_.now() + lat, [&host, q] {
+    RecoveryProcess& p = *host.slot(q.target.pid).engine;
+    if (!p.alive()) return;  // the requester re-asks
+    p.executor().submit([&p, q] { p.handle_dep_query(q); });
+  });
+}
+
+void ThreadedCluster::ShardApi::send_dep_reply(ProcessId to,
+                                               const DepReply& r) {
+  KOPT_CHECK(to >= 0 && to < host_.cfg_.n);
+  stats_.inc("ddt.replies");
+  SimTime lat = host_.cfg_.control_latency.sample(control_rng_, r.wire_bytes());
+  ThreadedCluster& host = host_;
+  host.shard_of(to).schedule_at(host.clock_.now() + lat, [&host, to, r] {
+    RecoveryProcess& p = *host.slot(to).engine;
+    if (!p.alive()) return;
+    p.executor().submit([&p, r] { p.handle_dep_reply(r); });
+  });
+}
+
+void ThreadedCluster::ShardApi::commit_output(const OutputRecord& rec) {
+  SimTime now = host_.clock_.now();
+  stats_.inc("outputs.committed_total");
+  {
+    std::lock_guard<std::mutex> lk(host_.outputs_mu_);
+    // Exactly-once at the outside world: recovery replay re-emits outputs
+    // with identical ids; the sink drops the duplicates.
+    if (!host_.committed_ids_.insert(rec.id).second) {
+      stats_.inc("outputs.duplicate_suppressed");
+      return;
+    }
+    host_.outputs_.push_back(CommittedOutput{rec.id, rec.born_of.pid,
+                                             rec.payload, rec.born_of, now});
+  }
+  stats_.inc("outputs.committed");
+  stats_.sample("output.commit_latency_us",
+                static_cast<double>(now - rec.created_at));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedCluster
+// ---------------------------------------------------------------------------
+
+ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
+                                 const AppFactory& factory)
+    : ThreadedCluster(cfg, opt, factory, default_engine()) {}
+
+ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
+                                 const AppFactory& factory,
+                                 const EngineFactory& engine_factory)
+    : cfg_(cfg), opt_(opt), clock_(opt.time_scale) {
+  KOPT_CHECK(cfg_.n > 0);
+  // The ground-truth oracle assumes a single thread of control; on this
+  // backend correctness is established post hoc by auditing the merged
+  // event trace instead.
+  cfg_.enable_oracle = false;
+  opt_.shards = std::clamp(opt_.shards, 1, cfg_.n);
+  shards_.reserve(static_cast<size_t>(opt_.shards));
+  for (int s = 0; s < opt_.shards; ++s) {
+    shards_.push_back(std::make_unique<ThreadedScheduler>(
+        clock_, "shard-" + std::to_string(s)));
+  }
+  if (cfg_.record_events) recording_ = std::make_unique<Recording>(cfg_.n);
+  slots_.resize(static_cast<size_t>(cfg_.n));
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    Slot& s = slot(pid);
+    s.api = std::make_unique<ShardApi>(*this, pid);
+    s.engine = engine_factory(pid, cfg_, *s.api, factory(pid));
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() { shutdown(); }
+
+int ThreadedCluster::shard_of_pid(ProcessId pid) const {
+  return static_cast<int>(static_cast<int64_t>(pid) * opt_.shards / cfg_.n);
+}
+
+void ThreadedCluster::start() {
+  KOPT_CHECK(!started_ && !stopped_);
+  started_ = true;
+  for (auto& s : shards_) s->start();
+  // Run each start_process on its owning shard (timers must be armed from
+  // the thread that will run them); block until every process is up.
+  for_each_engine_on_shard([](RecoveryProcess& p) { p.start_process(); });
+  if (cfg_.protocol.coordinated_checkpoints) schedule_checkpoint_round();
+}
+
+void ThreadedCluster::schedule_checkpoint_round() {
+  // The round timer lives on shard 0 and spends process 0's control rng —
+  // both confined to shard 0's worker.
+  shards_[0]->schedule_after(cfg_.protocol.checkpoint_interval_us, [this] {
+    if (draining_.load(std::memory_order_acquire)) return;
+    ShardApi& api0 = *slot(0).api;
+    api0.stats_.inc("checkpoint.rounds");
+    for (ProcessId to = 0; to < cfg_.n; ++to) {
+      constexpr size_t kMarkerBytes = 8;
+      SimTime lat = cfg_.control_latency.sample(api0.control_rng_, kMarkerBytes);
+      shard_of(to).schedule_at(clock_.now() + lat, [this, to] {
+        RecoveryProcess& p = *slot(to).engine;
+        if (!p.alive()) return;  // it checkpoints at restart time anyway
+        p.executor().submit([&p] { p.checkpoint_now(); });
+      });
+    }
+    schedule_checkpoint_round();
+  });
+}
+
+void ThreadedCluster::deliver_app_at(SimTime t, AppMsg msg) {
+  shard_of(msg.to).schedule_at(t, [this, m = std::move(msg)]() mutable {
+    RecoveryProcess& p = *slot(m.to).engine;
+    if (!p.alive()) {
+      // The paper leaves lost in-transit messages out of scope (§2 fn. 3):
+      // messages addressed to a crashed process are dropped.
+      slot(m.to).api->stats_.inc("msgs.dropped_receiver_down");
+      return;
+    }
+    p.executor().submit([&p, m = std::move(m)] { p.handle_app_msg(m); });
+  });
+}
+
+void ThreadedCluster::inject_at(SimTime t, ProcessId to,
+                                const AppPayload& payload) {
+  KOPT_CHECK(to >= 0 && to < cfg_.n);
+  // Build the message on the destination's shard at send time, then route
+  // it through that process's api (same latency model as the simulator's
+  // environment path; the extra hop stays on one shard).
+  shard_of(to).schedule_at(t, [this, to, payload] {
+    AppMsg m;
+    m.id = MsgId{kEnvironment,
+                 env_seq_.fetch_add(1, std::memory_order_relaxed) + 1};
+    m.from = kEnvironment;
+    m.to = to;
+    m.payload = payload;
+    m.tdv = DepVector(cfg_.n);  // the outside world is always stable
+    m.born_of = IntervalId{kEnvironment, 0, 0};
+    m.sent_at = clock_.now();
+    ShardApi& api = *slot(to).api;
+    api.stats_.inc("env.injected");
+    api.route_app_msg(std::move(m));
+  });
+}
+
+void ThreadedCluster::fail_at(SimTime t, ProcessId pid) {
+  KOPT_CHECK(pid >= 0 && pid < cfg_.n);
+  shard_of(pid).schedule_at(t, [this, pid] {
+    RecoveryProcess& p = *slot(pid).engine;
+    if (!p.alive()) {
+      slot(pid).api->stats_.inc("crash.skipped_already_down");
+      return;
+    }
+    p.crash();
+    shard_of(pid).schedule_at(
+        clock_.now() + cfg_.protocol.restart_delay_us, [this, pid] {
+          RecoveryProcess& p2 = *slot(pid).engine;
+          KOPT_CHECK(!p2.alive());
+          p2.restart();
+          // Reliable announcement delivery: catch the restarted process up
+          // on every announcement ever broadcast (its journal makes the
+          // already-processed ones no-ops). Any announcement appended after
+          // this copy had its per-process delivery scheduled afterwards, so
+          // it reaches the now-alive process through the normal path.
+          std::vector<Announcement> history;
+          {
+            std::lock_guard<std::mutex> lk(announce_mu_);
+            history = all_announcements_;
+          }
+          for (const Announcement& a : history) {
+            if (a.from == pid) continue;
+            p2.executor().submit([&p2, a] { p2.handle_announcement(a); });
+          }
+        });
+  });
+}
+
+void ThreadedCluster::run_for(SimTime dt) {
+  KOPT_CHECK(started_ && !stopped_);
+  clock_.sleep_until(clock_.now() + dt);
+}
+
+void ThreadedCluster::wait_quiet() {
+  auto hard_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(120);
+  for (;;) {
+    // Pass 1: every shard idle (queue empty, nothing mid-execution)...
+    uint64_t before = 0;
+    bool all_idle = true;
+    for (auto& s : shards_) {
+      before += s->executed();
+      all_idle = all_idle && s->idle();
+    }
+    if (all_idle) {
+      // ...and pass 2: still idle with no event executed in between. Then
+      // nothing is in flight anywhere — only tasks create tasks, and the
+      // driver thread is here. idle()'s lock also gives the driver a
+      // happens-before edge over everything those tasks wrote.
+      uint64_t after = 0;
+      bool still_idle = true;
+      for (auto& s : shards_) {
+        after += s->executed();
+        still_idle = still_idle && s->idle();
+      }
+      if (still_idle && after == before) return;
+    }
+    KOPT_CHECK_MSG(std::chrono::steady_clock::now() < hard_deadline,
+                   "threaded cluster failed to quiesce within 120s real time");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// Run `fn(engine)` for every process ON ITS OWNING SHARD THREAD and block
+// until all have run. Even when wait_quiet() reports the system idle, the
+// workers are not paused — a periodic timer (log-progress flush,
+// retransmit) can start touching an engine at any moment, so the driver
+// thread must never read engine state directly while workers live. The
+// barrier state sits in a shared_ptr so a late notify_one cannot outlive it.
+void ThreadedCluster::for_each_engine_on_shard(
+    const std::function<void(RecoveryProcess&)>& fn) {
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    int remaining = 0;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = cfg_.n;
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    RecoveryProcess* p = slot(pid).engine.get();
+    shard_of(pid).schedule_at(clock_.now(), [p, barrier, &fn] {
+      fn(*p);
+      {
+        std::lock_guard<std::mutex> lk(barrier->mu);
+        --barrier->remaining;
+      }
+      barrier->cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(barrier->mu);
+  barrier->cv.wait(lk, [&barrier] { return barrier->remaining == 0; });
+}
+
+void ThreadedCluster::drain() {
+  KOPT_CHECK(started_ && !stopped_);
+  draining_.store(true, std::memory_order_release);
+  constexpr int kMaxRounds = 60;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    wait_quiet();
+    // Probe + nudge each process from its own shard; `dirty` aggregates
+    // under the probe mutex.
+    std::mutex dirty_mu;
+    bool dirty = false;
+    for_each_engine_on_shard([&dirty_mu, &dirty](RecoveryProcess& p) {
+      bool busy = !p.alive() || !p.quiescent();
+      if (p.alive()) {
+        RecoveryProcess* pp = &p;
+        p.executor().submit([pp] { pp->drain_tick(); });
+      }
+      if (busy) {
+        std::lock_guard<std::mutex> lk(dirty_mu);
+        dirty = true;
+      }
+    });
+    wait_quiet();
+    if (!dirty) {
+      final_now_ = clock_.now();
+      return;
+    }
+  }
+  std::mutex diag_mu;
+  std::map<ProcessId, std::string> diags;
+  for_each_engine_on_shard([&diag_mu, &diags](RecoveryProcess& p) {
+    std::ostringstream os;
+    os << "P" << p.pid() << (p.alive() ? "" : " DOWN")
+       << (p.quiescent() ? "" : " busy") << "; "
+       << "  [at " << p.current().str()
+       << " recv=" << p.receive_buffer_size()
+       << " send=" << p.send_buffer_size()
+       << " out=" << p.output_buffer_size()
+       << " vol=" << p.storage().log().volatile_count() << "] ";
+    std::lock_guard<std::mutex> lk(diag_mu);
+    diags[p.pid()] = os.str();
+  });
+  std::ostringstream os;
+  for (const auto& [pid, s] : diags) os << s;
+  KOPT_CHECK_MSG(false, "threaded cluster failed to drain: " << os.str());
+}
+
+void ThreadedCluster::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (final_now_ == 0) final_now_ = clock_.now();
+  for (auto& s : shards_) s->stop_and_join();
+  for (auto& s : slots_) merged_stats_.merge(s.api->stats_);
+}
+
+SimTime ThreadedCluster::now_us() const {
+  return stopped_ ? final_now_ : clock_.now();
+}
+
+Stats& ThreadedCluster::stats() {
+  KOPT_CHECK_MSG(stopped_,
+                 "call shutdown() before reading threaded-backend stats");
+  return merged_stats_;
+}
+
+const std::vector<CommittedOutput>& ThreadedCluster::outputs() const {
+  return outputs_;
+}
+
+RecoveryProcess& ThreadedCluster::engine(ProcessId pid) {
+  KOPT_CHECK_MSG(stopped_,
+                 "call shutdown() before inspecting threaded-backend engines");
+  return *slots_[static_cast<size_t>(pid)].engine;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,106 @@
+#include "exec/threaded_scheduler.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace koptlog {
+
+MonotonicClock::MonotonicClock(double time_scale)
+    : start_(std::chrono::steady_clock::now()), scale_(time_scale) {
+  KOPT_CHECK(time_scale > 0.0);
+}
+
+SimTime MonotonicClock::now() const {
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  double real_us =
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          elapsed)
+          .count();
+  return static_cast<SimTime>(real_us / scale_);
+}
+
+std::chrono::steady_clock::time_point MonotonicClock::real_deadline(
+    SimTime t) const {
+  auto real_ns = static_cast<int64_t>(
+      std::llround(static_cast<double>(t) * scale_ * 1000.0));
+  return start_ + std::chrono::nanoseconds(real_ns);
+}
+
+void MonotonicClock::sleep_until(SimTime t) const {
+  std::this_thread::sleep_until(real_deadline(t));
+}
+
+ThreadedScheduler::ThreadedScheduler(const MonotonicClock& clock,
+                                     std::string name)
+    : clock_(clock), name_(std::move(name)) {}
+
+ThreadedScheduler::~ThreadedScheduler() { stop_and_join(); }
+
+SeqNo ThreadedScheduler::schedule_at(SimTime t, Action fn) {
+  KOPT_CHECK(fn != nullptr);
+  SeqNo seq;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    KOPT_CHECK_MSG(!stop_, "schedule_at on stopped scheduler " << name_);
+    seq = next_seq_++;
+    queue_.push(Event{t, seq, std::move(fn)});
+  }
+  cv_.notify_one();
+  return seq;
+}
+
+void ThreadedScheduler::start() {
+  KOPT_CHECK(!worker_.joinable());
+  worker_ = std::thread([this] { loop(); });
+}
+
+void ThreadedScheduler::stop_and_join() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool ThreadedScheduler::idle() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.empty() && !executing_;
+}
+
+size_t ThreadedScheduler::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void ThreadedScheduler::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (stop_) break;
+    if (queue_.empty()) {
+      cv_.wait(lk);
+      continue;
+    }
+    auto deadline = clock_.real_deadline(queue_.top().t);
+    if (deadline > std::chrono::steady_clock::now()) {
+      // A new earlier event or stop request re-evaluates the wait.
+      cv_.wait_until(lk, deadline);
+      continue;
+    }
+    // const_cast: priority_queue::top() is const, but we pop right after;
+    // moving the action out avoids copying its captures.
+    Action fn = std::move(const_cast<Event&>(queue_.top()).fn);
+    queue_.pop();
+    executing_ = true;
+    lk.unlock();
+    fn();      // may schedule on this or any other shard
+    fn = nullptr;  // destroy captures outside the lock
+    lk.lock();
+    executing_ = false;
+    executed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace koptlog

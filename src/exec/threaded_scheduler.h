@@ -1,0 +1,114 @@
+// ThreadedScheduler — the real-thread implementation of the Scheduler
+// seam: one event-loop worker thread per shard of processes, a mutex-
+// guarded deadline queue that doubles as the shard's cross-shard mailbox
+// (any thread may schedule_at), and condition-variable timers against a
+// shared scaled monotonic clock.
+//
+// Unlike the deterministic Simulator, time here is wall-clock: an event's
+// deadline is a point on the shared MonotonicClock, the worker sleeps
+// until it is due, and two runs interleave differently. Correctness of a
+// run is therefore established post hoc — per-process obs/ recorders are
+// merged and fed to the trace audit — not by replaying it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/scheduler.h"
+
+namespace koptlog {
+
+/// Shared time source for every shard of one ThreadedCluster: virtual
+/// microseconds elapsed since construction, scaled from the steady clock.
+/// `time_scale` is real microseconds per virtual microsecond — 1.0 runs
+/// protocol timers at nominal speed, 0.05 runs them 20x faster (latencies,
+/// service costs and timer periods all compress consistently).
+class MonotonicClock final : public Clock {
+ public:
+  explicit MonotonicClock(double time_scale = 1.0);
+
+  SimTime now() const override;
+
+  /// The real-time point at which virtual time `t` is reached.
+  std::chrono::steady_clock::time_point real_deadline(SimTime t) const;
+
+  /// Block the calling thread until virtual time `t`.
+  void sleep_until(SimTime t) const;
+
+  double time_scale() const { return scale_; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  double scale_;
+};
+
+class ThreadedScheduler final : public Scheduler {
+ public:
+  /// `name` labels the worker thread in diagnostics.
+  ThreadedScheduler(const MonotonicClock& clock, std::string name);
+  ~ThreadedScheduler();
+
+  ThreadedScheduler(const ThreadedScheduler&) = delete;
+  ThreadedScheduler& operator=(const ThreadedScheduler&) = delete;
+
+  SimTime now() const override { return clock_.now(); }
+
+  /// Thread-safe: any shard (or the driver thread) may enqueue. Deadlines
+  /// in the past run as soon as the worker is free, in (t, seq) order.
+  SeqNo schedule_at(SimTime t, Action fn) override;
+
+  /// Launch the worker thread. Events scheduled before start() are kept.
+  void start();
+
+  /// Ask the worker to exit (pending events are dropped) and join it.
+  /// Idempotent; also called by the destructor.
+  void stop_and_join();
+
+  /// Queue empty and no event mid-execution. A false return says nothing
+  /// stable — use executed() deltas to detect a quiet system.
+  bool idle() const;
+
+  /// Events executed so far (monotone; use deltas across idle() passes to
+  /// prove no work happened in between).
+  uint64_t executed() const { return executed_.load(std::memory_order_acquire); }
+
+  size_t pending() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Event {
+    SimTime t;
+    SeqNo seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void loop();
+
+  const MonotonicClock& clock_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SeqNo next_seq_ = 0;
+  bool executing_ = false;
+  bool stop_ = false;
+  std::atomic<uint64_t> executed_{0};
+  std::thread worker_;
+};
+
+}  // namespace koptlog

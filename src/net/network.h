@@ -15,15 +15,15 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/latency_model.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "sim/stats.h"
 
 namespace koptlog {
 
 class Network {
  public:
-  Network(Simulator& sim, Rng rng, LatencyModel latency, bool fifo)
-      : sim_(sim), rng_(rng), latency_(latency), fifo_(fifo) {}
+  Network(Scheduler& sched, Rng rng, LatencyModel latency, bool fifo)
+      : sim_(sched), rng_(rng), latency_(latency), fifo_(fifo) {}
 
   /// Send `bytes` from `from` to `to`; `deliver` runs at the arrival time.
   /// Whether the destination is alive is the receiver's business — the
@@ -38,7 +38,7 @@ class Network {
   int64_t bytes_sent() const { return bytes_sent_; }
 
  private:
-  Simulator& sim_;
+  Scheduler& sim_;
   Rng rng_;
   LatencyModel latency_;
   bool fifo_;

@@ -22,7 +22,7 @@ void OutputBuffer::check(
       }
       if (null_stable_entries_) {
         if (Oracle* orc = rt_.oracle())
-          orc->on_entry_nulled(rt_.pid, j, *e, rt_.sim().now());
+          orc->on_entry_nulled(rt_.pid, j, *e, rt_.now());
         rec.tdv.clear(j);
       }
     }
@@ -30,7 +30,7 @@ void OutputBuffer::check(
       if (EventRecorder* erec = rt_.recorder()) {
         ProtocolEvent e;
         e.kind = EventKind::kOutputCommit;
-        e.t = rt_.sim().now();
+        e.t = rt_.now();
         e.at = rec.born_of.entry();
         e.tdv = rec.tdv;  // fully NULL at commit time in the 0-opt sense
         e.msg = rec.id;

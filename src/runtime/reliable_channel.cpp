@@ -15,7 +15,7 @@ void ReliableChannel::retransmit(
     if (EventRecorder* rec = rt_.recorder()) {
       ProtocolEvent e;
       e.kind = EventKind::kRetransmit;
-      e.t = rt_.sim().now();
+      e.t = rt_.now();
       e.at = it->second.born_of.entry();
       e.msg = it->second.id;
       e.peer = it->second.to;

@@ -90,7 +90,7 @@ void ReplayEngine::start_async_flush(
   SimTime d = rt_.storage.costs().async_flush_base_us +
               static_cast<SimTime>(nvol) *
                   rt_.storage.costs().async_flush_per_msg_us;
-  rt_.sim().schedule_after(d, [this, finish, upto, watermark, epoch] {
+  rt_.scheduler().schedule_after(d, [this, finish, upto, watermark, epoch] {
     if (epoch != epoch_ || !alive_()) return;
     finish(upto, watermark);
   });
@@ -166,7 +166,7 @@ void ReplayEngine::arm_periodic(SimTime period,
                                 const std::function<void()>& tick) {
   if (period <= 0) return;
   uint64_t epoch = epoch_;
-  rt_.sim().schedule_after(period, [this, epoch, period, tick] {
+  rt_.scheduler().schedule_after(period, [this, epoch, period, tick] {
     if (epoch != epoch_ || !alive_() || rt_.api.draining()) return;
     tick();
     arm_periodic(period, tick);

@@ -1,8 +1,9 @@
 // RuntimeServices — the small context every runtime component works
-// against: the hosting cluster's services (simulator clock/scheduler,
+// against: the hosting cluster's services (the clock/scheduler seam,
 // stats, tracer, oracle), the per-process executor, and the process's
 // stable storage. Components receive this instead of reaching into engine
-// privates, so any RecoveryProcess engine can compose them.
+// privates, so any RecoveryProcess engine can compose them — on either
+// backend: scheduler() is the abstract seam, never the concrete Simulator.
 #pragma once
 
 #include "core/cluster_api.h"
@@ -18,7 +19,8 @@ struct RuntimeServices {
   Executor& exec;
   StableStorage& storage;
 
-  Simulator& sim() const { return api.sim(); }
+  Scheduler& scheduler() const { return api.scheduler(); }
+  SimTime now() const { return api.scheduler().now(); }
   Stats& stats() const { return api.stats(); }
   Oracle* oracle() const { return api.oracle(); }
   EventRecorder* recorder() const { return api.recorder(pid); }
@@ -28,9 +30,9 @@ struct RuntimeServices {
   /// committed outputs leave the host only when the process is idle again.
   template <typename Fn>
   void dispatch_at_idle(Fn&& fn) const {
-    SimTime ready = std::max(sim().now(), exec.busy_until());
-    if (ready > sim().now()) {
-      sim().schedule_at(ready, std::forward<Fn>(fn));
+    SimTime ready = std::max(now(), exec.busy_until());
+    if (ready > now()) {
+      scheduler().schedule_at(ready, std::forward<Fn>(fn));
     } else {
       fn();
     }

@@ -24,10 +24,10 @@ void SendBuffer::release_eligible(
     int live = b.msg.tdv.non_null_count();
     if (live <= b.k_limit) {
       rt_.stats().inc("msgs.released");
-      if (rt_.sim().now() > b.queued_at)
+      if (rt_.now() > b.queued_at)
         rt_.stats().inc("msgs.released_delayed");
       rt_.stats().sample("send.hold_us",
-                         static_cast<double>(rt_.sim().now() - b.queued_at));
+                         static_cast<double>(rt_.now() - b.queued_at));
       rt_.stats().sample("send.risk", static_cast<double>(live));
       rt_.stats().sample("msg.piggyback_bytes",
                          static_cast<double>(b.msg.wire_bytes(null_omission_)));
@@ -36,11 +36,11 @@ void SendBuffer::release_eligible(
                                                  ? b.msg.tdv.wire_bytes()
                                                  : b.msg.tdv.wire_bytes_full()));
       if (Oracle* orc = rt_.oracle())
-        orc->on_msg_released(b.msg, live, b.k_limit, rt_.sim().now());
+        orc->on_msg_released(b.msg, live, b.k_limit, rt_.now());
       if (EventRecorder* rec = rt_.recorder()) {
         ProtocolEvent e;
         e.kind = EventKind::kBufferRelease;
-        e.t = rt_.sim().now();
+        e.t = rt_.now();
         e.at = b.msg.born_of.entry();
         e.tdv = b.msg.tdv;  // post-NULLing: this is what goes on the wire
         e.msg = b.msg.id;
@@ -60,7 +60,7 @@ void SendBuffer::release_eligible(
         if (EventRecorder* rec = rt_.recorder()) {
           ProtocolEvent e;
           e.kind = EventKind::kBufferHold;
-          e.t = rt_.sim().now();
+          e.t = rt_.now();
           e.at = b.msg.born_of.entry();
           e.msg = b.msg.id;
           e.peer = b.msg.to;

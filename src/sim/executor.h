@@ -10,7 +10,7 @@
 #include <functional>
 
 #include "common/check.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace koptlog {
 
@@ -18,13 +18,13 @@ class Executor {
  public:
   using Action = std::function<void()>;
 
-  explicit Executor(Simulator& sim) : sim_(sim) {}
+  explicit Executor(Scheduler& sched) : sim_(sched) {}
 
   /// Enqueue an action; it runs when the process is next idle.
   void submit(Action fn);
 
   /// Called from inside a running action: the process is busy for `d` more
-  /// simulated microseconds.
+  /// microseconds.
   void occupy(SimTime d) {
     KOPT_CHECK(d >= 0);
     busy_until_ = std::max(busy_until_, sim_.now()) + d;
@@ -42,7 +42,7 @@ class Executor {
   void schedule_pump();
   void pump();
 
-  Simulator& sim_;
+  Scheduler& sim_;
   std::deque<Action> queue_;
   SimTime busy_until_ = 0;
   bool pump_scheduled_ = false;

@@ -1,0 +1,52 @@
+// Clock / Scheduler — the abstract time-and-scheduling seam every layer
+// above sim/ programs against. Two implementations exist:
+//
+//   * Simulator (sim/simulator.h): the deterministic single-threaded
+//     discrete-event queue — virtual time, (time, insertion-seq) order,
+//     bit-for-bit reproducible runs. The testing backend.
+//   * ThreadedScheduler (exec/threaded_scheduler.h): one real event-loop
+//     thread per shard of processes over a shared monotonic clock —
+//     wall-clock deadlines, cross-thread mailboxes. The production-shaped
+//     backend, validated oracle-free by the trace audit.
+//
+// Contract differences callers may rely on:
+//   * now() is monotone non-decreasing within one scheduler.
+//   * schedule_at(t, fn) runs fn at a time >= max(t, now()). The simulator
+//     rejects t < now() (a determinism bug); a real-time scheduler clamps —
+//     by the time the call is made the deadline may already have passed.
+//   * The returned SeqNo increases with submission order and breaks
+//     same-deadline ties deterministically in the simulator; a threaded
+//     scheduler only promises FIFO among same-deadline events of one shard.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace koptlog {
+
+/// Read-only time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in (simulated or scaled-real) microseconds since start.
+  virtual SimTime now() const = 0;
+};
+
+/// A Clock that can also run work at future times.
+class Scheduler : public Clock {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t`. Returns the event's sequence
+  /// number (strictly increasing per scheduler).
+  virtual SeqNo schedule_at(SimTime t, Action fn) = 0;
+
+  /// Schedule `fn` after `delay` (>= 0) microseconds.
+  SeqNo schedule_after(SimTime delay, Action fn) {
+    return schedule_at(now() + delay, std::move(fn));
+  }
+};
+
+}  // namespace koptlog

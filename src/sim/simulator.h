@@ -1,5 +1,6 @@
-// Deterministic single-threaded discrete-event simulator. Events fire in
-// (time, insertion-sequence) order, so two runs with the same seed produce
+// Deterministic single-threaded discrete-event simulator: the testing
+// implementation of the Scheduler seam. Events fire in (time,
+// insertion-sequence) order, so two runs with the same seed produce
 // byte-identical histories.
 #pragma once
 
@@ -10,27 +11,23 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "sim/scheduler.h"
 
 namespace koptlog {
 
-class Simulator {
+class Simulator final : public Scheduler {
  public:
-  using Action = std::function<void()>;
+  using Action = Scheduler::Action;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
 
   /// Schedule `fn` at absolute time `t` (>= now). Returns the event's
   /// sequence number (strictly increasing — also the FIFO tie-breaker).
-  SeqNo schedule_at(SimTime t, Action fn);
-
-  /// Schedule `fn` after `delay` (>= 0) simulated microseconds.
-  SeqNo schedule_after(SimTime delay, Action fn) {
-    return schedule_at(now_ + delay, std::move(fn));
-  }
+  SeqNo schedule_at(SimTime t, Action fn) override;
 
   bool empty() const { return queue_.empty(); }
   size_t pending() const { return queue_.size(); }

@@ -45,6 +45,29 @@ void Histogram::clear() {
   min_ = max_ = 0.0;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (double v : other.samples_) {
+    if (samples_.size() >= max_samples_) break;
+    samples_.push_back(v);
+  }
+  sorted_ = samples_.empty();
+}
+
+void Stats::merge(const Stats& other) {
+  for (const auto& [name, v] : other.counters()) counters_[name] += v;
+  for (const auto& [name, h] : other.histograms()) histograms_[name].merge(h);
+}
+
 int64_t Stats::counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;

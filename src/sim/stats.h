@@ -31,6 +31,11 @@ class Histogram {
 
   void clear();
 
+  /// Fold another histogram in (exact count/sum/min/max; retained samples
+  /// appended up to the cap). The threaded backend keeps one Stats per
+  /// process and merges after the workers are joined.
+  void merge(const Histogram& other);
+
  private:
   size_t max_samples_;
   mutable std::vector<double> samples_;
@@ -58,6 +63,9 @@ class Stats {
     counters_.clear();
     histograms_.clear();
   }
+
+  /// Fold another bag in: counters add, histograms merge.
+  void merge(const Stats& other);
 
  private:
   std::map<std::string, int64_t> counters_;

@@ -1,0 +1,249 @@
+// Seeded-corpus fuzz smoke of the wire codec's decoders. The decoders
+// parse bytes that, in a real deployment, arrive off the network — so they
+// must reject malformed input gracefully: return nullopt (or a value), but
+// never crash, never read out of bounds (the asan job runs this file),
+// and never allocate absurd amounts from a hostile length field.
+//
+// Three attack families per message type, all deterministic from a seed:
+//   * truncation at every prefix length (torn reads, truncated vectors)
+//   * random byte flips over valid encodings (corrupted counts,
+//     hostile incarnation numbers, sign-flipped indices)
+//   * random garbage of various lengths (no valid structure at all)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "wire/codec.h"
+
+namespace koptlog {
+namespace {
+
+using wire::Encoder;
+
+constexpr int kN = 6;  // system size for vector reconstruction
+
+// --- corpus -----------------------------------------------------------------
+
+AppMsg sample_app_msg(Rng& rng) {
+  AppMsg m;
+  m.from = static_cast<ProcessId>(rng.next_below(kN));
+  m.to = static_cast<ProcessId>(rng.next_below(kN));
+  // The wire format derives id.src and born_of.pid from `from`.
+  m.id = MsgId{m.from, rng.next_u64() >> 8};
+  m.payload.kind = static_cast<int32_t>(rng.next_range(-3, 120));
+  m.payload.a = rng.next_range(-1'000'000, 1'000'000);
+  m.payload.b = static_cast<int64_t>(rng.next_u64());
+  m.payload.c = rng.next_range(0, 9);
+  m.payload.ttl = static_cast<int32_t>(rng.next_range(0, 32));
+  m.tdv = DepVector(kN);
+  for (ProcessId j = 0; j < kN; ++j) {
+    if (rng.next_bernoulli(0.5)) {
+      m.tdv.set(j, Entry{static_cast<Incarnation>(rng.next_below(5)),
+                         static_cast<Sii>(rng.next_below(1'000))});
+    }
+  }
+  m.born_of = IntervalId{m.from, static_cast<Incarnation>(rng.next_below(4)),
+                         static_cast<Sii>(rng.next_below(500))};
+  return m;
+}
+
+Announcement sample_announcement(Rng& rng) {
+  Announcement a;
+  a.from = static_cast<ProcessId>(rng.next_below(kN));
+  a.ended = Entry{static_cast<Incarnation>(rng.next_below(6)),
+                  static_cast<Sii>(rng.next_below(2'000))};
+  a.from_failure = rng.next_bernoulli(0.7);
+  return a;
+}
+
+LogProgressMsg sample_log_progress(Rng& rng) {
+  LogProgressMsg lp;
+  lp.from = static_cast<ProcessId>(rng.next_below(kN));
+  int incs = static_cast<int>(rng.next_below(5));
+  for (int t = 0; t < incs; ++t) {
+    lp.stable.push_back(Entry{static_cast<Incarnation>(t),
+                              static_cast<Sii>(rng.next_below(800))});
+  }
+  return lp;
+}
+
+DepQuery sample_dep_query(Rng& rng) {
+  DepQuery q;
+  q.requester = static_cast<ProcessId>(rng.next_below(kN));
+  q.target = IntervalId{static_cast<ProcessId>(rng.next_below(kN)),
+                        static_cast<Incarnation>(rng.next_below(4)),
+                        static_cast<Sii>(rng.next_below(900))};
+  q.query_id = rng.next_u64() >> 8;
+  return q;
+}
+
+DepReply sample_dep_reply(Rng& rng) {
+  DepReply r;
+  r.owner = static_cast<ProcessId>(rng.next_below(kN));
+  r.query_id = rng.next_u64() >> 8;
+  r.target = IntervalId{r.owner, static_cast<Incarnation>(rng.next_below(4)),
+                        static_cast<Sii>(rng.next_below(900))};
+  r.status = static_cast<DepReply::Status>(rng.next_below(4));
+  int deps = static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < deps; ++i) {
+    r.deps.push_back(IntervalId{static_cast<ProcessId>(rng.next_below(kN)),
+                                static_cast<Incarnation>(rng.next_below(3)),
+                                static_cast<Sii>(rng.next_below(700))});
+  }
+  return r;
+}
+
+// --- mutation harness -------------------------------------------------------
+
+/// Run `decode` over (a) every truncation of `valid`, (b) `flips` random
+/// byte-flip mutants, (c) `garbage` random byte strings. The decoder must
+/// not crash; whatever it returns is discarded.
+template <typename DecodeFn>
+void hammer(const std::vector<uint8_t>& valid, Rng& rng, DecodeFn decode,
+            int flips = 200, int garbage = 100) {
+  // Truncations: every strict prefix, including empty.
+  for (size_t len = 0; len < valid.size(); ++len) {
+    (void)decode(std::span<const uint8_t>(valid.data(), len));
+  }
+  // Byte flips: 1-4 random mutations of a valid encoding. Length/count
+  // fields get hit often at these sizes, yielding hostile element counts.
+  for (int i = 0; i < flips; ++i) {
+    std::vector<uint8_t> mutant = valid;
+    int nmut = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < nmut && !mutant.empty(); ++m) {
+      size_t pos = static_cast<size_t>(rng.next_below(mutant.size()));
+      mutant[pos] = static_cast<uint8_t>(rng.next_below(256));
+    }
+    (void)decode(std::span<const uint8_t>(mutant));
+  }
+  // Pure garbage of assorted lengths.
+  for (int i = 0; i < garbage; ++i) {
+    std::vector<uint8_t> junk(rng.next_below(96));
+    for (auto& b : junk) b = static_cast<uint8_t>(rng.next_below(256));
+    (void)decode(std::span<const uint8_t>(junk));
+  }
+}
+
+/// Hostile length prefix: take a valid encoding and overwrite the two bytes
+/// at `count_offset` with 0xFFFF, claiming ~65k elements in a short buffer.
+/// The decoder must fail cleanly instead of over-reading or over-allocating.
+template <typename DecodeFn>
+void hostile_count(const std::vector<uint8_t>& valid, size_t count_offset,
+                   DecodeFn decode) {
+  ASSERT_GE(valid.size(), count_offset + 2);
+  std::vector<uint8_t> mutant = valid;
+  mutant[count_offset] = 0xFF;
+  mutant[count_offset + 1] = 0xFF;
+  auto result = decode(std::span<const uint8_t>(mutant));
+  EXPECT_FALSE(result.has_value())
+      << "decoder accepted a 0xFFFF element count in a "
+      << mutant.size() << "-byte buffer";
+}
+
+// --- per-decoder fuzz smokes ------------------------------------------------
+
+TEST(CodecFuzzTest, AppMsgDecoderSurvivesMutation) {
+  Rng rng(0xF00D);
+  for (int round = 0; round < 20; ++round) {
+    AppMsg m = sample_app_msg(rng);
+    for (bool null_omission : {true, false}) {
+      std::vector<uint8_t> valid = wire::encode_app_msg(m, null_omission);
+      hammer(valid, rng, [null_omission](std::span<const uint8_t> b) {
+        return wire::decode_app_msg(b, kN, null_omission);
+      });
+    }
+  }
+}
+
+TEST(CodecFuzzTest, AppMsgHostileVectorCount) {
+  Rng rng(0xBEEF);
+  AppMsg m = sample_app_msg(rng);
+  std::vector<uint8_t> valid = wire::encode_app_msg(m, /*null_omission=*/true);
+  // The NULL-omitting vector's non-null count is the final section's 2-byte
+  // header: header(28) + payload(32) leaves the vector at offset 60.
+  size_t vector_offset = valid.size() - m.tdv.wire_bytes();
+  hostile_count(valid, vector_offset, [](std::span<const uint8_t> b) {
+    return wire::decode_app_msg(b, kN, true);
+  });
+}
+
+TEST(CodecFuzzTest, AnnouncementDecoderSurvivesMutation) {
+  Rng rng(0xA11CE);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> valid =
+        wire::encode_announcement(sample_announcement(rng));
+    hammer(valid, rng, [](std::span<const uint8_t> b) {
+      return wire::decode_announcement(b);
+    });
+  }
+}
+
+TEST(CodecFuzzTest, LogProgressDecoderSurvivesMutation) {
+  Rng rng(0x10607);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> valid =
+        wire::encode_log_progress(sample_log_progress(rng));
+    hammer(valid, rng, [](std::span<const uint8_t> b) {
+      return wire::decode_log_progress(b);
+    });
+  }
+}
+
+TEST(CodecFuzzTest, LogProgressHostileIncarnationCount) {
+  Rng rng(0x51AB);
+  LogProgressMsg lp = sample_log_progress(rng);
+  lp.stable.push_back(Entry{9, 9});  // ensure at least one entry
+  std::vector<uint8_t> valid = wire::encode_log_progress(lp);
+  // Layout: from(4) then a 2-byte incarnation count.
+  hostile_count(valid, 4, [](std::span<const uint8_t> b) {
+    return wire::decode_log_progress(b);
+  });
+}
+
+TEST(CodecFuzzTest, DepQueryDecoderSurvivesMutation) {
+  Rng rng(0xDEC0);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> valid = wire::encode_dep_query(sample_dep_query(rng));
+    hammer(valid, rng, [](std::span<const uint8_t> b) {
+      return wire::decode_dep_query(b);
+    });
+  }
+}
+
+TEST(CodecFuzzTest, DepReplyDecoderSurvivesMutation) {
+  Rng rng(0x12EF1);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<uint8_t> valid = wire::encode_dep_reply(sample_dep_reply(rng));
+    hammer(valid, rng, [](std::span<const uint8_t> b) {
+      return wire::decode_dep_reply(b);
+    });
+  }
+}
+
+/// Round-trip sanity alongside the fuzzing: valid encodings still decode to
+/// equal values (guards against the fuzz fixes breaking the happy path).
+TEST(CodecFuzzTest, ValidEncodingsStillRoundTrip) {
+  Rng rng(0xCAFE);
+  for (int round = 0; round < 50; ++round) {
+    AppMsg m = sample_app_msg(rng);
+    auto decoded =
+        wire::decode_app_msg(wire::encode_app_msg(m, true), kN, true);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->id, m.id);
+    EXPECT_EQ(decoded->payload, m.payload);
+    EXPECT_EQ(decoded->tdv, m.tdv);
+
+    Announcement a = sample_announcement(rng);
+    auto da = wire::decode_announcement(wire::encode_announcement(a));
+    ASSERT_TRUE(da.has_value());
+    EXPECT_EQ(da->from, a.from);
+    EXPECT_EQ(da->ended, a.ended);
+    EXPECT_EQ(da->from_failure, a.from_failure);
+  }
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -5,14 +5,16 @@
 //   koptlog_trace explain-orphan  TRACE INTERVAL    why was this interval doomed?
 //   koptlog_trace critical-path   TRACE [--perfetto-out FILE]
 //   koptlog_trace whatif          TRACE [--k-sweep 0,1,2] [--check]
+//   koptlog_trace diff            A B   hop-by-hop release/commit diff
 //   koptlog_trace svg             TRACE [--out FILE]
 //   koptlog_trace summary         TRACE
 //
 // Ids: messages/outputs are "P1:2" (sender:seq, "env:4" for environment
 // injections); intervals are "(inc,sii)_pid" or "pid:inc:sii".
 //
-// Exit codes: 0 ok; 1 query target not found (or --check mismatch);
-// 2 usage error, unreadable trace, or unwritable output path.
+// Exit codes: 0 ok; 1 query target not found (--check mismatch, or diff
+// of traces that are not one-to-one); 2 usage error, unreadable trace, or
+// unwritable output path.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +25,7 @@
 #include "analysis/critical_path.h"
 #include "analysis/explain.h"
 #include "analysis/spacetime_svg.h"
+#include "analysis/trace_diff.h"
 #include "analysis/whatif.h"
 #include "obs/ids.h"
 #include "obs/trace_io.h"
@@ -40,6 +43,8 @@ namespace {
       << "  explain-orphan TRACE INTERVAL   path from announcement to orphan\n"
       << "  critical-path  TRACE [--perfetto-out FILE]\n"
       << "  whatif         TRACE [--k-sweep K0,K1,...] [--check]\n"
+      << "  diff           A.jsonl B.jsonl [--top N]   release/commit diff\n"
+      << "                 (two same-seed different-K runs isolate K)\n"
       << "  svg            TRACE [--out FILE]\n"
       << "  summary        TRACE\n"
       << "ids: message/output \"P1:2\" or \"env:4\"; interval \"(2,6)_3\" or "
@@ -98,6 +103,30 @@ MsgId parse_msg_or_die(const std::string& s) {
 int main(int argc, char** argv) {
   if (argc < 3) usage();
   std::string cmd = argv[1];
+  if (cmd == "diff") {
+    if (argc < 4) usage();
+    int top = 12;
+    for (int i = 4; i < argc; ++i) {
+      if (std::string(argv[i]) == "--top" && i + 1 < argc) {
+        try {
+          size_t pos = 0;
+          top = std::stoi(argv[++i], &pos);
+          if (pos != std::string(argv[i]).size() || top < 0) usage();
+        } catch (const std::exception&) {
+          usage();
+        }
+      } else {
+        usage();
+      }
+    }
+    Trace ta = load_trace(argv[2]);
+    Trace tb = load_trace(argv[3]);
+    CausalGraph ga(ta);
+    CausalGraph gb(tb);
+    TraceDiff d = diff_traces(ga, gb);
+    print_trace_diff(d, std::cout, top);
+    return d.comparable ? 0 : 1;
+  }
   Trace trace = load_trace(argv[2]);
   CausalGraph graph(trace);
 
