@@ -4,12 +4,20 @@
 // checks, simulator event throughput, and a small end-to-end cluster run.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
 #include "app/workloads.h"
 #include "core/oracle.h"
 #include "wire/codec.h"
 #include "core/cluster.h"
 #include "core/dep_vector.h"
 #include "core/interval_table.h"
+#include "exec/mpsc_mailbox.h"
+#include "exec/threaded_scheduler.h"
 #include "sim/simulator.h"
 
 using namespace koptlog;
@@ -128,6 +136,165 @@ void BM_CodecRoundTripAppMsg(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodecRoundTripAppMsg)->Arg(8)->Arg(64);
+
+// --- Mailbox primitives -----------------------------------------------------
+// The two-level threaded-backend spine: lock-free MPSC push/drain cost, the
+// same pattern under a mutex (the kMutex baseline shape), and producer
+// contention at 1..8 threads. These set the constant factors behind the
+// e12 shard-scaling sweep.
+
+struct MailItem {
+  SimTime t = 0;
+  uint64_t seq = 0;
+};
+
+void BM_MailboxMpscPushDrain(benchmark::State& state) {
+  // Single-threaded round trip: push `batch` items, drain them all. Measures
+  // the uncontended CAS + exchange + reversal cost per item.
+  const int batch = static_cast<int>(state.range(0));
+  MpscMailbox<MailItem> box;
+  int64_t items = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      box.push(MailItem{static_cast<SimTime>(i), static_cast<uint64_t>(i)});
+    }
+    items += static_cast<int64_t>(box.drain([](MailItem&&) {}));
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_MailboxMpscPushDrain)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_MailboxMutexPushDrain(benchmark::State& state) {
+  // The same round trip through a mutex-guarded FIFO — the per-item critical
+  // section the kMutex scheduler policy pays on every cross-shard submit.
+  const int batch = static_cast<int>(state.range(0));
+  std::mutex mu;
+  std::queue<MailItem> q;
+  int64_t items = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      std::lock_guard<std::mutex> lk(mu);
+      q.push(MailItem{static_cast<SimTime>(i), static_cast<uint64_t>(i)});
+    }
+    while (true) {
+      std::lock_guard<std::mutex> lk(mu);
+      if (q.empty()) break;
+      q.pop();
+      ++items;
+    }
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_MailboxMutexPushDrain)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_MailboxMpscContention(benchmark::State& state) {
+  // `producers` threads hammer one mailbox while this thread drains until
+  // every item has arrived — the cross-shard submit path under contention.
+  const int producers = static_cast<int>(state.range(0));
+  constexpr int kPerProducer = 4096;
+  int64_t items = 0;
+  for (auto _ : state) {
+    MpscMailbox<MailItem> box;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&box, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          box.push(MailItem{static_cast<SimTime>(i),
+                            static_cast<uint64_t>(p) << 32 |
+                                static_cast<uint64_t>(i)});
+        }
+      });
+    }
+    const size_t want = static_cast<size_t>(producers) * kPerProducer;
+    size_t got = 0;
+    while (got < want) {
+      size_t n = box.drain([](MailItem&&) {});
+      if (n == 0) std::this_thread::yield();
+      got += n;
+    }
+    for (std::thread& t : threads) t.join();
+    items += static_cast<int64_t>(got);
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_MailboxMpscContention)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MailboxMutexContention(benchmark::State& state) {
+  // Identical producer/consumer pattern through a shared mutex-guarded FIFO.
+  const int producers = static_cast<int>(state.range(0));
+  constexpr int kPerProducer = 4096;
+  int64_t items = 0;
+  for (auto _ : state) {
+    std::mutex mu;
+    std::queue<MailItem> q;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      threads.emplace_back([&mu, &q, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          std::lock_guard<std::mutex> lk(mu);
+          q.push(MailItem{static_cast<SimTime>(i),
+                          static_cast<uint64_t>(p) << 32 |
+                              static_cast<uint64_t>(i)});
+        }
+      });
+    }
+    const size_t want = static_cast<size_t>(producers) * kPerProducer;
+    size_t got = 0;
+    while (got < want) {
+      bool popped = false;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        if (!q.empty()) {
+          q.pop();
+          popped = true;
+        }
+      }
+      if (popped) {
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    for (std::thread& t : threads) t.join();
+    items += static_cast<int64_t>(got);
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_MailboxMutexContention)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ThreadedSchedulerPump(benchmark::State& state, MailboxPolicy policy) {
+  // End-to-end submit→execute through a live ThreadedScheduler: per item this
+  // pays the mailbox push, the wake handshake, and the deadline-queue pop.
+  MonotonicClock clock(1.0);
+  ThreadedScheduler sched(clock, "bench", policy);
+  sched.start();
+  constexpr int kBurst = 1024;
+  int64_t items = 0;
+  for (auto _ : state) {
+    const uint64_t base = sched.executed();
+    for (int i = 0; i < kBurst; ++i) sched.schedule_at(0, [] {});
+    while (sched.executed() < base + kBurst) std::this_thread::yield();
+    items += kBurst;
+  }
+  sched.stop_and_join();
+  state.SetItemsProcessed(items);
+}
+BENCHMARK_CAPTURE(BM_ThreadedSchedulerPump, batched, MailboxPolicy::kBatched)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ThreadedSchedulerPump, mutex, MailboxPolicy::kMutex)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OracleDoomClosure(benchmark::State& state) {
   // A two-lane history with cross edges; doom queries exercise the memoized

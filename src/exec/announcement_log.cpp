@@ -1,0 +1,44 @@
+#include "exec/announcement_log.h"
+
+#include "common/check.h"
+
+namespace koptlog {
+
+struct AnnouncementLog::Chunk {
+  Announcement items[kChunkSize];
+};
+
+AnnouncementLog::AnnouncementLog() : chunks_(kMaxChunks) {
+  for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+}
+
+AnnouncementLog::~AnnouncementLog() {
+  for (auto& c : chunks_) delete c.load(std::memory_order_relaxed);
+}
+
+size_t AnnouncementLog::append(const Announcement& a) {
+  std::lock_guard<std::mutex> lk(append_mu_);
+  size_t i = size_.load(std::memory_order_relaxed);  // writer-owned under mu
+  size_t ci = i / kChunkSize;
+  KOPT_CHECK_MSG(ci < kMaxChunks, "announcement log full (" << i << " entries)");
+  Chunk* chunk = chunks_[ci].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    // Release so a reader that locates the chunk through this pointer sees
+    // fully-constructed storage.
+    chunks_[ci].store(chunk, std::memory_order_release);
+  }
+  chunk->items[i % kChunkSize] = a;
+  // Publish: the element write above happens-before any reader's
+  // acquire-load of the new size.
+  size_.store(i + 1, std::memory_order_release);
+  return i;
+}
+
+const Announcement& AnnouncementLog::at(size_t i) const {
+  KOPT_CHECK(i < size_.load(std::memory_order_acquire));
+  Chunk* chunk = chunks_[i / kChunkSize].load(std::memory_order_acquire);
+  return chunk->items[i % kChunkSize];
+}
+
+}  // namespace koptlog

@@ -1,0 +1,52 @@
+// AnnouncementLog — the ThreadedCluster's reliable announcement history as
+// an append-only chunked log with lock-free reads. Broadcasting shards
+// append under a short mutex (pointer bump + one element write); readers —
+// the per-shard restart catch-up replaying from a per-process cursor —
+// walk `[cursor, size())` directly against the immutable chunks, with no
+// lock and no O(history) copy.
+//
+// Publication protocol: an entry is written into its chunk slot BEFORE the
+// size counter's release-store publishes it; readers acquire-load size()
+// and only touch indices below it. Chunks are allocated once and never
+// move, so a published entry's address is stable for the log's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/protocol_msg.h"
+
+namespace koptlog {
+
+class AnnouncementLog {
+ public:
+  AnnouncementLog();
+  ~AnnouncementLog();
+
+  AnnouncementLog(const AnnouncementLog&) = delete;
+  AnnouncementLog& operator=(const AnnouncementLog&) = delete;
+
+  /// Thread-safe. Returns the appended entry's index; the entry is visible
+  /// to size()/at() readers on every thread before append returns.
+  size_t append(const Announcement& a);
+
+  /// Entries published so far (acquire; safe from any thread).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Read entry `i`; requires i < a size() observed by this thread.
+  const Announcement& at(size_t i) const;
+
+ private:
+  struct Chunk;
+  static constexpr size_t kChunkSize = 256;
+  static constexpr size_t kMaxChunks = 4096;  // 1M announcements
+
+  std::mutex append_mu_;
+  std::atomic<size_t> size_{0};
+  std::vector<std::atomic<Chunk*>> chunks_;
+};
+
+}  // namespace koptlog

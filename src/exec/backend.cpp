@@ -24,6 +24,10 @@ bool is_backend(const std::string& name) {
   return false;
 }
 
+bool is_mailbox_policy(const std::string& name) {
+  return name == "batched" || name == "mutex";
+}
+
 std::unique_ptr<ClusterHost> make_backend_host(
     const BackendOptions& opt, const ClusterConfig& cfg,
     const ClusterHost::AppFactory& app,
@@ -35,6 +39,9 @@ std::unique_ptr<ClusterHost> make_backend_host(
     ThreadedOptions topt;
     topt.shards = opt.shards;
     topt.time_scale = opt.time_scale;
+    topt.mailbox = opt.mailbox == "mutex" ? MailboxPolicy::kMutex
+                                          : MailboxPolicy::kBatched;
+    topt.mailbox_capacity = opt.mailbox_capacity;
     return std::make_unique<ThreadedCluster>(cfg, topt, app, engine_factory);
   }
   return nullptr;

@@ -33,7 +33,17 @@ struct BackendOptions {
   int shards = 2;
   /// Threaded backend only: real µs per virtual µs.
   double time_scale = 1.0;
+  /// Threaded backend only: cross-shard mailbox implementation,
+  /// "batched" (two-level lock-free, default) or "mutex" (the pre-change
+  /// baseline, kept for benchmarking).
+  std::string mailbox = "batched";
+  /// Threaded backend only: per-shard occupancy bound (0 = unbounded).
+  /// Driver-side injections block while a shard is at capacity.
+  size_t mailbox_capacity = 0;
 };
+
+/// True iff `name` names a mailbox policy ("batched" or "mutex").
+bool is_mailbox_policy(const std::string& name);
 
 /// Build a host for `opt.name`, applying any engine preset in
 /// `engine_factory`'s entry beforehand is the caller's business (see

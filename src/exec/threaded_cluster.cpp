@@ -72,38 +72,56 @@ void ThreadedCluster::ShardApi::route_app_msg(AppMsg msg) {
 
 void ThreadedCluster::ShardApi::broadcast_announcement(const Announcement& a) {
   // Append to the reliable history BEFORE any delivery is scheduled: a
-  // process that restarts later replays the whole history, so no delivery
-  // dropped on a down process can ever be lost (duplicates are absorbed by
-  // the receiver's announcement journal).
-  {
-    std::lock_guard<std::mutex> lk(host_.announce_mu_);
-    host_.all_announcements_.push_back(a);
-  }
+  // process that restarts later replays the log suffix past its cursor, so
+  // no delivery dropped on a down process can ever be lost (duplicates are
+  // absorbed by the receiver's announcement journal).
+  host_.announce_log_.append(a);
   ThreadedCluster& host = host_;
-  for (ProcessId to = 0; to < host.cfg_.n; ++to) {
-    if (to == a.from) continue;
+  // One job per destination *shard* (a multicast hop: one control-latency
+  // sample and one mailbox push each), not one per process; the job applies
+  // the announcement to every local process on its own thread.
+  for (int s = 0; s < host.shards(); ++s) {
+    auto [lo, hi] = host.shard_pids_[static_cast<size_t>(s)];
+    if (lo >= hi || (hi - lo == 1 && lo == a.from)) continue;
     SimTime lat =
         host.cfg_.control_latency.sample(control_rng_, Announcement::kWireBytes);
-    host.shard_of(to).schedule_at(host.clock_.now() + lat, [&host, to, a] {
-      RecoveryProcess& p = *host.slot(to).engine;
-      if (!p.alive()) return;  // restart catch-up replays the history
-      p.executor().submit([&p, a] { p.handle_announcement(a); });
-    });
+    host.shards_[static_cast<size_t>(s)]->schedule_at(
+        host.clock_.now() + lat, [&host, lo, hi, a] {
+          for (ProcessId to = lo; to < hi; ++to) {
+            if (to == a.from) continue;
+            RecoveryProcess& p = *host.slot(to).engine;
+            if (!p.alive()) continue;  // restart catch-up replays the log
+            p.executor().submit([&p, a] { p.handle_announcement(a); });
+          }
+        });
   }
 }
 
 void ThreadedCluster::ShardApi::broadcast_log_progress(
     const LogProgressMsg& lp) {
   ThreadedCluster& host = host_;
-  for (ProcessId to = 0; to < host.cfg_.n; ++to) {
-    if (to == lp.from) continue;
-    SimTime lat =
-        host.cfg_.control_latency.sample(control_rng_, lp.wire_bytes());
-    host.shard_of(to).schedule_at(host.clock_.now() + lat, [&host, to, lp] {
-      RecoveryProcess& p = *host.slot(to).engine;
-      if (!p.alive()) return;  // periodic re-broadcasts make this harmless
-      p.executor().submit([&p, lp] { p.handle_log_progress(lp); });
-    });
+  // Per-destination latencies as before, but submitted as one batch per
+  // destination shard: one inbox splice instead of n-1 contended pushes.
+  std::vector<Scheduler::TimedAction> batch;
+  for (int s = 0; s < host.shards(); ++s) {
+    auto [lo, hi] = host.shard_pids_[static_cast<size_t>(s)];
+    batch.clear();
+    batch.reserve(static_cast<size_t>(hi - lo));
+    for (ProcessId to = lo; to < hi; ++to) {
+      if (to == lp.from) continue;
+      SimTime lat =
+          host.cfg_.control_latency.sample(control_rng_, lp.wire_bytes());
+      batch.push_back({host.clock_.now() + lat, [&host, to, lp] {
+                         RecoveryProcess& p = *host.slot(to).engine;
+                         // Periodic re-broadcasts make a dropped one harmless.
+                         if (!p.alive()) return;
+                         p.executor().submit([&p, lp] { p.handle_log_progress(lp); });
+                       }});
+    }
+    if (!batch.empty()) {
+      host.shards_[static_cast<size_t>(s)]->schedule_batch(std::move(batch));
+      batch = {};
+    }
   }
 }
 
@@ -187,7 +205,15 @@ ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
   shards_.reserve(static_cast<size_t>(opt_.shards));
   for (int s = 0; s < opt_.shards; ++s) {
     shards_.push_back(std::make_unique<ThreadedScheduler>(
-        clock_, "shard-" + std::to_string(s)));
+        clock_, "shard-" + std::to_string(s), opt_.mailbox,
+        opt_.mailbox_capacity));
+  }
+  shard_pids_.assign(static_cast<size_t>(opt_.shards),
+                     {cfg_.n, 0});  // empty until a pid lands in the shard
+  for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
+    auto& [lo, hi] = shard_pids_[static_cast<size_t>(shard_of_pid(pid))];
+    lo = std::min(lo, pid);
+    hi = std::max(hi, static_cast<ProcessId>(pid + 1));
   }
   if (cfg_.record_events) recording_ = std::make_unique<Recording>(cfg_.n);
   slots_.resize(static_cast<size_t>(cfg_.n));
@@ -221,14 +247,25 @@ void ThreadedCluster::schedule_checkpoint_round() {
     if (draining_.load(std::memory_order_acquire)) return;
     ShardApi& api0 = *slot(0).api;
     api0.stats_.inc("checkpoint.rounds");
-    for (ProcessId to = 0; to < cfg_.n; ++to) {
-      constexpr size_t kMarkerBytes = 8;
-      SimTime lat = cfg_.control_latency.sample(api0.control_rng_, kMarkerBytes);
-      shard_of(to).schedule_at(clock_.now() + lat, [this, to] {
-        RecoveryProcess& p = *slot(to).engine;
-        if (!p.alive()) return;  // it checkpoints at restart time anyway
-        p.executor().submit([&p] { p.checkpoint_now(); });
-      });
+    // Marker fan-out batched per destination shard, like the broadcasts.
+    std::vector<Scheduler::TimedAction> batch;
+    for (int s = 0; s < shards(); ++s) {
+      auto [lo, hi] = shard_pids_[static_cast<size_t>(s)];
+      batch.clear();
+      for (ProcessId to = lo; to < hi; ++to) {
+        constexpr size_t kMarkerBytes = 8;
+        SimTime lat =
+            cfg_.control_latency.sample(api0.control_rng_, kMarkerBytes);
+        batch.push_back({clock_.now() + lat, [this, to] {
+                           RecoveryProcess& p = *slot(to).engine;
+                           if (!p.alive()) return;  // checkpoints at restart
+                           p.executor().submit([&p] { p.checkpoint_now(); });
+                         }});
+      }
+      if (!batch.empty()) {
+        shards_[static_cast<size_t>(s)]->schedule_batch(std::move(batch));
+        batch = {};
+      }
     }
     schedule_checkpoint_round();
   });
@@ -280,23 +317,36 @@ void ThreadedCluster::fail_at(SimTime t, ProcessId pid) {
     p.crash();
     shard_of(pid).schedule_at(
         clock_.now() + cfg_.protocol.restart_delay_us, [this, pid] {
-          RecoveryProcess& p2 = *slot(pid).engine;
+          Slot& s2 = slot(pid);
+          RecoveryProcess& p2 = *s2.engine;
           KOPT_CHECK(!p2.alive());
           p2.restart();
           // Reliable announcement delivery: catch the restarted process up
-          // on every announcement ever broadcast (its journal makes the
-          // already-processed ones no-ops). Any announcement appended after
-          // this copy had its per-process delivery scheduled afterwards, so
-          // it reaches the now-alive process through the normal path.
-          std::vector<Announcement> history;
-          {
-            std::lock_guard<std::mutex> lk(announce_mu_);
-            history = all_announcements_;
-          }
-          for (const Announcement& a : history) {
+          // on the log suffix past its replay cursor (everything below the
+          // cursor was durably journaled before a prior restart; the
+          // journal makes re-deliveries no-ops). Entries appended after
+          // this size() snapshot had their per-shard delivery scheduled
+          // afterwards, so they reach the now-alive process through the
+          // normal fan-out path. No O(history) copy, no lock.
+          size_t end = announce_log_.size();
+          size_t replayed = 0;
+          for (size_t i = s2.announce_cursor; i < end; ++i) {
+            const Announcement& a = announce_log_.at(i);
             if (a.from == pid) continue;
             p2.executor().submit([&p2, a] { p2.handle_announcement(a); });
+            ++replayed;
           }
+          s2.api->stats_.inc("announce.catchup_replayed",
+                             static_cast<int64_t>(replayed));
+          // Advance the cursor only once the replayed announcements are
+          // actually journaled: this trailing action runs after every
+          // handler above (the executor is FIFO on this shard), and a crash
+          // in between wipes it together with the still-queued handlers, so
+          // the cursor can never run ahead of the durable journal.
+          Slot* sp = &s2;
+          p2.executor().submit([sp, end] {
+            sp->announce_cursor = std::max(sp->announce_cursor, end);
+          });
         });
   });
 }
@@ -418,6 +468,32 @@ void ThreadedCluster::shutdown() {
   if (final_now_ == 0) final_now_ = clock_.now();
   for (auto& s : shards_) s->stop_and_join();
   for (auto& s : slots_) merged_stats_.merge(s.api->stats_);
+  // Mailbox contention/batching counters: totals summed across shards,
+  // peaks taken as the max (exact — the workers are joined). These land in
+  // the same Stats bag as everything else, so --metrics-out's Prometheus
+  // dump and the benches pick them up for free.
+  auto relaxed = [](const std::atomic<uint64_t>& v) {
+    return static_cast<int64_t>(v.load(std::memory_order_relaxed));
+  };
+  int64_t max_occupancy = 0;
+  int64_t max_drain_batch = 0;
+  for (const auto& s : shards_) {
+    const MailboxCounters& c = s->mailbox_counters();
+    merged_stats_.inc("mailbox.pushes", relaxed(c.pushes));
+    merged_stats_.inc("mailbox.batch_items", relaxed(c.batch_items));
+    merged_stats_.inc("mailbox.batch_splices", relaxed(c.batch_splices));
+    merged_stats_.inc("mailbox.drains", relaxed(c.drains));
+    merged_stats_.inc("mailbox.drained_events", relaxed(c.drained_events));
+    merged_stats_.inc("mailbox.wakeups", relaxed(c.wakeups));
+    merged_stats_.inc("mailbox.producer_stalls", relaxed(c.producer_stalls));
+    merged_stats_.inc("mailbox.producer_stall_us",
+                      relaxed(c.producer_stall_us));
+    merged_stats_.inc("mailbox.soft_overflows", relaxed(c.soft_overflows));
+    max_occupancy = std::max(max_occupancy, relaxed(c.max_occupancy));
+    max_drain_batch = std::max(max_drain_batch, relaxed(c.max_drain_batch));
+  }
+  merged_stats_.inc("mailbox.max_occupancy", max_occupancy);
+  merged_stats_.inc("mailbox.max_drain_batch", max_drain_batch);
 }
 
 SimTime ThreadedCluster::now_us() const {

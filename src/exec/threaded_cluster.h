@@ -2,13 +2,17 @@
 // processes are block-partitioned into shards, each shard runs one
 // ThreadedScheduler event loop, and the host routes application and
 // control messages across shards by scheduling delivery tasks into the
-// destination shard's queue (the mutex-guarded mailbox).
+// destination shard's two-level mailbox (lock-free MPSC inbox spliced into
+// a worker-local deadline queue; see exec/threaded_scheduler.h).
+// Broadcasts (announcements, log progress, checkpoint markers) fan out one
+// batch submission per destination *shard* rather than one mailbox push
+// per destination process.
 //
 // Everything a process touches is shard-confined: its engine state, its
 // Executor, its EventRecorder and its Stats bag live on exactly one worker
 // thread, so engine code runs unmodified and unsynchronized. The only
-// shared state is the host's (mutex-guarded announcement history and
-// output sink, atomic drain flag and environment sequence).
+// shared state is the host's (append-only announcement log and mutex-
+// guarded output sink, atomic drain flag and environment sequence).
 //
 // There is no oracle and no determinism here: a run is validated post hoc
 // by merging the per-process recorders (deterministic (t, pid, seq) merge)
@@ -29,6 +33,7 @@
 #include "core/cluster_api.h"
 #include "core/cluster_host.h"
 #include "core/recovery_process.h"
+#include "exec/announcement_log.h"
 #include "exec/threaded_scheduler.h"
 #include "obs/event_recorder.h"
 
@@ -41,6 +46,13 @@ struct ThreadedOptions {
   /// Real microseconds per virtual microsecond (see MonotonicClock): 1.0
   /// runs the protocol's timers at nominal speed, 0.05 runs 20x faster.
   double time_scale = 1.0;
+  /// Cross-shard mailbox implementation: the batched lock-free spine
+  /// (default) or the pre-change single-mutex baseline (benchmarks).
+  MailboxPolicy mailbox = MailboxPolicy::kBatched;
+  /// Per-shard occupancy bound (0 = unbounded; batched policy only).
+  /// Non-worker producers — the driver injecting load — block while a
+  /// shard is at capacity; shard workers are exempt and spill over.
+  size_t mailbox_capacity = 0;
 };
 
 class ThreadedCluster final : public ClusterHost {
@@ -65,6 +77,14 @@ class ThreadedCluster final : public ClusterHost {
   const ClusterConfig& config() const override { return cfg_; }
   int shards() const { return static_cast<int>(shards_.size()); }
   int shard_of_pid(ProcessId pid) const;
+
+  /// Direct access to a shard's event loop, for drivers that pump raw
+  /// events into the communication spine (bench_e12's mailbox storm).
+  /// The scheduler is thread-safe; submissions ride the same two-level
+  /// mailbox as protocol traffic.
+  ThreadedScheduler& shard_scheduler(int idx) {
+    return *shards_[static_cast<size_t>(idx)];
+  }
 
   void inject_at(SimTime t, ProcessId to, const AppPayload& payload) override;
   void fail_at(SimTime t, ProcessId pid) override;
@@ -145,6 +165,14 @@ class ThreadedCluster final : public ClusterHost {
   struct Slot {
     std::unique_ptr<ShardApi> api;
     std::unique_ptr<RecoveryProcess> engine;
+    /// Restart catch-up replay cursor into announce_log_: every entry
+    /// below it has been durably processed (journaled) by this process.
+    /// Touched only on the owning shard thread — the restart task reads
+    /// it, and a trailing executor action advances it once the replayed
+    /// announcements have actually been handled (a crash in between drops
+    /// that action along with the queued handlers, so the cursor never
+    /// runs ahead of the journal).
+    size_t announce_cursor = 0;
   };
 
   ThreadedScheduler& shard_of(ProcessId pid) {
@@ -173,12 +201,13 @@ class ThreadedCluster final : public ClusterHost {
   ThreadedOptions opt_;
   MonotonicClock clock_;
   std::vector<std::unique_ptr<ThreadedScheduler>> shards_;
+  /// shard index -> [first pid, last pid) of the block partition.
+  std::vector<std::pair<ProcessId, ProcessId>> shard_pids_;
   std::vector<Slot> slots_;
   std::unique_ptr<Recording> recording_;
   Tracer tracer_;  ///< never given a sink: shard-shared, so reads only
 
-  std::mutex announce_mu_;
-  std::vector<Announcement> all_announcements_;
+  AnnouncementLog announce_log_;
 
   std::mutex outputs_mu_;
   std::vector<CommittedOutput> outputs_;

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -46,6 +48,21 @@ class Scheduler : public Clock {
   /// Schedule `fn` after `delay` (>= 0) microseconds.
   SeqNo schedule_after(SimTime delay, Action fn) {
     return schedule_at(now() + delay, std::move(fn));
+  }
+
+  /// One item of a batch submission.
+  struct TimedAction {
+    SimTime t;
+    Action fn;
+  };
+
+  /// Submit several events in one call. The default simply loops over
+  /// schedule_at — on the deterministic Simulator a batch is by definition
+  /// indistinguishable from its per-item expansion. Cross-thread backends
+  /// override this to pay their producer-side synchronization once per
+  /// batch instead of once per event (see ThreadedScheduler).
+  virtual void schedule_batch(std::vector<TimedAction> batch) {
+    for (TimedAction& item : batch) schedule_at(item.t, std::move(item.fn));
   }
 };
 

@@ -36,6 +36,8 @@ struct Args {
   std::string backend = "sim";  // sim | threaded
   int shards = 2;
   double time_scale = 0.1;
+  std::string mailbox = "batched";  // batched | mutex
+  size_t mailbox_capacity = 0;      // 0 = unbounded
   int injections = 100;
   int ttl = 7;
   int failures = 0;
@@ -71,6 +73,11 @@ struct Args {
       << "  --shards INT      threaded backend: worker threads (default 2)\n"
       << "  --time-scale F    threaded backend: real us per virtual us\n"
       << "                    (default 0.1 = 10x faster than nominal)\n"
+      << "  --mailbox batched|mutex   threaded backend: cross-shard mailbox\n"
+      << "                    (default batched; mutex = pre-batching baseline)\n"
+      << "  --mailbox-capacity INT    threaded backend: per-shard occupancy\n"
+      << "                    bound; injections block while a shard is full\n"
+      << "                    (default 0 = unbounded)\n"
       << "  --injections INT  environment requests (default 100)\n"
       << "  --ttl INT         uniform-workload hop budget (default 7)\n"
       << "  --failures INT    random crashes during the run (default 0)\n"
@@ -121,6 +128,9 @@ Args parse(int argc, char** argv) {
     else if (f == "--seed") a.seed = std::stoull(need(i));
     else if (f == "--shards") a.shards = std::stoi(need(i));
     else if (f == "--time-scale") a.time_scale = std::stod(need(i));
+    else if (f == "--mailbox") a.mailbox = need(i);
+    else if (f == "--mailbox-capacity")
+      a.mailbox_capacity = static_cast<size_t>(std::stoull(need(i)));
     else if (f == "--injections") a.injections = std::stoi(need(i));
     else if (f == "--ttl") a.ttl = std::stoi(need(i));
     else if (f == "--failures") a.failures = std::stoi(need(i));
@@ -219,6 +229,11 @@ int main(int argc, char** argv) {
     std::cerr << "); see --list-backends\n";
     return 2;
   }
+  if (!is_mailbox_policy(a.mailbox)) {
+    std::cerr << "error: unknown mailbox policy '" << a.mailbox
+              << "' (have: batched mutex)\n";
+    return 2;
+  }
   bool threaded = a.backend == "threaded";
 
   ClusterConfig cfg;
@@ -251,6 +266,8 @@ int main(int argc, char** argv) {
   bopt.name = a.backend;
   bopt.shards = a.shards;
   bopt.time_scale = a.time_scale;
+  bopt.mailbox = a.mailbox;
+  bopt.mailbox_capacity = a.mailbox_capacity;
   std::unique_ptr<ClusterHost> host =
       make_backend_host(bopt, cfg, app, engine->factory);
   ClusterHost& cluster = *host;
@@ -294,6 +311,21 @@ int main(int argc, char** argv) {
             << format_double(
                    cluster.stats().histogram("output.commit_latency_us").p99(), 0)
             << "\n  makespan ms        " << cluster.now_us() / 1000 << "\n";
+  if (threaded) {
+    // End-of-run mailbox health: how the cross-shard spine behaved. The
+    // same counters appear in --metrics-out's Prometheus dump.
+    const Stats& st = cluster.stats();
+    std::cout << "  mailbox            policy=" << a.mailbox
+              << " capacity=" << a.mailbox_capacity
+              << " max_occupancy=" << st.counter("mailbox.max_occupancy")
+              << "\n                     batches=" << st.counter("mailbox.drains")
+              << " max_batch=" << st.counter("mailbox.max_drain_batch")
+              << " wakeups=" << st.counter("mailbox.wakeups")
+              << "\n                     stalls=" << st.counter("mailbox.producer_stalls")
+              << " stall_us=" << st.counter("mailbox.producer_stall_us")
+              << " soft_overflows=" << st.counter("mailbox.soft_overflows")
+              << "\n";
+  }
 
   if (a.stats) print_stats(cluster.stats(), std::cout);
 
