@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Fold BENCH_*.json files from multiple runs into trajectory tables.
+
+Every bench binary writes a machine-readable BENCH_<name>.json next to its
+stdout report (see BenchJson in src/core/metrics.h). To track how the
+numbers move across commits, snapshot those files into one directory per
+run (e.g. trends/2026-08-08/BENCH_*.json) and point this tool at the run
+directories (or at individual files — each file is one run):
+
+    scripts/bench_trend.py trends/*/            # dirs: label = dir name
+    scripts/bench_trend.py old/BENCH_e13_storage.json BENCH_e13_storage.json
+
+For each bench name it prints one trajectory table per headline metric and
+per numeric table column: rows are the (label, row-key) points, columns are
+the runs in the order given, plus the delta between the first and last run.
+Non-numeric cells (verdicts) are folded into a per-run "flags" line that
+calls out anything that is not "ok"-ish, so an AUDIT FAIL in an old
+snapshot is loud. Stdlib only; no third-party deps.
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import OrderedDict
+
+
+def load_run(path):
+    """Return (label, {bench_name: doc}) for a run directory or file."""
+    docs = {}
+    if os.path.isdir(path):
+        label = os.path.basename(os.path.normpath(path))
+        names = sorted(os.listdir(path))
+        files = [os.path.join(path, n) for n in names
+                 if n.startswith("BENCH_") and n.endswith(".json")]
+    else:
+        label = os.path.basename(path)
+        files = [path]
+    for f in files:
+        try:
+            with open(f, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: skipping {f}: {e}", file=sys.stderr)
+            continue
+        name = doc.get("bench")
+        if not name:
+            print(f"warning: skipping {f}: no 'bench' field", file=sys.stderr)
+            continue
+        docs[name] = doc
+    return label, docs
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def looks_like_status(v):
+    return isinstance(v, str) and any(
+        w in v.lower() for w in ("ok", "fail", "audit", "error"))
+
+
+def param_column_count(columns, rows):
+    """A table's leading columns name the parameter point (backend, window,
+    K, ...) and the rest carry metrics. Treat everything up to the last
+    non-status string column as the point, so rows match across runs even
+    when the table gained or lost rows."""
+    last = -1
+    for i in range(len(columns)):
+        vals = [r[i] for r in rows if i < len(r)]
+        if any(isinstance(v, str) for v in vals) \
+                and not any(looks_like_status(v) for v in vals):
+            last = i
+    return last + 1 if last >= 0 else 1
+
+
+def row_key(columns, row, nparams):
+    parts = [f"{col}={cell}"
+             for col, cell in zip(columns[:nparams], row[:nparams])]
+    return " ".join(parts) if parts else "row0"
+
+
+def print_table(title, col_labels, rows):
+    widths = [len(c) for c in ["point"] + col_labels]
+    body = []
+    for point, cells in rows:
+        line = [point] + [fmt(c) for c in cells]
+        widths = [max(w, len(s)) for w, s in zip(widths, line)]
+        body.append(line)
+    print(f"== {title} ==")
+    header = ["point"] + col_labels
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for line in body:
+        print("  ".join(s.rjust(w) for s, w in zip(line, widths)))
+    print()
+
+
+def delta(first, last):
+    if not (is_number(first) and is_number(last)):
+        return None
+    if first == 0:
+        return None
+    return f"{100.0 * (last - first) / abs(first):+.1f}%"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fold BENCH_*.json across runs into trajectory tables")
+    ap.add_argument("runs", nargs="+",
+                    help="run directories (BENCH_*.json inside) or files")
+    ap.add_argument("--bench", help="only this bench name (e.g. e13_storage)")
+    ap.add_argument("--metric", help="only columns whose name contains this")
+    args = ap.parse_args()
+
+    runs = [load_run(p) for p in args.runs]
+    runs = [(label, docs) for label, docs in runs if docs]
+    if not runs:
+        print("no BENCH_*.json found in the given paths", file=sys.stderr)
+        return 1
+
+    bench_names = OrderedDict()
+    for _, docs in runs:
+        for name in docs:
+            bench_names.setdefault(name, True)
+
+    run_labels = [label for label, _ in runs]
+    for name in bench_names:
+        if args.bench and name != args.bench:
+            continue
+        print(f"#### {name} ({len(runs)} run(s): {', '.join(run_labels)})\n")
+
+        # Headline metrics trajectory.
+        metric_keys = OrderedDict()
+        for _, docs in runs:
+            for k in docs.get(name, {}).get("metrics", {}):
+                metric_keys.setdefault(k, True)
+        metric_rows = []
+        for k in metric_keys:
+            if args.metric and args.metric not in k:
+                continue
+            vals = [docs.get(name, {}).get("metrics", {}).get(k)
+                    for _, docs in runs]
+            metric_rows.append((k, vals + [delta(vals[0], vals[-1])]))
+        if metric_rows:
+            print_table("metrics", run_labels + ["delta"], metric_rows)
+
+        # Per-table numeric columns, keyed by the row's parameter point.
+        table_titles = OrderedDict()
+        for _, docs in runs:
+            for t in docs.get(name, {}).get("tables", []):
+                table_titles.setdefault(t["title"], True)
+        for title in table_titles:
+            per_run = []
+            for _, docs in runs:
+                tab = next((t for t in docs.get(name, {}).get("tables", [])
+                            if t["title"] == title), None)
+                if tab is None:
+                    per_run.append({})
+                    continue
+                nparams = param_column_count(tab["columns"], tab["rows"])
+                indexed = OrderedDict()
+                for row in tab["rows"]:
+                    indexed[row_key(tab["columns"], row, nparams)] = \
+                        dict(zip(tab["columns"], row))
+                per_run.append((tab["columns"], indexed))
+
+            columns = next((c for c in per_run if c), None)
+            if columns is None:
+                continue
+            col_names, _ = columns
+            points = OrderedDict()
+            for entry in per_run:
+                if entry:
+                    for p in entry[1]:
+                        points.setdefault(p, True)
+
+            nparams = param_column_count(
+                col_names,
+                [list(r.values()) for entry in per_run if entry
+                 for r in entry[1].values()])
+            numeric_cols = [c for c in col_names[nparams:]
+                            if any(entry and any(
+                                is_number(entry[1].get(p, {}).get(c))
+                                for p in points)
+                                for entry in per_run)]
+            # Status columns (verdicts): call out anything that isn't ok.
+            flags = []
+            for c in col_names:
+                if c in numeric_cols:
+                    continue
+                col_vals = [row.get(c) for entry in per_run if entry
+                            for row in entry[1].values()]
+                if not any(looks_like_status(v) for v in col_vals):
+                    continue
+                for (label, _), entry in zip(runs, per_run):
+                    if not entry:
+                        continue
+                    for p, row in entry[1].items():
+                        v = row.get(c)
+                        if isinstance(v, str) and "ok" not in v.lower():
+                            flags.append(f"{label} {p}: {c}={v}")
+            for c in numeric_cols:
+                if args.metric and args.metric not in c:
+                    continue
+                rows = []
+                for p in points:
+                    vals = [entry[1].get(p, {}).get(c) if entry else None
+                            for entry in per_run]
+                    rows.append((p, vals + [delta(vals[0], vals[-1])]))
+                print_table(f"{title} :: {c}", run_labels + ["delta"], rows)
+            if flags:
+                print("flags:")
+                for f in flags:
+                    print(f"  !! {f}")
+                print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Kill -9 a --storage=disk run mid-flight and verify the storage directory
+# it leaves behind: koptlog_fsck must find every process directory either
+# clean or recoverably damaged (torn tails to truncate — the crash-recovery
+# contract), never hard-inconsistent; --repair must then make a second scan
+# come back entirely clean. Runs under ctest as "storage_kill_fsck"
+# (label "storage") with KOPTLOG_SCHEMA_NO_BUILD=1 + BUILD_DIR set by the
+# harness to reuse the already-built binaries.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [[ -z "${KOPTLOG_SCHEMA_NO_BUILD:-}" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target koptlog_sim koptlog_fsck -j "$(nproc)"
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+DIR="$TMP/storage"
+
+echo "== launch a disk-backed run and kill -9 it mid-flight"
+# Big enough that the fsync-bound run takes tens of seconds; the kill at
+# ~1s lands mid-run with segments, checkpoints and journal all in flight.
+"$BUILD_DIR/tools/koptlog_sim" --n 5 --k 2 --injections 20000 --failures 3 \
+  --seed 9 --no-oracle --storage disk --storage-dir "$DIR" >/dev/null &
+SIM_PID=$!
+sleep 1
+if ! kill -9 "$SIM_PID" 2>/dev/null; then
+  echo "FAIL: run finished before the kill — grow the workload" >&2
+  exit 1
+fi
+wait "$SIM_PID" 2>/dev/null || true
+[[ -d "$DIR" ]] || { echo "FAIL: no storage directory written" >&2; exit 1; }
+
+echo "== fsck: the killed run's directory must not be hard-inconsistent"
+"$BUILD_DIR/tools/koptlog_fsck" "$DIR"
+
+echo "== fsck --repair, then a second scan must be entirely clean"
+"$BUILD_DIR/tools/koptlog_fsck" --repair --quiet "$DIR"
+OUT=$("$BUILD_DIR/tools/koptlog_fsck" --quiet "$DIR")
+echo "$OUT"
+if [[ "$OUT" != "fsck: ok" ]]; then
+  echo "FAIL: damage survived --repair" >&2
+  exit 1
+fi
+
+echo "kill + fsck OK"

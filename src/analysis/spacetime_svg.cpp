@@ -219,6 +219,19 @@ std::string render_spacetime_svg(const CausalGraph& g,
               "stroke-dasharray=\"2,2\"><title>retransmit "
            << xml_escape(format_msg_id(e.msg)) << "</title></circle>\n";
         break;
+      case EventKind::kStorageFlush:
+        os << "<rect x=\"" << (x - 2) << "\" y=\"" << (y - 2)
+           << "\" width=\"4\" height=\"4\" fill=\"#8a5cad\"><title>"
+              "storage flush: durable lsn " << e.lsn
+           << "</title></rect>\n";
+        break;
+      case EventKind::kStorageRecover:
+        os << "<rect x=\"" << (x - 5) << "\" y=\"" << (y - 5)
+           << "\" width=\"10\" height=\"10\" fill=\"none\" "
+              "stroke=\"#8a5cad\" stroke-width=\"2\"><title>"
+              "storage recover: " << e.lsn
+           << " log records</title></rect>\n";
+        break;
     }
   }
 

@@ -88,6 +88,10 @@ struct ProtocolConfig {
 
   StorageCosts storage;
 
+  /// Storage backend selection: the cost-model simulation (default) or the
+  /// durable segmented on-disk log (see storage/storage_backend.h).
+  StorageOptions storage_backend;
+
   /// Convenience presets.
   static ProtocolConfig k_optimistic(int k) {
     ProtocolConfig c;

@@ -37,7 +37,9 @@ Process::Process(ProcessId pid, int n, const ProtocolConfig& cfg,
       api_(api),
       exec_(api.scheduler()),
       app_(std::move(app)),
-      storage_(cfg.storage),
+      storage_(cfg.storage,
+               make_storage_backend(cfg.storage_backend, cfg.storage, pid, n,
+                                    api.scheduler(), &api.stats())),
       rt_{pid_, n_, api_, exec_, storage_},
       channel_(rt_, cfg_.reliable_delivery, recv_),
       send_buffer_(rt_, cfg_.null_stable_entries, channel_),
@@ -245,8 +247,7 @@ void Process::deliver(const AppMsg& m) {
     // "Logs all delivered messages before sending a message" (§1): the new
     // interval is stable before the application can talk to anyone, so the
     // sends below carry no dependencies at all.
-    storage_.log().flush_all();
-    ++storage_.records_flushed;
+    replay_.flush_volatile();
     replay_.charge_sync_write(storage_.costs().sync_write_us);
     note_own_stable(current_);
     if (cfg_.null_stable_entries) {
@@ -434,7 +435,13 @@ void Process::note_own_stable(Entry watermark) {
 }
 
 void Process::start_async_flush() {
-  replay_.start_async_flush([this](size_t upto, Entry watermark) {
+  replay_.start_async_flush([this](size_t upto, Entry watermark,
+                                   size_t durable_lsn) {
+    // The completion's stability claim is driven by what the backend made
+    // durable: `durable_lsn` is the bound the fsync (or the model's
+    // simulated DMA) actually covered, and it must reach the issued bound
+    // before the watermark may be published.
+    KOPT_CHECK(durable_lsn >= upto);
     // A rollback may have truncated (and regrown, in a new incarnation) the
     // log since this flush was issued — the watermark is then void; garbage
     // collection may have reclaimed the prefix — the flush already happened.
@@ -442,6 +449,16 @@ void Process::start_async_flush() {
         storage_.log().at(upto - 1).started.entry() != watermark)
       return;
     replay_.complete_flush(upto);
+    if (storage_.durable()) {
+      if (EventRecorder* rec = recorder()) {
+        ProtocolEvent e;
+        e.kind = EventKind::kStorageFlush;
+        e.t = api_.scheduler().now();
+        e.at = current_;
+        e.lsn = static_cast<int64_t>(durable_lsn);
+        rec->record(std::move(e));
+      }
+    }
     channel_.ack_stable_records();
     note_own_stable(watermark);
     apply_stability_info();
@@ -452,7 +469,7 @@ void Process::force_flush() {
   if (!alive_) return;
   if (storage_.log().volatile_count() > 0) {
     replay_.flush_volatile();
-    ++storage_.async_flushes;
+    storage_.count_async_flush();
     channel_.ack_stable_records();
     note_own_stable(
         storage_.log().at(storage_.log().size() - 1).started.entry());
@@ -625,6 +642,24 @@ void Process::restart() {
   KOPT_CHECK(!alive_);
   alive_ = true;
   api_.stats().inc(kRestarts);
+
+  // Under a durable backend, restart from the media: the analysis scan
+  // rebuilds the stable image (log, checkpoints, journal, parked messages,
+  // incarnation high-water mark) from what fsyncs actually covered,
+  // replacing the in-memory copy. Restart is derivable purely from stable
+  // state, so this exercises the full recovery path on every in-sim
+  // restart; under the model backend recover() is a no-op and the
+  // in-memory state *is* the stable image.
+  if (storage_.recover()) {
+    if (EventRecorder* rec = recorder()) {
+      ProtocolEvent e;
+      e.kind = EventKind::kStorageRecover;
+      e.t = api_.scheduler().now();
+      e.at = current_;
+      e.lsn = static_cast<int64_t>(storage_.log().size());
+      rec->record(std::move(e));
+    }
+  }
 
   // Rebuild the synchronously-journaled state: incarnation end table and
   // logging-progress facts carried by announcements.

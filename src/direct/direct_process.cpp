@@ -32,7 +32,9 @@ DirectProcess::DirectProcess(ProcessId pid, int n, const ProtocolConfig& cfg,
       api_(api),
       exec_(api.scheduler()),
       app_(std::move(app)),
-      storage_(cfg.storage),
+      storage_(cfg.storage,
+               make_storage_backend(cfg.storage_backend, cfg.storage, pid, n,
+                                    api.scheduler(), &api.stats())),
       rt_{pid_, n_, api_, exec_, storage_},
       replay_(rt_, cfg_, [this] { return alive_; }),
       iet_(n),
@@ -366,6 +368,18 @@ void DirectProcess::restart() {
   KOPT_CHECK(!alive_);
   alive_ = true;
   api_.stats().inc(kRestarts);
+  // Durable backend: rebuild the stable image from the media (see
+  // Process::restart for the rationale).
+  if (storage_.recover()) {
+    if (EventRecorder* rec = recorder()) {
+      ProtocolEvent e;
+      e.kind = EventKind::kStorageRecover;
+      e.t = api_.scheduler().now();
+      e.at = current_;
+      e.lsn = static_cast<int64_t>(storage_.log().size());
+      rec->record(std::move(e));
+    }
+  }
   replay_.restore_announcements([&](const Announcement& a) {
     iet_.insert(a.from, a.ended);
     log_.insert(a.from, a.ended);
@@ -468,7 +482,8 @@ void DirectProcess::do_checkpoint() {
 }
 
 void DirectProcess::start_async_flush() {
-  replay_.start_async_flush([this](size_t upto, Entry) {
+  replay_.start_async_flush([this](size_t upto, Entry, size_t durable_lsn) {
+    KOPT_CHECK(durable_lsn >= upto);
     if (upto > storage_.log().size() || upto <= storage_.log().base()) return;
     // Truncation since issue voids the flush (same record-identity check as
     // the main engine, via the started entry's chain membership).
@@ -476,6 +491,16 @@ void DirectProcess::start_async_flush() {
     std::optional<Incarnation> inc = incarnation_at(last.sii);
     if (!inc || *inc != last.inc) return;
     storage_.log().flush_to(upto);
+    if (storage_.durable()) {
+      if (EventRecorder* rec = recorder()) {
+        ProtocolEvent e;
+        e.kind = EventKind::kStorageFlush;
+        e.t = api_.scheduler().now();
+        e.at = current_;
+        e.lsn = static_cast<int64_t>(durable_lsn);
+        rec->record(std::move(e));
+      }
+    }
     note_stable_up_to(last.sii);
     commit_tick();
   });
@@ -485,7 +510,7 @@ void DirectProcess::force_flush() {
   if (!alive_) return;
   if (storage_.log().volatile_count() > 0) {
     replay_.flush_volatile();
-    ++storage_.async_flushes;
+    storage_.count_async_flush();
     note_stable_up_to(
         storage_.log().at(storage_.log().size() - 1).started.sii);
   }

@@ -466,6 +466,16 @@ void ThreadedCluster::shutdown() {
   if (stopped_) return;
   stopped_ = true;
   if (final_now_ == 0) final_now_ = clock_.now();
+  // Quiesce durable-storage flusher threads first: once drained they stop
+  // posting completions, so no storage I/O can call schedule_at on a shard
+  // whose event loop has already stopped (which would abort). Only after
+  // start(): the barrier inside for_each_engine_on_shard is released by
+  // the shard workers, which otherwise never ran.
+  if (started_) {
+    for_each_engine_on_shard([](RecoveryProcess& p) {
+      if (StorageBackend* b = p.storage().backend()) b->quiesce();
+    });
+  }
   for (auto& s : shards_) s->stop_and_join();
   for (auto& s : slots_) merged_stats_.merge(s.api->stats_);
   // Mailbox contention/batching counters: totals summed across shards,

@@ -203,6 +203,10 @@ AuditReport audit_trace(const Trace& trace) {
       case EventKind::kSend:
       case EventKind::kCheckpoint:
       case EventKind::kRetransmit:
+      // Storage events carry no protocol obligations; the restart-
+      // equivalence test checks their semantics against the model run.
+      case EventKind::kStorageFlush:
+      case EventKind::kStorageRecover:
         break;
     }
   }

@@ -14,13 +14,15 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kOutputCommit:    return "output_commit";
     case EventKind::kRetransmit:      return "retransmit";
     case EventKind::kIncarnationBump: return "incarnation_bump";
+    case EventKind::kStorageFlush:    return "storage_flush";
+    case EventKind::kStorageRecover:  return "storage_recover";
   }
   return "unknown";
 }
 
 std::optional<EventKind> event_kind_from_name(std::string_view name) {
   for (int32_t k = static_cast<int32_t>(EventKind::kSend);
-       k <= static_cast<int32_t>(EventKind::kIncarnationBump); ++k) {
+       k <= static_cast<int32_t>(EventKind::kStorageRecover); ++k) {
     if (event_kind_name(static_cast<EventKind>(k)) == name)
       return static_cast<EventKind>(k);
   }

@@ -31,6 +31,8 @@ enum class EventKind : int32_t {
   kOutputCommit,     ///< output's dependencies all stable; sent to the world
   kRetransmit,       ///< reliable channel re-sent an unacknowledged message
   kIncarnationBump,  ///< recovery interval started in a new incarnation
+  kStorageFlush,     ///< durable backend: a group-commit fsync completed
+  kStorageRecover,   ///< durable backend: restart rebuilt state from media
 };
 
 /// Stable wire name ("send", "deliver", ...) used in the JSONL schema.
@@ -66,6 +68,9 @@ struct ProtocolEvent {
   int k_limit = -1;    ///< Send/BufferHold/BufferRelease: the K bound
   int k_reached = -1;  ///< BufferHold/BufferRelease: live entries observed
   int64_t undone = 0;  ///< Rollback: log records undone
+  /// StorageFlush: log bound the fsync covered; StorageRecover: recovered
+  /// log size. Only emitted by durable backends.
+  int64_t lsn = 0;
   bool from_failure = false;  ///< FailureAnnounce: restart vs rollback
   bool recv_side = false;     ///< BufferHold: receive buffer vs send buffer
 

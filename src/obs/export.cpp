@@ -55,6 +55,10 @@ std::string event_args(const ProtocolEvent& e) {
       break;
     case EventKind::kIncarnationBump:
       break;
+    case EventKind::kStorageFlush:
+    case EventKind::kStorageRecover:
+      os << ",\"lsn\":" << e.lsn;
+      break;
   }
   os << '}';
   return os.str();

@@ -166,6 +166,11 @@ std::string event_to_json(const ProtocolEvent& e) {
       break;
     case EventKind::kIncarnationBump:
       break;
+    case EventKind::kStorageFlush:
+    case EventKind::kStorageRecover:
+      out += ",\"lsn\":";
+      out += std::to_string(e.lsn);
+      break;
   }
   out += '}';
   return out;
@@ -580,6 +585,9 @@ bool event_from_json(const JsonValue& obj, int n, ProtocolEvent& e,
       return need_msg() && need_peer();
     case EventKind::kIncarnationBump:
       return true;
+    case EventKind::kStorageFlush:
+    case EventKind::kStorageRecover:
+      return need_int("lsn", e.lsn);
   }
   why = "unhandled event kind";
   return false;

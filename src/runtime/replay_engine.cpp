@@ -12,6 +12,9 @@ std::vector<LogRecord> ReplayEngine::on_crash() {
   rt_.exec.reset();
   rt_.stats().inc("crash.count");
   processed_announcements_.clear();
+  // The backend drops its staged (unflushed) records and voids pending
+  // flush completions — mirroring exactly the volatile suffix lost here.
+  if (StorageBackend* b = rt_.storage.backend()) b->on_crash();
   return rt_.storage.log().lose_volatile();
 }
 
@@ -31,7 +34,7 @@ void ReplayEngine::report_crash_to_oracle() {
 
 void ReplayEngine::charge_sync_write(SimTime cost) {
   rt_.exec.occupy(cost);
-  ++rt_.storage.sync_writes;
+  rt_.storage.count_sync_write();
   rt_.stats().inc("storage.sync_writes");
 }
 
@@ -69,17 +72,22 @@ void ReplayEngine::restore_announcements(
 
 size_t ReplayEngine::flush_volatile() {
   size_t nvol = rt_.storage.log().volatile_count();
+  // Make the bytes durable before the logical bookkeeping claims they are.
+  if (StorageBackend* b = rt_.storage.backend()) b->sync_flush();
   rt_.storage.log().flush_all();
-  rt_.storage.records_flushed += static_cast<int64_t>(nvol);
+  rt_.storage.count_records_flushed(static_cast<int64_t>(nvol));
+  rt_.stats().inc("storage.records_flushed", static_cast<int64_t>(nvol));
   return nvol;
 }
 
 void ReplayEngine::start_async_flush(
-    const std::function<void(size_t upto, Entry watermark)>& finish) {
+    const std::function<void(size_t upto, Entry watermark, size_t durable_lsn)>&
+        finish) {
   size_t nvol = rt_.storage.log().volatile_count();
   if (nvol == 0) return;
-  ++rt_.storage.async_flushes;
+  rt_.storage.count_async_flush();
   rt_.stats().inc("flush.count");
+  rt_.stats().inc("storage.async_flushes");
   size_t upto = rt_.storage.log().size();
   // The watermark is the interval of the last *logged record*, not the
   // engine's current interval: a rollback/restart bookkeeping interval has
@@ -87,20 +95,20 @@ void ReplayEngine::start_async_flush(
   // must never claim it stable.
   Entry watermark = rt_.storage.log().at(upto - 1).started.entry();
   uint64_t epoch = epoch_;
-  SimTime d = rt_.storage.costs().async_flush_base_us +
-              static_cast<SimTime>(nvol) *
-                  rt_.storage.costs().async_flush_per_msg_us;
-  rt_.scheduler().schedule_after(d, [this, finish, upto, watermark, epoch] {
-    if (epoch != epoch_ || !alive_()) return;
-    finish(upto, watermark);
-  });
+  rt_.storage.backend()->request_flush(
+      upto, nvol,
+      [this, finish, upto, watermark, epoch](size_t durable_lsn) {
+        if (epoch != epoch_ || !alive_()) return;
+        finish(upto, watermark, durable_lsn);
+      });
 }
 
 size_t ReplayEngine::complete_flush(size_t upto) {
   size_t before = rt_.storage.log().stable_count();
   rt_.storage.log().flush_to(upto);
   size_t delta = rt_.storage.log().stable_count() - before;
-  rt_.storage.records_flushed += static_cast<int64_t>(delta);
+  rt_.storage.count_records_flushed(static_cast<int64_t>(delta));
+  rt_.stats().inc("storage.records_flushed", static_cast<int64_t>(delta));
   return delta;
 }
 
@@ -113,8 +121,9 @@ void ReplayEngine::take_checkpoint(
   rt_.exec.occupy(rt_.storage.costs().checkpoint_write_us +
                   static_cast<SimTime>(nvol) *
                       rt_.storage.costs().async_flush_per_msg_us);
-  ++rt_.storage.checkpoints_taken;
+  rt_.storage.count_checkpoint();
   rt_.stats().inc("checkpoint.count");
+  rt_.stats().inc("storage.checkpoints_taken");
   Checkpoint cp;
   fill(cp);
   rt_.storage.checkpoints().push(std::move(cp));

@@ -69,9 +69,13 @@ class ReplayEngine {
 
   /// Begin an asynchronous flush of the current volatile suffix; `finish`
   /// runs at completion — unless a crash bumped the epoch or the process is
-  /// down — with the issued log bound and the interval of the last record
-  /// it covers (the watermark a completed flush may claim stable).
-  void start_async_flush(const std::function<void(size_t upto, Entry watermark)>& finish);
+  /// down — with the issued log bound, the interval of the last record it
+  /// covers (the watermark a completed flush may claim stable), and the log
+  /// bound the backend reports durable (>= upto; under the disk backend
+  /// this is the bound the group-commit fsync actually covered).
+  void start_async_flush(
+      const std::function<void(size_t upto, Entry watermark,
+                               size_t durable_lsn)>& finish);
 
   /// Flush-completion bookkeeping: records [0, upto) are now stable.
   /// Returns how many records newly became stable.

@@ -1,6 +1,14 @@
 #include "storage/checkpoint_store.h"
 
+#include "storage/storage_backend.h"
+
 namespace koptlog {
+
+void CheckpointStore::push(Checkpoint cp) {
+  cp.id = next_id_++;
+  checkpoints_.push_back(std::move(cp));
+  if (backend_) backend_->on_checkpoint(checkpoints_.back());
+}
 
 std::optional<size_t> CheckpointStore::latest_where(
     const std::function<bool(const Checkpoint&)>& pred) const {
@@ -12,13 +20,26 @@ std::optional<size_t> CheckpointStore::latest_where(
 
 void CheckpointStore::discard_after(size_t keep) {
   KOPT_CHECK(keep < checkpoints_.size());
+  if (backend_) {
+    for (size_t i = keep + 1; i < checkpoints_.size(); ++i)
+      backend_->on_discard_checkpoint(checkpoints_[i].id);
+  }
   checkpoints_.resize(keep + 1);
 }
 
 void CheckpointStore::discard_before(size_t keep) {
   KOPT_CHECK(keep < checkpoints_.size());
+  if (backend_) {
+    for (size_t i = 0; i < keep; ++i)
+      backend_->on_discard_checkpoint(checkpoints_[i].id);
+  }
   checkpoints_.erase(checkpoints_.begin(),
                      checkpoints_.begin() + static_cast<ptrdiff_t>(keep));
+}
+
+void CheckpointStore::restore(std::vector<Checkpoint> checkpoints) {
+  checkpoints_ = std::move(checkpoints);
+  next_id_ = checkpoints_.empty() ? 1 : checkpoints_.back().id + 1;
 }
 
 }  // namespace koptlog

@@ -18,7 +18,12 @@
 
 namespace koptlog {
 
+class StorageBackend;
+
 struct Checkpoint {
+  /// Monotone per-process checkpoint id, assigned by CheckpointStore::push.
+  /// Names the durable backend's checkpoint file, so discards can unlink it.
+  uint64_t id = 0;
   Entry at;                        ///< current (t,x) when taken
   DepVector tdv;                   ///< dependency vector when taken
   size_t log_pos = 0;              ///< message-log length when taken
@@ -35,7 +40,11 @@ struct Checkpoint {
 
 class CheckpointStore {
  public:
-  void push(Checkpoint cp) { checkpoints_.push_back(std::move(cp)); }
+  /// Bound once by StableStorage; may be null (pure in-memory bookkeeping).
+  void bind_backend(StorageBackend* b) { backend_ = b; }
+
+  /// Assigns the checkpoint its id and mirrors it into the backend.
+  void push(Checkpoint cp);
 
   size_t size() const { return checkpoints_.size(); }
   bool empty() const { return checkpoints_.empty(); }
@@ -58,8 +67,14 @@ class CheckpointStore {
   /// Later indices shift down by `keep`.
   void discard_before(size_t keep);
 
+  /// Recovery: install the image a backend rebuilt from its media
+  /// (sorted by id); the mirror hooks are not invoked.
+  void restore(std::vector<Checkpoint> checkpoints);
+
  private:
   std::vector<Checkpoint> checkpoints_;
+  uint64_t next_id_ = 1;
+  StorageBackend* backend_ = nullptr;
 };
 
 }  // namespace koptlog

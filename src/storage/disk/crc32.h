@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven) for the on-disk
+// record framing. Every record's payload is checksummed so torn writes and
+// bit rot are detected at the first bad record during the recovery scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace koptlog::disk {
+
+/// CRC-32 of `data[0..len)`, standard init/final XOR (zlib-compatible).
+uint32_t crc32(const uint8_t* data, size_t len);
+
+}  // namespace koptlog::disk

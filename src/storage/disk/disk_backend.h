@@ -1,0 +1,18 @@
+// Factory for the durable on-disk storage backend (see storage_backend.h
+// for the seam contract and format.h / recovery.h for the media layout).
+#pragma once
+
+#include <memory>
+
+#include "storage/storage_backend.h"
+
+namespace koptlog {
+
+/// Per-process durable backend rooted at `<opts.dir>/p<pid>/`. Unless
+/// opts.recover is set, any pre-existing state in that directory is wiped.
+std::unique_ptr<StorageBackend> make_disk_backend(const StorageOptions& opts,
+                                                  ProcessId pid, int n,
+                                                  Scheduler& scheduler,
+                                                  Stats* stats);
+
+}  // namespace koptlog

@@ -1,0 +1,247 @@
+#include "storage/disk/format.h"
+
+#include <utility>
+
+#include "storage/disk/crc32.h"
+#include "wire/codec.h"
+
+namespace koptlog::disk {
+
+// ---- framing -------------------------------------------------------------
+
+std::vector<uint8_t> frame_record(RecordType type,
+                                  std::span<const uint8_t> body) {
+  std::vector<uint8_t> payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<uint8_t>(type));
+  payload.insert(payload.end(), body.begin(), body.end());
+
+  wire::Encoder e;
+  e.u32(static_cast<uint32_t>(payload.size()));
+  e.u32(crc32(payload.data(), payload.size()));
+  std::vector<uint8_t> out = e.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<ScannedRecord> RecordScanner::next() {
+  if (failed_ || done_clean_) return std::nullopt;
+  if (pos_ == bytes_.size()) {
+    done_clean_ = true;
+    return std::nullopt;
+  }
+  if (pos_ + kFrameOverhead > bytes_.size()) {
+    failed_ = true;  // torn frame prefix
+    return std::nullopt;
+  }
+  wire::Decoder d(bytes_.subspan(pos_, kFrameOverhead));
+  uint32_t len = d.u32();
+  uint32_t crc = d.u32();
+  if (len == 0 || len > kMaxRecordLen ||
+      pos_ + kFrameOverhead + len > bytes_.size()) {
+    failed_ = true;  // implausible length or torn payload
+    return std::nullopt;
+  }
+  std::span<const uint8_t> payload = bytes_.subspan(pos_ + kFrameOverhead, len);
+  if (crc32(payload.data(), payload.size()) != crc) {
+    failed_ = true;  // bit flip / garbage
+    return std::nullopt;
+  }
+  ScannedRecord rec;
+  rec.type = static_cast<RecordType>(payload[0]);
+  rec.body.assign(payload.begin() + 1, payload.end());
+  rec.offset = pos_;
+  pos_ += kFrameOverhead + len;
+  valid_ = pos_;
+  return rec;
+}
+
+// ---- record bodies -------------------------------------------------------
+
+std::vector<uint8_t> encode_file_header(const FileHeader& h) {
+  wire::Encoder e;
+  e.u32(h.version);
+  e.i32(h.pid);
+  e.i32(h.n);
+  e.u64(h.start_lsn);
+  return e.take();
+}
+
+std::optional<FileHeader> decode_file_header(std::span<const uint8_t> body) {
+  wire::Decoder d(body);
+  FileHeader h;
+  h.version = d.u32();
+  h.pid = d.i32();
+  h.n = d.i32();
+  h.start_lsn = d.u64();
+  if (!d.done() || h.version != kFormatVersion || h.n <= 0) return std::nullopt;
+  return h;
+}
+
+std::vector<uint8_t> encode_message(size_t pos, const LogRecord& rec) {
+  // The app-msg codec covers everything replay needs except sent_at and the
+  // delivery interval; full (non-NULL-omitting) vectors keep the decode
+  // independent of protocol configuration.
+  std::vector<uint8_t> msg = wire::encode_app_msg(rec.msg, /*null_omission=*/false);
+  wire::Encoder e;
+  e.u64(pos);
+  e.i64(rec.msg.sent_at);
+  e.i32(rec.started.pid);
+  e.i32(rec.started.inc);
+  e.i64(rec.started.sii);
+  e.u32(static_cast<uint32_t>(msg.size()));
+  std::vector<uint8_t> out = e.take();
+  out.insert(out.end(), msg.begin(), msg.end());
+  return out;
+}
+
+std::optional<std::pair<size_t, LogRecord>> decode_message(
+    std::span<const uint8_t> body, int n) {
+  constexpr size_t kPrefix = 8 + 8 + 4 + 4 + 8 + 4;
+  if (body.size() < kPrefix) return std::nullopt;
+  wire::Decoder d(body.first(kPrefix));
+  LogRecord rec;
+  size_t pos = d.u64();
+  SimTime sent_at = d.i64();
+  rec.started.pid = d.i32();
+  rec.started.inc = d.i32();
+  rec.started.sii = d.i64();
+  uint32_t msg_len = d.u32();
+  if (d.failed() || kPrefix + msg_len != body.size()) return std::nullopt;
+  std::optional<AppMsg> m =
+      wire::decode_app_msg(body.subspan(kPrefix, msg_len), n, false);
+  if (!m) return std::nullopt;
+  rec.msg = std::move(*m);
+  rec.msg.sent_at = sent_at;
+  return std::make_pair(pos, std::move(rec));
+}
+
+std::vector<uint8_t> encode_pos(size_t pos) {
+  wire::Encoder e;
+  e.u64(pos);
+  return e.take();
+}
+
+std::optional<size_t> decode_pos(std::span<const uint8_t> body) {
+  wire::Decoder d(body);
+  size_t pos = d.u64();
+  if (!d.done()) return std::nullopt;
+  return pos;
+}
+
+std::vector<uint8_t> encode_incarnation(Incarnation inc) {
+  wire::Encoder e;
+  e.i32(inc);
+  return e.take();
+}
+
+std::optional<Incarnation> decode_incarnation(std::span<const uint8_t> body) {
+  wire::Decoder d(body);
+  Incarnation inc = d.i32();
+  if (!d.done()) return std::nullopt;
+  return inc;
+}
+
+std::vector<uint8_t> encode_park(const AppMsg& m) {
+  std::vector<uint8_t> msg = wire::encode_app_msg(m, /*null_omission=*/false);
+  wire::Encoder e;
+  e.i64(m.sent_at);
+  e.u32(static_cast<uint32_t>(msg.size()));
+  std::vector<uint8_t> out = e.take();
+  out.insert(out.end(), msg.begin(), msg.end());
+  return out;
+}
+
+std::optional<AppMsg> decode_park(std::span<const uint8_t> body, int n) {
+  constexpr size_t kPrefix = 8 + 4;
+  if (body.size() < kPrefix) return std::nullopt;
+  wire::Decoder d(body.first(kPrefix));
+  SimTime sent_at = d.i64();
+  uint32_t msg_len = d.u32();
+  if (d.failed() || kPrefix + msg_len != body.size()) return std::nullopt;
+  std::optional<AppMsg> m =
+      wire::decode_app_msg(body.subspan(kPrefix, msg_len), n, false);
+  if (!m) return std::nullopt;
+  m->sent_at = sent_at;
+  return m;
+}
+
+std::vector<uint8_t> encode_unpark(const MsgId& id) {
+  wire::Encoder e;
+  e.i32(id.src);
+  e.u64(id.seq);
+  return e.take();
+}
+
+std::optional<MsgId> decode_unpark(std::span<const uint8_t> body) {
+  wire::Decoder d(body);
+  MsgId id;
+  id.src = d.i32();
+  id.seq = d.u64();
+  if (!d.done()) return std::nullopt;
+  return id;
+}
+
+std::vector<uint8_t> encode_checkpoint(const Checkpoint& cp, int n) {
+  wire::Encoder e;
+  e.u64(cp.id);
+  e.i32(cp.at.inc);
+  e.i64(cp.at.sii);
+  wire::encode_dep_vector(e, cp.tdv, /*null_omission=*/false);
+  e.u64(cp.log_pos);
+  e.u64(cp.send_seq);
+  e.u64(cp.output_seq);
+  e.u64(cp.app_hash);
+  e.u32(static_cast<uint32_t>(cp.app_state.size()));
+  e.u16(static_cast<uint16_t>(cp.self_watermarks.size()));
+  std::vector<uint8_t> out = e.take();
+  out.insert(out.end(), cp.app_state.begin(), cp.app_state.end());
+  wire::Encoder tail;
+  for (const auto& [inc, sii] : cp.self_watermarks) {
+    tail.i32(inc);
+    tail.i64(sii);
+  }
+  const std::vector<uint8_t>& t = tail.bytes();
+  out.insert(out.end(), t.begin(), t.end());
+  (void)n;
+  return out;
+}
+
+std::optional<Checkpoint> decode_checkpoint(std::span<const uint8_t> body,
+                                            int n) {
+  wire::Decoder d(body);
+  Checkpoint cp;
+  cp.id = d.u64();
+  cp.at.inc = d.i32();
+  cp.at.sii = d.i64();
+  cp.tdv = DepVector(n);
+  if (!wire::decode_dep_vector(d, cp.tdv, n)) return std::nullopt;
+  cp.log_pos = d.u64();
+  cp.send_seq = d.u64();
+  cp.output_seq = d.u64();
+  cp.app_hash = d.u64();
+  uint32_t state_len = d.u32();
+  uint16_t wm_count = d.u16();
+  if (d.failed()) return std::nullopt;
+  // Variable-length tail: app state bytes, then the watermark pairs.
+  constexpr size_t kFixedHead = 8 + 4 + 8;  // id + at
+  constexpr size_t kFixedMid = 8 + 8 + 8 + 8 + 4 + 2;
+  size_t vec_bytes = 2 + static_cast<size_t>(n) * (2 + 4 + 8);
+  size_t head = kFixedHead + vec_bytes + kFixedMid;
+  size_t tail = static_cast<size_t>(state_len) +
+                static_cast<size_t>(wm_count) * (4 + 8);
+  if (head + tail != body.size()) return std::nullopt;
+  cp.app_state.assign(body.begin() + static_cast<ptrdiff_t>(head),
+                      body.begin() + static_cast<ptrdiff_t>(head + state_len));
+  wire::Decoder wd(body.subspan(head + state_len));
+  for (uint16_t i = 0; i < wm_count; ++i) {
+    Incarnation inc = wd.i32();
+    Sii sii = wd.i64();
+    if (wd.failed()) return std::nullopt;
+    cp.self_watermarks[inc] = sii;
+  }
+  if (!wd.done()) return std::nullopt;
+  return cp;
+}
+
+}  // namespace koptlog::disk

@@ -1,0 +1,116 @@
+// On-disk record format of the durable storage backend. Every file —
+// WAL segments, the journal, checkpoint files — is a sequence of framed
+// records:
+//
+//     [u32 len][u32 crc][u8 type][body ...]
+//
+// where len = 1 + body size and crc = CRC-32 over type||body. The recovery
+// scan walks records sequentially and truncates at the first frame whose
+// length is implausible or whose checksum fails — torn tails, bit flips
+// and garbage are all caught there. Bodies reuse the fuzz-hardened
+// src/wire/ codecs (little-endian, length-prefixed).
+//
+// Every file begins with a kFileHeader record naming the format version,
+// the owning process and the system size N (needed to rebuild full
+// dependency vectors when decoding), plus — for WAL segments — the logical
+// log position at segment creation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/checkpoint_store.h"
+#include "storage/message_log.h"
+
+namespace koptlog::disk {
+
+inline constexpr uint32_t kFormatVersion = 1;
+/// Frame prefix: u32 len + u32 crc.
+inline constexpr size_t kFrameOverhead = 8;
+/// Upper bound on one record's framed payload; anything larger is treated
+/// as corruption by the scanner (a torn length field would otherwise make
+/// it swallow the rest of the file as one "record").
+inline constexpr uint32_t kMaxRecordLen = 1u << 26;
+
+enum class RecordType : uint8_t {
+  kFileHeader = 1,     ///< version, pid, n, start_lsn
+  kMessage = 2,        ///< logical pos, sent_at, the logged delivery
+  kTruncate = 3,       ///< rollback: drop records at positions >= pos
+  kDiscardPrefix = 4,  ///< GC: records below pos are reclaimed
+  kAnnouncement = 5,   ///< journal: synchronously-logged announcement
+  kIncarnation = 6,    ///< journal: durable incarnation high-water mark
+  kPark = 7,           ///< journal: undone message parked until redelivery
+  kUnpark = 8,         ///< journal: parked message released
+  kCheckpoint = 9,     ///< checkpoint file payload
+};
+
+struct FileHeader {
+  uint32_t version = kFormatVersion;
+  ProcessId pid = 0;
+  int32_t n = 0;
+  uint64_t start_lsn = 0;  ///< WAL: log size at segment creation; else 0
+};
+
+// ---- framing -------------------------------------------------------------
+
+/// Frame `type`+`body` into one length-prefixed checksummed record.
+std::vector<uint8_t> frame_record(RecordType type,
+                                  std::span<const uint8_t> body);
+
+/// One record pulled off a file image by the scanner.
+struct ScannedRecord {
+  RecordType type;
+  std::vector<uint8_t> body;
+  size_t offset = 0;  ///< byte offset of the frame in the file
+};
+
+/// Sequential scanner over one file's bytes. next() returns records until
+/// the bytes run out or a frame fails validation; valid_bytes() is then the
+/// prefix length that parsed cleanly (the truncation point), and clean()
+/// tells whether the file ended exactly on a record boundary.
+class RecordScanner {
+ public:
+  explicit RecordScanner(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  std::optional<ScannedRecord> next();
+  size_t valid_bytes() const { return valid_; }
+  bool clean() const { return done_clean_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  size_t valid_ = 0;
+  bool done_clean_ = false;
+  bool failed_ = false;
+};
+
+// ---- record bodies -------------------------------------------------------
+
+std::vector<uint8_t> encode_file_header(const FileHeader& h);
+std::optional<FileHeader> decode_file_header(std::span<const uint8_t> body);
+
+std::vector<uint8_t> encode_message(size_t pos, const LogRecord& rec);
+/// Returns (pos, record); `n` is the system size from the file header.
+std::optional<std::pair<size_t, LogRecord>> decode_message(
+    std::span<const uint8_t> body, int n);
+
+std::vector<uint8_t> encode_pos(size_t pos);  ///< kTruncate / kDiscardPrefix
+std::optional<size_t> decode_pos(std::span<const uint8_t> body);
+
+std::vector<uint8_t> encode_incarnation(Incarnation inc);
+std::optional<Incarnation> decode_incarnation(std::span<const uint8_t> body);
+
+std::vector<uint8_t> encode_park(const AppMsg& m);
+std::optional<AppMsg> decode_park(std::span<const uint8_t> body, int n);
+
+std::vector<uint8_t> encode_unpark(const MsgId& id);
+std::optional<MsgId> decode_unpark(std::span<const uint8_t> body);
+
+std::vector<uint8_t> encode_checkpoint(const Checkpoint& cp, int n);
+std::optional<Checkpoint> decode_checkpoint(std::span<const uint8_t> body,
+                                            int n);
+
+}  // namespace koptlog::disk

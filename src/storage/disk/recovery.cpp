@@ -1,0 +1,359 @@
+#include "storage/disk/recovery.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "storage/disk/format.h"
+#include "wire/codec.h"
+
+namespace koptlog::disk {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+std::optional<uint64_t> parse_index(const std::string& name,
+                                    const std::string& prefix,
+                                    const std::string& suffix) {
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return std::nullopt;
+  std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+AnalysisResult analyze_process_dir(const std::string& dir) {
+  AnalysisResult r;
+  FsckReport& rep = r.report;
+  fs::path root(dir);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) return r;
+
+  std::vector<std::pair<uint64_t, fs::path>> seg_paths;
+  std::vector<fs::path> ckpt_paths;
+  fs::path journal_path;
+  for (const fs::directory_entry& e : fs::directory_iterator(root, ec)) {
+    std::string name = e.path().filename().string();
+    if (auto idx = parse_index(name, "wal-", ".seg")) {
+      seg_paths.emplace_back(*idx, e.path());
+    } else if (parse_index(name, "ckpt-", ".ckpt")) {
+      ckpt_paths.push_back(e.path());
+    } else if (name == "journal.jrn") {
+      journal_path = e.path();
+    }
+  }
+  std::sort(seg_paths.begin(), seg_paths.end());
+  std::sort(ckpt_paths.begin(), ckpt_paths.end());
+
+  // ---- WAL segments: replay structural records into a position map ----
+  std::map<size_t, LogRecord> recs;
+  size_t base_floor = 0;
+  bool wal_broken = false;  // a torn segment drops everything after it
+  for (const auto& [idx, path] : seg_paths) {
+    SegmentReport seg;
+    seg.path = path.string();
+    seg.index = idx;
+    std::vector<uint8_t> bytes = read_file(path);
+    seg.file_bytes = bytes.size();
+    if (wal_broken) {
+      seg.dropped = true;
+      rep.warnings.push_back("segment after corruption dropped: " + seg.path);
+      rep.segments.push_back(std::move(seg));
+      continue;
+    }
+    RecordScanner scan(bytes);
+    bool first = true;
+    while (auto rec = scan.next()) {
+      if (first) {
+        first = false;
+        std::optional<FileHeader> h;
+        if (rec->type == RecordType::kFileHeader)
+          h = decode_file_header(rec->body);
+        if (!h) {
+          seg.torn = true;
+          seg.valid_bytes = 0;
+          break;
+        }
+        rep.pid = h->pid;
+        rep.n = h->n;
+        seg.start_lsn = h->start_lsn;
+        r.found_any = true;
+        ++seg.records;
+        continue;
+      }
+      bool ok = false;
+      switch (rec->type) {
+        case RecordType::kMessage: {
+          std::optional<std::pair<size_t, LogRecord>> m;
+          if (rep.n > 0) m = decode_message(rec->body, rep.n);
+          if (m) {
+            seg.has_msgs = true;
+            seg.max_msg_pos = std::max(seg.max_msg_pos, m->first);
+            if (m->first >= base_floor) recs[m->first] = std::move(m->second);
+            ++rep.msg_records;
+            ok = true;
+          }
+          break;
+        }
+        case RecordType::kTruncate: {
+          auto p = decode_pos(rec->body);
+          if (p) {
+            recs.erase(recs.lower_bound(*p), recs.end());
+            ++rep.truncate_records;
+            ok = true;
+          }
+          break;
+        }
+        case RecordType::kDiscardPrefix: {
+          auto p = decode_pos(rec->body);
+          if (p) {
+            recs.erase(recs.begin(), recs.lower_bound(*p));
+            base_floor = std::max(base_floor, *p);
+            ++rep.discard_records;
+            ok = true;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (!ok) {
+        // A record that frames correctly but does not decode is corruption
+        // just the same: end the segment here.
+        seg.torn = true;
+        break;
+      }
+      ++seg.records;
+      seg.valid_bytes = scan.valid_bytes();
+    }
+    if (!seg.torn) {
+      seg.valid_bytes = scan.valid_bytes();
+      seg.torn = !scan.clean();
+    }
+    if (seg.torn) {
+      wal_broken = true;
+      std::ostringstream os;
+      os << "torn/corrupt records in " << seg.path << " (truncating at byte "
+         << seg.valid_bytes << " of " << seg.file_bytes << ")";
+      rep.warnings.push_back(os.str());
+    }
+    rep.segments.push_back(std::move(seg));
+  }
+
+  // ---- journal ----
+  std::vector<Announcement> journal;
+  std::map<MsgId, AppMsg> parked;
+  Incarnation durable_max_inc = 0;
+  if (!journal_path.empty()) {
+    rep.journal_path = journal_path.string();
+    std::vector<uint8_t> bytes = read_file(journal_path);
+    rep.journal_file_bytes = bytes.size();
+    RecordScanner scan(bytes);
+    bool first = true;
+    bool broken = false;
+    while (auto rec = scan.next()) {
+      if (first) {
+        first = false;
+        std::optional<FileHeader> h;
+        if (rec->type == RecordType::kFileHeader)
+          h = decode_file_header(rec->body);
+        if (!h) {
+          broken = true;
+          break;
+        }
+        if (rep.n == 0) {
+          rep.pid = h->pid;
+          rep.n = h->n;
+        }
+        r.found_any = true;
+        ++rep.journal_records;
+        continue;
+      }
+      bool ok = false;
+      switch (rec->type) {
+        case RecordType::kAnnouncement: {
+          auto a = wire::decode_announcement(rec->body);
+          if (a) {
+            journal.push_back(*a);
+            ok = true;
+          }
+          break;
+        }
+        case RecordType::kIncarnation: {
+          auto inc = decode_incarnation(rec->body);
+          if (inc) {
+            durable_max_inc = std::max(durable_max_inc, *inc);
+            ok = true;
+          }
+          break;
+        }
+        case RecordType::kPark: {
+          std::optional<AppMsg> m;
+          if (rep.n > 0) m = decode_park(rec->body, rep.n);
+          if (m) {
+            parked[m->id] = std::move(*m);
+            ok = true;
+          }
+          break;
+        }
+        case RecordType::kUnpark: {
+          auto id = decode_unpark(rec->body);
+          if (id) {
+            parked.erase(*id);
+            ok = true;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (!ok) {
+        broken = true;
+        break;
+      }
+      ++rep.journal_records;
+      rep.journal_valid_bytes = scan.valid_bytes();
+    }
+    if (!broken) {
+      rep.journal_valid_bytes = scan.valid_bytes();
+      broken = !scan.clean();
+    }
+    rep.journal_torn = broken;
+    if (broken) {
+      std::ostringstream os;
+      os << "torn/corrupt journal tail in " << journal_path.string()
+         << " (truncating at byte " << rep.journal_valid_bytes << " of "
+         << rep.journal_file_bytes << ")";
+      rep.warnings.push_back(os.str());
+    }
+  }
+
+  // ---- contiguity: the surviving map must be one run from the base ----
+  if (!recs.empty()) {
+    size_t first_pos = recs.begin()->first;
+    if (first_pos > base_floor) {
+      // Records below first_pos lived only in segments deleted by prefix
+      // GC whose discard record was itself reclaimed; the run's own start
+      // is the authoritative base.
+      base_floor = first_pos;
+    }
+    size_t expect = base_floor;
+    for (auto it = recs.begin(); it != recs.end(); ++it, ++expect) {
+      if (it->first != expect) {
+        std::ostringstream os;
+        os << "gap in recovered log at position " << expect
+           << "; dropping records from " << it->first << " on";
+        rep.warnings.push_back(os.str());
+        recs.erase(it, recs.end());
+        break;
+      }
+    }
+  }
+  r.image.base = base_floor;
+  r.image.records.reserve(recs.size());
+  for (auto& [pos, rec] : recs) r.image.records.push_back(std::move(rec));
+  r.image.journal = std::move(journal);
+  r.image.parked = std::move(parked);
+  r.image.durable_max_inc = durable_max_inc;
+
+  // ---- checkpoint files ----
+  size_t log_end = r.image.base + r.image.records.size();
+  for (const fs::path& path : ckpt_paths) {
+    std::vector<uint8_t> bytes = read_file(path);
+    RecordScanner scan(bytes);
+    std::optional<Checkpoint> cp;
+    auto h0 = scan.next();
+    std::optional<FileHeader> header;
+    if (h0 && h0->type == RecordType::kFileHeader)
+      header = decode_file_header(h0->body);
+    if (header) {
+      if (rep.n == 0) {
+        rep.pid = header->pid;
+        rep.n = header->n;
+      }
+      r.found_any = true;
+      auto body = scan.next();
+      if (body && body->type == RecordType::kCheckpoint)
+        cp = decode_checkpoint(body->body, rep.n);
+      // Exactly header + checkpoint, ending on a record boundary.
+      scan.next();
+      if (!scan.clean()) cp.reset();
+    }
+    if (!cp) {
+      rep.invalid_checkpoints.push_back(path.string());
+      rep.warnings.push_back("invalid checkpoint file: " + path.string());
+      continue;
+    }
+    if (cp->log_pos < r.image.base || cp->log_pos > log_end) {
+      rep.stale_checkpoints.push_back(path.string());
+      std::ostringstream os;
+      os << "checkpoint " << path.string() << " references log position "
+         << cp->log_pos << " outside recovered range [" << r.image.base << ", "
+         << log_end << "]";
+      rep.warnings.push_back(os.str());
+      continue;
+    }
+    ++rep.checkpoints_valid;
+    r.image.checkpoints.push_back(std::move(*cp));
+  }
+  std::sort(r.image.checkpoints.begin(), r.image.checkpoints.end(),
+            [](const Checkpoint& a, const Checkpoint& b) { return a.id < b.id; });
+
+  // ---- hard-inconsistency checks ----
+  if (r.found_any && !r.image.records.empty() && r.image.checkpoints.empty()) {
+    rep.errors.push_back(
+        "log records recovered but no usable checkpoint: replay has no "
+        "starting state");
+  }
+  for (const SegmentReport& seg : rep.segments) {
+    if (!seg.dropped) r.last_segment_index = std::max(r.last_segment_index, seg.index);
+  }
+  return r;
+}
+
+void repair_process_dir(const AnalysisResult& r) {
+  std::error_code ec;
+  for (const SegmentReport& seg : r.report.segments) {
+    if (seg.dropped) {
+      fs::remove(seg.path, ec);
+    } else if (seg.torn) {
+      if (seg.valid_bytes == 0) {
+        fs::remove(seg.path, ec);
+      } else {
+        fs::resize_file(seg.path, seg.valid_bytes, ec);
+      }
+    }
+  }
+  if (r.report.journal_torn && !r.report.journal_path.empty()) {
+    if (r.report.journal_valid_bytes == 0) {
+      fs::remove(r.report.journal_path, ec);
+    } else {
+      fs::resize_file(r.report.journal_path, r.report.journal_valid_bytes, ec);
+    }
+  }
+  for (const std::string& p : r.report.invalid_checkpoints) fs::remove(p, ec);
+  for (const std::string& p : r.report.stale_checkpoints) fs::remove(p, ec);
+}
+
+}  // namespace koptlog::disk

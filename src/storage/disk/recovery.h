@@ -1,0 +1,72 @@
+// Analysis scan over one process's storage directory — the ARIES-style
+// restart pass shared by the disk backend's recover() and the koptlog_fsck
+// integrity tool. The scan is pure (read-only); repair_process_dir applies
+// the truncations/unlinks the scan proposes.
+//
+// Scan semantics: WAL records replay into a position-keyed map — a message
+// record sets its logical position (a later duplicate of the same position
+// overwrites, so a re-appended post-rollback record wins), a truncate
+// record erases every position >= pos, a discard-prefix record erases
+// every position < pos and raises the base floor. The first framing/CRC
+// failure in a segment ends that segment and drops every later segment
+// (their ordering can no longer be trusted); the surviving map must be a
+// contiguous run, which becomes the stable log image. Checkpoint files are
+// validated independently and filtered against the recovered log bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/storage_backend.h"
+
+namespace koptlog::disk {
+
+struct SegmentReport {
+  std::string path;
+  uint64_t index = 0;
+  uint64_t start_lsn = 0;
+  size_t records = 0;        ///< valid records scanned (incl. header)
+  size_t valid_bytes = 0;    ///< prefix that parsed cleanly
+  size_t file_bytes = 0;
+  bool torn = false;         ///< hit a bad frame before end of file
+  bool dropped = false;      ///< follows a torn segment; wholly ignored
+  bool has_msgs = false;
+  size_t max_msg_pos = 0;    ///< only meaningful when has_msgs
+};
+
+struct FsckReport {
+  ProcessId pid = -1;
+  int n = 0;
+  std::vector<SegmentReport> segments;
+  size_t msg_records = 0;
+  size_t truncate_records = 0;
+  size_t discard_records = 0;
+  size_t journal_records = 0;
+  size_t journal_valid_bytes = 0;
+  size_t journal_file_bytes = 0;
+  bool journal_torn = false;
+  std::string journal_path;
+  size_t checkpoints_valid = 0;
+  std::vector<std::string> invalid_checkpoints;  ///< paths failing validation
+  std::vector<std::string> stale_checkpoints;    ///< valid but outside log bounds
+  std::vector<std::string> warnings;  ///< cleanly-truncatable damage
+  std::vector<std::string> errors;    ///< hard inconsistencies
+  bool hard_error() const { return !errors.empty(); }
+};
+
+struct AnalysisResult {
+  bool found_any = false;  ///< at least one file with a valid header
+  RecoveredImage image;
+  FsckReport report;
+  uint64_t last_segment_index = 0;  ///< highest surviving segment index
+};
+
+/// Read-only scan of `<dir>` (one process's directory, the `p<pid>/` level).
+AnalysisResult analyze_process_dir(const std::string& dir);
+
+/// Apply the scan's repairs in place: truncate torn files at their valid
+/// prefix, unlink dropped segments and invalid/stale checkpoint files.
+void repair_process_dir(const AnalysisResult& r);
+
+}  // namespace koptlog::disk

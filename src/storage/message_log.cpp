@@ -1,6 +1,14 @@
 #include "storage/message_log.h"
 
+#include "storage/storage_backend.h"
+
 namespace koptlog {
+
+void MessageLog::append(LogRecord rec) {
+  size_t pos = size();
+  records_.push_back(std::move(rec));
+  if (backend_) backend_->on_append(pos, records_.back());
+}
 
 std::vector<LogRecord> MessageLog::lose_volatile() {
   std::vector<LogRecord> lost(records_.begin() + static_cast<ptrdiff_t>(stable_prefix_),
@@ -16,6 +24,7 @@ std::vector<LogRecord> MessageLog::truncate_from(size_t pos) {
                                  records_.end());
   records_.resize(idx);
   if (stable_prefix_ > idx) stable_prefix_ = idx;
+  if (backend_) backend_->on_truncate(pos);
   return dropped;
 }
 
@@ -28,7 +37,14 @@ size_t MessageLog::discard_prefix(size_t pos) {
   records_.erase(records_.begin(), records_.begin() + static_cast<ptrdiff_t>(n));
   stable_prefix_ -= n;
   base_ = pos;
+  if (backend_) backend_->on_discard_prefix(pos);
   return n;
+}
+
+void MessageLog::restore(std::vector<LogRecord> records, size_t base) {
+  records_ = std::move(records);
+  base_ = base;
+  stable_prefix_ = records_.size();
 }
 
 }  // namespace koptlog

@@ -15,6 +15,8 @@
 
 namespace koptlog {
 
+class StorageBackend;
+
 /// One logged delivery: the full message (content + piggyback, needed to
 /// re-run the deterministic merge during replay) plus the interval the
 /// delivery started.
@@ -26,10 +28,17 @@ struct LogRecord {
 /// Record positions are *logical*: they keep their value across
 /// garbage collection of the log's prefix (discard_prefix), so checkpoint
 /// log positions never need rewriting.
+///
+/// Every structural mutation (append / truncate / discard) is mirrored into
+/// the bound StorageBackend, which is what makes the bookkeeping durable;
+/// restore() bypasses the mirror — it *comes from* the backend.
 class MessageLog {
  public:
+  /// Bound once by StableStorage; may be null (pure in-memory bookkeeping).
+  void bind_backend(StorageBackend* b) { backend_ = b; }
+
   /// Append a freshly delivered message to the volatile buffer.
-  void append(LogRecord rec) { records_.push_back(std::move(rec)); }
+  void append(LogRecord rec);
 
   /// Move every volatile record to stable storage ("log all the unlogged
   /// messages"). Returns how many records were flushed.
@@ -73,10 +82,15 @@ class MessageLog {
   /// position `pos`. Returns how many records were reclaimed.
   size_t discard_prefix(size_t pos);
 
+  /// Recovery: install the stable image a backend rebuilt from its media.
+  /// Every restored record is stable; the mirror hooks are not invoked.
+  void restore(std::vector<LogRecord> records, size_t base);
+
  private:
   std::vector<LogRecord> records_;
   size_t stable_prefix_ = 0;  ///< physical index into records_
   size_t base_ = 0;           ///< logical position of records_[0]
+  StorageBackend* backend_ = nullptr;
 };
 
 }  // namespace koptlog

@@ -1,5 +1,21 @@
 #include "storage/stable_storage.h"
 
-// StableStorage is currently header-only; this translation unit anchors the
-// module and keeps a stable home for future out-of-line definitions.
-namespace koptlog {}
+namespace koptlog {
+
+bool StableStorage::recover() {
+  if (!backend_ || !backend_->durable()) return false;
+  RecoveredImage img;
+  if (!backend_->recover(img)) return false;
+  log_.restore(std::move(img.records), img.base);
+  checkpoints_.restore(std::move(img.checkpoints));
+  journal_ = std::move(img.journal);
+  parked_ = std::move(img.parked);
+  // The recovered mark can only extend what we already hold: recover() runs
+  // either on a fresh StableStorage or at restart, where the in-memory mark
+  // was itself journaled through the backend.
+  KOPT_CHECK(img.durable_max_inc >= durable_max_inc_);
+  durable_max_inc_ = img.durable_max_inc;
+  return true;
+}
+
+}  // namespace koptlog

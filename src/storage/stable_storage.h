@@ -1,10 +1,12 @@
 // StableStorage — one per process: the checkpoint store, the message log,
 // the synchronously-logged announcement journal (iet entries survive
-// failures, Figure 3), and the stable-storage cost model that makes
-// pessimistic vs. optimistic failure-free overhead measurable.
+// failures, Figure 3), and the storage backend that makes it all durable —
+// either the cost-model simulation or a real on-disk log (see
+// storage_backend.h).
 #pragma once
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -12,22 +14,29 @@
 #include "core/protocol_msg.h"
 #include "storage/checkpoint_store.h"
 #include "storage/message_log.h"
+#include "storage/storage_backend.h"
 
 namespace koptlog {
 
-/// Cost model for stable-storage operations, in simulated microseconds.
-/// Synchronous writes block the issuing process; asynchronous flushes are
-/// modelled as background DMA and only delay the stability watermark.
-struct StorageCosts {
-  SimTime sync_write_us = 500;       ///< one synchronous record write
-  SimTime async_flush_base_us = 300; ///< latency before a flush batch lands
-  SimTime async_flush_per_msg_us = 5;
-  SimTime checkpoint_write_us = 2000;
+/// Operation counters, read by tests and examples; the same counts are
+/// mirrored into the cluster Stats bag (storage.* -> koptlog_storage_*).
+struct StorageCounters {
+  int64_t sync_writes = 0;
+  int64_t async_flushes = 0;
+  int64_t records_flushed = 0;
+  int64_t checkpoints_taken = 0;
 };
 
 class StableStorage {
  public:
-  explicit StableStorage(StorageCosts costs) : costs_(costs) {}
+  /// `backend` may be null: pure in-memory bookkeeping, used by unit tests
+  /// that never flush through the seam.
+  explicit StableStorage(StorageCosts costs,
+                         std::unique_ptr<StorageBackend> backend = nullptr)
+      : costs_(costs), backend_(std::move(backend)) {
+    log_.bind_backend(backend_.get());
+    checkpoints_.bind_backend(backend_.get());
+  }
 
   MessageLog& log() { return log_; }
   const MessageLog& log() const { return log_; }
@@ -38,7 +47,10 @@ class StableStorage {
   /// Synchronously journal an announcement (own failure announcement or a
   /// received one). The journal survives failures; Restart replays it to
   /// rebuild the incarnation end table.
-  void journal_announcement(const Announcement& a) { journal_.push_back(a); }
+  void journal_announcement(const Announcement& a) {
+    journal_.push_back(a);
+    if (backend_) backend_->on_announcement(a);
+  }
   const std::vector<Announcement>& announcement_journal() const { return journal_; }
 
   /// Undone-but-logged messages. A rollback truncates the undone suffix of
@@ -47,8 +59,16 @@ class StableStorage {
   /// keeps them crash-safe until the *redelivery* is stable, exactly as if
   /// they had never left the log. Unparked when the new record is flushed
   /// or the message turns out to be an orphan.
-  void park(const AppMsg& msg) { parked_[msg.id] = msg; }
-  void unpark(const MsgId& id) { parked_.erase(id); }
+  void park(const AppMsg& msg) {
+    parked_[msg.id] = msg;
+    if (backend_) backend_->on_park(msg);
+  }
+  /// Unparking an id that was never parked is a frequent no-op (every
+  /// newly-stable record is offered); only a real erasure reaches the
+  /// backend, so the durable journal doesn't pay a write per stable record.
+  void unpark(const MsgId& id) {
+    if (parked_.erase(id) > 0 && backend_) backend_->on_unpark(id);
+  }
   const std::map<MsgId, AppMsg>& parked() const { return parked_; }
 
   /// Highest incarnation number ever used by this process, synchronously
@@ -58,23 +78,38 @@ class StableStorage {
   void set_durable_max_inc(Incarnation inc) {
     KOPT_CHECK(inc >= durable_max_inc_);
     durable_max_inc_ = inc;
+    if (backend_) backend_->on_incarnation(inc);
   }
 
   const StorageCosts& costs() const { return costs_; }
 
-  /// Accounting for benches.
-  int64_t sync_writes = 0;
-  int64_t async_flushes = 0;
-  int64_t records_flushed = 0;
-  int64_t checkpoints_taken = 0;
+  /// The backend seam; null only in backend-less unit-test storage.
+  StorageBackend* backend() const { return backend_.get(); }
+  /// True when the backend really persists (restart recovers from media).
+  bool durable() const { return backend_ && backend_->durable(); }
+
+  /// Restart under a durable backend: replace the in-memory image with the
+  /// one the backend's analysis scan rebuilds from its media. Returns false
+  /// when there is nothing to recover from (model backend) — the in-memory
+  /// state then *is* the stable image, exactly as before the seam.
+  bool recover();
+
+  // ---- accounting (benches, tests; mirrored into Stats by the callers) ----
+  const StorageCounters& counters() const { return counters_; }
+  void count_sync_write() { ++counters_.sync_writes; }
+  void count_async_flush() { ++counters_.async_flushes; }
+  void count_records_flushed(int64_t n) { counters_.records_flushed += n; }
+  void count_checkpoint() { ++counters_.checkpoints_taken; }
 
  private:
   StorageCosts costs_;
+  std::unique_ptr<StorageBackend> backend_;
   MessageLog log_;
   CheckpointStore checkpoints_;
   std::vector<Announcement> journal_;
   std::map<MsgId, AppMsg> parked_;
   Incarnation durable_max_inc_ = 0;
+  StorageCounters counters_;
 };
 
 }  // namespace koptlog

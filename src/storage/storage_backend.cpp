@@ -1,0 +1,66 @@
+#include "storage/storage_backend.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "sim/scheduler.h"
+#include "storage/disk/disk_backend.h"
+
+namespace koptlog {
+
+namespace {
+
+/// The cost-model backend: durability is simulated. Mutations are no-ops;
+/// a flush request completes after the configured DMA delay. The scheduler
+/// call it makes is byte-identical (same call, same time, same order) to
+/// what ReplayEngine::start_async_flush issued before the seam existed, so
+/// runs on the model backend stay bit-for-bit deterministic vs. the past.
+class ModelBackend final : public StorageBackend {
+ public:
+  ModelBackend(const StorageCosts& costs, Scheduler& scheduler)
+      : costs_(costs), sched_(scheduler) {}
+
+  const char* name() const override { return "model"; }
+  bool durable() const override { return false; }
+
+  void on_append(size_t, const LogRecord&) override {}
+  void on_truncate(size_t) override {}
+  void on_discard_prefix(size_t) override {}
+  void on_checkpoint(const Checkpoint&) override {}
+  void on_discard_checkpoint(uint64_t) override {}
+  void on_announcement(const Announcement&) override {}
+  void on_incarnation(Incarnation) override {}
+  void on_park(const AppMsg&) override {}
+  void on_unpark(const MsgId&) override {}
+
+  void request_flush(size_t upto, size_t nvol, FlushDone done) override {
+    SimTime d = costs_.async_flush_base_us +
+                static_cast<SimTime>(nvol) * costs_.async_flush_per_msg_us;
+    sched_.schedule_after(d, [done = std::move(done), upto] { done(upto); });
+  }
+
+  void sync_flush() override {}
+  void on_crash() override {}
+  bool recover(RecoveredImage&) override { return false; }
+
+ private:
+  const StorageCosts costs_;
+  Scheduler& sched_;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageBackend> make_storage_backend(const StorageOptions& opts,
+                                                     const StorageCosts& costs,
+                                                     ProcessId pid, int n,
+                                                     Scheduler& scheduler,
+                                                     Stats* stats) {
+  if (opts.backend == "model")
+    return std::make_unique<ModelBackend>(costs, scheduler);
+  if (opts.backend == "disk")
+    return make_disk_backend(opts, pid, n, scheduler, stats);
+  KOPT_CHECK_MSG(false, "unknown storage backend '" << opts.backend << "'");
+  return nullptr;
+}
+
+}  // namespace koptlog

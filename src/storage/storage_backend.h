@@ -1,0 +1,139 @@
+// StorageBackend — the seam between the protocol's logical stable-storage
+// bookkeeping (MessageLog / CheckpointStore / StableStorage) and whatever
+// makes that bookkeeping durable. Two backends implement it:
+//
+//  * the cost-model backend ("model", the default): durability is simulated.
+//    Mutation hooks are no-ops and a flush request completes after the
+//    configured async_flush_* delay — bit-for-bit identical to the
+//    pre-seam behaviour, so golden traces and determinism regressions hold.
+//  * the disk backend ("disk", src/storage/disk/): a real segmented
+//    append-only log with CRC-checksummed records, a synchronously-fsynced
+//    journal, checkpoint files, and group commit — one fsync per
+//    group_commit_us window — with completion callbacks that fire only
+//    after the fsync covering the requested LSN has actually returned.
+//
+// The logical containers mirror every mutation into the backend; restores
+// (recovery) bypass the hooks. Positions are the MessageLog's logical
+// positions ("LSNs"): they survive garbage collection of the prefix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "core/protocol_msg.h"
+#include "storage/checkpoint_store.h"
+#include "storage/message_log.h"
+
+namespace koptlog {
+
+class Scheduler;
+class Stats;
+
+/// Cost model for stable-storage operations, in simulated microseconds.
+/// Synchronous writes block the issuing process; asynchronous flushes are
+/// modelled as background DMA and only delay the stability watermark.
+struct StorageCosts {
+  SimTime sync_write_us = 500;       ///< one synchronous record write
+  SimTime async_flush_base_us = 300; ///< latency before a flush batch lands
+  SimTime async_flush_per_msg_us = 5;
+  SimTime checkpoint_write_us = 2000;
+};
+
+/// Which backend to construct and how. Carried by ProtocolConfig so every
+/// harness (simulator, threaded, tools, benches) plumbs it the same way.
+struct StorageOptions {
+  std::string backend = "model";  ///< "model" or "disk"
+  /// Disk backend: root directory; each process uses `<dir>/p<pid>/`.
+  std::string dir;
+  /// Disk backend: fsync coalescing window. Flush requests arriving within
+  /// one window share a single fsync.
+  SimTime group_commit_us = 300;
+  /// Disk backend: roll to a new WAL segment once the current one exceeds
+  /// this many bytes.
+  size_t segment_bytes = 1u << 20;
+  /// Disk backend: run file writes and fsyncs on a dedicated flusher thread
+  /// (threaded execution backend — keeps I/O off the shard event loop).
+  bool threaded_io = false;
+  /// Disk backend: recover from an existing directory instead of starting
+  /// fresh (wiping it). The host must then bring the process up via
+  /// restart() rather than start().
+  bool recover = false;
+};
+
+/// Everything a durable backend reconstructs from disk at restart
+/// (ARIES-style analysis scan): the stable log image, checkpoints, the
+/// announcement journal, parked messages, and the incarnation high-water
+/// mark. Model backends never produce one.
+struct RecoveredImage {
+  std::vector<LogRecord> records;  ///< stable records from `base` upward
+  size_t base = 0;                 ///< logical position of records[0]
+  std::vector<Checkpoint> checkpoints;  ///< sorted by id
+  std::vector<Announcement> journal;
+  std::map<MsgId, AppMsg> parked;
+  Incarnation durable_max_inc = 0;
+};
+
+class StorageBackend {
+ public:
+  /// Flush completion: `durable_lsn` is the log bound an fsync has actually
+  /// completed for — every record at a position below it is on stable
+  /// storage. Always >= the request's `upto` when invoked.
+  using FlushDone = std::function<void(size_t durable_lsn)>;
+
+  virtual ~StorageBackend() = default;
+
+  virtual const char* name() const = 0;
+  /// True when the backend really persists (recover() can return state).
+  virtual bool durable() const = 0;
+
+  // ---- mutation mirror (called by the logical containers) ----
+  virtual void on_append(size_t pos, const LogRecord& rec) = 0;
+  virtual void on_truncate(size_t pos) = 0;
+  virtual void on_discard_prefix(size_t pos) = 0;
+  virtual void on_checkpoint(const Checkpoint& cp) = 0;
+  virtual void on_discard_checkpoint(uint64_t id) = 0;
+  virtual void on_announcement(const Announcement& a) = 0;
+  virtual void on_incarnation(Incarnation inc) = 0;
+  virtual void on_park(const AppMsg& m) = 0;
+  virtual void on_unpark(const MsgId& id) = 0;
+
+  // ---- flushing ----
+  /// Request that the `nvol` volatile records below `upto` become durable;
+  /// `done` fires (through the scheduler, on the process's event loop) once
+  /// they are. The model backend completes after the simulated delay; the
+  /// disk backend after the group-commit window's fsync returns.
+  virtual void request_flush(size_t upto, size_t nvol, FlushDone done) = 0;
+  /// Synchronously make everything appended so far durable (checkpoint,
+  /// rollback and drain paths; the caller charges the simulated cost).
+  virtual void sync_flush() = 0;
+
+  /// Crash: whatever was appended but not yet made durable is lost.
+  /// Pending flush completions must never fire.
+  virtual void on_crash() = 0;
+
+  /// Restart: rebuild the stable image from the backend's media. Returns
+  /// false when there is nothing to recover from (model backend, or a
+  /// fresh directory).
+  virtual bool recover(RecoveredImage& out) = 0;
+
+  /// Block until all in-flight background I/O has drained and stop issuing
+  /// scheduler callbacks (threaded backend shutdown, before the shard
+  /// event loops stop).
+  virtual void quiesce() {}
+};
+
+/// Build the backend `opts` names. `n` is the system size (the disk
+/// backend's codecs need it to rebuild full dependency vectors); `stats`
+/// may be null (no metrics).
+std::unique_ptr<StorageBackend> make_storage_backend(const StorageOptions& opts,
+                                                     const StorageCosts& costs,
+                                                     ProcessId pid, int n,
+                                                     Scheduler& scheduler,
+                                                     Stats* stats);
+
+}  // namespace koptlog

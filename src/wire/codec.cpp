@@ -117,6 +117,14 @@ AppPayload decode_payload(Decoder& d) {
 
 }  // namespace
 
+void encode_dep_vector(Encoder& e, const DepVector& v, bool null_omission) {
+  encode_vector(e, v, null_omission);
+}
+
+bool decode_dep_vector(Decoder& d, DepVector& v, int n) {
+  return decode_vector(d, v, n);
+}
+
 std::vector<uint8_t> encode_app_msg(const AppMsg& m, bool null_omission) {
   Encoder e;
   e.i32(m.from);

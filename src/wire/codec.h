@@ -71,6 +71,16 @@ std::vector<uint8_t> encode_app_msg(const AppMsg& m, bool null_omission);
 std::optional<AppMsg> decode_app_msg(std::span<const uint8_t> bytes, int n,
                                      bool null_omission);
 
+// --- dependency vectors (exposed for the on-disk checkpoint codec) -------
+
+/// Same encoding the app-msg piggyback uses: count-prefixed (pid, inc, sii)
+/// triples, either NULL-omitting or full size-N with (-1,-1) NULL slots.
+void encode_dep_vector(Encoder& e, const DepVector& v, bool null_omission);
+
+/// `v` must be pre-sized to the system size `n`. Returns false on a
+/// malformed stream (count or pid out of range, or truncated input).
+bool decode_dep_vector(Decoder& d, DepVector& v, int n);
+
 // --- control messages ---------------------------------------------------
 
 std::vector<uint8_t> encode_announcement(const Announcement& a);

@@ -48,7 +48,7 @@ TEST(CoordinatedCheckpoints, RecoveryLineSkewIsOneControlLatency) {
   SimTime max_skew = cfg.control_latency.base_us + cfg.control_latency.jitter_us;
   for (ProcessId pid = 0; pid < cfg.n; ++pid) {
     // initial + the round's checkpoint:
-    EXPECT_EQ(cluster.engine(pid).storage().checkpoints_taken, 2)
+    EXPECT_EQ(cluster.engine(pid).storage().counters().checkpoints_taken, 2)
         << "P" << pid << " within skew window " << max_skew;
   }
 }

@@ -31,18 +31,18 @@ TEST_F(ReplayEngineTest, AsyncFlushCompletes) {
 
   size_t finished_upto = 0;
   Entry watermark{};
-  re.start_async_flush([&](size_t upto, Entry w) {
+  re.start_async_flush([&](size_t upto, Entry w, size_t) {
     finished_upto = upto;
     watermark = w;
     re.complete_flush(upto);
   });
-  EXPECT_EQ(fx.storage.async_flushes, 1);
+  EXPECT_EQ(fx.storage.counters().async_flushes, 1);
   fx.api.sim().run();
 
   EXPECT_EQ(finished_upto, 2u);
   EXPECT_EQ(watermark, (Entry{1, 2}));
   EXPECT_EQ(fx.storage.log().stable_count(), 2u);
-  EXPECT_EQ(fx.storage.records_flushed, 2);
+  EXPECT_EQ(fx.storage.counters().records_flushed, 2);
 }
 
 TEST_F(ReplayEngineTest, CrashEpochDiscardsStaleFlushCompletion) {
@@ -50,7 +50,7 @@ TEST_F(ReplayEngineTest, CrashEpochDiscardsStaleFlushCompletion) {
   log_record(2, 2);
 
   bool finished = false;
-  re.start_async_flush([&](size_t, Entry) { finished = true; });
+  re.start_async_flush([&](size_t, Entry, size_t) { finished = true; });
 
   // The crash bumps the epoch and loses the volatile suffix before the
   // in-flight completion fires; the completion must become a no-op.
@@ -68,15 +68,15 @@ TEST_F(ReplayEngineTest, CrashEpochDiscardsStaleFlushCompletion) {
 TEST_F(ReplayEngineTest, DeadProcessDiscardsFlushCompletion) {
   log_record(1, 1);
   bool finished = false;
-  re.start_async_flush([&](size_t, Entry) { finished = true; });
+  re.start_async_flush([&](size_t, Entry, size_t) { finished = true; });
   alive = false;
   fx.api.sim().run();
   EXPECT_FALSE(finished);
 }
 
 TEST_F(ReplayEngineTest, FlushOfEmptyVolatileSuffixIsANoOp) {
-  re.start_async_flush([](size_t, Entry) { FAIL() << "nothing to flush"; });
-  EXPECT_EQ(fx.storage.async_flushes, 0);
+  re.start_async_flush([](size_t, Entry, size_t) { FAIL() << "nothing to flush"; });
+  EXPECT_EQ(fx.storage.counters().async_flushes, 0);
   fx.api.sim().run();
 }
 
@@ -85,7 +85,7 @@ TEST_F(ReplayEngineTest, IncarnationBumpIsDurableAndMonotonic) {
   EXPECT_EQ(re.bump_incarnation_durably(), 2);
   EXPECT_EQ(fx.storage.durable_max_inc(), 2);
   // Each bump is a synchronous journal write.
-  EXPECT_EQ(fx.storage.sync_writes, 2);
+  EXPECT_EQ(fx.storage.counters().sync_writes, 2);
 }
 
 TEST_F(ReplayEngineTest, RemoteAnnouncementsAreJournaledAndDeduped) {

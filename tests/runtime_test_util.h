@@ -14,7 +14,11 @@ namespace koptlog {
 
 struct RuntimeFixture {
   explicit RuntimeFixture(int n = 4, StorageCosts costs = StorageCosts{})
-      : api(n), exec(api.sim()), storage(costs), rt{0, n, api, exec, storage} {}
+      : api(n),
+        exec(api.sim()),
+        storage(costs, make_storage_backend(StorageOptions{}, costs, 0, n,
+                                            api.sim(), nullptr)),
+        rt{0, n, api, exec, storage} {}
 
   /// An application message from `from` to P0 carrying an all-NULL size-n
   /// vector; seq doubles as the sender interval index.

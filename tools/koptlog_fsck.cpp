@@ -1,0 +1,123 @@
+// koptlog_fsck — offline integrity checker for the disk storage backend's
+// directories. Runs the same ARIES-style analysis scan the backend itself
+// uses at recovery (storage/disk/recovery.h) and reports, per process,
+// what a restart would recover and what it would have to truncate.
+//
+//   koptlog_fsck DIR            # DIR holds p0/ p1/ ... (a --storage-dir)
+//   koptlog_fsck DIR/p2         # a single process directory
+//   koptlog_fsck --repair DIR   # additionally apply the truncations/unlinks
+//
+// Exit codes: 0 = consistent (possibly after dropping torn tails — that is
+// the crash-recovery contract, not corruption), 1 = hard inconsistency a
+// restart could not recover from, 2 = usage / unreadable input.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "storage/disk/recovery.h"
+
+using namespace koptlog;
+namespace fs = std::filesystem;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: koptlog_fsck [--repair] [--quiet] DIR\n"
+            << "  DIR: a --storage-dir root (containing p0/, p1/, ...) or a\n"
+            << "  single process directory\n";
+  std::exit(2);
+}
+
+struct Verdict {
+  bool hard_error = false;
+  bool damage = false;
+};
+
+Verdict check_one(const std::string& dir, bool repair, bool quiet) {
+  disk::AnalysisResult r = disk::analyze_process_dir(dir);
+  Verdict v;
+  if (!r.found_any) {
+    if (!quiet) std::cout << dir << ": no storage files\n";
+    return v;
+  }
+  if (!quiet) {
+    std::cout << dir << ": P" << r.report.pid << " n=" << r.report.n << "\n"
+              << "  segments " << r.report.segments.size() << ", records "
+              << r.report.msg_records << " msg / " << r.report.truncate_records
+              << " truncate / " << r.report.discard_records << " discard\n"
+              << "  journal  " << r.report.journal_records << " records\n"
+              << "  recovered image: log [" << r.image.base << ", "
+              << r.image.base + r.image.records.size() << "), "
+              << r.image.checkpoints.size() << " checkpoint(s), "
+              << r.image.journal.size() << " announcement(s), "
+              << r.image.parked.size() << " parked, max_inc "
+              << r.image.durable_max_inc << "\n";
+  }
+  for (const std::string& w : r.report.warnings) {
+    v.damage = true;
+    if (!quiet) std::cout << "  warning: " << w << "\n";
+  }
+  for (const std::string& e : r.report.errors) {
+    v.hard_error = true;
+    std::cout << "  ERROR: " << e << "\n";
+  }
+  if (repair && v.damage && !v.hard_error) {
+    disk::repair_process_dir(r);
+    if (!quiet) std::cout << "  repaired (torn tails truncated)\n";
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool repair = false;
+  bool quiet = false;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--repair") repair = true;
+    else if (a == "--quiet") quiet = true;
+    else if (a.rfind("--", 0) == 0) usage();
+    else if (dir.empty()) dir = a;
+    else usage();
+  }
+  if (dir.empty()) usage();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::cerr << "error: '" << dir << "' is not a directory\n";
+    return 2;
+  }
+
+  // A root directory holds p<pid>/ children; a process directory holds the
+  // files themselves.
+  std::vector<std::string> targets;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    std::string name = e.path().filename().string();
+    if (e.is_directory() && name.size() > 1 && name[0] == 'p' &&
+        name.find_first_not_of("0123456789", 1) == std::string::npos) {
+      targets.push_back(e.path().string());
+    }
+  }
+  std::sort(targets.begin(), targets.end());
+  if (targets.empty()) targets.push_back(dir);
+
+  Verdict total;
+  for (const std::string& t : targets) {
+    Verdict v = check_one(t, repair, quiet);
+    total.hard_error |= v.hard_error;
+    total.damage |= v.damage;
+  }
+  if (total.hard_error) {
+    std::cout << "fsck: FAILED (hard inconsistency)\n";
+    return 1;
+  }
+  std::cout << "fsck: ok"
+            << (total.damage ? " (recoverable damage"
+                               + std::string(repair ? ", repaired)" : ")")
+                             : "")
+            << "\n";
+  return 0;
+}

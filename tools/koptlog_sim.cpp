@@ -46,6 +46,9 @@ struct Args {
   SimTime notify_ms = 10;
   SimTime checkpoint_ms = 100;
   SimTime sync_us = 500;
+  std::string storage = "model";  // model | disk
+  std::string storage_dir;
+  SimTime group_commit_us = 300;
   bool fifo = false;
   bool reliable = false;
   bool no_gc = false;
@@ -84,6 +87,13 @@ struct Args {
       << "  --horizon-ms INT  injection window (default 1000)\n"
       << "  --flush-ms/--notify-ms/--checkpoint-ms  logging cadence\n"
       << "  --sync-us INT     synchronous stable-storage write cost\n"
+      << "  --storage model|disk      stable-storage backend (default model:\n"
+      << "                    simulated costs only; disk = real segmented\n"
+      << "                    on-disk log with group commit)\n"
+      << "  --storage-dir DIR durable backend root; each process writes\n"
+      << "                    DIR/p<pid>/ (required with --storage disk)\n"
+      << "  --group-commit-us INT     disk backend: fsync coalescing window\n"
+      << "                    (default 300)\n"
       << "  --fifo --reliable --no-gc --no-oracle   toggles\n"
       << "  --ascii           print a space-time diagram (sim backend)\n"
       << "  --dot FILE        write a Graphviz space-time diagram (sim)\n"
@@ -139,6 +149,9 @@ Args parse(int argc, char** argv) {
     else if (f == "--notify-ms") a.notify_ms = std::stoll(need(i));
     else if (f == "--checkpoint-ms") a.checkpoint_ms = std::stoll(need(i));
     else if (f == "--sync-us") a.sync_us = std::stoll(need(i));
+    else if (f == "--storage") a.storage = need(i);
+    else if (f == "--storage-dir") a.storage_dir = need(i);
+    else if (f == "--group-commit-us") a.group_commit_us = std::stoll(need(i));
     else if (f == "--fifo") a.fifo = true;
     else if (f == "--reliable") a.reliable = true;
     else if (f == "--no-gc") a.no_gc = true;
@@ -250,6 +263,19 @@ int main(int argc, char** argv) {
   cfg.protocol.notify_interval_us = a.notify_ms * 1000;
   cfg.protocol.checkpoint_interval_us = a.checkpoint_ms * 1000;
   cfg.protocol.storage.sync_write_us = a.sync_us;
+  if (a.storage != "model" && a.storage != "disk") {
+    std::cerr << "error: unknown storage backend '" << a.storage
+              << "' (have: model disk)\n";
+    return 2;
+  }
+  if (a.storage == "disk" && a.storage_dir.empty()) {
+    std::cerr << "error: --storage disk requires --storage-dir\n";
+    return 2;
+  }
+  cfg.protocol.storage_backend.backend = a.storage;
+  cfg.protocol.storage_backend.dir = a.storage_dir;
+  cfg.protocol.storage_backend.group_commit_us = a.group_commit_us;
+  cfg.protocol.storage_backend.threaded_io = threaded && a.storage == "disk";
   cfg.protocol.reliable_delivery = a.reliable;
   cfg.protocol.garbage_collect = !a.no_gc;
   cfg.record_events = !a.trace_out.empty() || !a.perfetto_out.empty();
