@@ -17,6 +17,7 @@
 #include "core/dep_vector.h"
 #include "core/interval_table.h"
 #include "exec/mpsc_mailbox.h"
+#include "obs/ring_recorder.h"
 #include "exec/threaded_scheduler.h"
 #include "sim/simulator.h"
 
@@ -186,6 +187,60 @@ void BM_MailboxMutexPushDrain(benchmark::State& state) {
   state.SetItemsProcessed(items);
 }
 BENCHMARK(BM_MailboxMutexPushDrain)->Arg(1)->Arg(64)->Arg(1024);
+
+// --- Ring recorder ----------------------------------------------------------
+// The streaming observability hot path: what a shard pays to record one
+// protocol event into its SPSC ring while a collector thread drains it.
+// Recording must stay cheap enough to be passive; this pins the constant.
+
+void BM_RingRecorderRecordDrain(benchmark::State& state) {
+  // Uncontended round trip: record `batch`, drain `batch`.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  RingRecorder ring(0, /*capacity=*/4096);
+  ProtocolEvent e;
+  e.kind = EventKind::kSend;
+  e.at = Entry{0, 1};
+  int64_t items = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) ring.record(e);
+    items += static_cast<int64_t>(
+        ring.drain(batch, [](const ProtocolEvent&) {}));
+  }
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_RingRecorderRecordDrain)->Arg(1)->Arg(64)->Arg(1024);
+
+void BM_RingRecorderProducerUnderLiveDrain(benchmark::State& state) {
+  // The deployed shape: producer records flat out while the collector
+  // thread drains concurrently. Measures producer-side cost including
+  // cache-line ping-pong on head/tail — the number the recording-passivity
+  // claim rides on.
+  RingRecorder ring(0, /*capacity=*/4096);
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (ring.drain(256, [](const ProtocolEvent&) {}) == 0) {
+        std::this_thread::yield();
+      }
+    }
+    while (ring.drain(256, [](const ProtocolEvent&) {}) > 0) {
+    }
+  });
+  ProtocolEvent e;
+  e.kind = EventKind::kSend;
+  e.at = Entry{0, 1};
+  int64_t items = 0;
+  for (auto _ : state) {
+    ring.record(e);
+    ++items;
+  }
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+  state.SetItemsProcessed(items);
+  state.counters["dropped"] =
+      static_cast<double>(ring.dropped());
+}
+BENCHMARK(BM_RingRecorderProducerUnderLiveDrain);
 
 void BM_MailboxMpscContention(benchmark::State& state) {
   // `producers` threads hammer one mailbox while this thread drains until

@@ -24,6 +24,75 @@ import os
 import sys
 from collections import OrderedDict
 
+#: The BENCH_*.json contract (BenchJson in src/core/metrics.h). --check
+#: fails a file that drifts from this shape, so the committed trend
+#: snapshots stay foldable by this tool and comparable across commits.
+SCHEMA_KEYS = {"bench": str, "params": dict, "metrics": dict, "tables": list}
+
+
+def check_doc(path, doc, problems):
+    """Validate one BENCH_*.json document against the BenchJson schema."""
+    for key, typ in SCHEMA_KEYS.items():
+        if key not in doc:
+            problems.append(f"{path}: missing required key '{key}'")
+        elif not isinstance(doc[key], typ):
+            problems.append(
+                f"{path}: '{key}' is {type(doc[key]).__name__}, "
+                f"want {typ.__name__}")
+    for k, v in doc.get("metrics", {}).items():
+        if not is_number(v):
+            problems.append(f"{path}: metric '{k}' is not numeric")
+    for t in doc.get("tables", []):
+        if not isinstance(t, dict):
+            problems.append(f"{path}: table entry is not an object")
+            continue
+        title = t.get("title")
+        if not isinstance(title, str) or not title:
+            problems.append(f"{path}: table without a 'title' string")
+            title = "<untitled>"
+        cols = t.get("columns")
+        if not isinstance(cols, list) or not all(
+                isinstance(c, str) for c in cols):
+            problems.append(
+                f"{path}: table '{title}' needs a list of column names")
+            continue
+        rows = t.get("rows")
+        if not isinstance(rows, list):
+            problems.append(f"{path}: table '{title}' needs a 'rows' list")
+            continue
+        for i, row in enumerate(rows):
+            if not isinstance(row, list) or len(row) != len(cols):
+                problems.append(
+                    f"{path}: table '{title}' row {i} does not match its "
+                    f"{len(cols)} columns")
+
+
+def check_runs(paths):
+    """--check: every BENCH_*.json in the given paths must parse and match
+    the schema. Returns a problem list (empty = pass)."""
+    problems = []
+    n_files = 0
+    for path in paths:
+        if os.path.isdir(path):
+            files = [os.path.join(path, n) for n in sorted(os.listdir(path))
+                     if n.startswith("BENCH_") and n.endswith(".json")]
+            if not files:
+                problems.append(f"{path}: no BENCH_*.json files")
+        else:
+            files = [path]
+        for f in files:
+            n_files += 1
+            try:
+                with open(f, encoding="utf-8") as fh:
+                    doc = json.load(fh)
+            except (OSError, json.JSONDecodeError) as e:
+                problems.append(f"{f}: unreadable: {e}")
+                continue
+            check_doc(f, doc, problems)
+    if n_files == 0:
+        problems.append("no BENCH_*.json files found")
+    return problems, n_files
+
 
 def load_run(path):
     """Return (label, {bench_name: doc}) for a run directory or file."""
@@ -119,7 +188,21 @@ def main():
                     help="run directories (BENCH_*.json inside) or files")
     ap.add_argument("--bench", help="only this bench name (e.g. e13_storage)")
     ap.add_argument("--metric", help="only columns whose name contains this")
+    ap.add_argument("--check", action="store_true",
+                    help="validate every BENCH_*.json against the BenchJson "
+                         "schema and exit nonzero on drift (CI mode)")
     args = ap.parse_args()
+
+    if args.check:
+        problems, n_files = check_runs(args.runs)
+        if problems:
+            print(f"bench_trend --check: {len(problems)} problem(s):",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"bench_trend --check: {n_files} file(s) OK")
+        return 0
 
     runs = [load_run(p) for p in args.runs]
     runs = [(label, docs) for label, docs in runs if docs]

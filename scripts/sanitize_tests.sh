@@ -8,11 +8,12 @@
 #   KOPTLOG_SANITIZE=thread scripts/sanitize_tests.sh
 #
 # asan runs the runtime-component + observability unit tests (the JSONL
-# reader parses untrusted input). tsan rebuilds with -fsanitize=thread and
+# reader — batch and streaming — parses untrusted input; the ring recorder
+# and live auditor ride along). tsan rebuilds with -fsanitize=thread and
 # runs the threaded execution backend's suite (ctest label "threaded"):
-# ThreadedScheduler units plus whole-cluster multi-failure runs whose
-# traces must audit clean — the acceptance gate for the real-thread
-# backend. storage runs everything labelled "storage" under asan: the
+# ThreadedScheduler units, whole-cluster multi-failure runs whose traces
+# must audit clean, and the SPSC ring-recorder/collector stress — the
+# acceptance gate for the real-thread backend and the streaming pipeline. storage runs everything labelled "storage" under asan: the
 # on-disk WAL round-trip/recovery tests, the format fuzz-smoke (the
 # analysis scan parses whatever a crash left on disk — untrusted input),
 # the model-vs-disk restart-equivalence gate, and the kill -9 + fsck
@@ -60,5 +61,5 @@ else
   # gate on. Everything else still runs in the regular (unsanitized) job.
   export UBSAN_OPTIONS=${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism|EventKind|EventRecorder|Recording|TraceIo|TraceGolden|Export|Audit|CodecFuzz'
+    -R 'SendBuffer|ReceiveBuffer|OutputBuffer|ReliableChannel|ReplayEngine|Figure1|Determinism|EventKind|EventRecorder|Recording|RingRecorder|StreamingTraceParser|TraceIo|TraceGolden|Export|Audit|CodecFuzz'
 fi

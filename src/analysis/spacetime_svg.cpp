@@ -232,6 +232,18 @@ std::string render_spacetime_svg(const CausalGraph& g,
               "storage recover: " << e.lsn
            << " log records</title></rect>\n";
         break;
+      case EventKind::kProgressNotify:
+        os << "<circle cx=\"" << x << "\" cy=\"" << y
+           << "\" r=\"3\" fill=\"none\" stroke=\"#8a5cad\"><title>"
+              "progress notify: " << e.lsn
+           << " stable entries</title></circle>\n";
+        break;
+      case EventKind::kRecorderDrop:
+        os << "<text x=\"" << (x - 4) << "\" y=\"" << (y + 4)
+           << "\" fill=\"#c00020\" font-weight=\"bold\">!<title>"
+              "recorder overflow: " << e.undone
+           << " events lost</title></text>\n";
+        break;
     }
   }
 

@@ -30,7 +30,8 @@ Cluster::Cluster(ClusterConfig cfg, const AppFactory& factory,
                    cfg.control_latency, /*fifo=*/false) {
   KOPT_CHECK(cfg.n > 0);
   if (cfg_.enable_oracle) oracle_ = std::make_unique<Oracle>(cfg_.n);
-  if (cfg_.record_events) recording_ = std::make_unique<Recording>(cfg_.n);
+  if (cfg_.record_events)
+    recording_ = std::make_unique<Recording>(cfg_.n, cfg_.recording);
   processes_.reserve(static_cast<size_t>(cfg_.n));
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
     processes_.push_back(engine_factory(pid, cfg_, *this, factory(pid)));

@@ -103,6 +103,7 @@ class Cluster final : public ClusterApi, public ClusterHost {
   }
 
   const Recording* recording() const override { return recording_.get(); }
+  Recording* recording_mut() override { return recording_.get(); }
 
  private:
   void deliver_control_announcement(ProcessId to, const Announcement& a);

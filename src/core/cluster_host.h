@@ -16,13 +16,13 @@
 #include "core/config.h"
 #include "core/protocol_msg.h"
 #include "net/latency_model.h"
+#include "obs/event_recorder.h"
 #include "sim/stats.h"
 
 namespace koptlog {
 
 class ClusterApi;
 class RecoveryProcess;
-class Recording;
 
 struct ClusterConfig {
   int n = 4;
@@ -34,6 +34,10 @@ struct ClusterConfig {
   bool fifo = false;           ///< FIFO data channels (Strom–Yemini regime)
   bool enable_oracle = true;   ///< ground-truth checking (small runs)
   bool record_events = false;  ///< typed protocol-event recording (src/obs/)
+  /// Recorder storage when record_events is set: unbounded vectors for
+  /// post-hoc merge (default) or bounded SPSC rings for live streaming
+  /// through an EventCollector (obs/collector.h).
+  RecordingOptions recording;
 };
 
 struct CommittedOutput {
@@ -90,6 +94,9 @@ class ClusterHost {
   virtual const std::vector<CommittedOutput>& outputs() const = 0;
   /// Non-null iff config().record_events was set.
   virtual const Recording* recording() const = 0;
+  /// Mutable access for a streaming EventCollector that drains the ring
+  /// recorders while the run is live. Same nullability as recording().
+  virtual Recording* recording_mut() = 0;
 };
 
 }  // namespace koptlog

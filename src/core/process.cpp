@@ -379,6 +379,14 @@ void Process::broadcast_progress() {
     lp.stable.push_back(Entry{inc, sii});
   if (lp.stable.empty()) return;
   api_.stats().inc(kProgressSent);
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kProgressNotify;
+    e.t = api_.scheduler().now();
+    e.at = current_;
+    e.lsn = static_cast<int64_t>(lp.stable.size());
+    rec->record(std::move(e));
+  }
   api_.broadcast_log_progress(lp);
 }
 

@@ -522,7 +522,16 @@ void DirectProcess::broadcast_progress() {
   lp.from = pid_;
   for (const auto& [inc, sii] : log_.of(pid_).entries())
     lp.stable.push_back(Entry{inc, sii});
-  if (!lp.stable.empty()) api_.broadcast_log_progress(lp);
+  if (lp.stable.empty()) return;
+  if (EventRecorder* rec = recorder()) {
+    ProtocolEvent e;
+    e.kind = EventKind::kProgressNotify;
+    e.t = api_.scheduler().now();
+    e.at = current_;
+    e.lsn = static_cast<int64_t>(lp.stable.size());
+    rec->record(std::move(e));
+  }
+  api_.broadcast_log_progress(lp);
 }
 
 void DirectProcess::handle_log_progress(const LogProgressMsg& lp) {

@@ -215,7 +215,8 @@ ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
     lo = std::min(lo, pid);
     hi = std::max(hi, static_cast<ProcessId>(pid + 1));
   }
-  if (cfg_.record_events) recording_ = std::make_unique<Recording>(cfg_.n);
+  if (cfg_.record_events)
+    recording_ = std::make_unique<Recording>(cfg_.n, cfg_.recording);
   slots_.resize(static_cast<size_t>(cfg_.n));
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
     Slot& s = slot(pid);

@@ -109,6 +109,7 @@ class ThreadedCluster final : public ClusterHost {
 
   const std::vector<CommittedOutput>& outputs() const override;
   const Recording* recording() const override { return recording_.get(); }
+  Recording* recording_mut() override { return recording_.get(); }
 
   /// Engine inspection is only race-free once the workers are joined.
   RecoveryProcess& engine(ProcessId pid);

@@ -33,6 +33,7 @@ std::string AuditReport::summary() const {
      << " dead=" << dead_intervals << " announcements=" << announcements
      << " rollbacks=" << rollbacks << " releases=" << releases_checked
      << " commits=" << commits_checked << " outputs=" << distinct_outputs;
+  if (dropped_events > 0) os << " dropped=" << dropped_events;
   if (!ok()) os << "\n  first: " << violations.front();
   return os.str();
 }
@@ -200,13 +201,20 @@ AuditReport audit_trace(const Trace& trace) {
         }
         break;
       }
+      case EventKind::kRecorderDrop:
+        // Overflow gap marker: the verdict below only covers the surviving
+        // stream, so surface the loss in the report's coverage counters.
+        rep.dropped_events += static_cast<uint64_t>(e.undone);
+        break;
       case EventKind::kSend:
       case EventKind::kCheckpoint:
       case EventKind::kRetransmit:
-      // Storage events carry no protocol obligations; the restart-
-      // equivalence test checks their semantics against the model run.
+      // Storage and progress events carry no protocol obligations; the
+      // restart-equivalence test checks their semantics against the model
+      // run.
       case EventKind::kStorageFlush:
       case EventKind::kStorageRecover:
+      case EventKind::kProgressNotify:
         break;
     }
   }

@@ -42,6 +42,9 @@ struct AuditReport {
   size_t announcements = 0;
   size_t rollbacks = 0;
   size_t dead_intervals = 0;
+  /// Events lost to ring-recorder overflow, summed from recorder_drop gap
+  /// markers. Nonzero means the verdict covers only the surviving stream.
+  uint64_t dropped_events = 0;
 
   bool ok() const { return violations.empty(); }
   std::string summary() const;

@@ -1,0 +1,72 @@
+#include "obs/collector.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "obs/ring_recorder.h"
+
+namespace koptlog {
+
+EventCollector::EventCollector(Recording& recording,
+                               std::vector<EventSink*> sinks, Options opt)
+    : recording_(recording), sinks_(std::move(sinks)), opt_(opt) {
+  KOPT_CHECK(recording_.mode() == RecordMode::kRing);
+  if (opt_.batch == 0) opt_.batch = 1;
+}
+
+EventCollector::~EventCollector() { stop(); }
+
+void EventCollector::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventCollector::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+size_t EventCollector::sweep() {
+  size_t drained = 0;
+  for (ProcessId pid = 0; pid < recording_.n(); ++pid) {
+    RingRecorder* ring = recording_.ring(pid);
+    drained += ring->drain(opt_.batch, [&](const ProtocolEvent& e) {
+      for (EventSink* sink : sinks_) sink->on_event(e);
+    });
+  }
+  events_collected_.fetch_add(drained, std::memory_order_relaxed);
+  return drained;
+}
+
+void EventCollector::run() {
+  using Clock = std::chrono::steady_clock;
+  auto next_tick = Clock::now() + std::chrono::microseconds(
+                                      opt_.tick_interval_us > 0
+                                          ? opt_.tick_interval_us
+                                          : int64_t{0});
+  while (!stop_.load(std::memory_order_acquire)) {
+    size_t drained = sweep();
+    if (Clock::now() >= next_tick) {
+      for (EventSink* sink : sinks_) sink->tick();
+      next_tick = Clock::now() + std::chrono::microseconds(
+                                     opt_.tick_interval_us > 0
+                                         ? opt_.tick_interval_us
+                                         : int64_t{0});
+    }
+    if (drained == 0 && opt_.idle_sleep_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opt_.idle_sleep_us));
+    }
+  }
+  // Producers are quiesced by contract: a bounded number of residual events
+  // remain, so this terminates.
+  while (sweep() > 0) {
+  }
+  for (EventSink* sink : sinks_) sink->tick();
+  for (EventSink* sink : sinks_) sink->close();
+}
+
+}  // namespace koptlog

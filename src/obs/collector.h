@@ -1,0 +1,75 @@
+// EventCollector — the consumer half of the streaming observability
+// pipeline. One dedicated thread round-robins over a Recording's per-process
+// ring recorders (obs/ring_recorder.h), draining each in bounded batches and
+// feeding every drained event to each attached EventSink in turn, so sinks
+// observe per-process streams in emission order (the only ordering the live
+// audit and the JSONL re-audit need). Between drains it issues periodic
+// tick()s — snapshot exports, file flushes — on a wall-clock cadence, and
+// sleeps briefly when every ring is empty.
+//
+// Lifecycle: construct over a live host's Recording (ring mode), start()
+// before the run generates events, stop() after the producers have quiesced
+// (host shutdown/drain): stop drains every ring to empty, delivers a final
+// tick, close()s the sinks and joins the thread. The destructor stops too,
+// so early exits don't leak the thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/event_recorder.h"
+#include "obs/event_sink.h"
+
+namespace koptlog {
+
+struct CollectorOptions {
+  /// Max events taken from one ring before moving to the next, bounding
+  /// how long any single ring waits while another is hot.
+  size_t batch = 256;
+  /// Wall-clock microseconds between sink tick()s (metrics snapshot
+  /// cadence). <= 0 ticks on every idle loop.
+  int64_t tick_interval_us = 1000000;
+  /// Wall-clock sleep when all rings are empty.
+  int64_t idle_sleep_us = 200;
+};
+
+class EventCollector {
+ public:
+  using Options = CollectorOptions;
+
+  /// `recording` must be ring-mode and outlive the collector; `sinks` are
+  /// borrowed, called only from the collector thread.
+  EventCollector(Recording& recording, std::vector<EventSink*> sinks,
+                 Options opt = {});
+  ~EventCollector();
+
+  EventCollector(const EventCollector&) = delete;
+  EventCollector& operator=(const EventCollector&) = delete;
+
+  void start();
+  /// Drain to empty, final-tick and close the sinks, join. Idempotent.
+  /// Producers must be quiesced first or the tail of the stream is lost.
+  void stop();
+
+  uint64_t events_collected() const {
+    return events_collected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  /// One sweep over all rings; returns the number of events drained.
+  size_t sweep();
+
+  Recording& recording_;
+  std::vector<EventSink*> sinks_;
+  Options opt_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<uint64_t> events_collected_{0};
+};
+
+}  // namespace koptlog

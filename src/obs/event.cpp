@@ -16,13 +16,14 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kIncarnationBump: return "incarnation_bump";
     case EventKind::kStorageFlush:    return "storage_flush";
     case EventKind::kStorageRecover:  return "storage_recover";
+    case EventKind::kProgressNotify:  return "progress_notify";
+    case EventKind::kRecorderDrop:    return "recorder_drop";
   }
   return "unknown";
 }
 
 std::optional<EventKind> event_kind_from_name(std::string_view name) {
-  for (int32_t k = static_cast<int32_t>(EventKind::kSend);
-       k <= static_cast<int32_t>(EventKind::kStorageRecover); ++k) {
+  for (int32_t k = 0; k < kEventKindCount; ++k) {
     if (event_kind_name(static_cast<EventKind>(k)) == name)
       return static_cast<EventKind>(k);
   }

@@ -33,7 +33,18 @@ enum class EventKind : int32_t {
   kIncarnationBump,  ///< recovery interval started in a new incarnation
   kStorageFlush,     ///< durable backend: a group-commit fsync completed
   kStorageRecover,   ///< durable backend: restart rebuilt state from media
+  kProgressNotify,   ///< logging-progress announcement broadcast (Theorem 2's
+                     ///< nulling input; flush-to-notify lag is measured to it)
+  kRecorderDrop,     ///< ring recorder overflowed: `undone` events were lost
+                     ///< between the previous record and this marker
 };
+
+/// Number of EventKind values; kinds are dense in [0, kEventKindCount).
+/// The schema round-trip test iterates every kind through the JSONL
+/// writer/parser via this bound, so adding a kind without wiring its
+/// serialization fails loudly.
+inline constexpr int32_t kEventKindCount =
+    static_cast<int32_t>(EventKind::kRecorderDrop) + 1;
 
 /// Stable wire name ("send", "deliver", ...) used in the JSONL schema.
 std::string_view event_kind_name(EventKind k);

@@ -2,14 +2,41 @@
 
 #include <algorithm>
 
+#include "obs/ring_recorder.h"
+
 namespace koptlog {
+
+Recording::Recording(int n, const RecordingOptions& opt) : mode_(opt.mode) {
+  KOPT_CHECK(n > 0);
+  recorders_.reserve(static_cast<size_t>(n));
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    if (mode_ == RecordMode::kRing) {
+      recorders_.push_back(
+          std::make_unique<RingRecorder>(pid, opt.ring_capacity));
+    } else {
+      recorders_.push_back(std::make_unique<VectorRecorder>(pid));
+    }
+  }
+}
+
+RingRecorder* Recording::ring(ProcessId pid) {
+  if (mode_ != RecordMode::kRing) return nullptr;
+  return static_cast<RingRecorder*>(&recorder(pid));
+}
+
+uint64_t Recording::total_dropped() const {
+  if (mode_ != RecordMode::kRing) return 0;
+  uint64_t total = 0;
+  for (const auto& r : recorders_) {
+    total += static_cast<const RingRecorder*>(r.get())->dropped();
+  }
+  return total;
+}
 
 std::vector<ProtocolEvent> Recording::merged() const {
   std::vector<ProtocolEvent> out;
   out.reserve(total_events());
-  for (const EventRecorder& r : recorders_) {
-    out.insert(out.end(), r.events().begin(), r.events().end());
-  }
+  for (const auto& r : recorders_) r->snapshot(out);
   std::stable_sort(out.begin(), out.end(),
                    [](const ProtocolEvent& a, const ProtocolEvent& b) {
                      if (a.t != b.t) return a.t < b.t;

@@ -57,7 +57,11 @@ std::string event_args(const ProtocolEvent& e) {
       break;
     case EventKind::kStorageFlush:
     case EventKind::kStorageRecover:
+    case EventKind::kProgressNotify:
       os << ",\"lsn\":" << e.lsn;
+      break;
+    case EventKind::kRecorderDrop:
+      os << ",\"lost\":" << e.undone;
       break;
   }
   os << '}';

@@ -1,0 +1,76 @@
+#include "obs/ring_recorder.h"
+
+namespace koptlog {
+
+namespace {
+size_t round_up_pow2(size_t v) {
+  size_t p = 2;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+RingRecorder::RingRecorder(ProcessId pid, size_t capacity)
+    : EventRecorder(pid), buf_(round_up_pow2(capacity < 2 ? 2 : capacity)) {
+  mask_ = buf_.size() - 1;
+}
+
+bool RingRecorder::try_append(ProtocolEvent&& e) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  const uint64_t occ = head - tail;
+  if (occ >= buf_.size()) return false;
+  buf_[static_cast<size_t>(head & mask_)] = std::move(e);
+  head_.store(head + 1, std::memory_order_release);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (occ + 1 > max_occupancy_.load(std::memory_order_relaxed))
+    max_occupancy_.store(occ + 1, std::memory_order_relaxed);
+  return true;
+}
+
+void RingRecorder::record(ProtocolEvent e) {
+  if (pending_drops_ > 0) {
+    // The gap marker needs a slot of its own plus one for `e` (so it stays
+    // adjacent to the gap it describes); it rides at the incoming event's
+    // timestamp so per-process time stays non-decreasing.
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail + 2 <= buf_.size()) {
+      ProtocolEvent gap;
+      gap.kind = EventKind::kRecorderDrop;
+      gap.t = e.t;
+      gap.at = e.at;
+      gap.undone = static_cast<int64_t>(pending_drops_);
+      stamp(gap);
+      pending_drops_ = 0;
+      bool ok = try_append(std::move(gap));
+      (void)ok;  // two free slots were just checked
+    }
+  }
+  stamp(e);
+  if (pending_drops_ == 0 && try_append(std::move(e))) return;
+  ++pending_drops_;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RingRecorder::push(ProtocolEvent e) { record(std::move(e)); }
+
+void RingRecorder::snapshot(std::vector<ProtocolEvent>& out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  for (uint64_t i = tail_.load(std::memory_order_acquire); i != head; ++i) {
+    out.push_back(buf_[static_cast<size_t>(i & mask_)]);
+  }
+}
+
+void RingRecorder::clear() {
+  EventRecorder::clear();
+  for (ProtocolEvent& slot : buf_) slot = ProtocolEvent{};
+  tail_.store(head_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  accepted_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  max_occupancy_.store(0, std::memory_order_relaxed);
+  pending_drops_ = 0;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,101 @@
+// RingRecorder — bounded single-producer/single-consumer event recorder.
+//
+// The producer is the one thread that hosts the owning process (a shard
+// worker on the threaded backend, the simulator thread on the deterministic
+// one); the consumer is the collector thread (obs/collector.h). record()
+// never blocks and never allocates past the fixed ring: when the consumer
+// falls behind, the incoming event is dropped and counted, and the next
+// successful append is preceded by a synthesized kRecorderDrop marker
+// carrying the loss count — the stream itself says where its gaps are, so a
+// post-hoc audit of the drained JSONL knows its coverage.
+//
+// Memory is strictly capacity x sizeof(slot) per process: drained slots are
+// reset to a default ProtocolEvent so DepVector payloads are returned to the
+// allocator instead of lingering until the next overwrite.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event_recorder.h"
+
+namespace koptlog {
+
+class RingRecorder final : public EventRecorder {
+ public:
+  /// `capacity` is rounded up to a power of two (min 2).
+  RingRecorder(ProcessId pid, size_t capacity);
+
+  size_t capacity() const { return buf_.size(); }
+
+  /// Producer side: append, or drop-and-count on overflow. After drops, the
+  /// next append is preceded by a kRecorderDrop marker (when two slots are
+  /// free — the marker stays adjacent to the gap it describes).
+  void record(ProtocolEvent e) override;
+
+  /// Consumer side: pop up to `max` events in emission order into `fn`.
+  /// Returns the number of events consumed. Safe against a concurrent
+  /// producer; must only be called from one consumer thread.
+  template <typename Fn>
+  size_t drain(size_t max, Fn&& fn) {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t consumed = 0;
+    while (tail != head && consumed < max) {
+      ProtocolEvent& slot = buf_[static_cast<size_t>(tail & mask_)];
+      fn(static_cast<const ProtocolEvent&>(slot));
+      slot = ProtocolEvent{};  // release DepVector storage now, not later
+      ++tail;
+      ++consumed;
+      // Publish per event, not per batch: freed slots become visible to the
+      // producer immediately, shrinking the overflow window while a large
+      // batch is mid-drain.
+      tail_.store(tail, std::memory_order_release);
+    }
+    return consumed;
+  }
+
+  /// Events currently buffered (approximate under concurrency).
+  size_t occupancy() const {
+    return static_cast<size_t>(head_.load(std::memory_order_acquire) -
+                               tail_.load(std::memory_order_acquire));
+  }
+  /// High-water mark of occupancy, maintained by the producer.
+  size_t max_occupancy() const {
+    return max_occupancy_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to overflow so far.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Events accepted into the ring (monotone; not the current occupancy).
+  size_t size() const override {
+    return static_cast<size_t>(accepted_.load(std::memory_order_relaxed));
+  }
+
+  /// Residual (undrained) window, oldest first. Only safe when neither the
+  /// producer nor the consumer is running.
+  void snapshot(std::vector<ProtocolEvent>& out) const override;
+
+  void clear() override;
+
+ protected:
+  void push(ProtocolEvent e) override;
+
+ private:
+  /// True if `e` was appended; false when the ring is full.
+  bool try_append(ProtocolEvent&& e);
+
+  std::vector<ProtocolEvent> buf_;
+  uint64_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};  ///< next write index (producer)
+  std::atomic<uint64_t> tail_{0};  ///< next read index (consumer)
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> max_occupancy_{0};
+  /// Drops since the last successful append; producer-thread only. The next
+  /// append converts it into a kRecorderDrop marker in-stream.
+  uint64_t pending_drops_ = 0;
+};
+
+}  // namespace koptlog

@@ -168,8 +168,13 @@ std::string event_to_json(const ProtocolEvent& e) {
       break;
     case EventKind::kStorageFlush:
     case EventKind::kStorageRecover:
+    case EventKind::kProgressNotify:
       out += ",\"lsn\":";
       out += std::to_string(e.lsn);
+      break;
+    case EventKind::kRecorderDrop:
+      out += ",\"lost\":";
+      out += std::to_string(e.undone);
       break;
   }
   out += '}';
@@ -587,7 +592,10 @@ bool event_from_json(const JsonValue& obj, int n, ProtocolEvent& e,
       return true;
     case EventKind::kStorageFlush:
     case EventKind::kStorageRecover:
+    case EventKind::kProgressNotify:
       return need_int("lsn", e.lsn);
+    case EventKind::kRecorderDrop:
+      return need_int("lost", e.undone);
   }
   why = "unhandled event kind";
   return false;
@@ -650,6 +658,94 @@ Trace read_trace_jsonl(std::istream& is, std::vector<std::string>& errors) {
     errors.push_back("empty trace: no meta header");
   }
   return trace;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingTraceParser
+// ---------------------------------------------------------------------------
+
+StreamingTraceParser::StreamingTraceParser(EventFn on_event)
+    : on_event_(std::move(on_event)) {}
+
+StreamingTraceParser::~StreamingTraceParser() = default;
+
+void StreamingTraceParser::parse_line(std::string_view line) {
+  ++lineno_;
+  if (line.empty()) return;
+  auto err = [&](const std::string& what) {
+    errors_.push_back("line " + std::to_string(lineno_) + ": " + what);
+  };
+  JsonValue v;
+  std::string parse_err;
+  if (!JsonParser(line).parse(v, parse_err)) {
+    err(parse_err);
+    return;
+  }
+  if (v.type != JsonValue::Type::kObj) {
+    err("line is not a JSON object");
+    return;
+  }
+  if (!have_meta_) {
+    const JsonValue* kind = v.find("kind");
+    if (!kind || kind->type != JsonValue::Type::kStr || kind->str != "meta") {
+      err("first line must be the meta header {\"kind\":\"meta\",...}");
+      n_ = 1 << 20;  // keep parsing so later errors still surface
+      have_meta_ = true;
+      return;
+    }
+    int64_t version = 0, n = 0;
+    if (!as_int64(v.find("version"), version) || version != 1) {
+      err("unsupported or missing trace version (want 1)");
+    }
+    if (!as_int64(v.find("n"), n) || n < 1) {
+      err("meta header missing a positive \"n\"");
+      n = 1 << 20;
+    }
+    n_ = static_cast<int>(n);
+    have_meta_ = true;
+    return;
+  }
+  ProtocolEvent e;
+  std::string why;
+  if (!event_from_json(v, n_, e, why)) {
+    err(why);
+    return;
+  }
+  ++events_parsed_;
+  if (on_event_) on_event_(e);
+}
+
+void StreamingTraceParser::feed(std::string_view chunk) {
+  if (finished_) return;
+  buf_.append(chunk.data(), chunk.size());
+  size_t start = 0;
+  for (size_t nl = buf_.find('\n', start); nl != std::string::npos;
+       nl = buf_.find('\n', start)) {
+    size_t len = nl - start;
+    // Tolerate CRLF writers.
+    if (len > 0 && buf_[start + len - 1] == '\r') --len;
+    parse_line(std::string_view(buf_).substr(start, len));
+    start = nl + 1;
+  }
+  buf_.erase(0, start);
+}
+
+void StreamingTraceParser::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (buf_.empty()) return;
+  // A complete object missing only its newline is accepted; anything else is
+  // a torn tail (crashed or still-running writer), reported out of band.
+  const size_t errors_before = errors_.size();
+  const size_t parsed_before = events_parsed_;
+  parse_line(buf_);
+  if (errors_.size() != errors_before) {
+    errors_.resize(errors_before);  // the fragment is torn, not malformed
+    torn_ = std::move(buf_);
+  } else if (events_parsed_ == parsed_before && !have_meta_) {
+    torn_ = std::move(buf_);
+  }
+  buf_.clear();
 }
 
 }  // namespace koptlog

@@ -23,6 +23,10 @@
 //   output_commit    msg, ref, tdv
 //   retransmit       msg, peer
 //   incarnation_bump (none)
+//   storage_flush    lsn
+//   storage_recover  lsn
+//   progress_notify  lsn
+//   recorder_drop    lost (events dropped by a saturated ring recorder)
 //
 // The reader is strict: unknown kinds, missing required fields, malformed
 // encodings and out-of-range process ids are schema violations, reported
@@ -31,6 +35,7 @@
 // minimal recursive-descent parser sufficient for this schema.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -65,5 +70,51 @@ Trace read_trace_jsonl(std::istream& is, std::vector<std::string>& errors);
 
 /// JSON string escaping (shared by the exporters).
 std::string json_escape(std::string_view s);
+
+/// Incremental JSONL parser for traces that are still being written
+/// (koptlog_audit --follow, live re-audit of a streamed file). Feed byte
+/// chunks as they arrive; every complete line is validated and dispatched to
+/// the callback immediately, in file order. Mid-file garbage is a schema
+/// error like in read_trace_jsonl; an *unterminated final fragment* is not —
+/// it is either a line still being appended (keep feeding) or a torn tail
+/// from a crashed writer, which finish() reports separately so an auditor
+/// can tolerate it without masking real violations.
+class StreamingTraceParser {
+ public:
+  using EventFn = std::function<void(const ProtocolEvent&)>;
+
+  explicit StreamingTraceParser(EventFn on_event);
+  ~StreamingTraceParser();
+
+  void feed(std::string_view chunk);
+
+  /// Declare end of input. If a buffered unterminated fragment parses as a
+  /// valid event it is accepted (writer just omitted the last newline);
+  /// otherwise it is recorded as a torn tail, not a schema error.
+  void finish();
+
+  bool have_meta() const { return have_meta_; }
+  /// Process count from the meta header (0 until it is seen).
+  int n() const { return n_; }
+  size_t events_parsed() const { return events_parsed_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+  /// Non-empty after finish() iff the input ended mid-line.
+  const std::string& torn_tail() const { return torn_; }
+  /// Bytes currently buffered awaiting a newline.
+  size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  void parse_line(std::string_view line);
+
+  EventFn on_event_;
+  std::string buf_;
+  std::vector<std::string> errors_;
+  std::string torn_;
+  size_t lineno_ = 0;
+  int n_ = 0;
+  bool have_meta_ = false;
+  bool finished_ = false;
+  size_t events_parsed_ = 0;
+};
 
 }  // namespace koptlog

@@ -14,6 +14,8 @@
 #include "core/process.h"
 #include "direct/direct_process.h"
 #include "obs/event_recorder.h"
+#include "obs/live_audit.h"
+#include "obs/ring_recorder.h"
 
 namespace koptlog {
 namespace {
@@ -26,9 +28,17 @@ struct RunResult {
 
 RunResult run_once(const ClusterConfig& base,
                    const Cluster::EngineFactory& factory,
-                   bool record = true) {
+                   bool record = true,
+                   RecordMode mode = RecordMode::kVector,
+                   LiveAudit* live_audit = nullptr) {
   ClusterConfig cfg = base;
   cfg.record_events = record;
+  cfg.recording.mode = mode;
+  if (mode == RecordMode::kRing) {
+    // Large enough that the single-threaded run (nobody drains mid-run)
+    // retains everything: the residual window IS the whole stream.
+    cfg.recording.ring_capacity = 1 << 16;
+  }
   Cluster cluster(cfg, make_uniform_app({.output_every = 4}), factory);
   cluster.start();
   inject_uniform_load(cluster, 120, 1'000, 600'000, 5, 11);
@@ -37,6 +47,9 @@ RunResult run_once(const ClusterConfig& base,
   cluster.drain();
   RunResult r{cluster.outputs(), cluster.stats().counters(), {}};
   if (const Recording* rec = cluster.recording()) r.events = rec->merged();
+  if (live_audit != nullptr) {
+    for (const ProtocolEvent& e : r.events) live_audit->on_event(e);
+  }
   return r;
 }
 
@@ -95,6 +108,32 @@ TEST(Determinism, EventRecordingIsPassive) {
   ASSERT_EQ(off.events.size(), 0u);
   off.events = on.events;  // compare everything except the streams
   expect_identical(on, off);
+}
+
+TEST(Determinism, RingRecordingWithLiveAuditIsPassive) {
+  // The streaming mode must be as passive as the vector mode: the same
+  // seeded run with --record=ring + the live auditor attached is bit-for-bit
+  // identical (outputs, counters, event streams) to a run with recording
+  // off — and the audit itself comes back green.
+  ClusterConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 8881;
+  cfg.protocol.k = 2;
+  LiveAudit audit(cfg.n);
+  RunResult ring = run_once(cfg, k_optimistic_factory(), /*record=*/true,
+                            RecordMode::kRing, &audit);
+  RunResult off = run_once(cfg, k_optimistic_factory(), /*record=*/false);
+  ASSERT_GT(ring.events.size(), 0u);
+  EXPECT_TRUE(audit.ok()) << audit.first_violation();
+  EXPECT_EQ(audit.events_seen(), ring.events.size());
+  ASSERT_EQ(off.events.size(), 0u);
+  off.events = ring.events;  // compare everything except the streams
+  expect_identical(ring, off);
+
+  // And against vector mode: identical streams, too.
+  RunResult vec = run_once(cfg, k_optimistic_factory(), /*record=*/true,
+                           RecordMode::kVector);
+  expect_identical(ring, vec);
 }
 
 TEST(Determinism, DirectEngineIsSeedDeterministic) {

@@ -1,0 +1,258 @@
+// LiveAudit — the online auditor must agree with the batch audit_trace on
+// real multi-failure runs (in merged order AND under a collector-style
+// cross-process interleaving), and must catch hand-injected orphan commits
+// in both temporal directions: announce-then-commit (immediate dead check)
+// and commit-then-announce (the watermark direction, where the output
+// escaped before the failure was announced). Violations cite the offending
+// event's stable "P<pid>#<seq>" id.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "obs/audit.h"
+#include "obs/live_audit.h"
+
+namespace koptlog {
+namespace {
+
+std::vector<ProtocolEvent> record_multi_failure_events() {
+  ClusterConfig cfg;
+  cfg.n = 5;
+  cfg.seed = 4242;
+  cfg.protocol.k = 2;
+  cfg.enable_oracle = false;
+  cfg.record_events = true;
+  Cluster cluster(cfg, make_uniform_app({.output_every = 4}));
+  cluster.start();
+  inject_uniform_load(cluster, 150, 1'000, 600'000, 5, 17);
+  cluster.fail_at(200'000, 1);
+  cluster.fail_at(380'000, 3);
+  cluster.run_for(2'000'000);
+  cluster.drain();
+  EXPECT_NE(cluster.recording(), nullptr);
+  return cluster.recording()->merged();
+}
+
+TEST(LiveAuditTest, AgreesWithBatchAuditOnMultiFailureRun) {
+  std::vector<ProtocolEvent> events = record_multi_failure_events();
+  ASSERT_GT(events.size(), 100u);
+
+  Trace trace;
+  trace.n = 5;
+  trace.events = events;
+  AuditReport batch = audit_trace(trace);
+  ASSERT_TRUE(batch.ok()) << batch.summary();
+
+  LiveAudit live(5);
+  for (const ProtocolEvent& e : events) live.on_event(e);
+  EXPECT_TRUE(live.ok()) << live.first_violation();
+  AuditReport rep = live.report();
+  EXPECT_EQ(rep.events, batch.events);
+  EXPECT_EQ(rep.intervals, batch.intervals);
+  EXPECT_EQ(rep.dead_intervals, batch.dead_intervals);
+  EXPECT_EQ(rep.announcements, batch.announcements);
+  EXPECT_EQ(rep.rollbacks, batch.rollbacks);
+  EXPECT_EQ(rep.releases_checked, batch.releases_checked);
+  EXPECT_EQ(rep.commits_checked, batch.commits_checked);
+  EXPECT_EQ(rep.distinct_outputs, batch.distinct_outputs);
+  // Real coverage, not a vacuous pass.
+  EXPECT_GE(rep.announcements, 2u);
+  EXPECT_GT(rep.dead_intervals, 0u);
+  EXPECT_GT(rep.commits_checked, 0u);
+}
+
+TEST(LiveAuditTest, CrossProcessInterleavingIsImmaterial) {
+  // The collector drains per-process rings round-robin, so the auditor sees
+  // per-process streams in order but an arbitrary interleave across
+  // processes — including commits draining before the delivers that created
+  // their ancestor intervals. Feed whole processes back to back (the most
+  // skewed interleave possible) and expect the same green verdict.
+  std::vector<ProtocolEvent> events = record_multi_failure_events();
+  std::map<ProcessId, std::vector<ProtocolEvent>> by_pid;
+  for (const ProtocolEvent& e : events) by_pid[e.pid].push_back(e);
+
+  LiveAudit live(5);
+  for (auto it = by_pid.rbegin(); it != by_pid.rend(); ++it) {
+    for (const ProtocolEvent& e : it->second) live.on_event(e);
+  }
+  EXPECT_TRUE(live.ok()) << live.first_violation();
+  AuditReport rep = live.report();
+  EXPECT_EQ(rep.events, events.size());
+  EXPECT_GT(rep.commits_checked, 0u);
+}
+
+// -- Hand-crafted violation vectors ----------------------------------------
+
+ProtocolEvent deliver(ProcessId pid, uint64_t seq, SimTime t, Entry at,
+                      IntervalId ref) {
+  ProtocolEvent e;
+  e.kind = EventKind::kDeliver;
+  e.t = t;
+  e.pid = pid;
+  e.seq = seq;
+  e.at = at;
+  e.msg = MsgId{ref.pid, 1};
+  e.peer = ref.pid;
+  e.ref = ref;
+  return e;
+}
+
+ProtocolEvent announce(ProcessId pid, uint64_t seq, SimTime t, Entry ended) {
+  ProtocolEvent e;
+  e.kind = EventKind::kFailureAnnounce;
+  e.t = t;
+  e.pid = pid;
+  e.seq = seq;
+  e.at = ended;
+  e.ended = ended;
+  e.from_failure = true;
+  return e;
+}
+
+ProtocolEvent commit(ProcessId pid, uint64_t seq, SimTime t, IntervalId ref,
+                     DepVector tdv) {
+  ProtocolEvent e;
+  e.kind = EventKind::kOutputCommit;
+  e.t = t;
+  e.pid = pid;
+  e.seq = seq;
+  e.at = Entry{ref.inc, ref.sii};
+  e.msg = MsgId{pid, 1};
+  e.ref = ref;
+  e.tdv = std::move(tdv);
+  return e;
+}
+
+TEST(LiveAuditTest, AnnounceThenCommitIsCaughtImmediately) {
+  LiveAudit live(2);
+  live.on_event(deliver(0, 0, 10, Entry{0, 5}, IntervalId{kEnvironment, 0, 0}));
+  live.on_event(announce(0, 1, 20, Entry{0, 3}));  // sii 4,5 now dead
+  ASSERT_TRUE(live.ok());
+  DepVector tdv(2);
+  tdv.set(0, Entry{0, 5});  // the dead interval
+  live.on_event(commit(1, 0, 30, IntervalId{1, 0, 1}, tdv));
+  EXPECT_FALSE(live.ok());
+  EXPECT_EQ(live.violation_count(), 1u);
+  // Cited against the commit event's stable id.
+  EXPECT_EQ(live.first_violation().substr(0, 5), "P1#0 ")
+      << live.first_violation();
+  EXPECT_NE(live.first_violation().find("dead dependency"), std::string::npos);
+}
+
+TEST(LiveAuditTest, CommitThenAnnounceIsCaughtByWatermark) {
+  // The dangerous direction: the output escapes first, the failure that
+  // orphans it is announced later. The watermark must convict the
+  // announcement and cite the already-committed output.
+  LiveAudit live(2);
+  live.on_event(deliver(0, 0, 10, Entry{0, 5}, IntervalId{kEnvironment, 0, 0}));
+  DepVector tdv(2);
+  tdv.set(0, Entry{0, 5});
+  live.on_event(commit(1, 0, 20, IntervalId{1, 0, 1}, tdv));
+  ASSERT_TRUE(live.ok());  // nothing announced yet: commit looks fine
+  live.on_event(announce(0, 1, 30, Entry{0, 3}));
+  EXPECT_FALSE(live.ok());
+  // The violation fires at the announcement but names the commit (P1#0).
+  EXPECT_NE(live.first_violation().find("orphans already-committed"),
+            std::string::npos)
+      << live.first_violation();
+  EXPECT_NE(live.first_violation().find("P1#0"), std::string::npos);
+}
+
+TEST(LiveAuditTest, DeferredClosureConvictsLateMaterializedAncestor) {
+  // A commit's closure reaches an interval on another process whose
+  // creating deliver has not drained yet (cross-process drain order is
+  // free). The closure stops at the unknown interval and must resume —
+  // under the original commit's witness — when the deliver materializes
+  // the parent edge to an interval that is dead.
+  LiveAudit live(3);
+  // P0 creates (0,5) and dies back to sii 3: (0,5) is dead.
+  live.on_event(deliver(0, 0, 10, Entry{0, 5}, IntervalId{kEnvironment, 0, 0}));
+  live.on_event(announce(0, 1, 20, Entry{0, 3}));
+  // P1's interval (0,2) descends from P2's interval (0,7) — P2's ring has
+  // not been drained yet, so (0,7)_2 is an unknown leaf.
+  live.on_event(deliver(1, 0, 22, Entry{0, 2}, IntervalId{2, 0, 7}));
+  DepVector tdv(3);
+  tdv.set(1, Entry{0, 2});
+  live.on_event(commit(1, 1, 30, IntervalId{1, 0, 2}, tdv));
+  ASSERT_TRUE(live.ok()) << live.first_violation();
+  // Now P2's ring drains: (0,7)_2 was created from P0's dead (0,5)_0. The
+  // resumed fold must convict the earlier commit by name.
+  live.on_event(deliver(2, 0, 25, Entry{0, 7}, IntervalId{0, 0, 5}));
+  EXPECT_FALSE(live.ok());
+  EXPECT_NE(live.first_violation().find("rolled-back interval (0,5)_0"),
+            std::string::npos)
+      << live.first_violation();
+  EXPECT_NE(live.first_violation().find("commit P1#1"), std::string::npos);
+}
+
+TEST(LiveAuditTest, ReleaseOverKBoundIsCaught) {
+  LiveAudit live(3);
+  ProtocolEvent e;
+  e.kind = EventKind::kBufferRelease;
+  e.t = 1;
+  e.pid = 0;
+  e.seq = 0;
+  e.at = Entry{0, 1};
+  e.msg = MsgId{0, 1};
+  e.peer = 1;
+  e.ref = IntervalId{0, 0, 1};
+  DepVector tdv(3);
+  tdv.set(0, Entry{0, 1});
+  tdv.set(2, Entry{0, 4});
+  e.tdv = tdv;
+  e.k_limit = 1;
+  e.k_reached = 2;
+  live.on_event(e);
+  EXPECT_FALSE(live.ok());
+  EXPECT_NE(live.first_violation().find("> K=1"), std::string::npos)
+      << live.first_violation();
+
+  // Same release is legal under K=2.
+  LiveAudit live2(3);
+  e.k_limit = 2;
+  live2.on_event(e);
+  EXPECT_TRUE(live2.ok()) << live2.first_violation();
+
+  // A release whose k_reached disagrees with its own vector is lying.
+  LiveAudit live3(3);
+  e.k_reached = 1;
+  live3.on_event(e);
+  EXPECT_FALSE(live3.ok());
+}
+
+TEST(LiveAuditTest, UnexplainedIncarnationBumpIsCaught) {
+  LiveAudit live(2);
+  ProtocolEvent e;
+  e.kind = EventKind::kIncarnationBump;
+  e.t = 5;
+  e.pid = 0;
+  e.seq = 0;
+  e.at = Entry{1, 1};
+  live.on_event(e);
+  EXPECT_FALSE(live.ok());
+  EXPECT_NE(live.first_violation().find("without a preceding"),
+            std::string::npos)
+      << live.first_violation();
+}
+
+TEST(LiveAuditTest, RecorderDropsAreAccountedNotViolations) {
+  LiveAudit live(2);
+  ProtocolEvent e;
+  e.kind = EventKind::kRecorderDrop;
+  e.t = 5;
+  e.pid = 0;
+  e.seq = 3;
+  e.at = Entry{0, 1};
+  e.undone = 17;
+  live.on_event(e);
+  EXPECT_TRUE(live.ok());
+  EXPECT_EQ(live.report().dropped_events, 17u);
+  EXPECT_NE(live.report().summary().find("dropped=17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -10,12 +10,26 @@
 //   koptlog_sim --n 6 --failures 2 --trace-out run.jsonl
 //   koptlog_audit run.jsonl
 //
+// Traces written by a live collector can end mid-line (crash, kill -9, or
+// simply a write racing this reader). A torn final line is reported but is
+// never a failure on its own — only schema errors in the body or real
+// invariant violations are.
+//
+// --follow tails a growing file, feeding the online auditor (the same one
+// koptlog_sim --live-audit runs in-process) and exits nonzero the moment a
+// violation appears, citing the offending event's stable id. It stops once
+// the file has been idle for --idle-timeout-ms.
+//
 // Exit status: 0 clean, 1 schema errors or invariant violations, 2 usage.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/audit.h"
+#include "obs/live_audit.h"
 #include "obs/trace_io.h"
 
 using namespace koptlog;
@@ -25,10 +39,109 @@ namespace {
 [[noreturn]] void usage() {
   std::cout
       << "usage: koptlog_audit [options] TRACE.jsonl\n"
-      << "  --parse-only   validate the JSONL schema only; skip the audit\n"
-      << "  --quiet        print nothing on success\n"
-      << "  -              read the trace from stdin\n";
+      << "  --parse-only          validate the JSONL schema only; skip the "
+         "audit\n"
+      << "  --quiet               print nothing on success\n"
+      << "  --follow              tail a growing trace, auditing online; "
+         "exits 1\n"
+      << "                        on the first violation (cites the event "
+         "id)\n"
+      << "  --idle-timeout-ms N   stop following after N ms without growth "
+         "(3000)\n"
+      << "  -                     read the trace from stdin\n";
   std::exit(2);
+}
+
+int print_errors(const std::string& path,
+                 const std::vector<std::string>& errors) {
+  std::cerr << "koptlog_audit: " << errors.size() << " schema error(s) in "
+            << path << ":\n";
+  size_t shown = 0;
+  for (const std::string& e : errors) {
+    if (++shown > 20) {
+      std::cerr << "  ... (" << errors.size() - 20 << " more)\n";
+      break;
+    }
+    std::cerr << "  " << e << "\n";
+  }
+  return 1;
+}
+
+void warn_torn(const std::string& path, const StreamingTraceParser& parser) {
+  if (!parser.torn_tail().empty()) {
+    std::cerr << "koptlog_audit: warning: " << path
+              << " ends mid-line (" << parser.torn_tail().size()
+              << " bytes of torn final line ignored)\n";
+  }
+}
+
+int follow(const std::string& path, bool quiet, int64_t idle_timeout_ms) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    std::cerr << "koptlog_audit: cannot open " << path << "\n";
+    return 2;
+  }
+
+  // n isn't known until the meta header parses; size the auditor lazily and
+  // hold any events that land in the same read chunk as the header.
+  std::unique_ptr<LiveAudit> audit;
+  std::vector<ProtocolEvent> pending;
+  StreamingTraceParser parser([&](const ProtocolEvent& e) {
+    if (audit != nullptr) audit->on_event(e);
+    else pending.push_back(e);
+  });
+
+  using Clock = std::chrono::steady_clock;
+  auto last_growth = Clock::now();
+  char buf[1 << 16];
+  bool done = false;
+  while (!done) {
+    bool grew = false;
+    for (;;) {
+      file.read(buf, sizeof buf);
+      std::streamsize got = file.gcount();
+      if (got <= 0) break;
+      grew = true;
+      parser.feed(std::string_view(buf, (size_t)got));
+      if (audit == nullptr && parser.have_meta()) {
+        audit = std::make_unique<LiveAudit>(parser.n());
+        for (const ProtocolEvent& e : pending) audit->on_event(e);
+        pending.clear();
+      }
+      if (!parser.errors().empty()) return print_errors(path, parser.errors());
+      if (audit != nullptr && !audit->ok()) {
+        std::cerr << "koptlog_audit: VIOLATION after "
+                  << audit->events_seen() << " events:\n  "
+                  << audit->first_violation() << "\n";
+        return 1;
+      }
+    }
+    if (grew) {
+      last_growth = Clock::now();
+    } else if (Clock::now() - last_growth >
+               std::chrono::milliseconds(idle_timeout_ms)) {
+      done = true;
+    }
+    if (!done) {
+      file.clear();  // drop eofbit so the next read sees appended bytes
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  parser.finish();
+  if (!parser.errors().empty()) return print_errors(path, parser.errors());
+  warn_torn(path, parser);
+  if (audit == nullptr) {
+    std::cerr << "koptlog_audit: " << path << ": no meta header seen\n";
+    return 1;
+  }
+  AuditReport rep = audit->report();
+  if (!rep.ok()) {
+    std::cerr << rep.summary() << "\n  " << audit->first_violation() << "\n";
+    return 1;
+  }
+  if (!quiet) std::cout << rep.summary() << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -36,21 +149,29 @@ namespace {
 int main(int argc, char** argv) {
   bool parse_only = false;
   bool quiet = false;
+  bool do_follow = false;
+  int64_t idle_timeout_ms = 3000;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string f = argv[i];
     if (f == "--parse-only") parse_only = true;
     else if (f == "--quiet") quiet = true;
+    else if (f == "--follow") do_follow = true;
+    else if (f == "--idle-timeout-ms" && i + 1 < argc)
+      idle_timeout_ms = std::stoll(argv[++i]);
     else if (f == "--help" || f == "-h") usage();
     else if (!path.empty()) usage();
     else path = f;
   }
   if (path.empty()) usage();
+  if (do_follow && (path == "-" || parse_only)) usage();
+
+  if (do_follow) return follow(path, quiet, idle_timeout_ms);
 
   std::ifstream file;
   std::istream* in = &std::cin;
   if (path != "-") {
-    file.open(path);
+    file.open(path, std::ios::binary);
     if (!file) {
       std::cerr << "koptlog_audit: cannot open " << path << "\n";
       return 2;
@@ -58,19 +179,20 @@ int main(int argc, char** argv) {
     in = &file;
   }
 
-  std::vector<std::string> errors;
-  Trace trace = read_trace_jsonl(*in, errors);
-  if (!errors.empty()) {
-    std::cerr << "koptlog_audit: " << errors.size() << " schema error(s) in "
-              << path << ":\n";
-    size_t shown = 0;
-    for (const std::string& e : errors) {
-      if (++shown > 20) {
-        std::cerr << "  ... (" << errors.size() - 20 << " more)\n";
-        break;
-      }
-      std::cerr << "  " << e << "\n";
-    }
+  Trace trace;
+  StreamingTraceParser parser(
+      [&](const ProtocolEvent& e) { trace.events.push_back(e); });
+  char buf[1 << 16];
+  while (in->read(buf, sizeof buf), in->gcount() > 0) {
+    parser.feed(std::string_view(buf, (size_t)in->gcount()));
+  }
+  parser.finish();
+  trace.n = parser.n();
+
+  if (!parser.errors().empty()) return print_errors(path, parser.errors());
+  warn_torn(path, parser);
+  if (!parser.have_meta()) {
+    std::cerr << "koptlog_audit: " << path << ": no meta header seen\n";
     return 1;
   }
   if (parse_only) {

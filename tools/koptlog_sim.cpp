@@ -20,7 +20,11 @@
 #include "core/timeline.h"
 #include "exec/backend.h"
 #include "obs/audit.h"
+#include "obs/collector.h"
+#include "obs/event_sink.h"
 #include "obs/export.h"
+#include "obs/live_audit.h"
+#include "obs/ring_recorder.h"
 #include "obs/trace_io.h"
 
 using namespace koptlog;
@@ -61,6 +65,10 @@ struct Args {
   std::string trace_out;
   std::string perfetto_out;
   std::string metrics_out;
+  std::string record;  // "" = auto | vector | ring
+  size_t ring_capacity = 4096;
+  bool live_audit = false;
+  int64_t metrics_interval_us = 1'000'000;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -106,7 +114,18 @@ struct Args {
       << "                            trace-event file (open in\n"
       << "                            ui.perfetto.dev or chrome://tracing)\n"
       << "  --metrics-out FILE.txt    write every counter/histogram in\n"
-      << "                            Prometheus text format\n";
+      << "                            Prometheus text format\n"
+      << "  --record vector|ring      recorder storage: unbounded vectors\n"
+      << "                            merged post hoc (default), or bounded\n"
+      << "                            SPSC rings drained live by a collector\n"
+      << "                            thread (streaming JSONL, periodic\n"
+      << "                            metrics snapshots, live audit)\n"
+      << "  --ring-capacity INT       per-process ring slots (default 4096)\n"
+      << "  --live-audit      verify Theorems 1-4 online as events stream\n"
+      << "                    (implies --record ring); first violation is\n"
+      << "                    printed immediately and the exit code is 1\n"
+      << "  --metrics-interval-us INT live snapshot / flush cadence for the\n"
+      << "                    collector's sinks (default 1000000)\n";
   std::exit(2);
 }
 
@@ -164,6 +183,12 @@ Args parse(int argc, char** argv) {
     else if (f == "--trace-out") a.trace_out = need(i);
     else if (f == "--perfetto-out") a.perfetto_out = need(i);
     else if (f == "--metrics-out") a.metrics_out = need(i);
+    else if (f == "--record") a.record = need(i);
+    else if (f == "--ring-capacity")
+      a.ring_capacity = static_cast<size_t>(std::stoull(need(i)));
+    else if (f == "--live-audit") a.live_audit = true;
+    else if (f == "--metrics-interval-us")
+      a.metrics_interval_us = std::stoll(need(i));
     else usage(argv[0]);
   }
   return a;
@@ -249,6 +274,25 @@ int main(int argc, char** argv) {
   }
   bool threaded = a.backend == "threaded";
 
+  if (!a.record.empty() && a.record != "vector" && a.record != "ring") {
+    std::cerr << "error: unknown --record mode '" << a.record
+              << "' (have: vector ring)\n";
+    return 2;
+  }
+  if (a.record == "vector" && a.live_audit) {
+    std::cerr << "error: --live-audit needs the streaming pipeline; drop "
+                 "--record=vector (or use koptlog_audit on the written "
+                 "trace)\n";
+    return 2;
+  }
+  const bool ring = a.record == "ring" || a.live_audit;
+  if (ring && !a.perfetto_out.empty()) {
+    std::cerr << "error: --perfetto-out needs the full in-memory trace; it "
+                 "cannot be combined with --record=ring (the rings only hold "
+                 "a bounded window)\n";
+    return 2;
+  }
+
   ClusterConfig cfg;
   cfg.n = a.n;
   cfg.seed = a.seed;
@@ -278,10 +322,19 @@ int main(int argc, char** argv) {
   cfg.protocol.storage_backend.threaded_io = threaded && a.storage == "disk";
   cfg.protocol.reliable_delivery = a.reliable;
   cfg.protocol.garbage_collect = !a.no_gc;
-  cfg.record_events = !a.trace_out.empty() || !a.perfetto_out.empty();
+  cfg.record_events = ring || !a.trace_out.empty() || !a.perfetto_out.empty();
   // The threaded backend has no oracle: unless the user opted out, record
   // events so the run can be (and is, below) audited.
   if (threaded && !a.no_oracle) cfg.record_events = true;
+  if (ring) {
+    cfg.recording.mode = RecordMode::kRing;
+    cfg.recording.ring_capacity = a.ring_capacity;
+  }
+  // In ring mode the recorders only retain a bounded residual window, so a
+  // post-hoc audit of merged() would be vacuous: whenever a verdict is
+  // wanted, run it online instead.
+  const bool want_live_audit =
+      ring && (a.live_audit || (threaded && !a.no_oracle));
 
   ClusterHost::AppFactory app =
       a.workload == "pipeline"       ? make_pipeline_app({})
@@ -297,6 +350,39 @@ int main(int argc, char** argv) {
   std::unique_ptr<ClusterHost> host =
       make_backend_host(bopt, cfg, app, engine->factory);
   ClusterHost& cluster = *host;
+
+  // Streaming pipeline: collector thread draining the ring recorders into
+  // the attached sinks, started before any event is produced.
+  std::unique_ptr<LiveAudit> live_audit;
+  std::unique_ptr<JsonlWriterSink> jsonl_sink;
+  std::unique_ptr<MetricsSnapshotSink> metrics_sink;
+  std::unique_ptr<LiveAuditSink> audit_sink;
+  std::unique_ptr<EventCollector> collector;
+  if (ring) {
+    std::vector<EventSink*> sinks;
+    if (!a.trace_out.empty()) {
+      jsonl_sink = std::make_unique<JsonlWriterSink>(a.trace_out, cfg.n);
+      if (!jsonl_sink->ok()) {
+        std::cerr << "error: cannot write " << a.trace_out << "\n";
+        return 2;
+      }
+      sinks.push_back(jsonl_sink.get());
+    }
+    metrics_sink = std::make_unique<MetricsSnapshotSink>(a.metrics_out);
+    sinks.push_back(metrics_sink.get());
+    if (want_live_audit) {
+      live_audit = std::make_unique<LiveAudit>(cfg.n);
+      audit_sink = std::make_unique<LiveAuditSink>(*live_audit,
+                                                   /*announce=*/true);
+      sinks.push_back(audit_sink.get());
+    }
+    EventCollector::Options copt;
+    copt.tick_interval_us = a.metrics_interval_us;
+    collector = std::make_unique<EventCollector>(*cluster.recording_mut(),
+                                                 std::move(sinks), copt);
+    collector->start();
+  }
+
   cluster.start();
 
   SimTime load_end = a.horizon_ms * 1000;
@@ -318,6 +404,20 @@ int main(int argc, char** argv) {
   cluster.run_for(load_end * 3);
   cluster.drain();
   cluster.shutdown();  // joins shard workers (no-op on the simulator)
+
+  if (collector != nullptr) {
+    collector->stop();  // producers quiesced: drains the tail, final tick
+    Stats& st = cluster.stats();
+    st.merge(metrics_sink->stats());
+    Recording& rec = *cluster.recording_mut();
+    uint64_t max_occ = 0;
+    for (int p = 0; p < cfg.n; ++p) {
+      max_occ = std::max(max_occ, (uint64_t)rec.ring(p)->max_occupancy());
+    }
+    st.inc("obs.ring_capacity", (int64_t)rec.ring(0)->capacity());
+    st.inc("obs.ring_max_occupancy", (int64_t)max_occ);
+    st.inc("obs.collected_events", (int64_t)collector->events_collected());
+  }
 
   std::cout << "engine=" << a.engine << " backend=" << a.backend;
   if (threaded) std::cout << " shards=" << a.shards;
@@ -355,8 +455,23 @@ int main(int argc, char** argv) {
 
   if (a.stats) print_stats(cluster.stats(), std::cout);
 
+  if (ring) {
+    const Recording& rec = *cluster.recording();
+    std::cout << "  ring               capacity=" << a.ring_capacity
+              << " max_occupancy="
+              << cluster.stats().counter("obs.ring_max_occupancy")
+              << " collected=" << collector->events_collected()
+              << " dropped=" << rec.total_dropped() << "\n";
+  }
+
   if (!a.trace_out.empty()) {
-    if (write_trace_jsonl_file(*cluster.recording(), a.trace_out)) {
+    if (ring) {
+      // The collector already streamed the trace; nothing left to write.
+      std::cout << "wrote " << a.trace_out << " ("
+                << jsonl_sink->events_written()
+                << " events, streamed; verify: koptlog_audit " << a.trace_out
+                << ")\n";
+    } else if (write_trace_jsonl_file(*cluster.recording(), a.trace_out)) {
       std::cout << "wrote " << a.trace_out << " ("
                 << cluster.recording()->total_events()
                 << " events; verify: koptlog_audit " << a.trace_out << ")\n";
@@ -387,11 +502,22 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   auto* sim_cluster = dynamic_cast<Cluster*>(host.get());
+  if (live_audit != nullptr) {
+    AuditReport rep = live_audit->report();
+    std::cout << "live audit: " << rep.summary() << "\n";
+    if (!rep.ok()) {
+      if (!live_audit->first_violation().empty()) {
+        std::cout << "  first violation: " << live_audit->first_violation()
+                  << "\n";
+      }
+      rc = 1;
+    }
+  }
   if (sim_cluster != nullptr && sim_cluster->oracle() != nullptr) {
     Oracle::Report rep = sim_cluster->oracle()->verify(/*strict_thm4=*/true);
     std::cout << "oracle: " << rep.summary() << "\n";
-    rc = rep.ok ? 0 : 1;
-  } else if (cluster.recording() != nullptr) {
+    if (!rep.ok) rc = 1;
+  } else if (!ring && cluster.recording() != nullptr) {
     // No single-threaded ground truth on the threaded backend: re-verify
     // Theorems 1-4 from the merged per-process event streams instead.
     Trace trace;
