@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "app/workloads.h"
@@ -26,6 +27,8 @@
 #include "core/metrics.h"
 #include "exec/threaded_cluster.h"
 #include "obs/audit.h"
+#include "obs/health/health.h"
+#include "obs/health/health_sampler.h"
 #include "obs/trace_io.h"
 
 using namespace koptlog;
@@ -135,7 +138,14 @@ std::string k_name(int k) { return k >= kN ? "N" : std::to_string(k); }
 
 // --- Mailbox shard-scaling sweep -------------------------------------------
 
-Row run_sweep_once(int k, int shards, MailboxPolicy policy) {
+// With `health_out` non-empty the run carries live telemetry: every shard
+// instrumented, a 5ms sampler tick, and the sidecar written while the storm
+// is in flight — the exact configuration whose overhead the
+// telemetry_overhead_pct headline metric reports.
+constexpr int64_t kHealthIntervalUs = 5'000;
+
+Row run_sweep_once(int k, int shards, MailboxPolicy policy,
+                   const std::string& health_out = "") {
   ClusterConfig cfg;
   cfg.n = kSweepN;
   cfg.seed = 12;
@@ -146,7 +156,22 @@ Row run_sweep_once(int k, int shards, MailboxPolicy policy) {
   opt.shards = shards;
   opt.time_scale = kSweepTimeScale;
   opt.mailbox = policy;
+  HealthRegistry health;  // must outlive the cluster (cells + probes)
+  std::unique_ptr<HealthTimeseriesSink> health_sink;
+  if (!health_out.empty()) opt.health = &health;
   ThreadedCluster cluster(cfg, opt, make_uniform_app({}));
+  if (!health_out.empty()) {
+    health_sink = std::make_unique<HealthTimeseriesSink>(
+        health,
+        HealthSampler::Options{.interval_us = kHealthIntervalUs,
+                               .history = 4096},
+        health_out);
+    if (!health_sink->ok()) {
+      Row row;
+      row.verdict = "HEALTH SIDECAR OPEN FAILED";
+      return row;
+    }
+  }
   cluster.start();
   // Run the protocol load to completion first, then storm the spine while
   // the cluster is live (periodic gossip keeps ticking). Interleaving the
@@ -215,6 +240,9 @@ Row run_sweep_once(int k, int shards, MailboxPolicy policy) {
 
   cluster.drain();
   cluster.shutdown();
+  // Stop the sampler before the cluster is torn down: its probes read live
+  // scheduler state.
+  if (health_sink != nullptr) health_sink->close();
   Row row;
   row.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   row.events = done;
@@ -230,10 +258,11 @@ Row run_sweep_once(int k, int shards, MailboxPolicy policy) {
 // Best of kSweepReps: every rep's trace must audit green, the throughput
 // reported is the fastest rep (the box has one core, so a rep can lose a
 // third of its rate to unrelated OS scheduling).
-Row run_sweep(int k, int shards, MailboxPolicy policy) {
+Row run_sweep(int k, int shards, MailboxPolicy policy,
+              const std::string& health_out = "") {
   Row best;
   for (int rep = 0; rep < kSweepReps; ++rep) {
-    Row r = run_sweep_once(k, shards, policy);
+    Row r = run_sweep_once(k, shards, policy, health_out);
     if (r.verdict != "audit ok") return r;
     if (best.events == 0 || r.kevents_per_s() > best.kevents_per_s())
       best = r;
@@ -316,6 +345,43 @@ int main() {
       }
     }
   }
+  // Telemetry overhead probe: the batched 4-shard K=2 storm with every
+  // shard's health domain attached and a live 5ms sampler streaming the
+  // HEALTH_e12_storm.jsonl sidecar mid-storm, A/B-interleaved against a
+  // bare rerun of the same configuration (one core: throughput swings
+  // ~20% between sweeps minutes apart, so the pair must share its noise
+  // environment). Best-of on each side; the delta is the real cost of the
+  // telemetry layer in the hottest configuration we have (budget: < 5%).
+  constexpr int kOverheadReps = 6;
+  Row base_row, health_row;
+  for (int rep = 0; rep < kOverheadReps; ++rep) {
+    Row b = run_sweep_once(2, 4, MailboxPolicy::kBatched);
+    if (b.verdict == "audit ok" &&
+        (base_row.events == 0 || b.kevents_per_s() > base_row.kevents_per_s()))
+      base_row = b;
+    Row h = run_sweep_once(2, 4, MailboxPolicy::kBatched,
+                           "HEALTH_e12_storm.jsonl");
+    if (h.verdict == "audit ok" &&
+        (health_row.events == 0 ||
+         h.kevents_per_s() > health_row.kevents_per_s()))
+      health_row = h;
+  }
+  for (const auto& [label, r] :
+       {std::pair<const char*, Row&>{"batched(a/b)", base_row},
+        std::pair<const char*, Row&>{"batched+health", health_row}}) {
+    sweep.row()
+        .cell(label)
+        .cell(4)
+        .cell("2")
+        .cell(static_cast<int64_t>(r.events))
+        .cell(r.wall_ms, 1)
+        .cell(r.kevents_per_s(), 1)
+        .cell(r.wakeups)
+        .cell(r.drains)
+        .cell(r.max_batch)
+        .cell(r.stalls)
+        .cell(r.verdict);
+  }
   sweep.print(std::cout,
               "mailbox storm sweep (" + std::to_string(kStormProducers) +
                   " producers x " + std::to_string(kStormBatches) +
@@ -327,6 +393,14 @@ int main() {
   std::cout << "batched vs mutex at 4 shards, K=2: " << batched_at_4
             << " vs " << mutex_at_4 << " kev/s  (speedup x" << speedup
             << ")\n";
+  double base_at_4 = base_row.kevents_per_s();
+  double health_at_4 = health_row.kevents_per_s();
+  double overhead_pct =
+      base_at_4 > 0.0 ? 100.0 * (base_at_4 - health_at_4) / base_at_4 : 0.0;
+  std::cout << "telemetry overhead at 4 shards, K=2 (interleaved best of "
+            << kOverheadReps << "): " << base_at_4 << " -> " << health_at_4
+            << " kev/s  (" << overhead_pct
+            << "% — budget < 5%; sidecar HEALTH_e12_storm.jsonl)\n";
 
   BenchJson j("e12_backend_throughput");
   j.param("n", static_cast<int64_t>(kN))
@@ -341,10 +415,15 @@ int main() {
       .param("storm_batch", static_cast<int64_t>(kStormBatch))
       .param("storm_batches", static_cast<int64_t>(kStormBatches))
       .param("storm_window", static_cast<int64_t>(kStormWindow))
-      .param("sweep_reps", static_cast<int64_t>(kSweepReps));
+      .param("sweep_reps", static_cast<int64_t>(kSweepReps))
+      .param("health_interval_us", static_cast<int64_t>(kHealthIntervalUs))
+      .param("overhead_reps", static_cast<int64_t>(kOverheadReps));
   j.metric("batched_kev_per_s_4shard", batched_at_4);
   j.metric("mutex_kev_per_s_4shard", mutex_at_4);
   j.metric("batched_over_mutex_4shard", speedup);
+  j.metric("base_kev_per_s_4shard", base_at_4);
+  j.metric("health_kev_per_s_4shard", health_at_4);
+  j.metric("telemetry_overhead_pct", overhead_pct);
   j.table("events/sec by backend, shard count and K", t);
   j.table("mailbox storm sweep", sweep);
   if (std::string path = j.write_file(); !path.empty())

@@ -30,6 +30,124 @@ from collections import OrderedDict
 SCHEMA_KEYS = {"bench": str, "params": dict, "metrics": dict, "tables": list}
 
 
+def check_health_file(path, problems):
+    """Validate one HEALTH_*.jsonl sidecar (schema v1, see
+    src/obs/health/health_io.h): meta header first with ascending bucket
+    bounds, then per-domain sample lines whose t_us never regresses and
+    whose histogram bucket arrays match the meta (finite bounds + overflow).
+    A torn final line — a live writer mid-append — is tolerated."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+    except OSError as e:
+        problems.append(f"{path}: unreadable: {e}")
+        return
+    # A trailing newline leaves one empty entry; anything after it that
+    # fails to parse is the tolerated torn tail.
+    torn_ok = bool(lines) and lines[-1] != ""
+    lines = [l for l in lines if l]
+    if not lines:
+        problems.append(f"{path}: empty sidecar")
+        return
+    n_buckets = None
+    last_t = {}
+    n_samples = 0
+    for i, line in enumerate(lines):
+        is_last = i == len(lines) - 1
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            if not (is_last and torn_ok):
+                problems.append(f"{path}: line {i + 1}: not valid JSON")
+            continue
+        kind = doc.get("kind")
+        if i == 0:
+            if kind != "health_meta":
+                problems.append(
+                    f"{path}: first line must be the health_meta header")
+                continue
+        if kind == "health_meta":
+            if doc.get("v") != 1:
+                problems.append(f"{path}: unsupported schema version "
+                                f"{doc.get('v')!r} (want 1)")
+            bounds = doc.get("buckets")
+            if not isinstance(bounds, list) or not bounds or \
+                    any(not is_number(b) for b in bounds) or \
+                    any(a >= b for a, b in zip(bounds, bounds[1:])):
+                problems.append(
+                    f"{path}: health_meta buckets must be an ascending "
+                    f"numeric list")
+            else:
+                n_buckets = len(bounds) + 1  # finite bounds + overflow
+            continue
+        if kind != "health":
+            continue  # interleaved trace lines are legal
+        if doc.get("v") != 1:
+            problems.append(
+                f"{path}: line {i + 1}: health line v={doc.get('v')!r}")
+            continue
+        dom = doc.get("dom")
+        t_us = doc.get("t_us")
+        if not isinstance(dom, str) or not dom or not is_number(t_us):
+            problems.append(f"{path}: line {i + 1}: missing dom/t_us")
+            continue
+        if t_us < last_t.get(dom, 0):
+            problems.append(
+                f"{path}: line {i + 1}: t_us regressed for dom '{dom}' "
+                f"({t_us} < {last_t[dom]})")
+        last_t[dom] = t_us
+        n_samples += 1
+        for name, h in doc.get("h", {}).items():
+            b = h.get("b") if isinstance(h, dict) else None
+            if n_buckets is not None and (
+                    not isinstance(b, list) or len(b) != n_buckets):
+                problems.append(
+                    f"{path}: line {i + 1}: histogram '{name}' has "
+                    f"{len(b) if isinstance(b, list) else 'no'} buckets, "
+                    f"want {n_buckets}")
+    if n_buckets is None:
+        problems.append(f"{path}: no health_meta header found")
+    if n_samples == 0:
+        problems.append(f"{path}: no health sample lines")
+
+
+def load_health(path):
+    """Fold one HEALTH_*.jsonl into {'dom/metric': final_value}: counters
+    and gauges by value, histograms by observation count — the cumulative
+    totals of the run, comparable across snapshots."""
+    out = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail
+                if doc.get("kind") != "health":
+                    continue
+                dom = doc.get("dom", "?")
+                for name, v in doc.get("c", {}).items():
+                    out[f"{dom}/{name}"] = v
+                for name, v in doc.get("g", {}).items():
+                    out[f"{dom}/{name}"] = v
+                for name, h in doc.get("h", {}).items():
+                    if isinstance(h, dict):
+                        out[f"{dom}/{name}.n"] = h.get("n")
+    except OSError:
+        pass
+    return out
+
+
+def health_files_in(path):
+    if os.path.isdir(path):
+        return [os.path.join(path, n) for n in sorted(os.listdir(path))
+                if n.startswith("HEALTH_") and n.endswith(".jsonl")]
+    base = os.path.basename(path)
+    if base.startswith("HEALTH_") and base.endswith(".jsonl"):
+        return [path]
+    return []
+
+
 def check_doc(path, doc, problems):
     """Validate one BENCH_*.json document against the BenchJson schema."""
     for key, typ in SCHEMA_KEYS.items():
@@ -69,15 +187,19 @@ def check_doc(path, doc, problems):
 
 def check_runs(paths):
     """--check: every BENCH_*.json in the given paths must parse and match
-    the schema. Returns a problem list (empty = pass)."""
+    the schema, and every HEALTH_*.jsonl sidecar must match the health
+    series schema. Returns a problem list (empty = pass)."""
     problems = []
     n_files = 0
     for path in paths:
+        health = health_files_in(path)
         if os.path.isdir(path):
             files = [os.path.join(path, n) for n in sorted(os.listdir(path))
                      if n.startswith("BENCH_") and n.endswith(".json")]
-            if not files:
+            if not files and not health:
                 problems.append(f"{path}: no BENCH_*.json files")
+        elif health:
+            files = []
         else:
             files = [path]
         for f in files:
@@ -89,6 +211,9 @@ def check_runs(paths):
                 problems.append(f"{f}: unreadable: {e}")
                 continue
             check_doc(f, doc, problems)
+        for f in health:
+            n_files += 1
+            check_health_file(f, problems)
     if n_files == 0:
         problems.append("no BENCH_*.json files found")
     return problems, n_files
@@ -190,7 +315,12 @@ def main():
     ap.add_argument("--metric", help="only columns whose name contains this")
     ap.add_argument("--check", action="store_true",
                     help="validate every BENCH_*.json against the BenchJson "
-                         "schema and exit nonzero on drift (CI mode)")
+                         "schema and every HEALTH_*.jsonl against the health "
+                         "series schema; exit nonzero on drift (CI mode)")
+    ap.add_argument("--max-delta", type=float, metavar="PCT",
+                    help="regression threshold: exit nonzero if any folded "
+                         "health-series metric moved more than PCT%% between "
+                         "the first and last run")
     args = ap.parse_args()
 
     if args.check:
@@ -206,8 +336,10 @@ def main():
 
     runs = [load_run(p) for p in args.runs]
     runs = [(label, docs) for label, docs in runs if docs]
-    if not runs:
-        print("no BENCH_*.json found in the given paths", file=sys.stderr)
+    have_health = any(health_files_in(p) for p in args.runs)
+    if not runs and not have_health:
+        print("no BENCH_*.json or HEALTH_*.jsonl found in the given paths",
+              file=sys.stderr)
         return 1
 
     bench_names = OrderedDict()
@@ -305,6 +437,47 @@ def main():
                 for f in flags:
                     print(f"  !! {f}")
                 print()
+
+    # Health sidecar trajectories: the final cumulative value of every
+    # dom/metric across runs, with the same first->last delta column the
+    # BENCH tables get. --max-delta turns big moves into a CI failure.
+    health_runs = []
+    for path in args.runs:
+        series = {}
+        for f in health_files_in(path):
+            name = os.path.basename(f)[len("HEALTH_"):-len(".jsonl")]
+            for key, v in load_health(f).items():
+                series[f"{name} {key}"] = v
+        if series:
+            label = os.path.basename(os.path.normpath(path))
+            health_runs.append((label, series))
+    regressions = []
+    if health_runs:
+        print(f"#### health series ({len(health_runs)} run(s): "
+              f"{', '.join(l for l, _ in health_runs)})\n")
+        keys = OrderedDict()
+        for _, series in health_runs:
+            for k in series:
+                keys.setdefault(k, True)
+        rows = []
+        for k in keys:
+            if args.metric and args.metric not in k:
+                continue
+            vals = [series.get(k) for _, series in health_runs]
+            d = delta(vals[0], vals[-1])
+            rows.append((k, vals + [d]))
+            if args.max_delta is not None and d is not None:
+                moved = abs(float(d.rstrip("%")))
+                if moved > args.max_delta:
+                    regressions.append(f"{k}: {d} (limit {args.max_delta}%)")
+        print_table("health metrics",
+                    [l for l, _ in health_runs] + ["delta"], rows)
+    if regressions:
+        print(f"bench_trend --max-delta: {len(regressions)} metric(s) over "
+              f"threshold:", file=sys.stderr)
+        for r in regressions:
+            print(f"  !! {r}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end gate for the runtime health telemetry layer (DESIGN §6.5):
+#   1. a threaded 4-shard ring-mode run with --health-out must exit 0 and
+#      write a schema-valid sidecar (meta header first, per-shard series);
+#   2. the sidecar must contain per-shard drain-latency and mailbox-
+#      occupancy series for every shard;
+#   3. koptlog_top --once must render those series in its table;
+#   4. the Prometheus snapshot (--metrics-out) must carry the health
+#      series next to the protocol metrics, and never appear torn;
+#   5. a sim-backend run with telemetry ON must stay bit-for-bit
+#      deterministic (same seed twice -> identical protocol traces).
+#
+# Under ctest (test "health_telemetry") the harness sets
+# KOPTLOG_SCHEMA_NO_BUILD=1 and BUILD_DIR to reuse the binaries it built.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+
+if [[ -z "${KOPTLOG_SCHEMA_NO_BUILD:-}" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target koptlog_sim koptlog_top -j "$(nproc)"
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+HEALTH="$TMP/health.jsonl"
+METRICS="$TMP/metrics.txt"
+
+echo "== threaded 4-shard run with health telemetry"
+"$BUILD_DIR/tools/koptlog_sim" --backend threaded --shards 4 --n 8 \
+  --injections 200 --failures 1 --seed 7 \
+  --record ring --health-out "$HEALTH" --health-interval-us 50000 \
+  --metrics-out "$METRICS" | tee "$TMP/sim.out"
+grep -q "wrote $HEALTH" "$TMP/sim.out"
+
+echo "== sidecar schema: meta header first, then health lines"
+head -n 1 "$HEALTH" | grep -q '"kind":"health_meta"'
+head -n 1 "$HEALTH" | grep -q '"v":1'
+grep -q '"kind":"health"' "$HEALTH"
+
+echo "== per-shard drain-latency and occupancy series present"
+for s in 0 1 2 3; do
+  grep '"dom":"shard'$s'"' "$HEALTH" | grep -q 'sched.drain_latency_us'
+  grep '"dom":"shard'$s'"' "$HEALTH" | grep -q 'sched.inbox_pending'
+done
+grep -q '"dom":"cluster"' "$HEALTH"
+grep -q '"dom":"obs"' "$HEALTH"
+
+echo "== koptlog_top --once renders the series"
+"$BUILD_DIR/tools/koptlog_top" --once "$HEALTH" > "$TMP/top.out"
+grep -q "^shard0 sched.drain_latency_us h" "$TMP/top.out"
+grep -q "^shard3 sched.inbox_pending g" "$TMP/top.out"
+grep -q "^obs collector.collected c" "$TMP/top.out"
+
+echo "== follow mode renders frames (bounded by --iterations)"
+"$BUILD_DIR/tools/koptlog_top" --iterations 2 --interval-ms 50 \
+  "$HEALTH" > "$TMP/follow.out"
+grep -q "koptlog_top" "$TMP/follow.out"
+grep -q "sched.drain_latency_us" "$TMP/follow.out"
+
+echo "== torn final line tolerated"
+head -c $(( $(wc -c < "$HEALTH") - 5 )) "$HEALTH" > "$TMP/torn.jsonl"
+"$BUILD_DIR/tools/koptlog_top" --once "$TMP/torn.jsonl" > /dev/null
+
+echo "== Prometheus snapshot carries health series"
+grep -q "koptlog_health_sched_drain_latency_us" "$METRICS"
+grep -q 'dom="shard0"' "$METRICS"
+if ls "$METRICS.tmp" >/dev/null 2>&1; then
+  echo "ERROR: leftover temp snapshot $METRICS.tmp" >&2
+  exit 1
+fi
+
+echo "== sim backend with telemetry on stays deterministic"
+run_sim() {
+  "$BUILD_DIR/tools/koptlog_sim" --n 4 --k 2 --injections 60 --failures 1 \
+    --seed 11 --no-oracle --trace-out "$1" \
+    --health-out "$2" --health-interval-us 20000 > /dev/null
+}
+run_sim "$TMP/sim_a.jsonl" "$TMP/health_a.jsonl"
+run_sim "$TMP/sim_b.jsonl" "$TMP/health_b.jsonl"
+cmp "$TMP/sim_a.jsonl" "$TMP/sim_b.jsonl"
+
+echo "PASS"

@@ -42,6 +42,7 @@ std::unique_ptr<ClusterHost> make_backend_host(
     topt.mailbox = opt.mailbox == "mutex" ? MailboxPolicy::kMutex
                                           : MailboxPolicy::kBatched;
     topt.mailbox_capacity = opt.mailbox_capacity;
+    topt.health = opt.health;
     return std::make_unique<ThreadedCluster>(cfg, topt, app, engine_factory);
   }
   return nullptr;

@@ -16,6 +16,8 @@
 
 namespace koptlog {
 
+class HealthRegistry;
+
 struct BackendInfo {
   std::string name;
   std::string description;
@@ -40,6 +42,10 @@ struct BackendOptions {
   /// Threaded backend only: per-shard occupancy bound (0 = unbounded).
   /// Driver-side injections block while a shard is at capacity.
   size_t mailbox_capacity = 0;
+  /// Optional runtime health telemetry (obs/health); must outlive the
+  /// host. The sim backend ignores it — its single thread has nothing the
+  /// sampler could race, and determinism goldens must not move.
+  HealthRegistry* health = nullptr;
 };
 
 /// True iff `name` names a mailbox policy ("batched" or "mutex").

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "core/process.h"
+#include "obs/health/health.h"
 
 namespace koptlog {
 
@@ -77,6 +78,7 @@ void ThreadedCluster::ShardApi::broadcast_announcement(const Announcement& a) {
   // absorbed by the receiver's announcement journal).
   host_.announce_log_.append(a);
   ThreadedCluster& host = host_;
+  if (host.h_fanout_ != nullptr) host.h_fanout_->inc();
   // One job per destination *shard* (a multicast hop: one control-latency
   // sample and one mailbox push each), not one per process; the job applies
   // the announcement to every local process on its own thread.
@@ -179,6 +181,7 @@ void ThreadedCluster::ShardApi::commit_output(const OutputRecord& rec) {
     host_.outputs_.push_back(CommittedOutput{rec.id, rec.born_of.pid,
                                              rec.payload, rec.born_of, now});
   }
+  host_.committed_count_.fetch_add(1, std::memory_order_relaxed);
   stats_.inc("outputs.committed");
   stats_.sample("output.commit_latency_us",
                 static_cast<double>(now - rec.created_at));
@@ -214,6 +217,21 @@ ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
     auto& [lo, hi] = shard_pids_[static_cast<size_t>(shard_of_pid(pid))];
     lo = std::min(lo, pid);
     hi = std::max(hi, static_cast<ProcessId>(pid + 1));
+  }
+  if (opt_.health != nullptr) {
+    for (int s = 0; s < opt_.shards; ++s) {
+      shards_[static_cast<size_t>(s)]->attach_health(
+          opt_.health->domain("shard" + std::to_string(s)));
+    }
+    HealthDomain* dom = opt_.health->domain("cluster");
+    h_fanout_ = dom->counter("announce.fanout_batches");
+    // announce_log_.size() and the commit counter are lock-free reads.
+    dom->probe_counter("announce.log_size", [this] {
+      return static_cast<uint64_t>(announce_log_.size());
+    });
+    dom->probe_counter("outputs.committed", [this] {
+      return committed_count_.load(std::memory_order_relaxed);
+    });
   }
   if (cfg_.record_events)
     recording_ = std::make_unique<Recording>(cfg_.n, cfg_.recording);

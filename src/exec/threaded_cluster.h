@@ -39,6 +39,9 @@
 
 namespace koptlog {
 
+class HealthRegistry;
+class HealthCounter;
+
 struct ThreadedOptions {
   /// Worker event loops; processes are block-partitioned across them
   /// (shard = pid * shards / n). Clamped to [1, n].
@@ -53,6 +56,12 @@ struct ThreadedOptions {
   /// Non-worker producers — the driver injecting load — block while a
   /// shard is at capacity; shard workers are exempt and spill over.
   size_t mailbox_capacity = 0;
+  /// Optional runtime health telemetry (obs/health): when set, each shard
+  /// attaches a "shard<i>" domain (drain latency/batch histograms, mailbox
+  /// probes) and the host a "cluster" domain (announcement fan-out, output
+  /// commits). Must outlive the cluster; null = zero instrumentation cost
+  /// beyond one pointer test per executed event.
+  HealthRegistry* health = nullptr;
 };
 
 class ThreadedCluster final : public ClusterHost {
@@ -215,6 +224,10 @@ class ThreadedCluster final : public ClusterHost {
   std::set<MsgId> committed_ids_;
 
   std::atomic<SeqNo> env_seq_{0};
+  std::atomic<uint64_t> committed_count_{0};  ///< health probe feed
+  /// Health cell for announcement fan-out; set once in the ctor when
+  /// opt_.health != nullptr, read by shard threads thereafter.
+  HealthCounter* h_fanout_ = nullptr;
   std::atomic<bool> draining_{false};
   bool started_ = false;
   bool stopped_ = false;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/health/health.h"
 
 namespace koptlog {
 
@@ -56,6 +57,29 @@ ThreadedScheduler::ThreadedScheduler(const MonotonicClock& clock,
 ThreadedScheduler::~ThreadedScheduler() { stop_and_join(); }
 
 bool ThreadedScheduler::on_worker_thread() { return tl_on_worker; }
+
+void ThreadedScheduler::attach_health(HealthDomain* dom) {
+  KOPT_CHECK(!worker_.joinable());  // attach before start()
+  if (dom == nullptr) return;
+  h_drain_latency_ = dom->histogram("sched.drain_latency_us");
+  h_drain_batch_ = dom->histogram("sched.drain_batch");
+  // Pull metrics: evaluated on the sampler thread; pending() and the
+  // MailboxCounters atomics are thread-safe reads.
+  dom->probe_gauge("sched.inbox_pending",
+                   [this] { return static_cast<int64_t>(pending()); });
+  dom->probe_counter("sched.pushes", [this] {
+    return counters_.pushes.load(std::memory_order_relaxed);
+  });
+  dom->probe_counter("sched.wakeups", [this] {
+    return counters_.wakeups.load(std::memory_order_relaxed);
+  });
+  dom->probe_counter("sched.soft_overflows", [this] {
+    return counters_.soft_overflows.load(std::memory_order_relaxed);
+  });
+  dom->probe_counter("sched.producer_stall_us", [this] {
+    return counters_.producer_stall_us.load(std::memory_order_relaxed);
+  });
+}
 
 void ThreadedScheduler::acquire_slot() {
   // Only called when capacity_ != 0: unbounded schedulers skip slot
@@ -311,6 +335,7 @@ void ThreadedScheduler::loop_batched() {
       counters_.drains.fetch_add(1, std::memory_order_relaxed);
       counters_.drained_events.fetch_add(n, std::memory_order_relaxed);
       update_max(counters_.max_drain_batch, n);
+      if (h_drain_batch_ != nullptr) h_drain_batch_->observe(n);
       // Peak occupancy is sampled at drain edges (exact per-push tracking
       // is reserved for bounded mode, where acquire_slot maintains it).
       uint64_t in_flight = next_seq_.load(std::memory_order_relaxed) -
@@ -331,10 +356,20 @@ void ThreadedScheduler::loop_batched() {
       continue;
     }
     Node* node = local_queue_.top().node;
+    const SimTime due = local_queue_.top().t;
     local_queue_.pop();
     Action fn = std::move(node->value.fn);
     node->value.fn = nullptr;  // the node may sit recycled for a while
     retire_node(node);
+    if (h_drain_latency_ != nullptr &&
+        ++drain_latency_tick_ % kDrainLatencySampleEvery == 0) {
+      // Virtual-clock age of the action at execution: how far behind its
+      // deadline the shard is running. The worker only executes due events,
+      // so the difference is non-negative up to clock granularity.
+      SimTime now = clock_.now();
+      h_drain_latency_->observe(now > due ? static_cast<uint64_t>(now - due)
+                                          : 0);
+    }
     fn();          // may schedule on this or any other shard
     fn = nullptr;  // destroy captures before the event is accounted done
     executed_.fetch_add(1, std::memory_order_release);
@@ -365,10 +400,17 @@ void ThreadedScheduler::loop_mutex() {
       cv_.wait_until(lk, deadline);
       continue;
     }
+    const SimTime due = queue_.top().t;
     Action fn = std::move(const_cast<Event&>(queue_.top()).fn);
     queue_.pop();
     executing_.store(true, std::memory_order_release);
     lk.unlock();
+    if (h_drain_latency_ != nullptr &&
+        ++drain_latency_tick_ % kDrainLatencySampleEvery == 0) {
+      SimTime now = clock_.now();
+      h_drain_latency_->observe(now > due ? static_cast<uint64_t>(now - due)
+                                          : 0);
+    }
     fn();
     fn = nullptr;  // destroy captures outside the lock
     lk.lock();

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/export.h"
+#include "obs/health/health_io.h"
 #include "obs/trace_io.h"
 
 namespace koptlog {
@@ -105,14 +106,15 @@ void MetricsSnapshotSink::on_event(const ProtocolEvent& e) {
 
 void MetricsSnapshotSink::tick() {
   if (path_.empty()) return;
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp);
-    if (!out) return;
-    write_prometheus_text(stats_, out);
-    if (!out.good()) return;
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) == 0) ++snapshots_written_;
+  std::string err;
+  bool ok = write_file_atomic(
+      path_,
+      [this](std::ostream& out) {
+        write_prometheus_text(stats_, out);
+        if (extra_) extra_(out);
+      },
+      err);
+  if (ok) ++snapshots_written_;
 }
 
 void MetricsSnapshotSink::close() { tick(); }

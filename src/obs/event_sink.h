@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -73,6 +75,12 @@ class MetricsSnapshotSink final : public EventSink {
   const Stats& stats() const { return stats_; }
   uint64_t snapshots_written() const { return snapshots_written_; }
 
+  /// Appended to every snapshot after the Stats section (runtime health
+  /// series — see obs/health/health_io.h). Runs on the collector thread.
+  void set_extra(std::function<void(std::ostream&)> extra) {
+    extra_ = std::move(extra);
+  }
+
  private:
   struct PerProcess {
     /// Open buffer holds awaiting their release (send) / deliver (recv).
@@ -87,6 +95,7 @@ class MetricsSnapshotSink final : public EventSink {
   Stats stats_;
   std::vector<PerProcess> per_process_;
   uint64_t snapshots_written_ = 0;
+  std::function<void(std::ostream&)> extra_;
 };
 
 class LiveAuditSink final : public EventSink {

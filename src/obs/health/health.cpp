@@ -1,0 +1,214 @@
+#include "obs/health/health.h"
+
+#include <algorithm>
+
+namespace koptlog {
+
+// ---------------------------------------------------------------------------
+// HealthHistogram
+// ---------------------------------------------------------------------------
+
+int HealthHistogram::bucket_for(uint64_t v) {
+  for (int i = 0; i < kFiniteBuckets; ++i) {
+    if (v <= bucket_bound(i)) return i;
+  }
+  return kFiniteBuckets;  // overflow bucket
+}
+
+void HealthHistogram::observe(uint64_t v) {
+  buckets_[static_cast<size_t>(bucket_for(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double HealthHistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    // Target falls in bucket i: interpolate between its bounds, clamped to
+    // the observed max so a lone large value doesn't report 2^k.
+    double lo = i == 0 ? 0.0
+                       : static_cast<double>(HealthHistogram::bucket_bound(
+                             static_cast<int>(i) - 1));
+    double hi = i < HealthHistogram::kFiniteBuckets
+                    ? static_cast<double>(
+                          HealthHistogram::bucket_bound(static_cast<int>(i)))
+                    : static_cast<double>(max);
+    double frac = static_cast<double>(rank - seen) /
+                  static_cast<double>(buckets[i]);
+    double v = lo + (hi - lo) * frac;
+    return std::min(v, static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// HealthDomain
+// ---------------------------------------------------------------------------
+
+HealthCounter* HealthDomain::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<HealthCounter>();
+  return slot.get();
+}
+
+HealthGauge* HealthDomain::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<HealthGauge>();
+  return slot.get();
+}
+
+HealthHistogram* HealthDomain::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<HealthHistogram>();
+  return slot.get();
+}
+
+void HealthDomain::probe_counter(const std::string& name,
+                                 std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counter_probes_.emplace_back(name, std::move(fn));
+}
+
+void HealthDomain::probe_gauge(const std::string& name,
+                               std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauge_probes_.emplace_back(name, std::move(fn));
+}
+
+void HealthDomain::snapshot(HealthSample::Domain& out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  out.name = name_;
+  out.counters.reserve(counters_.size() + counter_probes_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.counters.emplace_back(name, cell->value());
+  }
+  for (const auto& [name, fn] : counter_probes_) {
+    out.counters.emplace_back(name, fn());
+  }
+  out.gauges.reserve(gauges_.size() + gauge_probes_.size());
+  for (const auto& [name, cell] : gauges_) {
+    out.gauges.emplace_back(name, cell->value());
+  }
+  for (const auto& [name, fn] : gauge_probes_) {
+    out.gauges.emplace_back(name, fn());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, cell] : histograms_) {
+    HealthHistogramSnapshot snap;
+    // Read bucket counts first, then count/sum/max: a concurrent observe()
+    // bumps the bucket before the totals, so totals can only be >= the
+    // bucket sum we read — readers treat count as authoritative.
+    snap.buckets.resize(HealthHistogram::kBuckets);
+    for (int i = 0; i < HealthHistogram::kBuckets; ++i) {
+      snap.buckets[static_cast<size_t>(i)] = cell->bucket(i);
+    }
+    snap.count = cell->count();
+    snap.sum = cell->sum();
+    snap.max = cell->max();
+    out.histograms.emplace_back(name, std::move(snap));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HealthRegistry
+// ---------------------------------------------------------------------------
+
+HealthDomain* HealthRegistry::domain(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = domains_[name];
+  if (!slot) slot = std::make_unique<HealthDomain>(name);
+  return slot.get();
+}
+
+HealthSample HealthRegistry::sample(int64_t t_us) const {
+  HealthSample out;
+  out.t_us = t_us;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.domains.reserve(domains_.size());
+  for (const auto& [name, dom] : domains_) {
+    out.domains.emplace_back();
+    dom->snapshot(out.domains.back());
+  }
+  return out;
+}
+
+std::vector<std::string> HealthRegistry::domain_names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(domains_.size());
+  for (const auto& [name, dom] : domains_) out.push_back(name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Metric catalog (--list-health)
+// ---------------------------------------------------------------------------
+
+const std::vector<HealthMetricInfo>& health_metric_catalog() {
+  static const std::vector<HealthMetricInfo> kCatalog = {
+      // Per-shard scheduler / mailbox (domain "shard<i>").
+      {"shard<i>", "sched.drain_latency_us", "histogram",
+       "virtual-clock age of each executed action at execution time"},
+      {"shard<i>", "sched.drain_batch", "histogram",
+       "events drained from the mailbox per wakeup"},
+      {"shard<i>", "sched.inbox_pending", "gauge",
+       "actions queued on the shard (mailbox + local queue)"},
+      {"shard<i>", "sched.pushes", "counter", "cross-shard mailbox pushes"},
+      {"shard<i>", "sched.wakeups", "counter",
+       "condition-variable wakeups taken by the shard loop"},
+      {"shard<i>", "sched.soft_overflows", "counter",
+       "pushes beyond the mailbox capacity hint"},
+      {"shard<i>", "sched.producer_stall_us", "counter",
+       "cumulative producer wall time spent waiting on a full mailbox"},
+      // Announcement fan-out (domain "cluster").
+      {"cluster", "announce.fanout_batches", "counter",
+       "announcement broadcasts fanned out to shards"},
+      {"cluster", "announce.log_size", "counter",
+       "announcements appended to the shared log (probe)"},
+      {"cluster", "outputs.committed", "counter",
+       "outputs released by the commit oracle (probe)"},
+      // Disk storage backend (domain "storage<p>").
+      {"storage<p>", "wal.fsync_us", "histogram",
+       "wall time of each WAL write+fsync"},
+      {"storage<p>", "wal.window_fill", "histogram",
+       "staged records flushed per group-commit window"},
+      {"storage<p>", "wal.staged_bytes", "gauge",
+       "bytes staged and not yet durable"},
+      {"storage<p>", "wal.segment_rolls", "counter", "WAL segment rolls"},
+      {"storage<p>", "wal.bytes_written", "counter",
+       "bytes appended to the WAL"},
+      // Obs pipeline (domain "obs").
+      {"obs", "ring.occupancy", "gauge",
+       "events buffered across all ring recorders (probe)"},
+      {"obs", "ring.dropped", "counter",
+       "events lost to ring overflow (probe)"},
+      {"obs", "ring.accepted", "counter",
+       "events accepted into rings (probe)"},
+      {"obs", "collector.collected", "counter",
+       "events drained by the collector (probe)"},
+      {"obs", "collector.lag", "gauge",
+       "accepted minus collected: how far the collector trails (probe)"},
+  };
+  return kCatalog;
+}
+
+}  // namespace koptlog

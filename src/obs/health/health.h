@@ -1,0 +1,184 @@
+// Runtime health telemetry: a lock-free, shard-confined time-series metrics
+// registry (DESIGN §6.5).
+//
+// The registry is organised as named *domains* (one per shard worker, one per
+// storage backend instance, one for the obs pipeline, ...). Each domain holds
+// named cells — counters, gauges, and fixed-bucket log2 histograms — whose
+// updates are single relaxed/relaxed-CAS atomic ops issued by the owning hot
+// path. A sampler thread (health_sampler.h) walks the registry on a periodic
+// tick and snapshots every cell into a bounded ring of timestamped samples.
+//
+// Design constraints, in order:
+//   1. Recording-passive: cells never block, never allocate on the update
+//      path, and touch nothing the protocol reads. With telemetry compiled
+//      in but no registry attached, hot paths pay one nullptr test.
+//   2. Exact conservation: everything is an integer. The sum of per-tick
+//      deltas of any counter equals its final value (tested).
+//   3. Shard-confined writes: a cell is updated by its owning thread (or a
+//      bounded set of producers for MPSC seams); the only cross-thread reads
+//      are the sampler's relaxed loads, which tolerate torn *series* (a
+//      sample is not a consistent cut across cells) but never torn *values*.
+//
+// Cell addresses are stable for the lifetime of the registry: domains hand
+// out pointers into node-stable maps, so hot paths hoist the lookup out of
+// their loops and keep a raw pointer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace koptlog {
+
+/// Monotone event count. Hot path: one relaxed fetch_add.
+class HealthCounter {
+ public:
+  void inc(uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous level (occupancy, backlog bytes, ...). May go negative
+/// transiently when add/sub race across producers; sampled as a signed value.
+class HealthGauge {
+ public:
+  void set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(int64_t by) { v_.fetch_add(by, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket log2 histogram of non-negative integer observations
+/// (latencies in us, batch sizes, ...). Bucket i counts values whose
+/// upper bound is 2^i for i in [0, kFiniteBuckets); the last bucket is
+/// the +inf overflow. All fields are integers so snapshot deltas conserve
+/// exactly; `sum` and `max` let readers recover means and tails without
+/// exemplars.
+class HealthHistogram {
+ public:
+  static constexpr int kFiniteBuckets = 26;
+  static constexpr int kBuckets = kFiniteBuckets + 1;
+
+  /// Upper bound of finite bucket i (inclusive): 2^i.
+  static uint64_t bucket_bound(int i) { return uint64_t{1} << i; }
+  static int bucket_for(uint64_t v);
+
+  void observe(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of one histogram (plain integers, no atomics).
+struct HealthHistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> buckets;  // kBuckets entries
+
+  /// Bucket-interpolated quantile (q in [0,1]) over this snapshot; 0 when
+  /// empty. Exemplar-free: linear interpolation within the winning bucket.
+  double quantile(double q) const;
+};
+
+/// One sampler tick: every cell of every domain, stamped with microseconds
+/// since the sampler started (wall clock — deliberately not simulation time,
+/// so sampling never reads cross-thread simulator state).
+struct HealthSample {
+  int64_t t_us = 0;
+  struct Domain {
+    std::string name;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, HealthHistogramSnapshot>> histograms;
+  };
+  std::vector<Domain> domains;
+};
+
+/// A named group of cells owned by one subsystem instance. Cell creation and
+/// iteration take a mutex; cell *updates* never do — callers keep the
+/// returned pointers, which stay valid for the registry's lifetime.
+class HealthDomain {
+ public:
+  explicit HealthDomain(std::string name) : name_(std::move(name)) {}
+  HealthDomain(const HealthDomain&) = delete;
+  HealthDomain& operator=(const HealthDomain&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  HealthCounter* counter(const std::string& name);
+  HealthGauge* gauge(const std::string& name);
+  HealthHistogram* histogram(const std::string& name);
+
+  /// Pull metrics: `fn` is evaluated on the *sampler* thread at each tick and
+  /// must therefore be a thread-safe read (atomic loads, lock-free getters).
+  void probe_counter(const std::string& name, std::function<uint64_t()> fn);
+  void probe_gauge(const std::string& name, std::function<int64_t()> fn);
+
+  void snapshot(HealthSample::Domain& out) const;
+
+ private:
+  const std::string name_;
+  mutable std::mutex mu_;  // guards map shape + probe list, not cell values
+  std::map<std::string, std::unique_ptr<HealthCounter>> counters_;
+  std::map<std::string, std::unique_ptr<HealthGauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HealthHistogram>> histograms_;
+  std::vector<std::pair<std::string, std::function<uint64_t()>>>
+      counter_probes_;
+  std::vector<std::pair<std::string, std::function<int64_t()>>> gauge_probes_;
+};
+
+/// Root of the telemetry tree. Owns the domains; `sample()` is what the
+/// sampler thread (or a test) calls to take one tick.
+class HealthRegistry {
+ public:
+  HealthRegistry() = default;
+  HealthRegistry(const HealthRegistry&) = delete;
+  HealthRegistry& operator=(const HealthRegistry&) = delete;
+
+  /// Find-or-create. Domain pointers are stable for the registry lifetime.
+  HealthDomain* domain(const std::string& name);
+
+  /// Snapshot every domain; `t_us` is the caller's timestamp.
+  HealthSample sample(int64_t t_us) const;
+
+  std::vector<std::string> domain_names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<HealthDomain>> domains_;
+};
+
+/// One row of the --list-health catalog: where a metric lives and what it
+/// means. Kept in code (not docs) so the CLI can print it.
+struct HealthMetricInfo {
+  std::string domain;  ///< domain name pattern, e.g. "shard<i>"
+  std::string metric;
+  std::string kind;  ///< "counter" | "gauge" | "histogram"
+  std::string help;
+};
+
+/// Catalog of every metric the built-in instrumentation emits.
+const std::vector<HealthMetricInfo>& health_metric_catalog();
+
+}  // namespace koptlog

@@ -1,0 +1,301 @@
+#include "obs/health/health_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/trace_io.h"  // json_escape
+
+namespace koptlog {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+void write_health_meta(std::ostream& os) {
+  os << "{\"kind\":\"health_meta\",\"v\":1,\"buckets\":[";
+  for (int i = 0; i < HealthHistogram::kFiniteBuckets; ++i) {
+    if (i) os << ',';
+    os << HealthHistogram::bucket_bound(i);
+  }
+  os << "]}\n";
+}
+
+void write_health_sample(const HealthSample& sample, std::ostream& os) {
+  for (const auto& dom : sample.domains) {
+    os << "{\"kind\":\"health\",\"v\":1,\"t_us\":" << sample.t_us
+       << ",\"dom\":\"" << json_escape(dom.name) << "\"";
+    if (!dom.counters.empty()) {
+      os << ",\"c\":{";
+      bool first = true;
+      for (const auto& [name, v] : dom.counters) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":" << v;
+      }
+      os << '}';
+    }
+    if (!dom.gauges.empty()) {
+      os << ",\"g\":{";
+      bool first = true;
+      for (const auto& [name, v] : dom.gauges) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":" << v;
+      }
+      os << '}';
+    }
+    if (!dom.histograms.empty()) {
+      os << ",\"h\":{";
+      bool first = true;
+      for (const auto& [name, h] : dom.histograms) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << json_escape(name) << "\":{\"n\":" << h.count
+           << ",\"sum\":" << h.sum << ",\"max\":" << h.max << ",\"b\":[";
+        for (size_t i = 0; i < h.buckets.size(); ++i) {
+          if (i) os << ',';
+          os << h.buckets[i];
+        }
+        os << "]}";
+      }
+      os << '}';
+    }
+    os << "}\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool as_u64(const JsonValue* v, uint64_t& out) {
+  int64_t s = 0;
+  if (!json_as_int64(v, s) || s < 0) return false;
+  out = static_cast<uint64_t>(s);
+  return true;
+}
+
+bool parse_health_line(const JsonValue& v, HealthSeries::Tick& tick,
+                       std::string& why) {
+  int64_t t_us = 0;
+  if (!json_as_int64(v.find("t_us"), t_us) || t_us < 0) {
+    why = "missing or negative \"t_us\"";
+    return false;
+  }
+  tick.t_us = t_us;
+  const JsonValue* dom = v.find("dom");
+  if (!dom || dom->type != JsonValue::Type::kStr || dom->str.empty()) {
+    why = "missing \"dom\"";
+    return false;
+  }
+  tick.domain.name = dom->str;
+  if (const JsonValue* c = v.find("c")) {
+    if (c->type != JsonValue::Type::kObj) {
+      why = "\"c\" is not an object";
+      return false;
+    }
+    for (const auto& [name, val] : c->obj) {
+      uint64_t u = 0;
+      if (!as_u64(&val, u)) {
+        why = "counter \"" + name + "\" is not a non-negative integer";
+        return false;
+      }
+      tick.domain.counters.emplace_back(name, u);
+    }
+  }
+  if (const JsonValue* g = v.find("g")) {
+    if (g->type != JsonValue::Type::kObj) {
+      why = "\"g\" is not an object";
+      return false;
+    }
+    for (const auto& [name, val] : g->obj) {
+      int64_t s = 0;
+      if (!json_as_int64(&val, s)) {
+        why = "gauge \"" + name + "\" is not an integer";
+        return false;
+      }
+      tick.domain.gauges.emplace_back(name, s);
+    }
+  }
+  if (const JsonValue* h = v.find("h")) {
+    if (h->type != JsonValue::Type::kObj) {
+      why = "\"h\" is not an object";
+      return false;
+    }
+    for (const auto& [name, val] : h->obj) {
+      if (val.type != JsonValue::Type::kObj) {
+        why = "histogram \"" + name + "\" is not an object";
+        return false;
+      }
+      HealthHistogramSnapshot snap;
+      if (!as_u64(val.find("n"), snap.count) ||
+          !as_u64(val.find("sum"), snap.sum) ||
+          !as_u64(val.find("max"), snap.max)) {
+        why = "histogram \"" + name + "\" missing n/sum/max";
+        return false;
+      }
+      const JsonValue* b = val.find("b");
+      if (!b || b->type != JsonValue::Type::kArr ||
+          b->arr.size() != static_cast<size_t>(HealthHistogram::kBuckets)) {
+        why = "histogram \"" + name + "\" has wrong bucket count";
+        return false;
+      }
+      snap.buckets.reserve(b->arr.size());
+      for (const auto& bv : b->arr) {
+        uint64_t u = 0;
+        if (!as_u64(&bv, u)) {
+          why = "histogram \"" + name + "\" bucket is not an integer";
+          return false;
+        }
+        snap.buckets.push_back(u);
+      }
+      tick.domain.histograms.emplace_back(name, std::move(snap));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HealthSeries read_health_jsonl(std::istream& is,
+                               std::vector<std::string>& errors) {
+  HealthSeries out;
+  std::string line;
+  int lineno = 0;
+  bool at_eof_tear = false;
+  auto err = [&](const std::string& what) {
+    errors.push_back("line " + std::to_string(lineno) + ": " + what);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    // A live writer may leave the final line unterminated; getline still
+    // returns it at EOF. Detect that case and skip parse errors for it.
+    at_eof_tear = is.eof() && !line.empty();
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string parse_err;
+    if (!JsonParser(line).parse(v, parse_err)) {
+      if (!at_eof_tear) err(parse_err);
+      continue;
+    }
+    if (v.type != JsonValue::Type::kObj) {
+      err("line is not a JSON object");
+      continue;
+    }
+    const JsonValue* kind = v.find("kind");
+    if (!kind || kind->type != JsonValue::Type::kStr) continue;
+    if (kind->str == "health_meta") {
+      int64_t ver = 0;
+      if (!json_as_int64(v.find("v"), ver) || ver != 1) {
+        err("unsupported health schema version (want 1)");
+        continue;
+      }
+      const JsonValue* buckets = v.find("buckets");
+      if (!buckets || buckets->type != JsonValue::Type::kArr) {
+        err("health_meta missing \"buckets\"");
+        continue;
+      }
+      out.bucket_bounds.clear();
+      for (const auto& b : buckets->arr) {
+        uint64_t u = 0;
+        if (!as_u64(&b, u)) {
+          err("health_meta bucket bound is not an integer");
+          break;
+        }
+        out.bucket_bounds.push_back(u);
+      }
+      out.have_meta = true;
+      continue;
+    }
+    if (kind->str != "health") continue;  // trace lines, etc.
+    HealthSeries::Tick tick;
+    std::string why;
+    if (!parse_health_line(v, tick, why)) {
+      err(why);
+      continue;
+    }
+    out.ticks.push_back(std::move(tick));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string prom_name(const std::string& metric) {
+  std::string out = "koptlog_health_";
+  for (char c : metric) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_health_prometheus(const HealthSample& sample, std::ostream& os) {
+  for (const auto& dom : sample.domains) {
+    const std::string label = "{dom=\"" + dom.name + "\"}";
+    for (const auto& [name, v] : dom.counters) {
+      const std::string p = prom_name(name);
+      os << "# TYPE " << p << " counter\n"
+         << p << "_total" << label << " " << v << "\n";
+    }
+    for (const auto& [name, v] : dom.gauges) {
+      const std::string p = prom_name(name);
+      os << "# TYPE " << p << " gauge\n" << p << label << " " << v << "\n";
+    }
+    for (const auto& [name, h] : dom.histograms) {
+      const std::string p = prom_name(name);
+      os << "# TYPE " << p << " summary\n";
+      for (double q : {0.5, 0.9, 0.99}) {
+        os << p << "{dom=\"" << dom.name << "\",quantile=\"" << q << "\"} "
+           << h.quantile(q) << "\n";
+      }
+      os << p << "_sum" << label << " " << h.sum << "\n"
+         << p << "_count" << label << " " << h.count << "\n"
+         << p << "_max" << label << " " << h.max << "\n";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file replace
+// ---------------------------------------------------------------------------
+
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body,
+                       std::string& err) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      err = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    body(os);
+    os.flush();
+    if (!os.good()) {
+      err = "write to " + tmp + " failed";
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    err = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace koptlog

@@ -1,0 +1,62 @@
+// Health sidecar JSONL (schema v1) + Prometheus export for HealthSamples.
+//
+// Sidecar layout: the first line is a meta header naming the histogram
+// bucket bounds once, then one line per (tick, domain):
+//
+//   {"kind":"health_meta","v":1,"buckets":[1,2,4,...]}
+//   {"kind":"health","v":1,"t_us":100000,"dom":"shard0",
+//    "c":{"sched.pushes":12},"g":{"sched.inbox_pending":3},
+//    "h":{"sched.drain_latency_us":{"n":9,"sum":110,"max":40,"b":[...]}}}
+//
+// `t_us` is microseconds since the sampler started (wall clock), monotone
+// non-decreasing per domain. Values in "c"/"h" are cumulative, not deltas —
+// a reader that wants rates subtracts adjacent ticks. The reader below
+// tolerates a torn final line (a live writer mid-append), mirroring the
+// trace reader's --follow semantics.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/health/health.h"
+
+namespace koptlog {
+
+/// Meta header line (bucket bounds). Write once, before any sample lines.
+void write_health_meta(std::ostream& os);
+
+/// One JSONL line per domain in the sample.
+void write_health_sample(const HealthSample& sample, std::ostream& os);
+
+/// Parsed sidecar: meta + flat list of per-domain ticks in file order.
+struct HealthSeries {
+  bool have_meta = false;
+  std::vector<uint64_t> bucket_bounds;  // finite bounds from the meta line
+  struct Tick {
+    int64_t t_us = 0;
+    HealthSample::Domain domain;
+  };
+  std::vector<Tick> ticks;
+};
+
+/// Read a health sidecar. Unknown "kind" lines are skipped (the sidecar may
+/// be interleaved with a trace); a torn final line is tolerated silently;
+/// malformed complete lines are reported in `errors`.
+HealthSeries read_health_jsonl(std::istream& is,
+                               std::vector<std::string>& errors);
+
+/// Prometheus text exposition for the latest tick of each domain:
+/// counters/gauges as koptlog_health_<metric>{dom="..."}, histograms as
+/// summaries with interpolated q50/q90/q99 plus _sum/_count/_max.
+void write_health_prometheus(const HealthSample& sample, std::ostream& os);
+
+/// Write `body(os)` to `path` via temp-file + rename so concurrent readers
+/// never observe a torn file. Returns false (with `err` set) on any I/O
+/// failure; the temp file is cleaned up.
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& body,
+                       std::string& err);
+
+}  // namespace koptlog

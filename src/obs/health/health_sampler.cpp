@@ -1,0 +1,125 @@
+#include "obs/health/health_sampler.h"
+
+#include "obs/health/health_io.h"
+
+namespace koptlog {
+
+// ---------------------------------------------------------------------------
+// HealthSampler
+// ---------------------------------------------------------------------------
+
+HealthSampler::HealthSampler(HealthRegistry& registry, Options opts)
+    : registry_(registry),
+      opts_(opts),
+      start_(std::chrono::steady_clock::now()) {}
+
+HealthSampler::~HealthSampler() { stop(); }
+
+void HealthSampler::start(std::function<void(const HealthSample&)> on_sample) {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+  }
+  on_sample_ = std::move(on_sample);
+  start_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+void HealthSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  take_sample();  // final totals, even if no interval elapsed
+  std::lock_guard<std::mutex> lk(run_mu_);
+  started_ = false;
+}
+
+void HealthSampler::sample_now() { take_sample(); }
+
+std::deque<HealthSample> HealthSampler::history() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return history_;
+}
+
+uint64_t HealthSampler::ticks() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return ticks_;
+}
+
+int64_t HealthSampler::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void HealthSampler::run() {
+  std::unique_lock<std::mutex> lk(run_mu_);
+  while (!stopping_) {
+    cv_.wait_for(lk, std::chrono::microseconds(opts_.interval_us),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lk.unlock();
+    take_sample();
+    lk.lock();
+  }
+}
+
+void HealthSampler::take_sample() {
+  HealthSample s = registry_.sample(now_us());
+  std::function<void(const HealthSample&)> cb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    history_.push_back(s);
+    while (history_.size() > opts_.history) history_.pop_front();
+    ++ticks_;
+    cb = on_sample_;
+  }
+  if (cb) cb(s);
+}
+
+// ---------------------------------------------------------------------------
+// HealthTimeseriesSink
+// ---------------------------------------------------------------------------
+
+HealthTimeseriesSink::HealthTimeseriesSink(HealthRegistry& registry,
+                                           HealthSampler::Options opts,
+                                           const std::string& path)
+    : sampler_(registry, opts) {
+  if (path.empty()) {
+    ok_ = true;
+    sampler_.start();
+    return;
+  }
+  have_path_ = true;
+  out_.open(path, std::ios::trunc);
+  if (!out_) return;  // ok_ stays false; caller diagnoses
+  write_health_meta(out_);
+  out_.flush();
+  ok_ = out_.good();
+  if (!ok_) return;
+  // Sidecar writes happen on the sampler thread; nothing else touches out_
+  // until close() has stopped the sampler.
+  sampler_.start([this](const HealthSample& s) {
+    write_health_sample(s, out_);
+    out_.flush();  // tail -f / koptlog_top --follow see ticks promptly
+  });
+}
+
+HealthTimeseriesSink::~HealthTimeseriesSink() { sampler_.stop(); }
+
+void HealthTimeseriesSink::tick() {
+  // Cadence is the sampler's own; nothing to do on collector ticks.
+}
+
+void HealthTimeseriesSink::close() {
+  sampler_.stop();  // writes the final sample through the callback
+  if (have_path_) out_.close();
+}
+
+}  // namespace koptlog

@@ -1,0 +1,106 @@
+// HealthSampler — the periodic tick that turns live registry cells into a
+// bounded in-memory history and an append-only JSONL sidecar.
+//
+// The sampler owns its own thread (cadence must not depend on the collector
+// tick or on simulation time): every `interval_us` of wall time it calls
+// HealthRegistry::sample() stamped with microseconds-since-start, keeps the
+// result in a bounded deque (oldest evicted), and hands it to an optional
+// per-tick callback (the JSONL writer, a test). stop() takes one final
+// sample before joining so short runs still record their totals.
+//
+// HealthTimeseriesSink adapts the sampler to the EventSink seam so the
+// collector's lifecycle (start before the cluster, close after the final
+// drain) drives the sidecar for free in ring mode; it ignores the event
+// stream itself.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/event_sink.h"
+#include "obs/health/health.h"
+
+namespace koptlog {
+
+class HealthSampler {
+ public:
+  struct Options {
+    int64_t interval_us = 100000;  ///< 100ms default tick
+    size_t history = 512;          ///< bounded in-memory sample ring
+  };
+
+  /// Does not own `registry`; it must outlive the sampler. Probes registered
+  /// on the registry run on this sampler's thread — anything they capture
+  /// must stay alive until stop() returns.
+  HealthSampler(HealthRegistry& registry, Options opts);
+  ~HealthSampler();
+
+  /// `on_sample` (optional) runs on the sampler thread after each tick.
+  void start(std::function<void(const HealthSample&)> on_sample = nullptr);
+
+  /// Take a final sample, then join. Idempotent.
+  void stop();
+
+  /// Take one sample now (sampler thread not required; used by manual-drive
+  /// mode and tests). Applies history bounds and the callback.
+  void sample_now();
+
+  /// Copy of the retained history, oldest first.
+  std::deque<HealthSample> history() const;
+
+  uint64_t ticks() const;
+
+ private:
+  void run();
+  void take_sample();
+  int64_t now_us() const;
+
+  HealthRegistry& registry_;
+  const Options opts_;
+  std::function<void(const HealthSample&)> on_sample_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;  // guards history_, ticks_, and serialises samples
+  std::deque<HealthSample> history_;
+  uint64_t ticks_ = 0;
+
+  std::mutex run_mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+/// EventSink wrapper: owns the sampler plus the sidecar ofstream. Attach to
+/// the EventCollector in ring mode (start() on construction, final sample on
+/// close()); in recorder-less modes call sampler() directly.
+class HealthTimeseriesSink final : public EventSink {
+ public:
+  /// Opens `path` (truncating) and writes the meta header; ok() reports
+  /// failures. Empty `path` keeps history in memory only.
+  HealthTimeseriesSink(HealthRegistry& registry, HealthSampler::Options opts,
+                       const std::string& path);
+  ~HealthTimeseriesSink() override;
+
+  bool ok() const { return ok_; }
+  HealthSampler& sampler() { return sampler_; }
+
+  void on_event(const ProtocolEvent&) override {}  // telemetry, not events
+  void tick() override;
+  void close() override;
+
+ private:
+  std::ofstream out_;
+  bool ok_ = false;
+  bool have_path_ = false;
+  HealthSampler sampler_;
+};
+
+}  // namespace koptlog

@@ -1,0 +1,55 @@
+// Minimal JSON value + recursive-descent parser shared by the JSONL
+// readers (trace schema in obs/trace_io.cpp, health sidecar in
+// obs/health/health_io.cpp, koptlog_top). Sufficient for the repo's own
+// line-oriented formats; not a general-purpose JSON library (\u escapes
+// only cover the control characters our writers emit).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace koptlog {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* find(std::string_view key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parse one complete JSON value; trailing non-whitespace is an error.
+  bool parse(JsonValue& out, std::string& err);
+
+ private:
+  void skip_ws();
+  bool fail(std::string& err, const std::string& what);
+  bool literal(std::string_view word, std::string& err);
+  bool string(std::string& out, std::string& err);
+  bool number(JsonValue& out, std::string& err);
+  bool value(JsonValue& out, std::string& err);
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Strict integer extraction: the value must exist, be a number, and have
+/// no fractional part.
+bool json_as_int64(const JsonValue* v, int64_t& out);
+
+}  // namespace koptlog

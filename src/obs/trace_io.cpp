@@ -1,5 +1,7 @@
 #include "obs/trace_io.h"
 
+#include "obs/json.h"
+
 #include <cctype>
 #include <cmath>
 #include <cstdint>
@@ -199,221 +201,24 @@ bool write_trace_jsonl_file(const Recording& rec, const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// Reading: a minimal JSON value + recursive-descent parser
+// Reading: built on the shared JSON parser in obs/json.h
 // ---------------------------------------------------------------------------
 
 namespace {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNum, kStr, kArr, kObj };
-  Type type = Type::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::vector<std::pair<std::string, JsonValue>> obj;
-
-  const JsonValue* find(std::string_view key) const {
-    for (const auto& [k, v] : obj) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool parse(JsonValue& out, std::string& err) {
-    bool ok = value(out, err);
-    if (!ok) return false;
-    skip_ws();
-    if (pos_ != text_.size()) {
-      err = "trailing characters after JSON value";
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  bool fail(std::string& err, const std::string& what) {
-    err = what + " at offset " + std::to_string(pos_);
-    return false;
-  }
-
-  bool literal(std::string_view word, std::string& err) {
-    if (text_.substr(pos_, word.size()) != word)
-      return fail(err, "bad literal");
-    pos_ += word.size();
-    return true;
-  }
-
-  bool string(std::string& out, std::string& err) {
-    if (pos_ >= text_.size() || text_[pos_] != '"')
-      return fail(err, "expected string");
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) return fail(err, "bad escape");
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return fail(err, "bad \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail(err, "bad \\u escape");
-          }
-          // Sufficient for this schema: control characters only.
-          out += static_cast<char>(code & 0xff);
-          break;
-        }
-        default:
-          return fail(err, "bad escape");
-      }
-    }
-    if (pos_ >= text_.size()) return fail(err, "unterminated string");
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool number(JsonValue& out, std::string& err) {
-    size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
-      ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+'))
-      ++pos_;
-    if (pos_ == start) return fail(err, "expected number");
-    std::string tok(text_.substr(start, pos_ - start));
-    try {
-      out.type = JsonValue::Type::kNum;
-      out.num = std::stod(tok);
-    } catch (...) {
-      return fail(err, "bad number");
-    }
-    return true;
-  }
-
-  bool value(JsonValue& out, std::string& err) {
-    skip_ws();
-    if (pos_ >= text_.size()) return fail(err, "unexpected end of input");
-    char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out.type = JsonValue::Type::kObj;
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      while (true) {
-        skip_ws();
-        std::string key;
-        if (!string(key, err)) return false;
-        skip_ws();
-        if (pos_ >= text_.size() || text_[pos_] != ':')
-          return fail(err, "expected ':'");
-        ++pos_;
-        JsonValue v;
-        if (!value(v, err)) return false;
-        out.obj.emplace_back(std::move(key), std::move(v));
-        skip_ws();
-        if (pos_ >= text_.size()) return fail(err, "unterminated object");
-        if (text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (text_[pos_] == '}') {
-          ++pos_;
-          return true;
-        }
-        return fail(err, "expected ',' or '}'");
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out.type = JsonValue::Type::kArr;
-      skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      while (true) {
-        JsonValue v;
-        if (!value(v, err)) return false;
-        out.arr.push_back(std::move(v));
-        skip_ws();
-        if (pos_ >= text_.size()) return fail(err, "unterminated array");
-        if (text_[pos_] == ',') {
-          ++pos_;
-          continue;
-        }
-        if (text_[pos_] == ']') {
-          ++pos_;
-          return true;
-        }
-        return fail(err, "expected ',' or ']'");
-      }
-    }
-    if (c == '"') {
-      out.type = JsonValue::Type::kStr;
-      return string(out.str, err);
-    }
-    if (c == 't') {
-      out.type = JsonValue::Type::kBool;
-      out.b = true;
-      return literal("true", err);
-    }
-    if (c == 'f') {
-      out.type = JsonValue::Type::kBool;
-      out.b = false;
-      return literal("false", err);
-    }
-    if (c == 'n') {
-      out.type = JsonValue::Type::kNull;
-      return literal("null", err);
-    }
-    return number(out, err);
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
 // ---- field extraction with validation ----
 
 bool as_int64(const JsonValue* v, int64_t& out) {
-  if (!v || v->type != JsonValue::Type::kNum) return false;
-  if (v->num != std::floor(v->num)) return false;
-  out = static_cast<int64_t>(v->num);
-  return true;
+  return json_as_int64(v, out);
+}
+
+// Health sidecar lines (obs/health/health_io.h) may be interleaved with a
+// trace when both are pointed at the same file; they are runtime telemetry,
+// not protocol events, so the trace readers skip them silently.
+bool is_health_line(const JsonValue& v) {
+  const JsonValue* kind = v.find("kind");
+  return kind && kind->type == JsonValue::Type::kStr &&
+         (kind->str == "health" || kind->str == "health_meta");
 }
 
 bool as_entry(const JsonValue* v, Entry& out) {
@@ -624,6 +429,7 @@ Trace read_trace_jsonl(std::istream& is, std::vector<std::string>& errors) {
       err("line is not a JSON object");
       continue;
     }
+    if (is_health_line(v)) continue;
     if (!have_meta) {
       const JsonValue* kind = v.find("kind");
       if (!kind || kind->type != JsonValue::Type::kStr ||
@@ -685,6 +491,7 @@ void StreamingTraceParser::parse_line(std::string_view line) {
     err("line is not a JSON object");
     return;
   }
+  if (is_health_line(v)) return;
   if (!have_meta_) {
     const JsonValue* kind = v.find("kind");
     if (!kind || kind->type != JsonValue::Type::kStr || kind->str != "meta") {

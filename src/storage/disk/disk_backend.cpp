@@ -23,6 +23,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/health/health.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
 #include "storage/disk/format.h"
@@ -84,6 +86,15 @@ class DiskBackend final : public StorageBackend {
     } else {
       open_fresh();
     }
+    if (opts_.health != nullptr) {
+      HealthDomain* dom =
+          opts_.health->domain("storage" + std::to_string(pid_));
+      h_fsync_ = dom->histogram("wal.fsync_us");
+      h_window_ = dom->histogram("wal.window_fill");
+      g_staged_ = dom->gauge("wal.staged_bytes");
+      c_rolls_ = dom->counter("wal.segment_rolls");
+      c_bytes_ = dom->counter("wal.bytes_written");
+    }
     if (opts_.threaded_io) flusher_ = std::thread([this] { flusher_main(); });
   }
 
@@ -108,6 +119,9 @@ class DiskBackend final : public StorageBackend {
     staged_.push_back(
         Staged{pos, disk::frame_record(RecordType::kMessage,
                                        disk::encode_message(pos, rec))});
+    staged_bytes_ += staged_.back().bytes.size();
+    if (g_staged_ != nullptr)
+      g_staged_->set(static_cast<int64_t>(staged_bytes_));
   }
 
   void on_truncate(size_t pos) override {
@@ -117,7 +131,13 @@ class DiskBackend final : public StorageBackend {
     // re-delivered suffix would replay as a ghost of the undone
     // incarnation — and a post-restart announcement derived from it would
     // let peers commit against a rolled-back interval.
-    std::erase_if(staged_, [pos](const Staged& s) { return s.pos >= pos; });
+    std::erase_if(staged_, [this, pos](const Staged& s) {
+      if (s.pos < pos) return false;
+      staged_bytes_ -= s.bytes.size();
+      return true;
+    });
+    if (g_staged_ != nullptr)
+      g_staged_->set(static_cast<int64_t>(staged_bytes_));
     drain_flusher();
     write_wal_now(
         disk::frame_record(RecordType::kTruncate, disk::encode_pos(pos)));
@@ -197,11 +217,15 @@ class DiskBackend final : public StorageBackend {
     drain_flusher();
     if (staged_.empty()) return;
     std::vector<uint8_t> batch;
+    size_t max_pos = 0;
     for (Staged& s : staged_) {
       batch.insert(batch.end(), s.bytes.begin(), s.bytes.end());
-      note_msg_pos(s.pos);
+      max_pos = std::max(max_pos, s.pos);
     }
     staged_.clear();
+    staged_bytes_ = 0;
+    if (g_staged_ != nullptr) g_staged_->set(0);
+    note_batch_max_pos(max_pos);
     write_wal_now(std::move(batch));
     // Any pending window completes later against an already-durable log —
     // its fire finds nothing left to write and just reports the bound.
@@ -211,6 +235,8 @@ class DiskBackend final : public StorageBackend {
     ++gen_;  // voids the armed window and any in-flight threaded completion
     window_armed_ = false;
     staged_.clear();
+    staged_bytes_ = 0;
+    if (g_staged_ != nullptr) g_staged_->set(0);
     pending_.clear();
   }
 
@@ -224,6 +250,8 @@ class DiskBackend final : public StorageBackend {
     disk::repair_process_dir(r);
     reopen_after_analysis(r);
     staged_.clear();
+    staged_bytes_ = 0;
+    if (g_staged_ != nullptr) g_staged_->set(0);
     pending_.clear();
     if (stats_) stats_->inc("storage.recoveries");
     if (!r.found_any) return false;
@@ -290,11 +318,12 @@ class DiskBackend final : public StorageBackend {
     std::vector<uint8_t> batch;
     size_t kept = 0;
     size_t written = 0;
+    size_t max_pos = 0;
     for (size_t i = 0; i < staged_.size(); ++i) {
       Staged& s = staged_[i];
       if (s.pos < flush_upto) {
         batch.insert(batch.end(), s.bytes.begin(), s.bytes.end());
-        note_msg_pos(s.pos);
+        max_pos = std::max(max_pos, s.pos);
         ++written;
       } else {
         // Compact in place; guard the self-move (kept == i) or the record's
@@ -305,8 +334,19 @@ class DiskBackend final : public StorageBackend {
       }
     }
     staged_.resize(kept);
+    staged_bytes_ -= batch.size();
+    if (g_staged_ != nullptr)
+      g_staged_->set(static_cast<int64_t>(staged_bytes_));
     if (stats_)
       stats_->sample("storage.flush_batch_records", static_cast<double>(written));
+    if (h_window_ != nullptr) h_window_->observe(written);
+    // Publish the batch's position bound BEFORE the write is issued or
+    // handed to the flusher: under threaded_io the flusher reads
+    // seg_max_msg_pos_/next_start_lsn_ inside write_wal_now (under io_mu_),
+    // so the update must happen under the same lock here on the staging
+    // thread — the old unlocked note_msg_pos raced the flusher's segment
+    // roll.
+    if (written > 0) note_batch_max_pos(max_pos);
 
     if (opts_.threaded_io) {
       Job job;
@@ -424,11 +464,13 @@ class DiskBackend final : public StorageBackend {
   /// it is over the size bound.
   void write_wal_now(std::vector<uint8_t> bytes) {
     std::lock_guard<std::mutex> lk(io_mu_);
+    if (c_bytes_ != nullptr) c_bytes_->inc(bytes.size());
     if (seg_written_ >= opts_.segment_bytes) {
       segments_.back().max_msg_pos = seg_max_msg_pos_;
       do_fsync(wal_fd_);
       open_segment_locked(seg_index_ + 1, next_start_lsn_);
       if (stats_) stats_->inc("storage.segments_rolled");
+      if (c_rolls_ != nullptr) c_rolls_->inc();
     }
     write_all(wal_fd_, bytes);
     seg_written_ += bytes.size();
@@ -444,10 +486,17 @@ class DiskBackend final : public StorageBackend {
   }
 
   /// Track the highest message position headed for the current segment and
-  /// the log bound new segments should stamp as their start_lsn.
-  void note_msg_pos(size_t pos) {
+  /// the log bound new segments should stamp as their start_lsn. Callers on
+  /// the staging thread must go through note_batch_max_pos: the flusher
+  /// thread reads both fields under io_mu_ when it rolls a segment.
+  void note_msg_pos_locked(size_t pos) {
     seg_max_msg_pos_ = std::max(seg_max_msg_pos_, pos);
     next_start_lsn_ = std::max(next_start_lsn_, static_cast<uint64_t>(pos + 1));
+  }
+
+  void note_batch_max_pos(size_t max_pos) {
+    std::lock_guard<std::mutex> lk(io_mu_);
+    note_msg_pos_locked(max_pos);
   }
 
   void write_all(int fd, const std::vector<uint8_t>& bytes) {
@@ -462,7 +511,16 @@ class DiskBackend final : public StorageBackend {
   }
 
   void do_fsync(int fd) {
-    KOPT_CHECK_MSG(::fsync(fd) == 0, "fsync failed for P" << pid_);
+    if (h_fsync_ != nullptr) {
+      auto t0 = std::chrono::steady_clock::now();
+      KOPT_CHECK_MSG(::fsync(fd) == 0, "fsync failed for P" << pid_);
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+      h_fsync_->observe(static_cast<uint64_t>(us));
+    } else {
+      KOPT_CHECK_MSG(::fsync(fd) == 0, "fsync failed for P" << pid_);
+    }
     if (stats_) stats_->inc("storage.fsyncs");
   }
 
@@ -475,9 +533,18 @@ class DiskBackend final : public StorageBackend {
 
   // Logical state (owned by the shard/caller thread).
   std::vector<Staged> staged_;
+  size_t staged_bytes_ = 0;
   std::vector<Pending> pending_;
   bool window_armed_ = false;
   uint64_t gen_ = 0;
+
+  // Health cells (obs/health); set once in the ctor, null when telemetry is
+  // off. The histogram/gauge updates are lock-free and thread-safe.
+  HealthHistogram* h_fsync_ = nullptr;
+  HealthHistogram* h_window_ = nullptr;
+  HealthGauge* g_staged_ = nullptr;
+  HealthCounter* c_rolls_ = nullptr;
+  HealthCounter* c_bytes_ = nullptr;
 
   // File state (io_mu_ serializes the flusher thread against sync ops).
   std::mutex io_mu_;

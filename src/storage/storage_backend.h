@@ -33,6 +33,7 @@ namespace koptlog {
 
 class Scheduler;
 class Stats;
+class HealthRegistry;
 
 /// Cost model for stable-storage operations, in simulated microseconds.
 /// Synchronous writes block the issuing process; asynchronous flushes are
@@ -63,6 +64,10 @@ struct StorageOptions {
   /// fresh (wiping it). The host must then bring the process up via
   /// restart() rather than start().
   bool recover = false;
+  /// Optional runtime health telemetry (obs/health): the disk backend
+  /// attaches a "storage<pid>" domain (fsync latency, window fill, staged
+  /// backlog, segment rolls). Must outlive the backend; null = off.
+  HealthRegistry* health = nullptr;
 };
 
 /// Everything a durable backend reconstructs from disk at restart

@@ -1,0 +1,381 @@
+// Runtime health telemetry (obs/health, DESIGN §6.5): cell semantics,
+// snapshot/quantile math, the sampler's conservation guarantee, sidecar
+// JSONL round-trips (torn tails included), Prometheus export, atomic file
+// replacement, and recording-passivity of the instrumented sim backend.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/workloads.h"
+#include "core/cluster.h"
+#include "obs/audit.h"
+#include "obs/event_recorder.h"
+#include "obs/health/health.h"
+#include "obs/health/health_io.h"
+#include "obs/health/health_sampler.h"
+#include "obs/trace_io.h"
+
+namespace koptlog {
+namespace {
+
+// --- cells -----------------------------------------------------------------
+
+TEST(HealthHistogramTest, BucketBoundaries) {
+  // Finite bucket i has inclusive upper bound 2^i; the last bucket is +inf.
+  EXPECT_EQ(HealthHistogram::bucket_for(0), 0);
+  EXPECT_EQ(HealthHistogram::bucket_for(1), 0);
+  EXPECT_EQ(HealthHistogram::bucket_for(2), 1);
+  EXPECT_EQ(HealthHistogram::bucket_for(3), 2);
+  EXPECT_EQ(HealthHistogram::bucket_for(4), 2);
+  EXPECT_EQ(HealthHistogram::bucket_for(5), 3);
+  uint64_t top = HealthHistogram::bucket_bound(HealthHistogram::kFiniteBuckets - 1);
+  EXPECT_EQ(HealthHistogram::bucket_for(top), HealthHistogram::kFiniteBuckets - 1);
+  EXPECT_EQ(HealthHistogram::bucket_for(top + 1), HealthHistogram::kFiniteBuckets);
+  EXPECT_EQ(HealthHistogram::bucket_for(UINT64_MAX),
+            HealthHistogram::kFiniteBuckets);
+}
+
+TEST(HealthHistogramTest, ObserveTracksCountSumMax) {
+  HealthHistogram h;
+  for (uint64_t v : {3u, 9u, 40u, 40u, 1000u}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1092u);
+  EXPECT_EQ(h.max(), 1000u);
+  uint64_t bucket_total = 0;
+  for (int i = 0; i < HealthHistogram::kBuckets; ++i) bucket_total += h.bucket(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(HealthHistogramTest, QuantilesInterpolateAndClampToMax) {
+  HealthDomain dom("t");
+  HealthHistogram* h = dom.histogram("lat");
+  for (int i = 0; i < 100; ++i) h->observe(10);  // all in bucket (8,16]
+  h->observe(100000);                            // one far outlier
+  HealthSample::Domain snap;
+  dom.snapshot(snap);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HealthHistogramSnapshot& s = snap.histograms[0].second;
+  EXPECT_EQ(s.count, 101u);
+  double p50 = s.quantile(0.5);
+  EXPECT_GT(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  // Quantiles are monotone in q and never exceed the observed max.
+  EXPECT_LE(s.quantile(0.5), s.quantile(0.99));
+  EXPECT_LE(s.quantile(1.0), static_cast<double>(s.max));
+  HealthHistogramSnapshot empty;
+  empty.buckets.assign(HealthHistogram::kBuckets, 0);
+  EXPECT_EQ(empty.quantile(0.99), 0.0);
+}
+
+TEST(HealthDomainTest, FindOrCreateReturnsStablePointers) {
+  HealthRegistry reg;
+  HealthDomain* d = reg.domain("shard0");
+  EXPECT_EQ(reg.domain("shard0"), d);
+  HealthCounter* c = d->counter("pushes");
+  EXPECT_EQ(d->counter("pushes"), c);
+  c->inc(3);
+  c->inc();
+  EXPECT_EQ(c->value(), 4u);
+  HealthGauge* g = d->gauge("pending");
+  g->set(10);
+  g->add(-3);
+  EXPECT_EQ(g->value(), 7);
+  EXPECT_EQ(reg.domain_names(), std::vector<std::string>{"shard0"});
+}
+
+TEST(HealthDomainTest, ProbesEvaluateAtSnapshotTime) {
+  HealthRegistry reg;
+  HealthDomain* d = reg.domain("obs");
+  uint64_t backing = 5;
+  d->probe_counter("collected", [&backing] { return backing; });
+  d->probe_gauge("lag", [] { return int64_t{-2}; });
+  HealthSample s1 = reg.sample(100);
+  backing = 9;
+  HealthSample s2 = reg.sample(200);
+  ASSERT_EQ(s1.domains.size(), 1u);
+  EXPECT_EQ(s1.t_us, 100);
+  EXPECT_EQ(s1.domains[0].counters[0].second, 5u);
+  EXPECT_EQ(s2.domains[0].counters[0].second, 9u);
+  EXPECT_EQ(s1.domains[0].gauges[0].second, -2);
+}
+
+TEST(HealthCatalogTest, ListsTheBuiltInInstrumentation) {
+  const auto& cat = health_metric_catalog();
+  ASSERT_FALSE(cat.empty());
+  bool saw_drain = false, saw_fsync = false, saw_ring = false;
+  for (const HealthMetricInfo& m : cat) {
+    if (m.metric == "sched.drain_latency_us") saw_drain = true;
+    if (m.metric == "wal.fsync_us") saw_fsync = true;
+    if (m.metric == "ring.occupancy") saw_ring = true;
+    EXPECT_FALSE(m.help.empty()) << m.metric;
+  }
+  EXPECT_TRUE(saw_drain);
+  EXPECT_TRUE(saw_fsync);
+  EXPECT_TRUE(saw_ring);
+}
+
+// --- sampler ---------------------------------------------------------------
+
+TEST(HealthSamplerTest, HistoryIsBoundedAndTicksCount) {
+  HealthRegistry reg;
+  reg.domain("d")->counter("c");
+  HealthSampler sampler(reg, {.interval_us = 1'000'000, .history = 4});
+  for (int i = 0; i < 10; ++i) sampler.sample_now();
+  EXPECT_EQ(sampler.ticks(), 10u);
+  EXPECT_EQ(sampler.history().size(), 4u);
+}
+
+TEST(HealthSamplerTest, TickDeltasConserveCounters) {
+  // The conservation contract: samples are cumulative, so the sum of
+  // per-tick deltas of any counter equals its final value exactly — no
+  // sampling loss, no double counting.
+  HealthRegistry reg;
+  HealthCounter* c = reg.domain("d")->counter("c");
+  HealthHistogram* h = reg.domain("d")->histogram("lat");
+  HealthSampler sampler(reg, {.interval_us = 500, .history = 512});
+  sampler.start();
+  const uint64_t kTotal = 20'000;
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    c->inc();
+    h->observe(i % 50);
+  }
+  sampler.stop();  // takes one final sample
+  std::deque<HealthSample> hist = sampler.history();
+  ASSERT_FALSE(hist.empty());
+  uint64_t prev_c = 0, delta_sum = 0, prev_hn = 0;
+  int64_t prev_t = -1;
+  for (const HealthSample& s : hist) {
+    EXPECT_GE(s.t_us, prev_t);  // monotone timestamps
+    prev_t = s.t_us;
+    ASSERT_EQ(s.domains.size(), 1u);
+    uint64_t cv = s.domains[0].counters[0].second;
+    uint64_t hn = s.domains[0].histograms[0].second.count;
+    EXPECT_GE(cv, prev_c);  // cumulative, never regresses
+    EXPECT_GE(hn, prev_hn);
+    delta_sum += cv - prev_c;
+    prev_c = cv;
+    prev_hn = hn;
+  }
+  EXPECT_EQ(delta_sum, kTotal);
+  EXPECT_EQ(prev_c, c->value());
+  EXPECT_EQ(prev_hn, kTotal);
+  sampler.stop();  // idempotent
+}
+
+// --- sidecar JSONL ---------------------------------------------------------
+
+HealthSample make_sample() {
+  HealthRegistry reg;
+  HealthDomain* d = reg.domain("shard0");
+  d->counter("sched.pushes")->inc(12);
+  d->gauge("sched.inbox_pending")->set(-3);
+  HealthHistogram* h = d->histogram("sched.drain_latency_us");
+  h->observe(9);
+  h->observe(40);
+  return reg.sample(100000);
+}
+
+TEST(HealthIoTest, JsonlRoundTripPreservesValues) {
+  std::ostringstream os;
+  write_health_meta(os);
+  write_health_sample(make_sample(), os);
+
+  std::istringstream is(os.str());
+  std::vector<std::string> errors;
+  HealthSeries series = read_health_jsonl(is, errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_TRUE(series.have_meta);
+  ASSERT_EQ(series.bucket_bounds.size(),
+            static_cast<size_t>(HealthHistogram::kFiniteBuckets));
+  EXPECT_EQ(series.bucket_bounds[0], 1u);
+  EXPECT_EQ(series.bucket_bounds[3], 8u);
+  ASSERT_EQ(series.ticks.size(), 1u);
+  const HealthSeries::Tick& t = series.ticks[0];
+  EXPECT_EQ(t.t_us, 100000);
+  EXPECT_EQ(t.domain.name, "shard0");
+  ASSERT_EQ(t.domain.counters.size(), 1u);
+  EXPECT_EQ(t.domain.counters[0].first, "sched.pushes");
+  EXPECT_EQ(t.domain.counters[0].second, 12u);
+  ASSERT_EQ(t.domain.gauges.size(), 1u);
+  EXPECT_EQ(t.domain.gauges[0].second, -3);
+  ASSERT_EQ(t.domain.histograms.size(), 1u);
+  const HealthHistogramSnapshot& h = t.domain.histograms[0].second;
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 49u);
+  EXPECT_EQ(h.max, 40u);
+  ASSERT_EQ(h.buckets.size(), static_cast<size_t>(HealthHistogram::kBuckets));
+}
+
+TEST(HealthIoTest, TornFinalLineIsToleratedMalformedMidLineIsNot) {
+  std::ostringstream os;
+  write_health_meta(os);
+  write_health_sample(make_sample(), os);
+  std::string text = os.str();
+
+  // Chop mid-way through the final line: a live writer mid-append.
+  std::string torn = text.substr(0, text.size() - 10);
+  std::istringstream is1(torn);
+  std::vector<std::string> errors;
+  HealthSeries s1 = read_health_jsonl(is1, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(s1.have_meta);
+  EXPECT_TRUE(s1.ticks.empty());
+
+  // The same garbage mid-file (newline-terminated) is a real error.
+  std::istringstream is2(torn + "\n" + text);
+  errors.clear();
+  HealthSeries s2 = read_health_jsonl(is2, errors);
+  EXPECT_FALSE(errors.empty());
+  EXPECT_EQ(s2.ticks.size(), 1u);
+}
+
+TEST(HealthIoTest, UnknownKindsAndTraceLinesAreSkipped) {
+  std::ostringstream os;
+  write_health_meta(os);
+  os << R"({"kind":"meta","v":3,"n":4})" << "\n";  // a trace header
+  write_health_sample(make_sample(), os);
+  std::istringstream is(os.str());
+  std::vector<std::string> errors;
+  HealthSeries s = read_health_jsonl(is, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(s.ticks.size(), 1u);
+}
+
+TEST(HealthIoTest, TraceReaderSkipsHealthLines) {
+  // The inverse tolerance: a trace reader pointed at a stream with embedded
+  // health lines must ignore them rather than fail (sidecar lines are
+  // non-protocol by design).
+  std::ostringstream os;
+  os << R"({"kind":"meta","version":1,"n":2})" << "\n";
+  write_health_meta(os);
+  write_health_sample(make_sample(), os);
+  std::istringstream is(os.str());
+  std::vector<std::string> errors;
+  Trace trace = read_trace_jsonl(is, errors);
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  EXPECT_EQ(trace.n, 2);
+  EXPECT_TRUE(trace.events.empty());
+}
+
+TEST(HealthIoTest, PrometheusExportNamesSeries) {
+  std::ostringstream os;
+  write_health_prometheus(make_sample(), os);
+  std::string text = os.str();
+  EXPECT_NE(text.find("koptlog_health_sched_pushes_total{dom=\"shard0\"} 12"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("koptlog_health_sched_inbox_pending{dom=\"shard0\"} -3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("koptlog_health_sched_drain_latency_us"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("_count{dom=\"shard0\"} 2"), std::string::npos);
+}
+
+TEST(HealthIoTest, WriteFileAtomicWritesAllOrNothing) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "koptlog_health_atomic_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string path = (dir / "snap.txt").string();
+  std::string err;
+  ASSERT_TRUE(write_file_atomic(
+      path, [](std::ostream& os) { os << "hello\n"; }, err))
+      << err;
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "hello");
+  // No temp droppings next to the target.
+  size_t entries = 0;
+  for (auto it = fs::directory_iterator(dir); it != fs::directory_iterator();
+       ++it)
+    ++entries;
+  EXPECT_EQ(entries, 1u);
+  // Unwritable destination: false + err, and nothing created.
+  EXPECT_FALSE(write_file_atomic(
+      "/nonexistent-dir/snap.txt", [](std::ostream& os) { os << "x"; }, err));
+  EXPECT_FALSE(err.empty());
+  fs::remove_all(dir);
+}
+
+// --- sink + passivity ------------------------------------------------------
+
+TEST(HealthTimeseriesSinkTest, WritesMetaThenSamplesAndReportsBadPaths) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "koptlog_health_sink_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string path = (dir / "health.jsonl").string();
+  HealthRegistry reg;
+  reg.domain("d")->counter("c")->inc(7);
+  {
+    HealthTimeseriesSink sink(reg, {.interval_us = 1000, .history = 16}, path);
+    ASSERT_TRUE(sink.ok());
+    sink.sampler().sample_now();
+    sink.close();
+    EXPECT_GE(sink.sampler().ticks(), 2u);  // manual + final-on-close
+  }
+  std::ifstream in(path);
+  std::vector<std::string> errors;
+  HealthSeries s = read_health_jsonl(in, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(s.have_meta);
+  ASSERT_GE(s.ticks.size(), 2u);
+  EXPECT_EQ(s.ticks.back().domain.counters[0].second, 7u);
+
+  HealthTimeseriesSink bad(reg, {}, "/nonexistent-dir/health.jsonl");
+  EXPECT_FALSE(bad.ok());
+  fs::remove_all(dir);
+}
+
+TEST(HealthPassivityTest, InstrumentedDiskRunIsBitForBitIdentical) {
+  // Recording passivity: attaching a health registry to the (deterministic)
+  // sim execution with the real disk backend must not move a single event —
+  // telemetry reads the run, never steers it.
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() / "koptlog_health_passive_test";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  auto run = [&](const std::string& dir,
+                 HealthRegistry* health) -> std::vector<ProtocolEvent> {
+    ClusterConfig cfg;
+    cfg.n = 3;
+    cfg.seed = 19;
+    cfg.protocol.k = 1;
+    cfg.record_events = true;
+    cfg.protocol.storage_backend.backend = "disk";
+    cfg.protocol.storage_backend.dir = dir;
+    cfg.protocol.storage_backend.health = health;
+    Cluster cluster(cfg, make_uniform_app({.output_every = 4}));
+    cluster.start();
+    inject_uniform_load(cluster, 60, 1'000, 400'000, 5, 11);
+    cluster.fail_at(200'000, 1);
+    cluster.run_for(1'000'000);
+    cluster.drain();
+    return cluster.recording()->merged();
+  };
+
+  HealthRegistry health;
+  std::vector<ProtocolEvent> plain = run((root / "a").string(), nullptr);
+  std::vector<ProtocolEvent> instrumented = run((root / "b").string(), &health);
+
+  ASSERT_EQ(plain.size(), instrumented.size());
+  for (size_t i = 0; i < plain.size(); ++i)
+    ASSERT_EQ(plain[i], instrumented[i]) << "event " << i;
+  // And the telemetry actually observed the run it rode along on.
+  bool saw_storage = false;
+  for (const std::string& name : health.domain_names())
+    saw_storage |= name.rfind("storage", 0) == 0;
+  EXPECT_TRUE(saw_storage);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace koptlog

@@ -1,0 +1,96 @@
+// Regression coverage for the staging-thread / flusher-thread race in the
+// disk backend's threaded_io mode.
+//
+// fire_window runs on the owning shard's event loop and used to publish the
+// batch's message-position bound (seg_max_msg_pos_ / next_start_lsn_) with a
+// plain unlocked write *after* handing the batch to the flusher, while the
+// flusher reads those fields inside write_wal_now (under io_mu_) to stamp
+// segment-roll metadata. TSan flagged the pair; a roll landing in the window
+// could also stamp the new segment with a stale start position. The fix
+// publishes the bound via note_batch_max_pos (under io_mu_) before the batch
+// is enqueued.
+//
+// This test makes that interleaving hot: tiny segments force the flusher to
+// roll constantly while small group-commit windows keep the shard threads
+// staging concurrent batches. It lives in the threaded suite so
+// scripts/sanitize_tests.sh runs it under ThreadSanitizer (ctest -L
+// threaded), where the old code fails deterministically.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "app/workloads.h"
+#include "core/failure_injector.h"
+#include "exec/threaded_cluster.h"
+#include "obs/audit.h"
+#include "obs/health/health.h"
+
+namespace koptlog {
+namespace {
+
+constexpr double kFastScale = 0.02;
+
+TEST(StorageRaceTest, ThreadedIoSegmentRollsUnderConcurrentStaging) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "koptlog_storage_race_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  HealthRegistry health;
+  ClusterConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 73;
+  cfg.protocol.k = 2;
+  cfg.record_events = true;
+  cfg.protocol.storage_backend.backend = "disk";
+  cfg.protocol.storage_backend.dir = dir.string();
+  cfg.protocol.storage_backend.threaded_io = true;
+  // Tiny segments + short windows: every few staged batches the flusher
+  // rolls a segment (reading the shared position bound) while the shard
+  // threads keep publishing new bounds — the exact racing pair.
+  cfg.protocol.storage_backend.segment_bytes = 2048;
+  cfg.protocol.storage_backend.group_commit_us = 200;
+  cfg.protocol.storage_backend.health = &health;
+  ThreadedOptions opt;
+  opt.shards = 2;
+  opt.time_scale = kFastScale;
+  opt.health = &health;
+  ThreadedCluster cluster(cfg, opt, make_uniform_app({}));
+  cluster.start();
+  const SimTime load_end = 400'000;
+  inject_uniform_load(cluster, 120, 1'000, load_end, /*ttl=*/6, 74);
+  apply_failure_plan(cluster, FailurePlan::random(Rng(73).fork("fail"), cfg.n,
+                                                  1, load_end / 10, load_end));
+  cluster.run_for(load_end);
+  cluster.drain();
+  cluster.shutdown();
+
+  // The scenario really exercised the path: segments rolled on the flusher
+  // while shards staged, and the run still audits clean (a stale roll
+  // position would surface as lost/duplicated stable records on recovery).
+  uint64_t rolls = 0, bytes = 0;
+  HealthSample s = health.sample(0);
+  for (const auto& dom : s.domains) {
+    if (dom.name.rfind("storage", 0) != 0) continue;
+    for (const auto& [name, v] : dom.counters) {
+      if (name == "wal.segment_rolls") rolls += v;
+      if (name == "wal.bytes_written") bytes += v;
+    }
+  }
+  EXPECT_GT(rolls, 0u) << "segments never rolled — shrink segment_bytes";
+  EXPECT_GT(bytes, 0u);
+  EXPECT_GT(cluster.stats().counter("storage.fsyncs"), 0);
+
+  Trace trace;
+  trace.n = cfg.n;
+  trace.events = cluster.recording()->merged();
+  AuditReport rep = audit_trace(trace);
+  std::string violations;
+  for (const auto& v : rep.violations) violations += v + "\n";
+  EXPECT_TRUE(rep.ok()) << violations;
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace koptlog

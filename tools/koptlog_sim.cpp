@@ -23,6 +23,9 @@
 #include "obs/collector.h"
 #include "obs/event_sink.h"
 #include "obs/export.h"
+#include "obs/health/health.h"
+#include "obs/health/health_io.h"
+#include "obs/health/health_sampler.h"
 #include "obs/live_audit.h"
 #include "obs/ring_recorder.h"
 #include "obs/trace_io.h"
@@ -69,6 +72,10 @@ struct Args {
   size_t ring_capacity = 4096;
   bool live_audit = false;
   int64_t metrics_interval_us = 1'000'000;
+  std::string health_out;
+  int64_t health_interval_us = 100'000;
+  bool health_interval_set = false;
+  bool list_health = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -125,7 +132,15 @@ struct Args {
       << "                    (implies --record ring); first violation is\n"
       << "                    printed immediately and the exit code is 1\n"
       << "  --metrics-interval-us INT live snapshot / flush cadence for the\n"
-      << "                    collector's sinks (default 1000000)\n";
+      << "                    collector's sinks (default 1000000)\n"
+      << "  --health-out FILE.jsonl   append runtime health telemetry (per-\n"
+      << "                    shard drain latency, mailbox occupancy, fsync\n"
+      << "                    latency, collector lag) as schema-versioned\n"
+      << "                    JSONL samples; view with koptlog_top\n"
+      << "  --health-interval-us INT  health sampling tick (default 100000;\n"
+      << "                    requires --health-out)\n"
+      << "  --list-health     print every health metric the instrumentation\n"
+      << "                    emits (domain, kind, meaning) and exit\n";
   std::exit(2);
 }
 
@@ -189,6 +204,12 @@ Args parse(int argc, char** argv) {
     else if (f == "--live-audit") a.live_audit = true;
     else if (f == "--metrics-interval-us")
       a.metrics_interval_us = std::stoll(need(i));
+    else if (f == "--health-out") a.health_out = need(i);
+    else if (f == "--health-interval-us") {
+      a.health_interval_us = std::stoll(need(i));
+      a.health_interval_set = true;
+    }
+    else if (f == "--list-health") a.list_health = true;
     else usage(argv[0]);
   }
   return a;
@@ -223,11 +244,21 @@ void list_backends() {
   }
 }
 
+void list_health() {
+  for (const HealthMetricInfo& m : health_metric_catalog()) {
+    std::string key = m.domain + "/" + m.metric;
+    std::cout << "  " << key
+              << std::string(key.size() < 34 ? 34 - key.size() : 1, ' ')
+              << m.kind << std::string(m.kind.size() < 10 ? 10 - m.kind.size() : 1, ' ')
+              << m.help << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args a = parse(argc, argv);
-  if (a.list_engines || a.list_backends) {
+  if (a.list_engines || a.list_backends || a.list_health) {
     if (a.list_engines) {
       std::cout << "engines:\n";
       list_engines();
@@ -236,11 +267,25 @@ int main(int argc, char** argv) {
       std::cout << "backends:\n";
       list_backends();
     }
+    if (a.list_health) {
+      std::cout << "health metrics (--health-out sidecar / koptlog_top):\n";
+      list_health();
+    }
     return 0;
+  }
+  if (a.health_interval_set && a.health_out.empty()) {
+    std::cerr << "error: --health-interval-us requires --health-out (where "
+                 "should the samples go?)\n";
+    return 2;
+  }
+  if (!a.health_out.empty() && a.health_interval_us <= 0) {
+    std::cerr << "error: --health-interval-us must be positive\n";
+    return 2;
   }
   if (!probe_writable(a.trace_out, "--trace-out") ||
       !probe_writable(a.perfetto_out, "--perfetto-out") ||
       !probe_writable(a.metrics_out, "--metrics-out") ||
+      !probe_writable(a.health_out, "--health-out") ||
       !probe_writable(a.dot_file, "--dot")) {
     return 2;
   }
@@ -316,10 +361,17 @@ int main(int argc, char** argv) {
     std::cerr << "error: --storage disk requires --storage-dir\n";
     return 2;
   }
+  // Health telemetry registry: declared before the host so the cells the
+  // backends attach outlive them; the sampler (inside the sink, declared
+  // after the host) is stopped before either is destroyed.
+  const bool health_on = !a.health_out.empty();
+  HealthRegistry health_registry;
+
   cfg.protocol.storage_backend.backend = a.storage;
   cfg.protocol.storage_backend.dir = a.storage_dir;
   cfg.protocol.storage_backend.group_commit_us = a.group_commit_us;
   cfg.protocol.storage_backend.threaded_io = threaded && a.storage == "disk";
+  if (health_on) cfg.protocol.storage_backend.health = &health_registry;
   cfg.protocol.reliable_delivery = a.reliable;
   cfg.protocol.garbage_collect = !a.no_gc;
   cfg.record_events = ring || !a.trace_out.empty() || !a.perfetto_out.empty();
@@ -347,6 +399,7 @@ int main(int argc, char** argv) {
   bopt.time_scale = a.time_scale;
   bopt.mailbox = a.mailbox;
   bopt.mailbox_capacity = a.mailbox_capacity;
+  if (health_on) bopt.health = &health_registry;
   std::unique_ptr<ClusterHost> host =
       make_backend_host(bopt, cfg, app, engine->factory);
   ClusterHost& cluster = *host;
@@ -357,7 +410,21 @@ int main(int argc, char** argv) {
   std::unique_ptr<JsonlWriterSink> jsonl_sink;
   std::unique_ptr<MetricsSnapshotSink> metrics_sink;
   std::unique_ptr<LiveAuditSink> audit_sink;
+  std::unique_ptr<HealthTimeseriesSink> health_sink;
   std::unique_ptr<EventCollector> collector;
+  if (health_on) {
+    // Ctor opens the sidecar and starts the sampler thread; destroyed (and
+    // therefore stopped) before the host whose cells its probes read.
+    HealthSampler::Options hopt;
+    hopt.interval_us = a.health_interval_us;
+    health_sink = std::make_unique<HealthTimeseriesSink>(
+        health_registry, hopt, a.health_out);
+    if (!health_sink->ok()) {
+      std::cerr << "error: cannot write --health-out path '" << a.health_out
+                << "'\n";
+      return 2;
+    }
+  }
   if (ring) {
     std::vector<EventSink*> sinks;
     if (!a.trace_out.empty()) {
@@ -369,6 +436,12 @@ int main(int argc, char** argv) {
       sinks.push_back(jsonl_sink.get());
     }
     metrics_sink = std::make_unique<MetricsSnapshotSink>(a.metrics_out);
+    if (health_on) {
+      // Live Prometheus snapshots carry the health series too.
+      metrics_sink->set_extra([&health_registry](std::ostream& os) {
+        write_health_prometheus(health_registry.sample(0), os);
+      });
+    }
     sinks.push_back(metrics_sink.get());
     if (want_live_audit) {
       live_audit = std::make_unique<LiveAudit>(cfg.n);
@@ -376,10 +449,41 @@ int main(int argc, char** argv) {
                                                    /*announce=*/true);
       sinks.push_back(audit_sink.get());
     }
+    if (health_sink != nullptr) sinks.push_back(health_sink.get());
     EventCollector::Options copt;
     copt.tick_interval_us = a.metrics_interval_us;
     collector = std::make_unique<EventCollector>(*cluster.recording_mut(),
                                                  std::move(sinks), copt);
+    if (health_on) {
+      // Observe the observability pipeline itself: ring backlog and how far
+      // the collector trails the producers. All lock-free reads.
+      HealthDomain* dom = health_registry.domain("obs");
+      Recording* rec = cluster.recording_mut();
+      const int n = cfg.n;
+      auto accepted = [rec, n] {
+        uint64_t total = 0;
+        for (int p = 0; p < n; ++p)
+          total += static_cast<uint64_t>(rec->ring(p)->size());
+        return total;
+      };
+      dom->probe_gauge("ring.occupancy", [rec, n] {
+        int64_t total = 0;
+        for (int p = 0; p < n; ++p)
+          total += static_cast<int64_t>(rec->ring(p)->occupancy());
+        return total;
+      });
+      dom->probe_counter("ring.dropped",
+                         [rec] { return rec->total_dropped(); });
+      dom->probe_counter("ring.accepted", accepted);
+      EventCollector* coll = collector.get();
+      dom->probe_counter("collector.collected",
+                         [coll] { return coll->events_collected(); });
+      dom->probe_gauge("collector.lag", [coll, accepted] {
+        uint64_t acc = accepted();
+        uint64_t got = coll->events_collected();
+        return acc > got ? static_cast<int64_t>(acc - got) : 0;
+      });
+    }
     collector->start();
   }
 
@@ -404,6 +508,11 @@ int main(int argc, char** argv) {
   cluster.run_for(load_end * 3);
   cluster.drain();
   cluster.shutdown();  // joins shard workers (no-op on the simulator)
+
+  // Stop the health sampler while the host (whose cells the probes read) is
+  // still alive. In ring mode the collector's close() does this below; the
+  // direct call covers recorder-less runs and is idempotent.
+  if (health_sink != nullptr && collector == nullptr) health_sink->close();
 
   if (collector != nullptr) {
     collector->stop();  // producers quiesced: drains the tail, final tick
@@ -491,13 +600,28 @@ int main(int argc, char** argv) {
               << " (open in ui.perfetto.dev or chrome://tracing)\n";
   }
   if (!a.metrics_out.empty()) {
-    std::ofstream out(a.metrics_out);
-    if (!out) {
-      std::cerr << "error: cannot write " << a.metrics_out << "\n";
+    // Atomic replace (tmp + rename): a concurrent scraper — or the live
+    // snapshot sink's reader — never observes a torn metrics file.
+    std::string werr;
+    bool ok = write_file_atomic(
+        a.metrics_out,
+        [&](std::ostream& out) {
+          write_prometheus_text(cluster.stats(), out);
+          if (health_on)
+            write_health_prometheus(health_registry.sample(0), out);
+        },
+        werr);
+    if (!ok) {
+      std::cerr << "error: " << werr << "\n";
       return 2;
     }
-    write_prometheus_text(cluster.stats(), out);
     std::cout << "wrote " << a.metrics_out << "\n";
+  }
+  if (health_sink != nullptr) {
+    std::cout << "wrote " << a.health_out << " ("
+              << health_sink->sampler().ticks()
+              << " health samples; view: koptlog_top --once " << a.health_out
+              << ")\n";
   }
 
   int rc = 0;
