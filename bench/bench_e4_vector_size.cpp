@@ -56,6 +56,52 @@ void run_table_vs_n(BenchJson& j) {
   j.table("vector size vs N, sparse traffic (Theorem 2 ablation)", t);
 }
 
+// The three wire encodings of the same dependency information, side by
+// side on identical runs: dense (full size-N vector, the Strom–Yemini
+// shape), NULL-omitted (§4.2: ship only non-NULL entries), and
+// sparse-delta (per-channel deltas with varints and full-frame resyncs,
+// wire/delta_codec.h — what the 1k-process runs ship). The delta column is
+// metered passively at the route boundary, so all three describe the exact
+// same message stream.
+void run_table_encodings(BenchJson& j) {
+  Table t({"N", "messages", "dense_B", "null_omit_B", "sparse_delta_B",
+           "delta_vs_dense", "full_frames_pct"});
+  for (int n : {8, 16, 32, 64}) {
+    ScenarioParams p;
+    p.n = n;
+    p.seed = 5;
+    p.protocol = fast_logging(true);
+    p.injections = 4 * n;
+    p.load_end_us = 2'000'000;
+    p.ttl = 6;
+    p.measure_tracking = true;
+    ScenarioResult r = run_scenario(p);
+    const double msgs = static_cast<double>(r.counter("track.msgs"));
+    const double dense_bytes =
+        static_cast<double>(DepVector::kWireHeaderBytes +
+                            static_cast<size_t>(n) * DepVector::kWireEntryBytes);
+    const double delta_bytes =
+        msgs > 0 ? static_cast<double>(r.counter("track.bytes_sent")) / msgs
+                 : 0.0;
+    const double full_pct =
+        msgs > 0
+            ? 100.0 * static_cast<double>(r.counter("track.full_frames")) / msgs
+            : 0.0;
+    t.row()
+        .cell(static_cast<int64_t>(n))
+        .cell(static_cast<int64_t>(msgs))
+        .cell(dense_bytes, 0)
+        .cell(r.hist("msg.vector_bytes").mean(), 1)
+        .cell(delta_bytes, 1)
+        .cell(msgs > 0 ? delta_bytes / dense_bytes : 0.0, 3)
+        .cell(full_pct, 1);
+  }
+  t.print(std::cout,
+          "per-message tracking bytes: dense vs NULL-omitted vs sparse-delta");
+  j.table("per-message tracking bytes: dense vs NULL-omitted vs sparse-delta",
+          t);
+}
+
 void run_table_vs_density(BenchJson& j) {
   Table t({"injections", "tracking", "state_tdv_mean", "sent_vec_mean",
            "sent_vec_p99"});
@@ -117,6 +163,7 @@ int main() {
                "tracking\n\n";
   BenchJson j("e4_vector_size");
   run_table_vs_n(j);
+  run_table_encodings(j);
   run_table_vs_density(j);
   run_table_vs_cadence(j);
   std::cout << "Reading: with Theorem 2 the live entry count tracks the "

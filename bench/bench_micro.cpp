@@ -48,6 +48,26 @@ void BM_DepVectorMergeMax(benchmark::State& state) {
 }
 BENCHMARK(BM_DepVectorMergeMax)->Arg(8)->Arg(64)->Arg(512);
 
+// The sparse-representation payoff, measured not assumed: merge_max cost
+// as a function of the LIVE entry count at fixed system size N=1000. The
+// old dense representation paid O(N) regardless (the Arg(1000) row is the
+// dense-equivalent upper bound, every entry live); the sparse two-pointer
+// merge pays O(nnz), so the nnz=1..16 rows — the K-bounded regime every
+// released message lives in — must sit orders of magnitude below it.
+void BM_DepVectorMergeMaxSparse(benchmark::State& state) {
+  constexpr int n = 1000;
+  const int nnz = static_cast<int>(state.range(0));
+  DepVector a = make_vector(n, nnz, 1);
+  DepVector b = make_vector(n, nnz, 5);
+  for (auto _ : state) {
+    DepVector tmp = a;
+    tmp.merge_max(b);
+    benchmark::DoNotOptimize(tmp);
+  }
+  state.counters["nnz"] = static_cast<double>(a.non_null_count());
+}
+BENCHMARK(BM_DepVectorMergeMaxSparse)->Arg(1)->Arg(4)->Arg(16)->Arg(1000);
+
 void BM_DepVectorNonNullCount(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   DepVector v = make_vector(n, n / 3, 3);

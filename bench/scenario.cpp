@@ -18,6 +18,7 @@ ScenarioResult run_scenario(const ScenarioParams& params) {
   cfg.control_latency.base_us = params.control_base_us;
   cfg.control_latency.jitter_us = params.control_jitter_us;
   cfg.record_events = params.record_events;
+  cfg.measure_tracking = params.measure_tracking;
 
   Cluster::AppFactory factory;
   switch (params.workload) {

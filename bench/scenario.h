@@ -38,6 +38,9 @@ struct ScenarioParams {
   /// Record typed protocol events and return them in ScenarioResult::trace
   /// (feeds the analysis columns: critical path, hold times).
   bool record_events = false;
+  /// Meter the sparse/delta wire encoding at the route boundary (passive;
+  /// fills the track.* counters — see wire::TrackingMeter).
+  bool measure_tracking = false;
 };
 
 struct ScenarioResult {

@@ -32,6 +32,9 @@ Cluster::Cluster(ClusterConfig cfg, const AppFactory& factory,
   if (cfg_.enable_oracle) oracle_ = std::make_unique<Oracle>(cfg_.n);
   if (cfg_.record_events)
     recording_ = std::make_unique<Recording>(cfg_.n, cfg_.recording);
+  if (cfg_.measure_tracking)
+    meter_ = std::make_unique<wire::TrackingMeter>(cfg_.n,
+                                                   cfg_.tracking_channels);
   processes_.reserve(static_cast<size_t>(cfg_.n));
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
     processes_.push_back(engine_factory(pid, cfg_, *this, factory(pid)));
@@ -83,6 +86,16 @@ void Cluster::schedule_checkpoint_round() {
 void Cluster::route_app_msg(AppMsg msg) {
   KOPT_CHECK(msg.to >= 0 && msg.to < cfg_.n);
   size_t bytes = msg.wire_bytes(cfg_.protocol.null_stable_entries);
+  if (meter_) {
+    // Passive: what the delta encoding would have shipped. The latency
+    // charge below still uses the protocol's own wire accounting.
+    int64_t full_before = meter_->full_frames();
+    size_t delta_bytes = meter_->on_route(msg);
+    stats_.inc("track.bytes_sent", static_cast<int64_t>(delta_bytes));
+    stats_.inc("track.nnz", msg.tdv.non_null_count());
+    stats_.inc("track.msgs");
+    if (meter_->full_frames() != full_before) stats_.inc("track.full_frames");
+  }
   ProcessId from = msg.from;
   ProcessId to = msg.to;
   data_net_.send(from, to, bytes, [this, m = std::move(msg)]() mutable {

@@ -25,6 +25,7 @@
 #include "obs/event_recorder.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "wire/delta_codec.h"
 
 namespace koptlog {
 
@@ -105,6 +106,10 @@ class Cluster final : public ClusterApi, public ClusterHost {
   const Recording* recording() const override { return recording_.get(); }
   Recording* recording_mut() override { return recording_.get(); }
 
+  /// Non-null iff cfg.measure_tracking: the passive delta-encoding meter
+  /// fed by route_app_msg (totals also land in stats() as track.*).
+  const wire::TrackingMeter* tracking_meter() const { return meter_.get(); }
+
  private:
   void deliver_control_announcement(ProcessId to, const Announcement& a);
   void schedule_checkpoint_round();
@@ -118,6 +123,7 @@ class Cluster final : public ClusterApi, public ClusterHost {
   Network control_net_;
   std::unique_ptr<Oracle> oracle_;
   std::unique_ptr<Recording> recording_;
+  std::unique_ptr<wire::TrackingMeter> meter_;
   std::vector<std::unique_ptr<RecoveryProcess>> processes_;
   std::vector<CommittedOutput> outputs_;
   std::set<MsgId> committed_ids_;

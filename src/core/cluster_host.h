@@ -34,6 +34,15 @@ struct ClusterConfig {
   bool fifo = false;           ///< FIFO data channels (Strom–Yemini regime)
   bool enable_oracle = true;   ///< ground-truth checking (small runs)
   bool record_events = false;  ///< typed protocol-event recording (src/obs/)
+  /// Meter the per-channel delta encoding of every routed message's
+  /// dependency vector (wire/delta_codec.h): stats-only observation at the
+  /// route boundary — the protocol's own wire accounting, latencies and
+  /// decisions are untouched, so determinism is preserved. Feeds the
+  /// track.* counters and bench E4/E9's sparse-delta bytes column.
+  bool measure_tracking = false;
+  /// Channel-state cap for the meter (LRU basis compaction); per shard on
+  /// the threaded backend.
+  size_t tracking_channels = 4096;
   /// Recorder storage when record_events is set: unbounded vectors for
   /// post-hoc merge (default) or bounded SPSC rings for live streaming
   /// through an EventCollector (obs/collector.h).

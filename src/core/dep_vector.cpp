@@ -1,37 +1,131 @@
 #include "core/dep_vector.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/check.h"
 
 namespace koptlog {
 
-void DepVector::merge_max(const DepVector& other) {
-  KOPT_CHECK(entries_.size() == other.entries_.size());
-  for (size_t j = 0; j < entries_.size(); ++j) {
-    entries_[j] = lex_max(entries_[j], other.entries_[j]);
+const DepVector::Slot* DepVector::find(ProcessId j) const {
+  uint32_t i = lower_bound(j);
+  const Slot* s = slots();
+  return (i < nnz_ && s[i].pid == j) ? &s[i] : nullptr;
+}
+
+uint32_t DepVector::lower_bound(ProcessId j) const {
+  const Slot* s = slots();
+  uint32_t lo = 0, hi = nnz_;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    if (s[mid].pid < j) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void DepVector::spill_to_heap() {
+  heap_.assign(inline_.begin(), inline_.begin() + nnz_);
+  heap_.reserve(static_cast<size_t>(nnz_) * 2);
+  on_heap_ = true;
+}
+
+void DepVector::insert_or_assign(ProcessId j, Entry e) {
+  uint32_t i = lower_bound(j);
+  Slot* s = slots();
+  if (i < nnz_ && s[i].pid == j) {
+    s[i].entry = e;
+    return;
+  }
+  if (!on_heap_ && nnz_ == kInlineSlots) {
+    spill_to_heap();
+  }
+  if (on_heap_) {
+    heap_.insert(heap_.begin() + i, Slot{j, e});
+  } else {
+    for (uint32_t k = nnz_; k > i; --k) inline_[k] = inline_[k - 1];
+    inline_[i] = Slot{j, e};
+  }
+  ++nnz_;
+}
+
+void DepVector::clear(ProcessId j) {
+  uint32_t i = lower_bound(j);
+  Slot* s = slots();
+  if (i >= nnz_ || s[i].pid != j) return;
+  if (on_heap_) {
+    heap_.erase(heap_.begin() + i);
+  } else {
+    for (uint32_t k = i; k + 1 < nnz_; ++k) inline_[k] = inline_[k + 1];
+  }
+  --nnz_;
+}
+
+void DepVector::adopt(std::vector<Slot>&& merged) {
+  nnz_ = static_cast<uint32_t>(merged.size());
+  if (merged.size() <= kInlineSlots) {
+    std::copy(merged.begin(), merged.end(), inline_.begin());
+    on_heap_ = false;
+    heap_.clear();
+  } else {
+    heap_ = std::move(merged);
+    on_heap_ = true;
   }
 }
 
-int DepVector::non_null_count() const {
-  int n = 0;
-  for (const auto& e : entries_)
-    if (e) ++n;
-  return n;
+bool DepVector::try_merge_max(const DepVector& other) {
+  if (n_ != other.n_) return false;
+  if (other.nnz_ == 0) return true;
+  // Sorted two-pointer merge: NULL (absent) loses to any entry, so every
+  // slot present on either side survives; a pid present on both keeps the
+  // lexicographic max.
+  std::vector<Slot> merged;
+  merged.reserve(static_cast<size_t>(nnz_) + other.nnz_);
+  const Slot* a = slots();
+  const Slot* b = other.slots();
+  uint32_t i = 0, k = 0;
+  while (i < nnz_ && k < other.nnz_) {
+    if (a[i].pid < b[k].pid) {
+      merged.push_back(a[i++]);
+    } else if (b[k].pid < a[i].pid) {
+      merged.push_back(b[k++]);
+    } else {
+      merged.push_back(Slot{a[i].pid, std::max(a[i].entry, b[k].entry)});
+      ++i;
+      ++k;
+    }
+  }
+  while (i < nnz_) merged.push_back(a[i++]);
+  while (k < other.nnz_) merged.push_back(b[k++]);
+  adopt(std::move(merged));
+  return true;
+}
+
+void DepVector::merge_max(const DepVector& other) {
+  KOPT_CHECK(try_merge_max(other));
 }
 
 std::string DepVector::str() const {
   std::ostringstream os;
   os << '{';
   bool first = true;
-  for (size_t j = 0; j < entries_.size(); ++j) {
-    if (!entries_[j]) continue;
+  for_each([&](ProcessId j, const Entry& e) {
     if (!first) os << ", ";
     first = false;
-    os << entries_[j]->str() << '_' << j;
-  }
+    os << e.str() << '_' << j;
+  });
   os << '}';
   return os.str();
+}
+
+bool operator==(const DepVector& a, const DepVector& b) {
+  if (a.n_ != b.n_ || a.nnz_ != b.nnz_) return false;
+  const DepVector::Slot* sa = a.slots();
+  const DepVector::Slot* sb = b.slots();
+  return std::equal(sa, sa + a.nnz_, sb);
 }
 
 }  // namespace koptlog

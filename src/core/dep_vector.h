@@ -4,8 +4,19 @@
 // number of non-NULL entries is exactly the number of processes whose
 // failure could revoke a message carrying the vector (Theorem 4), and the
 // protocol's K bounds it at release time.
+//
+// Representation: §4.2's NULL-omission taken to its conclusion — only the
+// non-NULL entries are stored, as a pid-sorted sparse array with
+// small-vector inline storage (no heap allocation up to kInlineSlots
+// entries, which covers the common K-bounded case). Every operation the
+// protocol runs per message — merge_max, non_null_count, orphan/stability
+// scans via for_each — is O(nnz), independent of the system size N, which
+// is what lets the cluster axis scale to thousands of processes. Point
+// lookups (at/set/clear) are O(log nnz) binary searches. The logical size
+// N is kept only for wire accounting and index validation.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -16,20 +27,81 @@ namespace koptlog {
 
 class DepVector {
  public:
+  /// One stored (necessarily non-NULL) entry: dependency on interval
+  /// (entry.inc, entry.sii) of process `pid`.
+  struct Slot {
+    ProcessId pid = 0;
+    Entry entry;
+
+    friend bool operator==(const Slot&, const Slot&) = default;
+  };
+
+  /// Inline capacity: vectors with at most this many live entries never
+  /// touch the heap. Sized for the protocol's sweet spot — K bounds the
+  /// live count of every released message, and K is small.
+  static constexpr int kInlineSlots = 8;
+
   DepVector() = default;
-  explicit DepVector(int n) : entries_(static_cast<size_t>(n)) {}
+  explicit DepVector(int n) : n_(n) {}
 
-  int size() const { return static_cast<int>(entries_.size()); }
+  DepVector(const DepVector&) = default;
+  DepVector(DepVector&&) noexcept = default;
+  DepVector& operator=(const DepVector&) = default;
+  DepVector& operator=(DepVector&&) noexcept = default;
 
-  const OptEntry& at(ProcessId j) const { return entries_[static_cast<size_t>(j)]; }
-  void set(ProcessId j, OptEntry e) { entries_[static_cast<size_t>(j)] = e; }
-  void clear(ProcessId j) { entries_[static_cast<size_t>(j)].reset(); }
+  /// Logical size N (the paper's system size), NOT the live entry count.
+  int size() const { return n_; }
 
-  /// Deliver_message: tdv[j] = max(tdv[j], m.tdv[j]) for all j.
+  /// Entry for process j, NULL when absent. O(log nnz). Out-of-range j is
+  /// simply NULL (the sparse form has no slot to overrun).
+  OptEntry at(ProcessId j) const {
+    const Slot* s = find(j);
+    return s != nullptr ? OptEntry{s->entry} : OptEntry{};
+  }
+
+  void set(ProcessId j, OptEntry e) {
+    if (e) {
+      insert_or_assign(j, *e);
+    } else {
+      clear(j);
+    }
+  }
+  void clear(ProcessId j);
+
+  /// Deliver_message: tdv[j] = max(tdv[j], m.tdv[j]) for all j — realized
+  /// as an O(nnz_a + nnz_b) sorted two-pointer merge over the non-NULL
+  /// entries (NULL is the lexicographic minimum, so absent slots never
+  /// win). Aborts on mismatched logical sizes; see try_merge_max for the
+  /// wire-facing variant.
   void merge_max(const DepVector& other);
 
-  int non_null_count() const;
-  bool all_null() const { return non_null_count() == 0; }
+  /// merge_max with a typed error instead of an abort: returns false and
+  /// leaves *this untouched when the logical sizes differ — the shape a
+  /// hostile or mis-framed wire vector shows up as. Internal callers keep
+  /// merge_max (a size mismatch there is a program bug).
+  [[nodiscard]] bool try_merge_max(const DepVector& other);
+
+  int non_null_count() const { return static_cast<int>(nnz_); }
+  bool all_null() const { return nnz_ == 0; }
+
+  /// Iterate the non-NULL entries in ascending pid order: fn(pid, entry).
+  /// O(nnz) — the replacement for dense index loops on every hot path.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const Slot* s = slots();
+    for (uint32_t i = 0; i < nnz_; ++i) fn(s[i].pid, s[i].entry);
+  }
+
+  /// True when fn(pid, entry) holds for some non-NULL entry; stops at the
+  /// first hit. O(nnz) worst case — the orphan/deliverability predicates.
+  template <typename Fn>
+  bool any_of(Fn&& fn) const {
+    const Slot* s = slots();
+    for (uint32_t i = 0; i < nnz_; ++i) {
+      if (fn(s[i].pid, s[i].entry)) return true;
+    }
+    return false;
+  }
 
   /// Serialized size with NULL omission: a small header plus one
   /// (pid, inc, sii) triple per non-NULL entry. This is the piggyback cost
@@ -37,25 +109,46 @@ class DepVector {
   /// message indicates the number of processes whose failures may revoke
   /// the message").
   size_t wire_bytes() const {
-    return kWireHeaderBytes +
-           static_cast<size_t>(non_null_count()) * kWireEntryBytes;
+    return kWireHeaderBytes + static_cast<size_t>(nnz_) * kWireEntryBytes;
   }
 
   /// Serialized size without NULL omission (full size-N vector), for the
   /// Theorem-2 ablation and the Strom–Yemini baseline.
   size_t wire_bytes_full() const {
-    return kWireHeaderBytes + entries_.size() * kWireEntryBytes;
+    return kWireHeaderBytes + static_cast<size_t>(n_) * kWireEntryBytes;
   }
 
   std::string str() const;
 
-  friend bool operator==(const DepVector&, const DepVector&) = default;
+  /// Logical equality: same N, same non-NULL entries. (Member-wise default
+  /// would compare dead inline slots and inline-vs-heap placement.)
+  friend bool operator==(const DepVector& a, const DepVector& b);
 
   static constexpr size_t kWireHeaderBytes = 2;
   static constexpr size_t kWireEntryBytes = 2 + 4 + 8;  // pid, inc, sii
 
  private:
-  std::vector<OptEntry> entries_;
+  const Slot* slots() const {
+    return on_heap_ ? heap_.data() : inline_.data();
+  }
+  Slot* slots() { return on_heap_ ? heap_.data() : inline_.data(); }
+
+  /// Slot for pid j, or nullptr. Binary search over the sorted slots.
+  const Slot* find(ProcessId j) const;
+  /// Index of the first slot with pid >= j (== nnz_ when none).
+  uint32_t lower_bound(ProcessId j) const;
+
+  void insert_or_assign(ProcessId j, Entry e);
+  /// Move inline slots to the heap so a 9th entry fits.
+  void spill_to_heap();
+  /// Replace the whole slot array (merge_max result); `merged` is sorted.
+  void adopt(std::vector<Slot>&& merged);
+
+  int n_ = 0;
+  uint32_t nnz_ = 0;
+  bool on_heap_ = false;
+  std::array<Slot, kInlineSlots> inline_{};
+  std::vector<Slot> heap_;
 };
 
 }  // namespace koptlog

@@ -1,5 +1,6 @@
 #include "core/interval_table.h"
 
+#include <limits>
 #include <sstream>
 
 namespace koptlog {
@@ -25,6 +26,25 @@ bool EntrySet::orphans(Entry dep) const {
     if (it->second < dep.sii) return true;
   }
   return false;
+}
+
+size_t EntrySet::compact_dominated() {
+  // Walk incarnations from highest to lowest tracking the smallest sii seen
+  // so far; an entry survives only if it ends strictly earlier than every
+  // later incarnation (those are the entries that can convict orphans the
+  // later ones cannot).
+  size_t removed = 0;
+  Sii min_sii = std::numeric_limits<Sii>::max();
+  for (auto it = by_inc_.rbegin(); it != by_inc_.rend();) {
+    if (it->second >= min_sii) {
+      it = decltype(it){by_inc_.erase(std::next(it).base())};
+      ++removed;
+    } else {
+      min_sii = it->second;
+      ++it;
+    }
+  }
+  return removed;
 }
 
 std::optional<Incarnation> EntrySet::max_incarnation() const {

@@ -41,6 +41,16 @@ class EntrySet {
   /// announcement of incarnation t-1 yet").
   std::optional<Incarnation> max_incarnation() const;
 
+  /// Drop every entry (s0,x0) dominated by a later incarnation's entry
+  /// (s1,x1) with s1 > s0 and x1 <= x0: any dependency (t,x) the dropped
+  /// entry would convict as an orphan (s0 >= t, x0 < x) is also convicted
+  /// by the dominating one (s1 > s0 >= t, x1 <= x0 < x), so orphans() is
+  /// unchanged — it is the IET's only query under Corollary 1 delivery.
+  /// NOT safe for tables read through index_of/covers (the Strom–Yemini
+  /// coupling, the log table): those need exact per-incarnation history.
+  /// Returns the number of entries removed.
+  size_t compact_dominated();
+
   const std::map<Incarnation, Sii>& entries() const { return by_inc_; }
 
   std::string str() const;

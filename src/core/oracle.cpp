@@ -162,9 +162,8 @@ void Oracle::on_msg_released(const AppMsg& m, int non_null, int k,
   r.born_of = m.born_of;
   r.k = k;
   r.when = when;
-  for (ProcessId j = 0; j < m.tdv.size(); ++j) {
-    if (m.tdv.at(j)) r.non_null_pids.push_back(j);
-  }
+  m.tdv.for_each(
+      [&](ProcessId j, const Entry&) { r.non_null_pids.push_back(j); });
   releases_.push_back(std::move(r));
 }
 

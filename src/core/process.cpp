@@ -133,11 +133,8 @@ void Process::output(const AppPayload& payload) {
 // ---------------------------------------------------------------------------
 
 bool Process::orphan_vec(const DepVector& v) const {
-  for (ProcessId j = 0; j < n_; ++j) {
-    const OptEntry& e = v.at(j);
-    if (e && iet_.of(j).orphans(*e)) return true;
-  }
-  return false;
+  return v.any_of(
+      [&](ProcessId j, const Entry& e) { return iet_.of(j).orphans(e); });
 }
 
 bool Process::deliverable(const AppMsg& m) const {
@@ -146,16 +143,14 @@ bool Process::deliverable(const AppMsg& m) const {
   // depending on two incarnations of the same process unless the smaller
   // entry is known stable (Corollary 1). A NULL on either side means no
   // conflict — in particular a message from a new incarnation is delivered
-  // without any wait when we hold no entry for that process at all.
-  for (ProcessId j = 0; j < n_; ++j) {
-    const OptEntry& ours = tdv_.at(j);
-    const OptEntry& theirs = m.tdv.at(j);
-    if (!ours || !theirs) continue;
-    if (ours->inc == theirs->inc) continue;
-    const Entry& smaller = *lex_min(ours, theirs);
-    if (!log_.of(j).covers(smaller)) return false;
-  }
-  return true;
+  // without any wait when we hold no entry for that process at all. Only
+  // the message's non-NULL entries can conflict, so the scan is O(nnz).
+  return !m.tdv.any_of([&](ProcessId j, const Entry& theirs) {
+    OptEntry ours = tdv_.at(j);
+    if (!ours || ours->inc == theirs.inc) return false;
+    const Entry& smaller = std::min(*ours, theirs);
+    return !log_.of(j).covers(smaller);
+  });
 }
 
 bool Process::sy_deliverable(const AppMsg& m) const {
@@ -163,15 +158,14 @@ bool Process::sy_deliverable(const AppMsg& m) const {
   // t of P_j requires having received the rollback announcements for every
   // incarnation of P_j before t (so the lexicographic-max overwrite is
   // known safe). Assumes every rollback is announced and FIFO channels.
-  for (ProcessId j = 0; j < n_; ++j) {
-    const OptEntry& theirs = m.tdv.at(j);
-    if (!theirs) continue;
-    Incarnation from = tdv_.at(j) ? tdv_.at(j)->inc : 0;
-    for (Incarnation s = from; s < theirs->inc; ++s) {
-      if (!iet_.of(j).index_of(s)) return false;
+  return !m.tdv.any_of([&](ProcessId j, const Entry& theirs) {
+    OptEntry ours = tdv_.at(j);
+    Incarnation from = ours ? ours->inc : 0;
+    for (Incarnation s = from; s < theirs.inc; ++s) {
+      if (!iet_.of(j).index_of(s)) return true;
     }
-  }
-  return true;
+    return false;
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -287,13 +281,16 @@ void Process::run_app_handler(ProcessId from, const AppPayload& payload) {
 // ---------------------------------------------------------------------------
 
 void Process::null_stable_entries(DepVector& v) {
-  for (ProcessId j = 0; j < n_; ++j) {
-    const OptEntry& e = v.at(j);
-    if (e && log_.of(j).covers(*e)) {
-      if (Oracle* orc = oracle())
-        orc->on_entry_nulled(pid_, j, *e, api_.scheduler().now());
-      v.clear(j);
-    }
+  // Collect first (clearing mid-iteration would invalidate the sparse
+  // walk); the common case finds nothing and allocates nothing.
+  std::vector<std::pair<ProcessId, Entry>> stable;
+  v.for_each([&](ProcessId j, const Entry& e) {
+    if (log_.of(j).covers(e)) stable.emplace_back(j, e);
+  });
+  for (const auto& [j, e] : stable) {
+    if (Oracle* orc = oracle())
+      orc->on_entry_nulled(pid_, j, e, api_.scheduler().now());
+    v.clear(j);
   }
 }
 
@@ -428,12 +425,16 @@ void Process::garbage_collect() {
   // (lost) interval, and this checkpoint holds none. Rollback/restart will
   // therefore never need anything older than it.
   replay_.garbage_collect([&](const Checkpoint& cp) {
-    for (ProcessId j = 0; j < n_; ++j) {
-      const OptEntry& e = cp.tdv.at(j);
-      if (e && !log_.of(j).covers(*e)) return false;
-    }
-    return true;
+    return !cp.tdv.any_of(
+        [&](ProcessId j, const Entry& e) { return !log_.of(j).covers(e); });
   });
+  // The iet grows one entry per announced incarnation forever; fold away
+  // the dominated ones while we are already collecting garbage (safe only
+  // under Corollary 1 — the Strom–Yemini coupling reads exact
+  // per-incarnation history via index_of, see EntrySet::compact_dominated).
+  if (cfg_.cor1_fast_delivery) {
+    for (ProcessId j = 0; j < n_; ++j) iet_.of(j).compact_dominated();
+  }
 }
 
 void Process::note_own_stable(Entry watermark) {

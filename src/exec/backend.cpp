@@ -42,6 +42,7 @@ std::unique_ptr<ClusterHost> make_backend_host(
     topt.mailbox = opt.mailbox == "mutex" ? MailboxPolicy::kMutex
                                           : MailboxPolicy::kBatched;
     topt.mailbox_capacity = opt.mailbox_capacity;
+    topt.announce_fanout = opt.announce_fanout;
     topt.health = opt.health;
     return std::make_unique<ThreadedCluster>(cfg, topt, app, engine_factory);
   }

@@ -42,6 +42,10 @@ struct BackendOptions {
   /// Threaded backend only: per-shard occupancy bound (0 = unbounded).
   /// Driver-side injections block while a shard is at capacity.
   size_t mailbox_capacity = 0;
+  /// Threaded backend only: announcement dissemination — 0 = flat
+  /// per-shard fan-out, D >= 1 = D-ary tree over the shards (the origin
+  /// sends O(D) hop messages instead of O(shards)).
+  int announce_fanout = 0;
   /// Optional runtime health telemetry (obs/health); must outlive the
   /// host. The sim backend ignores it — its single thread has nothing the
   /// sampler could race, and determinism goldens must not move.

@@ -36,7 +36,12 @@ ThreadedCluster::ShardApi::ShardApi(ThreadedCluster& host, ProcessId pid)
                     .fork("p" + std::to_string(pid))),
       control_rng_(Rng(host.cfg_.seed)
                        .fork("control-net")
-                       .fork("p" + std::to_string(pid))) {}
+                       .fork("p" + std::to_string(pid))) {
+  if (host.cfg_.measure_tracking) {
+    meter_ = std::make_unique<wire::TrackingMeter>(host.cfg_.n,
+                                                   host.cfg_.tracking_channels);
+  }
+}
 
 Scheduler& ThreadedCluster::ShardApi::scheduler() {
   return host_.shard_of(pid_);
@@ -68,6 +73,18 @@ SimTime ThreadedCluster::ShardApi::data_arrival(ProcessId to, size_t bytes) {
 void ThreadedCluster::ShardApi::route_app_msg(AppMsg msg) {
   KOPT_CHECK(msg.to >= 0 && msg.to < host_.cfg_.n);
   size_t bytes = msg.wire_bytes(host_.cfg_.protocol.null_stable_entries);
+  if (meter_) {
+    // Passive: what the delta encoding would have shipped; the latency
+    // charge below still uses the protocol's own wire accounting.
+    size_t delta_bytes = meter_->on_route(msg);
+    int nnz = msg.tdv.non_null_count();
+    stats_.inc("track.bytes_sent", static_cast<int64_t>(delta_bytes));
+    stats_.inc("track.nnz", nnz);
+    stats_.inc("track.msgs");
+    if (host_.h_track_bytes_ != nullptr) host_.h_track_bytes_->inc(delta_bytes);
+    if (host_.h_track_nnz_ != nullptr)
+      host_.h_track_nnz_->inc(static_cast<uint64_t>(nnz));
+  }
   host_.deliver_app_at(data_arrival(msg.to, bytes), std::move(msg));
 }
 
@@ -79,9 +96,21 @@ void ThreadedCluster::ShardApi::broadcast_announcement(const Announcement& a) {
   host_.announce_log_.append(a);
   ThreadedCluster& host = host_;
   if (host.h_fanout_ != nullptr) host.h_fanout_->inc();
-  // One job per destination *shard* (a multicast hop: one control-latency
-  // sample and one mailbox push each), not one per process; the job applies
-  // the announcement to every local process on its own thread.
+  if (host.opt_.announce_fanout >= 1 && host.shards() > 1) {
+    // Tree dissemination: deliver to this shard's own processes right here
+    // (we are on the origin shard's worker thread — position 0 of the
+    // tree), then forward to at most D child shards. Each child delivers
+    // locally and forwards onward, so the origin's cost is O(D) instead of
+    // O(S).
+    int origin_shard = host.shard_of_pid(pid_);
+    host.deliver_announcement_local(origin_shard, a);
+    host.forward_announcement_tree(origin_shard, 0, a);
+    return;
+  }
+  // Flat fan-out: one job per destination *shard* (a multicast hop: one
+  // control-latency sample and one mailbox push each), not one per
+  // process; the job applies the announcement to every local process on
+  // its own thread.
   for (int s = 0; s < host.shards(); ++s) {
     auto [lo, hi] = host.shard_pids_[static_cast<size_t>(s)];
     if (lo >= hi || (hi - lo == 1 && lo == a.from)) continue;
@@ -95,6 +124,36 @@ void ThreadedCluster::ShardApi::broadcast_announcement(const Announcement& a) {
             if (!p.alive()) continue;  // restart catch-up replays the log
             p.executor().submit([&p, a] { p.handle_announcement(a); });
           }
+        });
+  }
+}
+
+void ThreadedCluster::deliver_announcement_local(int shard,
+                                                 const Announcement& a) {
+  auto [lo, hi] = shard_pids_[static_cast<size_t>(shard)];
+  for (ProcessId to = lo; to < hi; ++to) {
+    if (to == a.from) continue;
+    RecoveryProcess& p = *slot(to).engine;
+    if (!p.alive()) continue;  // restart catch-up replays the log
+    p.executor().submit([&p, a] { p.handle_announcement(a); });
+  }
+}
+
+void ThreadedCluster::forward_announcement_tree(int origin_shard, int position,
+                                                const Announcement& a) {
+  const int S = shards();
+  const int D = opt_.announce_fanout;
+  const int me = (origin_shard + position) % S;
+  Rng& rng = shard_forward_rngs_[static_cast<size_t>(me)];
+  for (int c = position * D + 1; c <= position * D + D && c < S; ++c) {
+    const int child = (origin_shard + c) % S;
+    SimTime lat = cfg_.control_latency.sample(rng, Announcement::kWireBytes);
+    tree_hops_.fetch_add(1, std::memory_order_relaxed);
+    if (h_tree_hops_ != nullptr) h_tree_hops_->inc();
+    shards_[static_cast<size_t>(child)]->schedule_at(
+        clock_.now() + lat, [this, origin_shard, c, child, a] {
+          deliver_announcement_local(child, a);
+          forward_announcement_tree(origin_shard, c, a);
         });
   }
 }
@@ -211,6 +270,14 @@ ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
         clock_, "shard-" + std::to_string(s), opt_.mailbox,
         opt_.mailbox_capacity));
   }
+  KOPT_CHECK_MSG(opt_.announce_fanout >= 0,
+                 "announce_fanout must be >= 0 (0 = flat fan-out)");
+  shard_forward_rngs_.reserve(static_cast<size_t>(opt_.shards));
+  for (int s = 0; s < opt_.shards; ++s) {
+    shard_forward_rngs_.push_back(Rng(cfg_.seed)
+                                      .fork("announce-tree")
+                                      .fork("s" + std::to_string(s)));
+  }
   shard_pids_.assign(static_cast<size_t>(opt_.shards),
                      {cfg_.n, 0});  // empty until a pid lands in the shard
   for (ProcessId pid = 0; pid < cfg_.n; ++pid) {
@@ -225,6 +292,11 @@ ThreadedCluster::ThreadedCluster(ClusterConfig cfg, ThreadedOptions opt,
     }
     HealthDomain* dom = opt_.health->domain("cluster");
     h_fanout_ = dom->counter("announce.fanout_batches");
+    h_tree_hops_ = dom->counter("announce.tree_hops");
+    if (cfg_.measure_tracking) {
+      h_track_bytes_ = dom->counter("track.bytes_sent");
+      h_track_nnz_ = dom->counter("track.nnz");
+    }
     // announce_log_.size() and the commit counter are lock-free reads.
     dom->probe_counter("announce.log_size", [this] {
       return static_cast<uint64_t>(announce_log_.size());
@@ -523,6 +595,9 @@ void ThreadedCluster::shutdown() {
   }
   merged_stats_.inc("mailbox.max_occupancy", max_occupancy);
   merged_stats_.inc("mailbox.max_drain_batch", max_drain_batch);
+  merged_stats_.inc(
+      "announce.tree_hops",
+      static_cast<int64_t>(tree_hops_.load(std::memory_order_relaxed)));
 }
 
 SimTime ThreadedCluster::now_us() const {

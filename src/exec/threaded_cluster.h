@@ -36,6 +36,7 @@
 #include "exec/announcement_log.h"
 #include "exec/threaded_scheduler.h"
 #include "obs/event_recorder.h"
+#include "wire/delta_codec.h"
 
 namespace koptlog {
 
@@ -62,6 +63,16 @@ struct ThreadedOptions {
   /// commits). Must outlive the cluster; null = zero instrumentation cost
   /// beyond one pointer test per executed event.
   HealthRegistry* health = nullptr;
+  /// Announcement dissemination shape. 0 (default) = the flat fan-out: the
+  /// origin schedules one delivery job per destination shard, O(S)
+  /// messages from one process. D >= 1 = a D-ary dissemination tree over
+  /// the shards rooted at the origin's shard: each shard delivers locally
+  /// and forwards the announcement to at most D child shards, so the
+  /// origin sends O(D) messages and the announcement reaches every shard
+  /// in ceil(log_D(S)) hops. Restart catch-up is unaffected: the
+  /// announcement is appended to the reliable log before the first hop,
+  /// and re-delivery is idempotent (receiver journal).
+  int announce_fanout = 0;
 };
 
 class ThreadedCluster final : public ClusterHost {
@@ -170,6 +181,9 @@ class ThreadedCluster final : public ClusterHost {
     Rng control_rng_;
     Stats stats_;
     std::map<ProcessId, SimTime> last_data_arrival_;
+    /// Per-sender passive delta-encoding meter (cfg.measure_tracking);
+    /// shard-confined like everything else in this api.
+    std::unique_ptr<wire::TrackingMeter> meter_;
   };
 
   struct Slot {
@@ -195,6 +209,18 @@ class ThreadedCluster final : public ClusterHost {
   void deliver_app_at(SimTime t, AppMsg msg);
   void schedule_checkpoint_round();
 
+  /// Hand `a` to every live process hosted on `shard` except its origin.
+  /// Must run on that shard's worker thread.
+  void deliver_announcement_local(int shard, const Announcement& a);
+  /// Tree dissemination (opt_.announce_fanout >= 1): forward `a` to the
+  /// children of tree position `position`. Positions are relative to the
+  /// origin shard (position p lives on shard (origin_shard + p) % S), so
+  /// every origin gets a balanced tree without coordination. Runs on
+  /// position's shard thread; samples hop latencies from that shard's
+  /// private forwarding rng.
+  void forward_announcement_tree(int origin_shard, int position,
+                                 const Announcement& a);
+
   /// Run `fn(engine)` for every process on its owning shard thread; blocks
   /// until all have run. The only race-free way for the driver to inspect
   /// engine state while workers live.
@@ -218,6 +244,10 @@ class ThreadedCluster final : public ClusterHost {
   Tracer tracer_;  ///< never given a sink: shard-shared, so reads only
 
   AnnouncementLog announce_log_;
+  /// One forwarding rng per shard, touched only by that shard's worker
+  /// (the origin hop runs on the origin process's shard thread).
+  std::vector<Rng> shard_forward_rngs_;
+  std::atomic<uint64_t> tree_hops_{0};
 
   std::mutex outputs_mu_;
   std::vector<CommittedOutput> outputs_;
@@ -225,9 +255,12 @@ class ThreadedCluster final : public ClusterHost {
 
   std::atomic<SeqNo> env_seq_{0};
   std::atomic<uint64_t> committed_count_{0};  ///< health probe feed
-  /// Health cell for announcement fan-out; set once in the ctor when
-  /// opt_.health != nullptr, read by shard threads thereafter.
+  /// Health cells; set once in the ctor when opt_.health != nullptr, read
+  /// by shard threads thereafter.
   HealthCounter* h_fanout_ = nullptr;
+  HealthCounter* h_tree_hops_ = nullptr;
+  HealthCounter* h_track_bytes_ = nullptr;
+  HealthCounter* h_track_nnz_ = nullptr;
   std::atomic<bool> draining_{false};
   bool started_ = false;
   bool stopped_ = false;

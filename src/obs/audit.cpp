@@ -189,16 +189,15 @@ AuditReport audit_trace(const Trace& trace) {
         // name a dead interval even if that interval never shows up in the
         // reconstructed graph (e.g. a truncated trace missing its deliver).
         // Pass 3's closure subsumes this on complete traces.
-        for (ProcessId j = 0; j < e.tdv.size(); ++j) {
-          const OptEntry& d = e.tdv.at(j);
-          if (d && is_dead(IntervalId{j, d->inc, d->sii})) {
+        e.tdv.for_each([&](ProcessId j, const Entry& d) {
+          if (is_dead(IntervalId{j, d.inc, d.sii})) {
             violate(e.t, e.pid,
                     "output " + std::to_string(e.msg.src) + ":" +
                         std::to_string(e.msg.seq) +
                         " committed with dead dependency " +
-                        interval_str(IntervalId{j, d->inc, d->sii}));
+                        interval_str(IntervalId{j, d.inc, d.sii}));
           }
-        }
+        });
         break;
       }
       case EventKind::kRecorderDrop:

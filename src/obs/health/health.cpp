@@ -182,10 +182,18 @@ const std::vector<HealthMetricInfo>& health_metric_catalog() {
       // Announcement fan-out (domain "cluster").
       {"cluster", "announce.fanout_batches", "counter",
        "announcement broadcasts fanned out to shards"},
+      {"cluster", "announce.tree_hops", "counter",
+       "shard-to-shard forwarding hops taken by tree dissemination"},
       {"cluster", "announce.log_size", "counter",
        "announcements appended to the shared log (probe)"},
       {"cluster", "outputs.committed", "counter",
        "outputs released by the commit oracle (probe)"},
+      {"cluster", "track.bytes_sent", "counter",
+       "delta-encoded dependency-tracking bytes metered at the route "
+       "boundary (measure_tracking)"},
+      {"cluster", "track.nnz", "counter",
+       "non-NULL dependency entries across metered messages "
+       "(measure_tracking)"},
       // Disk storage backend (domain "storage<p>").
       {"storage<p>", "wal.fsync_us", "histogram",
        "wall time of each WAL write+fsync"},

@@ -205,10 +205,8 @@ void LiveAudit::on_event(const ProtocolEvent& e) {
       distinct_outputs_.insert(e.msg);
       // Announce-then-commit direction: the recorded vector against the
       // announcements seen so far...
-      for (ProcessId j = 0; j < e.tdv.size(); ++j) {
-        const OptEntry& d = e.tdv.at(j);
-        if (!d) continue;
-        IntervalId iv{j, d->inc, d->sii};
+      e.tdv.for_each([&](ProcessId j, const Entry& d) {
+        IntervalId iv{j, d.inc, d.sii};
         if (is_dead_locked(iv)) {
           violate(e, "output " + msg_str(e.msg) +
                          " committed with dead dependency " + interval_str(iv));
@@ -216,7 +214,7 @@ void LiveAudit::on_event(const ProtocolEvent& e) {
         // ...and the watermark so a later announcement can convict this
         // commit even if iv never appears in the reconstructed graph.
         watermark_locked(iv, format_live_event_id(e));
-      }
+      });
       // Transitive closure from the committing interval, shared via folded_.
       fold_locked(e, e.ref, format_live_event_id(e));
       break;

@@ -46,19 +46,17 @@ namespace {
 void append_tdv(std::string& out, const DepVector& tdv) {
   out += ",\"tdv\":[";
   bool first = true;
-  for (ProcessId j = 0; j < tdv.size(); ++j) {
-    const OptEntry& e = tdv.at(j);
-    if (!e) continue;
+  tdv.for_each([&](ProcessId j, const Entry& e) {
     if (!first) out += ',';
     first = false;
     out += '[';
     out += std::to_string(j);
     out += ',';
-    out += std::to_string(e->inc);
+    out += std::to_string(e.inc);
     out += ',';
-    out += std::to_string(e->sii);
+    out += std::to_string(e.sii);
     out += ']';
-  }
+  });
   out += ']';
 }
 

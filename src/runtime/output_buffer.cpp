@@ -13,16 +13,20 @@ void OutputBuffer::check(
   kept.reserve(items_.size());
   for (OutputRecord& rec : items_) {
     bool ready = true;
-    for (ProcessId j = 0; j < rt_.n; ++j) {
-      const OptEntry& e = rec.tdv.at(j);
-      if (!e) continue;
-      if (!stable(j, *e)) {
+    // Collect the stable entries first: clear() mid-walk would invalidate
+    // the sparse iteration.
+    std::vector<std::pair<ProcessId, Entry>> now_stable;
+    rec.tdv.for_each([&](ProcessId j, const Entry& e) {
+      if (stable(j, e)) {
+        now_stable.emplace_back(j, e);
+      } else {
         ready = false;
-        continue;
       }
-      if (null_stable_entries_) {
+    });
+    if (null_stable_entries_) {
+      for (const auto& [j, e] : now_stable) {
         if (Oracle* orc = rt_.oracle())
-          orc->on_entry_nulled(rt_.pid, j, *e, rt_.now());
+          orc->on_entry_nulled(rt_.pid, j, e, rt_.now());
         rec.tdv.clear(j);
       }
     }

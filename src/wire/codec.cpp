@@ -21,6 +21,31 @@ void Encoder::u64(uint64_t v) {
   for (int i = 0; i < 8; ++i) out_.push_back(static_cast<uint8_t>(v >> (8 * i)));
 }
 
+void Encoder::varu(uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_.push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t Decoder::varu() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    uint8_t b = u8();
+    if (failed_) return 0;
+    // The 10th byte may only carry the 64th bit.
+    if (shift == 63 && (b & 0xFE) != 0) {
+      failed_ = true;
+      return 0;
+    }
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  failed_ = true;  // continuation bit on the 10th byte: overlong
+  return 0;
+}
+
 bool Decoder::take(size_t n) {
   if (failed_ || pos_ + n > in_.size()) {
     failed_ = true;
@@ -66,12 +91,11 @@ namespace {
 void encode_vector(Encoder& e, const DepVector& v, bool null_omission) {
   if (null_omission) {
     e.u16(static_cast<uint16_t>(v.non_null_count()));
-    for (ProcessId j = 0; j < v.size(); ++j) {
-      if (!v.at(j)) continue;
+    v.for_each([&](ProcessId j, const Entry& ent) {
       e.u16(static_cast<uint16_t>(j));
-      e.i32(v.at(j)->inc);
-      e.i64(v.at(j)->sii);
-    }
+      e.i32(ent.inc);
+      e.i64(ent.sii);
+    });
   } else {
     // The Strom-Yemini baseline ships the full size-N vector; NULL slots
     // travel as (-1,-1).

@@ -30,6 +30,16 @@ class Encoder {
   void i32(int32_t v) { u32(static_cast<uint32_t>(v)); }
   void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
 
+  /// LEB128 unsigned varint: 1 byte up to 127, 2 up to 16383, ... — the
+  /// delta frames' workhorse (pids and LSNs are small in practice).
+  void varu(uint64_t v);
+  /// Zigzag-mapped signed varint (small magnitudes of either sign stay
+  /// short).
+  void vari(int64_t v) {
+    varu((static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63));
+  }
+
   const std::vector<uint8_t>& bytes() const { return out_; }
   std::vector<uint8_t> take() { return std::move(out_); }
   size_t size() const { return out_.size(); }
@@ -48,6 +58,14 @@ class Decoder {
   uint64_t u64();
   int32_t i32() { return static_cast<int32_t>(u32()); }
   int64_t i64() { return static_cast<int64_t>(u64()); }
+
+  /// LEB128 unsigned varint. Overlong encodings (more than 10 bytes, or
+  /// bits beyond the 64th) fail the stream like a truncation would.
+  uint64_t varu();
+  int64_t vari() {
+    uint64_t z = varu();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
 
   /// True once any read ran past the end (all subsequent reads return 0).
   bool failed() const { return failed_; }

@@ -1,0 +1,203 @@
+#include "wire/delta_codec.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace koptlog::wire {
+
+namespace {
+
+// Shared entry-payload validation: varint inc/sii must fit their in-memory
+// types and be non-negative (a stored entry is never NULL on the wire).
+bool decode_entry_payload(Decoder& d, Entry& out) {
+  uint64_t inc = d.varu();
+  uint64_t sii = d.varu();
+  if (d.failed()) return false;
+  if (inc > static_cast<uint64_t>(std::numeric_limits<int32_t>::max()))
+    return false;
+  if (sii > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()))
+    return false;
+  out.inc = static_cast<Incarnation>(inc);
+  out.sii = static_cast<Sii>(sii);
+  return true;
+}
+
+}  // namespace
+
+void encode_full_frame(Encoder& e, const DepVector& v) {
+  e.u8(kFrameFull);
+  e.varu(static_cast<uint64_t>(v.size()));
+  e.varu(static_cast<uint64_t>(v.non_null_count()));
+  v.for_each([&](ProcessId j, const Entry& ent) {
+    e.varu(static_cast<uint64_t>(j));
+    e.varu(static_cast<uint64_t>(ent.inc));
+    e.varu(static_cast<uint64_t>(ent.sii));
+  });
+}
+
+void encode_delta_frame(Encoder& e, const DepVector& basis,
+                        const DepVector& next) {
+  KOPT_CHECK(basis.size() == next.size());
+  e.u8(kFrameDelta);
+  e.varu(static_cast<uint64_t>(next.size()));
+  // Merged walk over both (sorted, sparse) sides, emitting the union of
+  // changed pids in the globally ascending order the decoder validates.
+  // Materialized once: nnz-sized, tiny in practice.
+  std::vector<std::pair<ProcessId, Entry>> a, b;
+  basis.for_each([&](ProcessId j, const Entry& en) { a.emplace_back(j, en); });
+  next.for_each([&](ProcessId j, const Entry& en) { b.emplace_back(j, en); });
+  auto walk = [&](auto&& emit) {
+    size_t i = 0, k = 0;
+    while (i < a.size() || k < b.size()) {
+      bool take_a =
+          k >= b.size() || (i < a.size() && a[i].first < b[k].first);
+      bool take_b =
+          i >= a.size() || (k < b.size() && b[k].first < a[i].first);
+      if (take_a) {
+        emit(a[i].first, OptEntry{});  // present before, NULL now
+        ++i;
+      } else if (take_b) {
+        emit(b[k].first, OptEntry{b[k].second});  // newly non-NULL
+        ++k;
+      } else {
+        if (!(a[i].second == b[k].second))
+          emit(b[k].first, OptEntry{b[k].second});  // value changed
+        ++i;
+        ++k;
+      }
+    }
+  };
+  size_t changes = 0;
+  walk([&](ProcessId, OptEntry) { ++changes; });
+  e.varu(changes);
+  walk([&](ProcessId j, OptEntry en) {
+    e.varu(static_cast<uint64_t>(j));
+    if (en) {
+      e.u8(1);
+      e.varu(static_cast<uint64_t>(en->inc));
+      e.varu(static_cast<uint64_t>(en->sii));
+    } else {
+      e.u8(0);
+    }
+  });
+}
+
+std::vector<uint8_t> DeltaChannelEncoder::encode(const DepVector& v,
+                                                 Incarnation sender_inc) {
+  bool resync = !has_basis_ || sender_inc != basis_inc_ ||
+                basis_.size() != v.size();
+  Encoder full;
+  encode_full_frame(full, v);
+  std::vector<uint8_t> out;
+  if (!resync) {
+    Encoder delta;
+    encode_delta_frame(delta, basis_, v);
+    if (delta.size() < full.size()) {
+      out = delta.take();
+    }
+  }
+  if (out.empty()) {
+    out = full.take();
+    ++full_frames_;
+  }
+  basis_ = v;
+  basis_inc_ = sender_inc;
+  has_basis_ = true;
+  return out;
+}
+
+std::optional<DepVector> DeltaChannelDecoder::decode(
+    std::span<const uint8_t> bytes, int n) {
+  Decoder d(bytes);
+  uint8_t tag = d.u8();
+  uint64_t wire_n = d.varu();
+  if (d.failed() || wire_n != static_cast<uint64_t>(n)) return std::nullopt;
+
+  if (tag == kFrameFull) {
+    uint64_t nnz = d.varu();
+    if (d.failed() || nnz > static_cast<uint64_t>(n)) return std::nullopt;
+    DepVector v(n);
+    int64_t prev_pid = -1;
+    for (uint64_t i = 0; i < nnz; ++i) {
+      uint64_t pid = d.varu();
+      Entry en;
+      if (!decode_entry_payload(d, en)) return std::nullopt;
+      if (pid >= static_cast<uint64_t>(n)) return std::nullopt;
+      if (static_cast<int64_t>(pid) <= prev_pid) return std::nullopt;
+      prev_pid = static_cast<int64_t>(pid);
+      v.set(static_cast<ProcessId>(pid), en);
+    }
+    if (!d.done()) return std::nullopt;
+    basis_ = v;
+    has_basis_ = true;
+    return v;
+  }
+
+  if (tag == kFrameDelta) {
+    // Hard error, not a guess: without the basis the delta refers to we
+    // cannot know what the unchanged entries are.
+    if (!has_basis_ || basis_.size() != n) return std::nullopt;
+    uint64_t changes = d.varu();
+    if (d.failed() || changes > static_cast<uint64_t>(n)) return std::nullopt;
+    DepVector v = basis_;
+    int64_t prev_pid = -1;
+    for (uint64_t i = 0; i < changes; ++i) {
+      uint64_t pid = d.varu();
+      uint8_t kind = d.u8();
+      if (d.failed() || pid >= static_cast<uint64_t>(n)) return std::nullopt;
+      if (static_cast<int64_t>(pid) <= prev_pid) return std::nullopt;
+      prev_pid = static_cast<int64_t>(pid);
+      if (kind == 0) {
+        v.clear(static_cast<ProcessId>(pid));
+      } else if (kind == 1) {
+        Entry en;
+        if (!decode_entry_payload(d, en)) return std::nullopt;
+        v.set(static_cast<ProcessId>(pid), en);
+      } else {
+        return std::nullopt;
+      }
+    }
+    if (!d.done()) return std::nullopt;
+    basis_ = v;
+    has_basis_ = true;
+    return v;
+  }
+
+  return std::nullopt;  // unknown tag
+}
+
+DeltaChannelTable::Channel& DeltaChannelTable::channel(ProcessId src,
+                                                       ProcessId dst) {
+  uint64_t k = key(src, dst);
+  auto it = map_.find(k);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  if (map_.size() >= cap_) {
+    auto& victim = lru_.back();
+    map_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(k, Channel{});
+  map_[k] = lru_.begin();
+  return lru_.front().second;
+}
+
+size_t TrackingMeter::on_route(const AppMsg& msg) {
+  DeltaChannelTable::Channel& ch = channels_.channel(msg.from, msg.to);
+  std::vector<uint8_t> frame = ch.enc.encode(msg.tdv, msg.born_of.inc);
+  // Self-check: what we metered must decode back to the vector we metered.
+  // Cheap (nnz-sized) and catches basis drift immediately.
+  std::optional<DepVector> back = ch.dec.decode(frame, n_);
+  KOPT_CHECK(back.has_value() && *back == msg.tdv);
+  ++messages_;
+  bytes_ += static_cast<int64_t>(frame.size());
+  nnz_ += msg.tdv.non_null_count();
+  if (!frame.empty() && frame[0] == kFrameFull) ++full_frames_;
+  return frame.size();
+}
+
+}  // namespace koptlog::wire

@@ -1,0 +1,155 @@
+// Delta dependency-vector codec — the wire-level half of scaling the
+// cluster axis. A channel's consecutive vectors differ in only a handful
+// of entries (the sender merges, NULLs, and advances a few pids per
+// interval), so instead of re-shipping the whole NULL-omitted vector the
+// sender encodes the *changes* against the last vector it sent on that
+// channel, with varint pids/incarnations/LSNs:
+//
+//   full frame   = tag, varu n, varu nnz, nnz x (varu pid, varu inc,
+//                  varu sii)            -- pids strictly ascending
+//   delta frame  = tag, varu n, varu k, k x (varu pid, u8 kind,
+//                  [varu inc, varu sii])  -- kind 0 NULLs the entry
+//
+// Resync: the first frame on a channel, and the first frame after the
+// sender rolls back or restarts (its incarnation bumps), is a full frame —
+// the receiver's basis may describe messages that no longer precede this
+// one. The encoder also falls back to a full frame whenever the delta
+// would be no smaller, which bounds worst-case overhead at one tag byte.
+//
+// The decoder is fuzz-hardened: a delta frame without an established basis
+// is a hard error (never a guess), as are duplicate/unsorted pids, counts
+// exceeding n, overlong varints, truncations and trailing bytes. Nothing
+// is preallocated from attacker-controlled counts.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dep_vector.h"
+#include "wire/codec.h"
+
+namespace koptlog::wire {
+
+inline constexpr uint8_t kFrameFull = 0x01;
+inline constexpr uint8_t kFrameDelta = 0x02;
+
+/// Encode `v` as a standalone (basis-free) full sparse frame.
+void encode_full_frame(Encoder& e, const DepVector& v);
+
+/// Encode the changes turning `basis` into `next` (same logical size).
+/// Entries present in basis but NULL in next are emitted as kind-0 changes.
+void encode_delta_frame(Encoder& e, const DepVector& basis,
+                        const DepVector& next);
+
+// --- per-channel stateful endpoints ---------------------------------------
+
+/// Sender side of one channel: owns the basis (the last vector shipped).
+/// Losing this state is always safe — the next encode is a full resync.
+class DeltaChannelEncoder {
+ public:
+  /// Encode `v` given the sender currently executes incarnation
+  /// `sender_inc`. Emits a full frame on first use, after an incarnation
+  /// change, or when the delta is no smaller; a delta frame otherwise.
+  std::vector<uint8_t> encode(const DepVector& v, Incarnation sender_inc);
+
+  bool has_basis() const { return has_basis_; }
+  void reset() { has_basis_ = false; }
+  /// Full frames emitted so far (resyncs + size fallbacks).
+  int64_t full_frames() const { return full_frames_; }
+
+ private:
+  DepVector basis_;
+  Incarnation basis_inc_ = -1;
+  bool has_basis_ = false;
+  int64_t full_frames_ = 0;
+};
+
+/// Receiver side of one channel. decode() returns nullopt on ANY malformed
+/// frame — including a delta frame arriving before any full frame
+/// established a basis (a decoder that guessed would silently corrupt
+/// dependency tracking, the one thing a recovery protocol cannot absorb).
+class DeltaChannelDecoder {
+ public:
+  std::optional<DepVector> decode(std::span<const uint8_t> bytes, int n);
+
+  bool has_basis() const { return has_basis_; }
+  void reset() { has_basis_ = false; }
+
+ private:
+  DepVector basis_;
+  bool has_basis_ = false;
+};
+
+// --- channel-state table ---------------------------------------------------
+
+/// Bounded (src,dst) -> channel-state map with LRU eviction: the basis
+/// compaction that keeps a long run's per-channel memory from growing with
+/// the number of channels ever used. Both endpoints of a channel are
+/// evicted together, which keeps eviction safe: the encoder's next frame
+/// after losing its basis is a full resync, which the basis-less decoder
+/// accepts.
+class DeltaChannelTable {
+ public:
+  struct Channel {
+    DeltaChannelEncoder enc;
+    DeltaChannelDecoder dec;
+  };
+
+  explicit DeltaChannelTable(size_t capacity) : cap_(capacity ? capacity : 1) {}
+
+  /// The channel for (src,dst), created (possibly evicting the least
+  /// recently used one) on first touch.
+  Channel& channel(ProcessId src, ProcessId dst);
+
+  size_t size() const { return map_.size(); }
+  int64_t evictions() const { return evictions_; }
+
+ private:
+  static uint64_t key(ProcessId src, ProcessId dst) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+           static_cast<uint32_t>(dst);
+  }
+
+  size_t cap_;
+  std::list<std::pair<uint64_t, Channel>> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Channel>>::iterator>
+      map_;
+  int64_t evictions_ = 0;
+};
+
+// --- passive measurement ---------------------------------------------------
+
+/// Measures what the delta encoding WOULD put on the wire, message by
+/// message, without touching what the protocol actually ships: the route
+/// boundary calls on_route(), the meter delta-encodes the piggybacked
+/// vector on the message's channel (round-tripping through the decoder as
+/// a self-check) and accumulates totals. Pure observation — safe to enable
+/// in the deterministic simulator.
+class TrackingMeter {
+ public:
+  TrackingMeter(int n, size_t max_channels)
+      : n_(n), channels_(max_channels) {}
+
+  /// Returns this message's delta-encoded tracking bytes.
+  size_t on_route(const AppMsg& msg);
+
+  int64_t messages() const { return messages_; }
+  int64_t bytes() const { return bytes_; }
+  int64_t nnz() const { return nnz_; }
+  int64_t full_frames() const { return full_frames_; }
+  int64_t evictions() const { return channels_.evictions(); }
+
+ private:
+  int n_;
+  DeltaChannelTable channels_;
+  int64_t messages_ = 0;
+  int64_t bytes_ = 0;
+  int64_t nnz_ = 0;
+  int64_t full_frames_ = 0;
+};
+
+}  // namespace koptlog::wire

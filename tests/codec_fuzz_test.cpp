@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "wire/codec.h"
+#include "wire/delta_codec.h"
 
 namespace koptlog {
 namespace {
@@ -221,6 +222,131 @@ TEST(CodecFuzzTest, DepReplyDecoderSurvivesMutation) {
       return wire::decode_dep_reply(b);
     });
   }
+}
+
+// --- sparse/delta frames (wire/delta_codec.h) -------------------------------
+
+DepVector sample_sparse_vector(Rng& rng, int n) {
+  DepVector v(n);
+  int live = static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < live; ++i) {
+    v.set(static_cast<ProcessId>(rng.next_below(static_cast<uint64_t>(n))),
+          Entry{static_cast<Incarnation>(rng.next_below(5)),
+                static_cast<Sii>(rng.next_below(100'000))});
+  }
+  return v;
+}
+
+// A fresh decoder per input: full frames are self-contained, and any delta
+// frame the mutation produces must be rejected (no basis), never guessed.
+TEST(CodecFuzzTest, SparseFullFrameDecoderSurvivesMutation) {
+  Rng rng(0x5FA25E);
+  const int n = 64;
+  for (int round = 0; round < 20; ++round) {
+    Encoder e;
+    wire::encode_full_frame(e, sample_sparse_vector(rng, n));
+    hammer(e.bytes(), rng, [](std::span<const uint8_t> b) {
+      wire::DeltaChannelDecoder dec;
+      return dec.decode(b, 64);
+    });
+  }
+}
+
+// Stateful channel: establish a basis with a full frame, then hammer
+// mutated delta frames against that SAME decoder — the hostile input now
+// exercises the basis-merge path, and a malformed delta must not corrupt
+// the channel into accepting garbage later.
+TEST(CodecFuzzTest, DeltaFrameDecoderSurvivesMutationWithBasis) {
+  Rng rng(0xDE17A);
+  const int n = 64;
+  for (int round = 0; round < 20; ++round) {
+    wire::DeltaChannelEncoder enc;
+    DepVector v1 = sample_sparse_vector(rng, n);
+    std::vector<uint8_t> full = enc.encode(v1, 0);
+    DepVector v2 = v1;
+    v2.set(static_cast<ProcessId>(rng.next_below(n)),
+           Entry{0, static_cast<Sii>(rng.next_below(1'000) + 200'000)});
+    std::vector<uint8_t> delta = enc.encode(v2, 0);
+    if (delta.empty() || delta[0] != wire::kFrameDelta) continue;
+    wire::DeltaChannelDecoder dec;
+    ASSERT_TRUE(dec.decode(full, n).has_value());
+    hammer(delta, rng, [&dec, n](std::span<const uint8_t> b) {
+      return dec.decode(b, n);
+    });
+    // The channel still decodes a fresh valid frame after all that abuse.
+    wire::DeltaChannelEncoder enc2;
+    auto ok = dec.decode(enc2.encode(v2, 0), n);
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(*ok, v2);
+  }
+}
+
+TEST(CodecFuzzTest, DeltaWithoutBasisIsRejectedNotGuessed) {
+  const int n = 32;
+  wire::DeltaChannelEncoder enc;
+  DepVector v = DepVector(n);
+  // Enough unchanged entries that the one-change delta beats the full frame.
+  for (ProcessId j = 3; j < 28; j += 5) v.set(j, Entry{0, j});
+  (void)enc.encode(v, 0);
+  v.set(3, Entry{0, 8});
+  std::vector<uint8_t> delta = enc.encode(v, 0);
+  ASSERT_EQ(delta[0], wire::kFrameDelta);
+  wire::DeltaChannelDecoder fresh;
+  EXPECT_FALSE(fresh.decode(delta, n).has_value());
+}
+
+TEST(CodecFuzzTest, SparseFrameHostileEntryCount) {
+  // Claim ~2^62 entries in a 16-byte buffer: the varint count must be
+  // validated against n before anything is allocated or read.
+  const int n = 64;
+  Encoder e;
+  e.u8(wire::kFrameFull);
+  e.varu(static_cast<uint64_t>(n));
+  e.varu(uint64_t{1} << 62);  // hostile nnz
+  e.varu(1);
+  e.varu(0);
+  e.varu(5);
+  wire::DeltaChannelDecoder dec;
+  EXPECT_FALSE(dec.decode(e.bytes(), n).has_value());
+
+  Encoder d;
+  d.u8(wire::kFrameDelta);
+  d.varu(static_cast<uint64_t>(n));
+  d.varu(uint64_t{1} << 62);  // hostile change count
+  wire::DeltaChannelDecoder dec2;
+  EXPECT_FALSE(dec2.decode(d.bytes(), n).has_value());
+}
+
+TEST(CodecFuzzTest, SparseFrameRejectsDuplicateAndUnsortedPids) {
+  const int n = 16;
+  auto frame = [&](ProcessId p1, ProcessId p2) {
+    Encoder e;
+    e.u8(wire::kFrameFull);
+    e.varu(static_cast<uint64_t>(n));
+    e.varu(2);
+    e.varu(static_cast<uint64_t>(p1));
+    e.varu(0);
+    e.varu(1);
+    e.varu(static_cast<uint64_t>(p2));
+    e.varu(0);
+    e.varu(2);
+    return e.take();
+  };
+  wire::DeltaChannelDecoder dec;
+  EXPECT_TRUE(dec.decode(frame(2, 5), n).has_value());   // sorted: fine
+  EXPECT_FALSE(dec.decode(frame(5, 5), n).has_value());  // duplicate
+  EXPECT_FALSE(dec.decode(frame(5, 2), n).has_value());  // unsorted
+  EXPECT_FALSE(dec.decode(frame(2, 99), n).has_value()); // pid >= n
+}
+
+TEST(CodecFuzzTest, SparseFrameRejectsTrailingBytes) {
+  const int n = 8;
+  Encoder e;
+  wire::encode_full_frame(e, DepVector(n));
+  std::vector<uint8_t> bytes = e.take();
+  bytes.push_back(0x00);
+  wire::DeltaChannelDecoder dec;
+  EXPECT_FALSE(dec.decode(bytes, n).has_value());
 }
 
 /// Round-trip sanity alongside the fuzzing: valid encodings still decode to

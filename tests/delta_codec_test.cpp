@@ -1,0 +1,331 @@
+// Delta dependency-vector codec: frame round-trips, resync semantics,
+// channel-table LRU eviction safety, and the passive TrackingMeter.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "wire/delta_codec.h"
+
+namespace koptlog::wire {
+namespace {
+
+DepVector vec(int n, std::vector<std::pair<ProcessId, Entry>> entries) {
+  DepVector v(n);
+  for (const auto& [pid, e] : entries) v.set(pid, e);
+  return v;
+}
+
+std::optional<DepVector> roundtrip_full(const DepVector& v) {
+  Encoder e;
+  encode_full_frame(e, v);
+  DeltaChannelDecoder dec;
+  return dec.decode(e.bytes(), v.size());
+}
+
+// --- varints ---------------------------------------------------------------
+
+TEST(VarintTest, RoundTripsRepresentativeValues) {
+  const uint64_t cases[] = {0,    1,    127,        128,
+                            300,  16383, 16384,     uint64_t{1} << 32,
+                            ~uint64_t{0}};
+  for (uint64_t u : cases) {
+    Encoder e;
+    e.varu(u);
+    Decoder d(e.bytes());
+    EXPECT_EQ(d.varu(), u);
+    EXPECT_TRUE(d.done());
+  }
+  const int64_t svals[] = {0, -1, 1, -64, 64, -1'000'000,
+                           INT64_MIN, INT64_MAX};
+  for (int64_t s : svals) {
+    Encoder e;
+    e.vari(s);
+    Decoder d(e.bytes());
+    EXPECT_EQ(d.vari(), s);
+    EXPECT_TRUE(d.done());
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  Encoder e;
+  e.varu(127);
+  EXPECT_EQ(e.size(), 1u);
+  e.varu(128);
+  EXPECT_EQ(e.size(), 3u);  // 1 + 2
+}
+
+TEST(VarintTest, OverlongEncodingFailsTheStream) {
+  // Eleven continuation bytes: more than any u64 needs.
+  std::vector<uint8_t> overlong(11, 0x80);
+  overlong.push_back(0x01);
+  Decoder d(overlong);
+  d.varu();
+  EXPECT_TRUE(d.failed());
+  // Ten bytes whose last carries bits beyond the 64th.
+  std::vector<uint8_t> wide(9, 0x80);
+  wide.push_back(0x7F);
+  Decoder d2(wide);
+  d2.varu();
+  EXPECT_TRUE(d2.failed());
+}
+
+// --- full frames -----------------------------------------------------------
+
+TEST(DeltaCodecTest, FullFrameRoundTripsSparseVector) {
+  DepVector v = vec(1000, {{3, Entry{0, 7}}, {400, Entry{2, 9}},
+                           {999, Entry{1, 123456789}}});
+  auto back = roundtrip_full(v);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v);
+}
+
+TEST(DeltaCodecTest, FullFrameRoundTripsAllNullAndDense) {
+  auto empty = roundtrip_full(DepVector(64));
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(*empty, DepVector(64));
+
+  DepVector dense(16);
+  for (ProcessId j = 0; j < 16; ++j) dense.set(j, Entry{j % 3, j * 10});
+  auto back = roundtrip_full(dense);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, dense);
+}
+
+TEST(DeltaCodecTest, FullFrameIsSmallForSparseLargeN) {
+  // 3 live entries out of 1000: the frame must not scale with N.
+  DepVector v = vec(1000, {{3, Entry{0, 7}}, {400, Entry{2, 9}},
+                           {999, Entry{1, 5}}});
+  Encoder e;
+  encode_full_frame(e, v);
+  EXPECT_LT(e.size(), 32u);
+}
+
+// --- channel encode/decode: resync and delta semantics ---------------------
+
+TEST(DeltaChannelTest, FirstFrameIsFullThenDeltas) {
+  const int n = 200;
+  DeltaChannelEncoder enc;
+  DeltaChannelDecoder dec;
+  DepVector v1 = vec(n, {{1, Entry{0, 5}}, {50, Entry{0, 3}}});
+  std::vector<uint8_t> f1 = enc.encode(v1, /*sender_inc=*/0);
+  ASSERT_FALSE(f1.empty());
+  EXPECT_EQ(f1[0], kFrameFull);
+  auto d1 = dec.decode(f1, n);
+  ASSERT_TRUE(d1.has_value());
+  EXPECT_EQ(*d1, v1);
+
+  // One entry advances: the next frame is a small delta.
+  DepVector v2 = v1;
+  v2.set(50, Entry{0, 4});
+  std::vector<uint8_t> f2 = enc.encode(v2, 0);
+  ASSERT_FALSE(f2.empty());
+  EXPECT_EQ(f2[0], kFrameDelta);
+  EXPECT_LT(f2.size(), f1.size());
+  auto d2 = dec.decode(f2, n);
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_EQ(*d2, v2);
+
+  // An entry going NULL (stability) is also a delta change.
+  DepVector v3 = v2;
+  v3.clear(1);
+  std::vector<uint8_t> f3 = enc.encode(v3, 0);
+  EXPECT_EQ(f3[0], kFrameDelta);
+  auto d3 = dec.decode(f3, n);
+  ASSERT_TRUE(d3.has_value());
+  EXPECT_EQ(*d3, v3);
+}
+
+TEST(DeltaChannelTest, IncarnationBumpForcesFullResync) {
+  const int n = 100;
+  DeltaChannelEncoder enc;
+  DeltaChannelDecoder dec;
+  DepVector v1 = vec(n, {{2, Entry{0, 9}}});
+  EXPECT_EQ(enc.encode(v1, 0)[0], kFrameFull);
+  (void)dec.decode(enc.encode(v1, 0), n);
+
+  DepVector v2 = vec(n, {{2, Entry{0, 10}}});
+  // Sender rolled back and restarted as incarnation 1: no delta allowed.
+  std::vector<uint8_t> f = enc.encode(v2, /*sender_inc=*/1);
+  EXPECT_EQ(f[0], kFrameFull);
+  auto d = dec.decode(f, n);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, v2);
+}
+
+TEST(DeltaChannelTest, SizeChangeForcesFullResync) {
+  DeltaChannelEncoder enc;
+  EXPECT_EQ(enc.encode(vec(10, {{1, Entry{0, 1}}}), 0)[0], kFrameFull);
+  EXPECT_EQ(enc.encode(vec(20, {{1, Entry{0, 2}}}), 0)[0], kFrameFull);
+}
+
+TEST(DeltaChannelTest, UnchangedVectorDeltaIsTiny) {
+  const int n = 500;
+  DeltaChannelEncoder enc;
+  DepVector v = vec(n, {{7, Entry{0, 3}}, {8, Entry{0, 4}},
+                        {499, Entry{1, 2}}});
+  (void)enc.encode(v, 0);
+  std::vector<uint8_t> f = enc.encode(v, 0);
+  EXPECT_EQ(f[0], kFrameDelta);
+  // tag + varu(n) + varu(0 changes)
+  EXPECT_LE(f.size(), 4u);
+}
+
+TEST(DeltaChannelTest, FullFallbackWhenDeltaNoSmaller) {
+  const int n = 50;
+  DeltaChannelEncoder enc;
+  DepVector v1 = vec(n, {{1, Entry{0, 1}}});
+  (void)enc.encode(v1, 0);
+  // Everything changed: the delta (with its per-change kind byte) cannot
+  // beat the full frame, so the encoder ships full.
+  DepVector v2 = vec(n, {{2, Entry{3, 100}}, {4, Entry{1, 7}},
+                         {9, Entry{2, 8}}});
+  std::vector<uint8_t> f = enc.encode(v2, 0);
+  Encoder full;
+  encode_full_frame(full, v2);
+  EXPECT_LE(f.size(), full.size());
+  EXPECT_GE(enc.full_frames(), f[0] == kFrameFull ? 2 : 1);
+}
+
+TEST(DeltaChannelTest, DeltaWithoutBasisIsHardError) {
+  const int n = 30;
+  DeltaChannelEncoder enc;
+  // Enough unchanged entries that the one-change delta beats the full frame.
+  DepVector v1 = vec(n, {{1, Entry{0, 1}}, {4, Entry{0, 2}}, {9, Entry{0, 3}},
+                         {15, Entry{0, 4}}, {22, Entry{0, 5}}});
+  (void)enc.encode(v1, 0);
+  DepVector v2 = v1;
+  v2.set(1, Entry{0, 2});
+  std::vector<uint8_t> delta = enc.encode(v2, 0);
+  ASSERT_EQ(delta[0], kFrameDelta);
+  // A fresh decoder (restarted receiver) must reject it, not guess.
+  DeltaChannelDecoder fresh;
+  EXPECT_FALSE(fresh.decode(delta, n).has_value());
+  EXPECT_FALSE(fresh.has_basis());
+}
+
+TEST(DeltaChannelTest, DecoderRejectsSizeMismatch) {
+  DepVector v = vec(10, {{1, Entry{0, 1}}});
+  Encoder e;
+  encode_full_frame(e, v);
+  DeltaChannelDecoder dec;
+  EXPECT_FALSE(dec.decode(e.bytes(), 11).has_value());
+  EXPECT_TRUE(dec.decode(e.bytes(), 10).has_value());
+}
+
+TEST(DeltaChannelTest, LongRandomWalkRoundTripsEveryFrame) {
+  const int n = 300;
+  Rng rng(77);
+  DeltaChannelEncoder enc;
+  DeltaChannelDecoder dec;
+  DepVector v(n);
+  Incarnation inc = 0;
+  int64_t delta_frames = 0;
+  for (int step = 0; step < 500; ++step) {
+    // Mutate a few random entries; occasionally bump the incarnation.
+    int muts = 1 + static_cast<int>(rng.next_range(0, 3));
+    for (int m = 0; m < muts; ++m) {
+      ProcessId j = static_cast<ProcessId>(rng.next_range(0, n - 1));
+      if (rng.next_range(0, 4) == 0) {
+        v.clear(j);
+      } else {
+        v.set(j, Entry{inc, static_cast<Sii>(rng.next_range(0, 1'000))});
+      }
+    }
+    if (rng.next_range(0, 49) == 0) ++inc;
+    std::vector<uint8_t> f = enc.encode(v, inc);
+    auto back = dec.decode(f, n);
+    ASSERT_TRUE(back.has_value()) << "step " << step;
+    ASSERT_EQ(*back, v) << "step " << step;
+    if (f[0] == kFrameDelta) ++delta_frames;
+  }
+  // The walk must actually exercise the delta path.
+  EXPECT_GT(delta_frames, 400);
+}
+
+// --- channel table ---------------------------------------------------------
+
+TEST(DeltaChannelTableTest, LruEvictionIsAlwaysSafe) {
+  const int n = 40;
+  DeltaChannelTable table(/*capacity=*/2);
+  DepVector v = vec(n, {{1, Entry{0, 1}}});
+
+  auto send_on = [&](ProcessId src, ProcessId dst) {
+    DeltaChannelTable::Channel& ch = table.channel(src, dst);
+    std::vector<uint8_t> f = ch.enc.encode(v, 0);
+    auto back = table.channel(src, dst).dec.decode(f, n);
+    ASSERT_TRUE(back.has_value());
+    ASSERT_EQ(*back, v);
+  };
+
+  send_on(0, 1);
+  send_on(0, 2);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions(), 0);
+  send_on(0, 3);  // evicts (0,1) — the least recently used
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions(), 1);
+  // The evicted channel comes back cold: encoder resyncs with a full
+  // frame, which the fresh decoder accepts. Round-trip still succeeds.
+  send_on(0, 1);
+  EXPECT_EQ(table.evictions(), 2);
+  EXPECT_FALSE(table.channel(0, 1).enc.has_basis() &&
+               table.channel(0, 1).dec.has_basis() &&
+               table.size() != 2u);
+}
+
+TEST(DeltaChannelTableTest, TouchRefreshesRecency) {
+  const int n = 10;
+  DeltaChannelTable table(2);
+  (void)table.channel(0, 1);
+  (void)table.channel(0, 2);
+  (void)table.channel(0, 1);  // refresh (0,1)
+  (void)table.channel(0, 3);  // must evict (0,2), not (0,1)
+  DepVector v = vec(n, {{1, Entry{0, 1}}});
+  DeltaChannelTable::Channel& ch = table.channel(0, 1);  // no eviction
+  EXPECT_EQ(table.evictions(), 1);
+  std::vector<uint8_t> f = ch.enc.encode(v, 0);
+  EXPECT_TRUE(ch.dec.decode(f, n).has_value());
+}
+
+// --- TrackingMeter ---------------------------------------------------------
+
+TEST(TrackingMeterTest, AccumulatesPerChannelTotals) {
+  const int n = 64;
+  TrackingMeter meter(n, /*max_channels=*/128);
+  AppMsg m;
+  m.from = 0;
+  m.to = 1;
+  m.born_of = IntervalId{0, 0, 1};
+  m.tdv = vec(n, {{0, Entry{0, 1}}, {5, Entry{0, 2}}});
+
+  size_t b1 = meter.on_route(m);
+  EXPECT_GT(b1, 0u);
+  m.tdv.set(5, Entry{0, 3});
+  size_t b2 = meter.on_route(m);
+  EXPECT_LT(b2, b1);  // second frame is a delta
+
+  EXPECT_EQ(meter.messages(), 2);
+  EXPECT_EQ(meter.bytes(), static_cast<int64_t>(b1 + b2));
+  EXPECT_EQ(meter.nnz(), 4);
+  EXPECT_EQ(meter.full_frames(), 1);
+  EXPECT_EQ(meter.evictions(), 0);
+}
+
+TEST(TrackingMeterTest, DistinctChannelsKeepIndependentBases) {
+  const int n = 32;
+  TrackingMeter meter(n, 128);
+  AppMsg m;
+  m.born_of = IntervalId{0, 0, 1};
+  m.tdv = vec(n, {{2, Entry{0, 1}}});
+  m.from = 0;
+  m.to = 1;
+  (void)meter.on_route(m);
+  m.to = 2;  // different channel: needs its own full resync
+  (void)meter.on_route(m);
+  EXPECT_EQ(meter.full_frames(), 2);
+}
+
+}  // namespace
+}  // namespace koptlog::wire

@@ -97,5 +97,81 @@ TEST(DepVectorTest, Figure1MergeAtP4) {
   EXPECT_EQ(p4.non_null_count(), 5);
 }
 
+// --- sparse representation -------------------------------------------------
+
+TEST(DepVectorTest, TryMergeMaxReportsSizeMismatchWithoutMutating) {
+  DepVector a(3), b(4);
+  a.set(0, Entry{0, 5});
+  b.set(0, Entry{0, 9});
+  DepVector before = a;
+  EXPECT_FALSE(a.try_merge_max(b));
+  EXPECT_EQ(a, before);  // untouched on failure
+  DepVector c(3);
+  c.set(1, Entry{0, 2});
+  EXPECT_TRUE(a.try_merge_max(c));
+  EXPECT_EQ(*a.at(0), (Entry{0, 5}));
+  EXPECT_EQ(*a.at(1), (Entry{0, 2}));
+}
+
+TEST(DepVectorTest, SpillsToHeapBeyondInlineCapacityAndBack) {
+  const int n = 4 * DepVector::kInlineSlots;
+  DepVector v(n);
+  // Fill well past the inline capacity, descending pid order to exercise
+  // sorted insertion, then verify every lookup.
+  for (ProcessId j = n - 1; j >= 0; j -= 2) v.set(j, Entry{0, j});
+  EXPECT_EQ(v.non_null_count(), n / 2);
+  for (ProcessId j = 0; j < n; ++j) {
+    if (j % 2 == 1) {
+      ASSERT_TRUE(v.at(j).has_value());
+      EXPECT_EQ(v.at(j)->sii, j);
+    } else {
+      EXPECT_FALSE(v.at(j).has_value());
+    }
+  }
+  // for_each visits them in ascending pid order.
+  ProcessId prev = -1;
+  v.for_each([&](ProcessId j, const Entry&) {
+    EXPECT_GT(j, prev);
+    prev = j;
+  });
+  // Clearing back below the inline capacity keeps behaving correctly.
+  for (ProcessId j = 1; j < n; j += 2) {
+    if (j > 3) v.clear(j);
+  }
+  EXPECT_EQ(v.non_null_count(), 2);
+  EXPECT_EQ(*v.at(1), (Entry{0, 1}));
+  EXPECT_EQ(*v.at(3), (Entry{0, 3}));
+}
+
+TEST(DepVectorTest, EqualityIsLogicalAcrossInlineAndHeapForms) {
+  const int n = 3 * DepVector::kInlineSlots;
+  // `heap` spills past the inline capacity, then shrinks back to two live
+  // entries; `inl` never left the inline form. Logically equal.
+  DepVector heap(n);
+  for (ProcessId j = 0; j < n; ++j) heap.set(j, Entry{0, j + 1});
+  for (ProcessId j = 0; j < n; ++j) {
+    if (j != 2 && j != 7) heap.clear(j);
+  }
+  DepVector inl(n);
+  inl.set(2, Entry{0, 3});
+  inl.set(7, Entry{0, 8});
+  EXPECT_EQ(heap, inl);
+  inl.set(7, Entry{0, 9});
+  EXPECT_FALSE(heap == inl);
+  EXPECT_FALSE(DepVector(n) == DepVector(n + 1));  // size is part of identity
+}
+
+TEST(DepVectorTest, MergeMaxAcrossSpilledVectors) {
+  const int n = 40;
+  DepVector a(n), b(n);
+  for (ProcessId j = 0; j < n; j += 2) a.set(j, Entry{0, j});
+  for (ProcessId j = 1; j < n; j += 2) b.set(j, Entry{0, j});
+  b.set(0, Entry{1, 0});  // higher incarnation beats a's (0,0)
+  a.merge_max(b);
+  EXPECT_EQ(a.non_null_count(), n);
+  EXPECT_EQ(*a.at(0), (Entry{1, 0}));
+  for (ProcessId j = 1; j < n; ++j) EXPECT_EQ(a.at(j)->sii, j);
+}
+
 }  // namespace
 }  // namespace koptlog

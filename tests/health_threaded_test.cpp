@@ -152,6 +152,49 @@ TEST(HealthThreadedTest, ThreadedClusterPopulatesShardAndClusterDomains) {
   EXPECT_GT(cluster.outputs().size(), 0u);
 }
 
+TEST(HealthThreadedTest, TrackingAndTreeHopCountersPopulate) {
+  HealthRegistry health;
+  ClusterConfig cfg;
+  cfg.n = 8;
+  cfg.seed = 31;
+  cfg.protocol.k = 2;
+  cfg.record_events = true;
+  cfg.measure_tracking = true;
+  ThreadedOptions opt;
+  opt.shards = 4;
+  opt.time_scale = 0.02;
+  opt.announce_fanout = 2;
+  opt.health = &health;
+  ThreadedCluster cluster(cfg, opt, make_uniform_app({}));
+  cluster.start();
+  const SimTime load_end = 300'000;
+  inject_uniform_load(cluster, 80, 1'000, load_end, /*ttl=*/6, 32);
+  apply_failure_plan(cluster, FailurePlan::random(Rng(31).fork("fail"), cfg.n,
+                                                  1, load_end / 10, load_end));
+  cluster.run_for(load_end);
+  cluster.drain();
+  cluster.shutdown();
+
+  HealthSample s = health.sample(0);
+  uint64_t track_bytes = 0, track_nnz = 0, tree_hops = 0;
+  for (const auto& dom : s.domains) {
+    if (dom.name != "cluster") continue;
+    for (const auto& [name, v] : dom.counters) {
+      if (name == "track.bytes_sent") track_bytes = v;
+      if (name == "track.nnz") track_nnz = v;
+      if (name == "announce.tree_hops") tree_hops = v;
+    }
+  }
+  EXPECT_GT(track_bytes, 0u);
+  EXPECT_GT(track_nnz, 0u);
+  EXPECT_GT(tree_hops, 0u);
+  // The health cells and the merged Stats bag count the same stream.
+  EXPECT_EQ(track_bytes, static_cast<uint64_t>(
+                             cluster.stats().counter("track.bytes_sent")));
+  EXPECT_EQ(tree_hops, static_cast<uint64_t>(
+                           cluster.stats().counter("announce.tree_hops")));
+}
+
 TEST(HealthThreadedTest, AtomicRewriteNeverShowsReadersATornFile) {
   namespace fs = std::filesystem;
   fs::path dir = fs::temp_directory_path() / "koptlog_health_rewrite_test";

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/interval_table.h"
 
 namespace koptlog {
@@ -72,6 +74,59 @@ TEST(EntrySetTest, Formatting) {
   se.insert(Entry{0, 4});
   se.insert(Entry{1, 5});
   EXPECT_EQ(se.str(), "{(0,4), (1,5)}");
+}
+
+TEST(EntrySetTest, CompactDominatedPreservesOrphans) {
+  // (s0,x0) is dominated when some (s1>s0, x1<=x0) exists: every interval
+  // the lower entry would flag as orphaned, the higher entry flags too.
+  EntrySet iet;
+  iet.insert(Entry{0, 9});  // dominated by (2,5)
+  iet.insert(Entry{1, 7});  // dominated by (2,5)
+  iet.insert(Entry{2, 5});
+  iet.insert(Entry{3, 8});  // kept: larger index than (2,5)
+
+  // Snapshot the orphan predicate over a grid before compaction.
+  std::vector<Entry> probes;
+  for (Incarnation t = 0; t <= 4; ++t) {
+    for (Sii x = 0; x <= 12; ++x) probes.push_back(Entry{t, x});
+  }
+  std::vector<bool> before;
+  for (const Entry& p : probes) before.push_back(iet.orphans(p));
+
+  EXPECT_EQ(iet.compact_dominated(), 2u);
+  EXPECT_EQ(iet.size(), 2u);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(iet.orphans(probes[i]), before[i]) << probes[i].str();
+  }
+  // Idempotent once the frontier is strictly decreasing.
+  EXPECT_EQ(iet.compact_dominated(), 0u);
+}
+
+TEST(EntrySetTest, CompactDominatedRandomizedAgainstUncompacted) {
+  // Property check: on random entry sets, compacting never changes any
+  // orphans() answer. Uses a simple LCG so the test is self-contained.
+  uint64_t s = 12345;
+  auto rnd = [&s](uint64_t bound) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return (s >> 33) % bound;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    EntrySet full;
+    for (int i = 0; i < 8; ++i) {
+      full.insert(Entry{static_cast<Incarnation>(rnd(5)),
+                        static_cast<Sii>(rnd(10))});
+    }
+    EntrySet compacted = full;
+    size_t removed = compacted.compact_dominated();
+    EXPECT_EQ(compacted.size() + removed, full.size());
+    for (Incarnation t = 0; t < 6; ++t) {
+      for (Sii x = 0; x < 12; ++x) {
+        Entry p{t, x};
+        ASSERT_EQ(compacted.orphans(p), full.orphans(p))
+            << "trial " << trial << " probe " << p.str();
+      }
+    }
+  }
 }
 
 TEST(IntervalTableTest, PerProcessSetsAndTotal) {

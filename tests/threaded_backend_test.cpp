@@ -222,6 +222,7 @@ struct RunResult {
   int64_t injected = 0;
   int64_t mailbox_stalls = 0;
   int64_t catchup_replayed = 0;
+  int64_t tree_hops = 0;
   size_t outputs = 0;
 };
 
@@ -233,7 +234,8 @@ std::string violations_of(const AuditReport& rep) {
 
 RunResult run_threaded_uniform(int n, int shards, uint64_t seed, int k,
                                int failures, int injections,
-                               size_t mailbox_capacity = 0) {
+                               size_t mailbox_capacity = 0,
+                               int announce_fanout = 0) {
   ClusterConfig cfg;
   cfg.n = n;
   cfg.seed = seed;
@@ -243,6 +245,7 @@ RunResult run_threaded_uniform(int n, int shards, uint64_t seed, int k,
   opt.shards = shards;
   opt.time_scale = kFastScale;
   opt.mailbox_capacity = mailbox_capacity;
+  opt.announce_fanout = announce_fanout;
   ThreadedCluster cluster(cfg, opt, make_uniform_app({}));
   cluster.start();
   const SimTime load_end = 400'000;
@@ -267,6 +270,7 @@ RunResult run_threaded_uniform(int n, int shards, uint64_t seed, int k,
   r.injected = cluster.stats().counter("env.injected");
   r.mailbox_stalls = cluster.stats().counter("mailbox.producer_stalls");
   r.catchup_replayed = cluster.stats().counter("announce.catchup_replayed");
+  r.tree_hops = cluster.stats().counter("announce.tree_hops");
   r.outputs = cluster.outputs().size();
   return r;
 }
@@ -341,6 +345,57 @@ TEST(ThreadedClusterTest, EightShardRandomizedMultiFailureStress) {
     EXPECT_GE(r.crashes, 1);
     EXPECT_EQ(r.crashes, r.restarts);
     EXPECT_GE(r.catchup_replayed, 0);
+  }
+}
+
+// --- tree-based announcement dissemination ---------------------------------
+//
+// With --announce-fanout D >= 1 the origin shard hands announcements to a
+// D-ary tree over the shards instead of messaging every shard directly.
+// Each non-origin shard still receives every announcement exactly once, so
+// total hops per broadcast are S-1 — same delivery, origin cost O(D).
+
+TEST(ThreadedClusterTest, TreeDisseminationCleanRunAuditsOk) {
+  RunResult r = run_threaded_uniform(8, /*shards=*/4, /*seed=*/61, /*k=*/2,
+                                     /*failures=*/0, /*injections=*/80,
+                                     /*mailbox_capacity=*/0,
+                                     /*announce_fanout=*/2);
+  EXPECT_TRUE(r.audit.ok()) << violations_of(r.audit);
+  EXPECT_GT(r.outputs, 0u);
+  // No failures -> no announcements -> nothing for the tree to forward.
+  EXPECT_EQ(r.tree_hops, 0);
+}
+
+TEST(ThreadedClusterTest, TreeDisseminationChainFanoutAuditsOk) {
+  // D=1 degenerates to a relay chain across the shards — the deepest tree,
+  // the harshest ordering test for multi-hop delivery.
+  RunResult r = run_threaded_uniform(8, /*shards=*/4, /*seed=*/62, /*k=*/1,
+                                     /*failures=*/2, /*injections=*/80,
+                                     /*mailbox_capacity=*/0,
+                                     /*announce_fanout=*/1);
+  EXPECT_TRUE(r.audit.ok()) << violations_of(r.audit);
+  EXPECT_GE(r.crashes, 1);
+  EXPECT_EQ(r.crashes, r.restarts);
+  EXPECT_GT(r.tree_hops, 0);
+}
+
+// The acceptance gate for the tree path: randomized multi-failure runs on
+// the widest shard fan, with restarts forcing announcement catch-up while
+// later announcements are still traversing tree hops. Runs under TSan via
+// scripts/sanitize_tests.sh tsan.
+TEST(ThreadedClusterTest, TreeDisseminationMultiFailureRestartCatchUp) {
+  for (uint64_t seed : {uint64_t{71}, uint64_t{72}}) {
+    RunResult r = run_threaded_uniform(16, /*shards=*/8, seed, /*k=*/2,
+                                       /*failures=*/5, /*injections=*/200,
+                                       /*mailbox_capacity=*/0,
+                                       /*announce_fanout=*/2);
+    EXPECT_TRUE(r.audit.ok())
+        << "seed " << seed << "\n"
+        << violations_of(r.audit);
+    EXPECT_GE(r.crashes, 1);
+    EXPECT_EQ(r.crashes, r.restarts);
+    EXPECT_GT(r.tree_hops, 0);
+    EXPECT_GT(r.audit.announcements, 0u);
   }
 }
 

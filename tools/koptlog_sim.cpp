@@ -45,6 +45,7 @@ struct Args {
   double time_scale = 0.1;
   std::string mailbox = "batched";  // batched | mutex
   size_t mailbox_capacity = 0;      // 0 = unbounded
+  int announce_fanout = 0;          // 0 = flat fan-out; D>=1 = D-ary tree
   int injections = 100;
   int ttl = 7;
   int failures = 0;
@@ -96,6 +97,10 @@ struct Args {
       << "  --mailbox-capacity INT    threaded backend: per-shard occupancy\n"
       << "                    bound; injections block while a shard is full\n"
       << "                    (default 0 = unbounded)\n"
+      << "  --announce-fanout INT     threaded backend: announcement\n"
+      << "                    dissemination tree degree; each shard forwards\n"
+      << "                    to at most D child shards instead of the origin\n"
+      << "                    fanning out to all (default 0 = flat fan-out)\n"
       << "  --injections INT  environment requests (default 100)\n"
       << "  --ttl INT         uniform-workload hop budget (default 7)\n"
       << "  --failures INT    random crashes during the run (default 0)\n"
@@ -175,6 +180,7 @@ Args parse(int argc, char** argv) {
     else if (f == "--mailbox") a.mailbox = need(i);
     else if (f == "--mailbox-capacity")
       a.mailbox_capacity = static_cast<size_t>(std::stoull(need(i)));
+    else if (f == "--announce-fanout") a.announce_fanout = std::stoi(need(i));
     else if (f == "--injections") a.injections = std::stoi(need(i));
     else if (f == "--ttl") a.ttl = std::stoi(need(i));
     else if (f == "--failures") a.failures = std::stoi(need(i));
@@ -317,6 +323,10 @@ int main(int argc, char** argv) {
               << "' (have: batched mutex)\n";
     return 2;
   }
+  if (a.announce_fanout < 0) {
+    std::cerr << "error: --announce-fanout must be >= 0 (0 = flat fan-out)\n";
+    return 2;
+  }
   bool threaded = a.backend == "threaded";
 
   if (!a.record.empty() && a.record != "vector" && a.record != "ring") {
@@ -399,6 +409,7 @@ int main(int argc, char** argv) {
   bopt.time_scale = a.time_scale;
   bopt.mailbox = a.mailbox;
   bopt.mailbox_capacity = a.mailbox_capacity;
+  bopt.announce_fanout = a.announce_fanout;
   if (health_on) bopt.health = &health_registry;
   std::unique_ptr<ClusterHost> host =
       make_backend_host(bopt, cfg, app, engine->factory);
